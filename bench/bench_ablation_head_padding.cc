@@ -1,0 +1,55 @@
+// Experiment E14 -- §4 methodology ablation: padding PaLM 540B's attention
+// heads from 48 to 64. The padding adds 18B parameters (~3% MFU cost) but
+// lets the heads dimension partition evenly on 64-chip meshes, which more
+// than recovers the cost.
+#include "common.h"
+
+#include "core/flops.h"
+
+int main() {
+  using namespace tsi;
+  ModelConfig orig = Palm540B();
+  ModelConfig padded = Palm540BPadded();
+
+  std::printf("Head padding: %lld -> %lld heads adds %.1fB params (paper: 18B)\n",
+              static_cast<long long>(orig.n_heads),
+              static_cast<long long>(padded.n_heads),
+              static_cast<double>(padded.ParamCount() - orig.ParamCount()) / 1e9);
+
+  // The padded model does strictly more math; its *useful* MFU discounts the
+  // padding: useful_flops / padded_flops ~ 97%.
+  double useful = static_cast<double>(MatmulParams(orig));
+  double total = static_cast<double>(MatmulParams(padded));
+  std::printf("Padding overhead in FLOPs: %.1f%% (paper: ~3%% MFU cost)\n\n",
+              (total / useful - 1.0) * 100);
+
+  InferenceEstimator eo(orig, TpuV4());
+  InferenceEstimator ep(padded, TpuV4());
+
+  PrintHeader("Decode on 64 chips, batch 512, context 2048: 48 vs 64 heads");
+  Table t({"mesh", "layout", "48 heads (ms, useful-MFU)", "64 heads (ms, useful-MFU)"});
+  for (const auto& mesh : {Torus3D(4, 4, 4), Torus3D(4, 8, 2), Torus3D(2, 8, 4)}) {
+    PartitionSpec s{mesh, FfnLayout::kWS2D, AttnSharding::kBatch, WeightFormat::kBf16};
+    // 48 heads do not divide yz=16: the heads axis pads to the next multiple
+    // in practice; our head-sharded cost model replicates instead, so we
+    // compare at the batch-sharded layout both models support.
+    auto ro = eo.DecodeStep(s, 512, 2048);
+    auto rp = ep.DecodeStep(s, 512, 2048);
+    // Useful MFU: discount the padded model's extra parameters.
+    double mfu_o = ro.mfu;
+    double mfu_p = rp.mfu * useful / total;
+    t.AddRow({mesh.ToString(), ToString(FfnLayout::kWS2D),
+              Ms(ro.seconds, 1) + ", " + FormatPercent(mfu_o),
+              Ms(rp.seconds, 1) + ", " + FormatPercent(mfu_p)});
+  }
+  t.Print();
+
+  // Where padding pays: head-sharded attention with yz = 16 partitions. 48
+  // heads shard 48-ways at most and replicate beyond; 64 heads split evenly.
+  PrintHeader("Head-sharded attention divisibility on yz=16 meshes");
+  Table t2({"model", "heads", "heads per chip (yz=16)", "even split"});
+  t2.AddRow({orig.name, "48", "3 (uneven across 16)", "no"});
+  t2.AddRow({padded.name, "64", "4", "yes"});
+  t2.Print();
+  return 0;
+}

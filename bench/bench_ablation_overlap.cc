@@ -1,0 +1,55 @@
+// Experiment E13 -- §3.5 ablation: Looped CollectiveEinsum overlap.
+// The paper credits communication/compute overlap plus collective fusion
+// with ~1.4x over the compiler-scheduled baseline. We sweep the hiding
+// fraction and report its effect across communication regimes: the gain is
+// small where a config is memory-bound and large where it is
+// communication-bound (1D weight-stationary at high chip counts,
+// weight-gathered prefill).
+#include "common.h"
+
+int main() {
+  using namespace tsi;
+  ModelConfig cfg = Palm540BPadded();
+
+  struct Scenario {
+    const char* name;
+    PartitionSpec spec;
+    bool prefill;
+    double batch, len_or_ctx;
+  };
+  std::vector<Scenario> scenarios = {
+      {"decode WS-2D 64c B=512", {Torus3D(4, 4, 4), FfnLayout::kWS2D,
+        AttnSharding::kBatch, WeightFormat::kBf16}, false, 512, 2048},
+      {"decode WS-1D 256c B=512", {Torus3D(1, 16, 16), FfnLayout::kWS1D,
+        AttnSharding::kBatch, WeightFormat::kInt8}, false, 512, 2048},
+      {"decode WS-2D 256c B=256", {Torus3D(8, 8, 4), FfnLayout::kWS2D,
+        AttnSharding::kBatch, WeightFormat::kInt8}, false, 256, 2048},
+      {"prefill WG-XYZ 64c B=512", {Torus3D(4, 4, 4), FfnLayout::kWGXYZ,
+        AttnSharding::kBatch, WeightFormat::kBf16}, true, 512, 2048},
+  };
+
+  PrintHeader("Ablation: collective/compute overlap fraction (Looped CollectiveEinsum, §3.5)");
+  Table t({"scenario", "overlap=0", "overlap=0.6 (default)", "overlap=0.9",
+           "speedup 0 -> 0.9"});
+  for (const auto& sc : scenarios) {
+    std::vector<double> times;
+    for (double ov : {0.0, 0.6, 0.9}) {
+      SystemModel sys;
+      sys.overlap_fraction = ov;
+      InferenceEstimator est(cfg, TpuV4(), sys);
+      auto r = sc.prefill ? est.Prefill(sc.spec, sc.batch, sc.len_or_ctx)
+                          : est.DecodeStep(sc.spec, sc.batch, sc.len_or_ctx);
+      times.push_back(r.seconds);
+    }
+    auto fmt = [&](double s) {
+      return sc.prefill ? FormatDouble(s, 2) + "s" : Ms(s, 2) + "ms";
+    };
+    t.AddRow({sc.name, fmt(times[0]), fmt(times[1]), fmt(times[2]),
+              FormatDouble(times[0] / times[2], 2) + "x"});
+  }
+  t.Print();
+  std::printf("\nPaper: ~1.4x overall vs the compiler-partitioned baseline\n"
+              "(which also lacked collective fusion); some weight-gathered\n"
+              "layouts would exhaust memory without the looped streaming.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Experiment E2 -- Figure 3: per-chip communication volume of one
+// feedforward layer vs. batch size in tokens, for 2D weight-stationary and
+// the X / XY / XYZ weight-gathered layouts. Paper setting: X = Y = Z = 4,
+// d_model = 16384, d_ff = 65536.
+//
+// Expected shape: WS-2D grows linearly and wins at small batches; each
+// weight-gathered variant is flat in weights + shrinking in activations, so
+// the optimum walks WG-X -> WG-XY -> WG-XYZ as batch grows.
+#include "common.h"
+
+#include "core/ffn_cost.h"
+
+int main() {
+  using namespace tsi;
+  const Torus3D mesh(4, 4, 4);
+  const int64_t E = 16384, F = 65536;
+
+  PrintHeader("Figure 3: FFN communication volume per chip (MiB) vs batch (tokens)");
+  Table t({"batch(tokens)", "WS-2D", "WG-X", "WG-XY", "WG-XYZ", "best"});
+  for (double bl = 512; bl <= (1 << 21); bl *= 2) {
+    std::vector<std::pair<FfnLayout, double>> vols;
+    for (FfnLayout l : {FfnLayout::kWS2D, FfnLayout::kWGX, FfnLayout::kWGXY,
+                        FfnLayout::kWGXYZ}) {
+      vols.emplace_back(l, FfnCommVolumePerChip(E, F, 1, mesh, l, bl, 2.0).total());
+    }
+    auto best = *std::min_element(vols.begin(), vols.end(),
+                                  [](auto& a, auto& b) { return a.second < b.second; });
+    std::vector<std::string> row{FormatDouble(bl, 0)};
+    for (auto& [l, v] : vols) row.push_back(FormatDouble(v / (1024.0 * 1024.0), 1));
+    row.push_back(ToString(best.first));
+    t.AddRow(row);
+  }
+  t.Print();
+
+  std::printf("\nOptimal gather width N* = sqrt(B*L*n/F):\n");
+  Table t2({"batch(tokens)", "N* (continuous)", "closed-form T_comm (ms, 270GB/s)"});
+  for (double bl = 4096; bl <= (1 << 20); bl *= 4) {
+    t2.AddRow({FormatDouble(bl, 0), FormatDouble(OptimalGatherWidth(bl, F, 64), 1),
+               FormatDouble(1e3 * WgCommTimeClosedForm(bl, E, F, 64, 270e9), 2)});
+  }
+  t2.Print();
+  return 0;
+}

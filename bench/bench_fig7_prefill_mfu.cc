@@ -1,0 +1,45 @@
+// Experiment E4 -- Figure 7: prefill MFU on PaLM 540B, 64 chips, sequence
+// length 2048, as batch size in tokens grows from 2k to 1M, for 2D
+// weight-stationary vs the weight-gathered layouts.
+//
+// Expected shape: WS-2D wins at small batches; the optimal layout switches
+// to increasingly wide weight-gathered variants as batch grows, topping out
+// near the paper's 76% MFU.
+#include "common.h"
+
+int main() {
+  using namespace tsi;
+  ModelConfig cfg = Palm540BPadded();
+  InferenceEstimator est(cfg, TpuV4());
+  const double L = 2048;
+  const int n = 64;
+
+  PrintHeader("Figure 7: PaLM 540B prefill MFU vs batch size in tokens (64 chips)");
+  Table t({"batch(tokens)", "sequences", "WS-2D", "WG-X", "WG-XY", "WG-XYZ", "best"});
+  for (double seqs = 1; seqs <= 512; seqs *= 2) {
+    double best_mfu = -1;
+    std::string best_name;
+    std::vector<std::string> row{FormatDouble(seqs * L, 0), FormatDouble(seqs, 0)};
+    for (FfnLayout want : {FfnLayout::kWS2D, FfnLayout::kWGX, FfnLayout::kWGXY,
+                           FfnLayout::kWGXYZ}) {
+      double mfu = -1;
+      for (const auto& s : EnumerateSpecs(cfg, n, WeightFormat::kBf16)) {
+        if (s.ffn != want) continue;
+        auto r = est.Prefill(s, seqs, L);
+        if (!r.fits_memory) continue;
+        mfu = std::max(mfu, r.mfu);
+      }
+      row.push_back(mfu < 0 ? "-" : FormatPercent(mfu));
+      if (mfu > best_mfu) {
+        best_mfu = mfu;
+        best_name = ToString(want);
+      }
+    }
+    row.push_back(best_name);
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\nPaper: weight-gathered layouts overtake WS-2D as batch grows,\n"
+              "reaching 76%% MFU at ~1M tokens (communication nearly free).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Experiment E5 -- Figure 8: latency per generated token vs. context length
+// for an 8-layer version of PaLM 540B on 64 chips at batch 256:
+// multihead (d_head 128) vs. baseline multiquery (sharded over heads) vs.
+// optimized multiquery (sharded over batch).
+//
+// Expected shape: all three agree at short context (FFN-dominated); as
+// context grows, baseline multiquery degrades fastest (replicated KV),
+// multihead next, optimized multiquery stays nearly flat. With the full
+// 118-layer model, multihead and baseline multiquery run out of memory
+// beyond ~512 context (dotted line in the paper's figure; our Table 1 bench
+// reproduces those limits).
+#include "common.h"
+
+int main() {
+  using namespace tsi;
+  ModelConfig mqa8 = Palm540B();
+  mqa8.num_layers = 8;
+  ModelConfig mha8 = Palm540BMultihead();
+  mha8.num_layers = 8;
+  InferenceEstimator emq(mqa8, TpuV4());
+  InferenceEstimator emh(mha8, TpuV4());
+
+  PartitionSpec head{Torus3D(4, 4, 4), FfnLayout::kWS2D, AttnSharding::kHeads,
+                     WeightFormat::kBf16};
+  PartitionSpec batch{Torus3D(4, 4, 4), FfnLayout::kWS2D, AttnSharding::kBatch,
+                      WeightFormat::kBf16};
+  const double B = 256;
+
+  PrintHeader("Figure 8: 8-layer PaLM 540B decode latency vs context (64 chips, batch 256)");
+  Table t({"context", "multihead (ms)", "baseline MQ (ms)", "optimized MQ (ms)",
+           "opt speedup vs baseline", "attn share (opt)"});
+  for (double ctx : {128.0, 512.0, 2048.0, 8192.0, 32768.0, 131072.0}) {
+    auto mh = emh.DecodeStep(head, B, ctx);
+    auto mq_base = emq.DecodeStep(head, B, ctx);
+    auto mq_opt = emq.DecodeStep(batch, B, ctx);
+    double attn_share = mq_opt.breakdown.kv_memory / mq_opt.seconds;
+    t.AddRow({FormatDouble(ctx, 0), Ms(mh.seconds, 2), Ms(mq_base.seconds, 2),
+              Ms(mq_opt.seconds, 2),
+              FormatDouble(mq_base.seconds / mq_opt.seconds, 2),
+              FormatPercent(attn_share)});
+  }
+  t.Print();
+  std::printf("\nPaper: optimized multiquery scales to 8192-32768 context with\n"
+              "attention only 8-31%% of runtime; baseline multiquery is the\n"
+              "worst variant at long context despite the smaller KV cache.\n");
+  return 0;
+}

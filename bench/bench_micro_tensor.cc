@@ -1,0 +1,88 @@
+// Experiment E16 -- google-benchmark microbenchmarks of the tensor
+// substrate: matmul, quantized matmul, softmax variants (§3.5's base-2
+// formulation), attention.
+#include <benchmark/benchmark.h>
+
+#include "model/attention.h"
+#include "quant/int8.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Gaussian({n, n}, rng);
+  Tensor b = Tensor::Gaussian({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulDequantInt8(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::Gaussian({n, n}, rng);
+  QuantizedTensor q = QuantizeInt8(Tensor::Gaussian({n, n}, rng));
+  for (auto _ : state) {
+    Tensor c = MatMulDequant(a, q);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulDequantInt8)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::Gaussian({256, 256}, rng);
+  for (auto _ : state) {
+    Tensor s = Softmax(x);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_Softmax2(benchmark::State& state) {
+  // §3.5: exp2-based softmax; on real accelerators this maps to the native
+  // exp2 unit (here it shows the relative cost of the two formulations).
+  Rng rng(3);
+  Tensor x = Tensor::Gaussian({256, 256}, rng);
+  for (auto _ : state) {
+    Tensor s = Softmax2(x);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Softmax2);
+
+void BM_Attention(benchmark::State& state) {
+  int64_t ctx = state.range(0);
+  Rng rng(4);
+  Tensor q = Tensor::Gaussian({2, 1, 8, 32}, rng);
+  Tensor k = Tensor::Gaussian({2, ctx, 1, 32}, rng);
+  Tensor v = Tensor::Gaussian({2, ctx, 1, 32}, rng);
+  for (auto _ : state) {
+    Tensor o = ScaledDotProductAttention(q, k, v, true);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_Attention)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QuantizeInt8(benchmark::State& state) {
+  Rng rng(5);
+  Tensor w = Tensor::Gaussian({256, 256}, rng);
+  for (auto _ : state) {
+    QuantizedTensor q = QuantizeInt8(w);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_QuantizeInt8);
+
+}  // namespace
+}  // namespace tsi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Interactive partitioning explorer: rank every candidate layout for a
+// model/chips/batch/phase and print the per-component time breakdown --
+// the "intuitive understanding of the tradeoffs" the paper argues for
+// (§1), as a tool.
+//
+//   build/examples/partitioning_explorer [model] [chips] [batch] [seqlen] [phase] [format]
+//     model:  8b | 62b | 540b | mtnlg     (default 540b)
+//     chips:  power of two               (default 64)
+//     batch:  sequences                  (default 256)
+//     seqlen: context length             (default 2048)
+//     phase:  prefill | decode           (default decode)
+//     format: bf16 | int8                (default bf16)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+
+#include "core/planner.h"
+#include "hw/chip.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tsi;
+  auto arg = [&](int i, const char* dflt) { return argc > i ? argv[i] : dflt; };
+
+  ModelConfig model = Palm540BPadded();
+  const char* mname = arg(1, "540b");
+  if (!std::strcmp(mname, "8b")) model = Palm8B();
+  else if (!std::strcmp(mname, "62b")) model = Palm62B();
+  else if (!std::strcmp(mname, "mtnlg")) model = MtNlg530B();
+
+  const int chips = std::atoi(arg(2, "64"));
+  const double batch = std::atof(arg(3, "256"));
+  const double seqlen = std::atof(arg(4, "2048"));
+  const bool decode = std::strcmp(arg(5, "decode"), "prefill") != 0;
+  const WeightFormat fmt =
+      std::strcmp(arg(6, "bf16"), "int8") ? WeightFormat::kBf16 : WeightFormat::kInt8;
+
+  InferenceEstimator est(model, TpuV4());
+  std::printf("%s | %d chips | batch %.0f | seq %.0f | %s | %s\n\n",
+              model.ToString().c_str(), chips, batch, seqlen,
+              decode ? "decode (per step)" : "prefill", ToString(fmt).c_str());
+
+  struct Row {
+    PartitionSpec spec;
+    PhaseResult r;
+  };
+  std::vector<Row> rows;
+  for (const auto& spec : EnumerateSpecs(model, chips, fmt)) {
+    PhaseResult r = decode ? est.DecodeStep(spec, batch, seqlen)
+                           : est.Prefill(spec, batch, seqlen);
+    rows.push_back({spec, r});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.r.seconds < b.r.seconds; });
+
+  Table t({"rank", "layout", "total", "compute", "weight-mem", "kv-mem", "comm",
+           "MFU", "fits"});
+  int rank = 1;
+  for (const auto& row : rows) {
+    if (rank > 12) break;
+    const CostBreakdown& b = row.r.breakdown;
+    t.AddRow({std::to_string(rank++), row.spec.ToString(),
+              FormatMs(row.r.seconds), FormatMs(b.compute),
+              FormatMs(b.weight_memory), FormatMs(b.kv_memory), FormatMs(b.comm),
+              FormatPercent(row.r.mfu), row.r.fits_memory ? "yes" : "NO"});
+  }
+  t.Print();
+
+  std::printf("\nThe breakdown shows *why* a layout wins: weight-stationary\n"
+              "pays activation collectives per layer; weight-gathered pays a\n"
+              "weight all-gather but shards the batch; batch-sharded attention\n"
+              "divides KV-cache streaming by the chip count (§3).\n");
+  return 0;
+}

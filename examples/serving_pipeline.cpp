@@ -1,0 +1,60 @@
+// Serving-pipeline demo (§4.4): a batch-1 prefill server feeding a batched
+// decode server, simulated on virtual time with Poisson arrivals, vs. the
+// naive collect-a-batch-then-run strategy. Shows the latency/throughput
+// tradeoff as the decode batch grows.
+//
+//   build/examples/serving_pipeline [requests_per_sec] [num_requests]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/serving.h"
+#include "hw/chip.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace tsi;
+  const double rate = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const int64_t count = argc > 2 ? std::atoll(argv[2]) : 200;
+
+  ModelConfig model = Palm540BPadded();
+  InferenceEstimator est(model, TpuV4());
+
+  ServingConfig cfg;
+  cfg.prefill_spec = {Torus3D(4, 4, 4), FfnLayout::kWS2D, AttnSharding::kHeads,
+                      WeightFormat::kInt8};
+  cfg.decode_spec = {Torus3D(4, 4, 4), FfnLayout::kWS2D, AttnSharding::kBatch,
+                     WeightFormat::kInt8};
+  cfg.input_len = 1024;
+  cfg.gen_len = 64;
+  cfg.flush_timeout = 0.5;
+
+  std::printf("Serving %s on 2x64 TPU v4 chips (one prefill replica, one "
+              "decode replica)\n", model.name.c_str());
+  std::printf("load: %.1f req/s Poisson, %lld requests, %0.f-token prompts, "
+              "%0.f-token replies\n\n", rate, static_cast<long long>(count),
+              cfg.input_len, cfg.gen_len);
+
+  auto arrivals = PoissonArrivals(rate, count, /*seed=*/7);
+
+  Table t({"decode batch", "mean latency", "p50", "p99", "tokens/s",
+           "prefill util", "decode util", "bursts"});
+  for (int64_t batch : {1, 4, 16, 64}) {
+    cfg.decode_batch = batch;
+    ServingStats s = SimulateServing(est, cfg, arrivals);
+    t.AddRow({std::to_string(batch), FormatMs(s.MeanLatency()),
+              FormatMs(s.PercentileLatency(50)), FormatMs(s.PercentileLatency(99)),
+              FormatDouble(s.ThroughputTokensPerSec(cfg.gen_len), 0),
+              FormatPercent(s.PrefillUtilization()),
+              FormatPercent(s.DecodeUtilization()),
+              std::to_string(s.decode_bursts)});
+  }
+  t.Print();
+
+  std::printf("\nPaper (§4.4): 'batch size 1 achieves best latency in the\n"
+              "prefill phase, but for the generate phase we can increase the\n"
+              "batch size up to 64 with negligible latency impact, and doing\n"
+              "so is dramatically better for generate MFU' -- visible above\n"
+              "as decode utilization falling while throughput holds as the\n"
+              "batch absorbs the same load in fewer, fuller bursts.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "baseline/ft.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "comm/cost.h"
+#include "core/flops.h"
+#include "util/logging.h"
+
+namespace tsi {
+
+std::string FtConfig::ToString() const {
+  std::ostringstream os;
+  if (pipeline_parallel > 1) os << "PP" << pipeline_parallel << "/";
+  os << "TP" << tensor_parallel;
+  return os.str();
+}
+
+FasterTransformerModel::FasterTransformerModel(ModelConfig config, ChipSpec gpu,
+                                               SystemModel sys)
+    : config_(std::move(config)), gpu_(std::move(gpu)), sys_(sys) {}
+
+double FasterTransformerModel::StepTime(const FtConfig& ft, double B,
+                                        double new_tokens, double context,
+                                        bool prefill) const {
+  const int tp = ft.tensor_parallel;
+  const double BL = B * new_tokens;
+  const double E = static_cast<double>(config_.d_model);
+  const double act = 2.0;  // fp16 activations
+
+  // Compute: the whole model's matmuls divided over the TP group (pipeline
+  // stages run sequentially for one token batch).
+  const double matmul_flops = MatmulFlopsPerToken(config_) * BL;
+  const double pairs = B * (new_tokens * context - new_tokens * (new_tokens - 1.0) / 2.0);
+  const double attn_flops =
+      4.0 * config_.n_heads * config_.d_head * pairs * config_.num_layers;
+  double compute = matmul_flops / (tp * gpu_.peak_flops * sys_.MatmulEff(BL)) +
+                   attn_flops / (tp * gpu_.peak_flops * sys_.matmul_peak_frac);
+
+  // Memory: every weight byte and the full KV cache stream once per step,
+  // divided over the TP group (stages stream sequentially, summing back to
+  // the whole model).
+  const double hbm = gpu_.hbm_bw * sys_.hbm_frac;
+  double weight_mem =
+      static_cast<double>(MatmulParams(config_)) * act / tp / hbm;
+  double kv_bytes = 2.0 * B * context * config_.n_kv_heads() * config_.d_head *
+                    act * config_.num_layers;
+  double kv_mem = kv_bytes / tp / hbm;
+
+  // Communication: two all-reduces per layer over TP (Megatron serial
+  // blocks). Beyond one NVLink domain the ring crosses nodes and the
+  // inter-node link per GPU becomes the bottleneck.
+  double bw = tp <= ft.gpus_per_node ? gpu_.network_bw : A100InterNodeBwPerGpu();
+  CommCostModel cm{bw, sys_.hop_latency, /*exact=*/true};
+  double ar_bytes = BL * E * act;
+  double comm_full = 2.0 * config_.num_layers * cm.AllReduceTime(ar_bytes, tp);
+  double comm = 2.0 * config_.num_layers * 2.0 * cm.Alpha(tp) +
+                (comm_full - 2.0 * config_.num_layers * 2.0 * cm.Alpha(tp)) *
+                    (1.0 - sys_.overlap_fraction * 0.5);
+  // FasterTransformer overlaps less aggressively than the paper's looped
+  // collective einsum; we grant it half the hiding fraction.
+
+  // Pipeline: inter-stage activation hops.
+  const int pp = ft.pipeline_parallel;
+  double pipe = 0;
+  if (pp > 1) {
+    CommCostModel inter{A100InterNodeBwPerGpu(), 5e-6, true};
+    double hop = inter.hop_latency + BL * E * act / inter.network_bw;
+    pipe = (pp - 1) * hop;
+  }
+
+  double overhead = sys_.per_layer_overhead * 1.5 * config_.num_layers;
+  double t = compute + weight_mem + kv_mem + comm + pipe + overhead;
+
+  if (prefill && pp > 1) {
+    // Pipeline bubble: m microbatches fill pp stages.
+    double m = ft.microbatches > 0 ? ft.microbatches
+                                   : std::max(1.0, std::min(B, 16.0));
+    t *= 1.0 + (pp - 1.0) / m;
+  }
+  return t;
+}
+
+double FasterTransformerModel::Mfu(double tokens, double seconds, int gpus) const {
+  double ideal = MatmulFlopsPerToken(config_) * tokens / (gpus * gpu_.peak_flops);
+  return seconds > 0 ? ideal / seconds : 0;
+}
+
+FtPhaseResult FasterTransformerModel::Prefill(const FtConfig& ft, double batch,
+                                              double input_len) const {
+  FtPhaseResult r;
+  r.seconds = StepTime(ft, batch, input_len, input_len, /*prefill=*/true);
+  r.tokens = batch * input_len;
+  r.mfu = Mfu(r.tokens, r.seconds, ft.num_gpus());
+  return r;
+}
+
+FtPhaseResult FasterTransformerModel::Generate(const FtConfig& ft, double batch,
+                                               double input_len,
+                                               double gen_len) const {
+  FtPhaseResult r;
+  for (double s = 0; s < gen_len; ++s) {
+    r.seconds += StepTime(ft, batch, 1.0, input_len + s + 1.0, /*prefill=*/false);
+  }
+  r.tokens = batch * gen_len;
+  r.mfu = Mfu(r.tokens, r.seconds, ft.num_gpus());
+  return r;
+}
+
+FtPhaseResult FasterTransformerModel::Total(const FtConfig& ft, double batch,
+                                            double input_len, double gen_len) const {
+  FtPhaseResult p = Prefill(ft, batch, input_len);
+  FtPhaseResult g = Generate(ft, batch, input_len, gen_len);
+  FtPhaseResult r;
+  r.seconds = p.seconds + g.seconds;
+  r.tokens = p.tokens + g.tokens;
+  r.mfu = Mfu(r.tokens, r.seconds, ft.num_gpus());
+  return r;
+}
+
+}  // namespace tsi

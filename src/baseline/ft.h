@@ -1,0 +1,69 @@
+// FasterTransformer-style GPU inference baseline (paper §5).
+//
+// The paper compares its TPU v4 implementation against NVIDIA
+// FasterTransformer serving Megatron-Turing NLG 530B on 16-32 A100s, with
+// tensor parallelism (TP) inside the NVLink domain and pipeline parallelism
+// (PP) across nodes. We model that baseline with the same roofline +
+// alpha-beta methodology as the TPU estimator:
+//   * compute: 2N FLOPs/token over TP GPUs (pipeline stages are sequential
+//     for a single token, so PP does not reduce latency);
+//   * memory: weight and KV-cache streaming from HBM, divided over TP;
+//   * communication: two all-reduces per layer over the TP group (serial
+//     Megatron blocks), at NVLink bandwidth while TP <= 8 and at the much
+//     lower inter-node bandwidth beyond one node -- which is exactly the
+//     effect behind FasterTransformer's TP32 MFU collapse in Tables D.2-D.4;
+//   * pipelining: inter-stage activation hops for decode, and a (PP-1)/m
+//     bubble factor for prefill with m microbatches.
+#pragma once
+
+#include "core/system.h"
+#include "hw/chip.h"
+#include "model/config.h"
+
+namespace tsi {
+
+struct FtConfig {
+  int tensor_parallel = 16;
+  int pipeline_parallel = 1;
+  int gpus_per_node = 8;
+  int microbatches = 0;  // 0 => one microbatch per sequence (min(B, 16))
+
+  int num_gpus() const { return tensor_parallel * pipeline_parallel; }
+  std::string ToString() const;
+};
+
+struct FtPhaseResult {
+  double seconds = 0;
+  double tokens = 0;
+  double mfu = 0;
+};
+
+class FasterTransformerModel {
+ public:
+  explicit FasterTransformerModel(ModelConfig config, ChipSpec gpu = A100_80G(),
+                                  SystemModel sys = {});
+
+  // Processing B sequences of `input_len` tokens (prefill/context phase).
+  FtPhaseResult Prefill(const FtConfig& ft, double batch, double input_len) const;
+
+  // Generating `gen_len` tokens after `input_len` of context.
+  FtPhaseResult Generate(const FtConfig& ft, double batch, double input_len,
+                         double gen_len) const;
+
+  // The FasterTransformer benchmark reports a single end-to-end time.
+  FtPhaseResult Total(const FtConfig& ft, double batch, double input_len,
+                      double gen_len) const;
+
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  double StepTime(const FtConfig& ft, double batch, double new_tokens,
+                  double context, bool prefill) const;
+  double Mfu(double tokens, double seconds, int gpus) const;
+
+  ModelConfig config_;
+  ChipSpec gpu_;
+  SystemModel sys_;
+};
+
+}  // namespace tsi

@@ -1,0 +1,104 @@
+#include "baseline/published.h"
+
+namespace tsi {
+namespace {
+
+using R = PublishedRow;
+using TM = TimeMfu;
+constexpr std::nullopt_t NA = std::nullopt;
+
+PublishedBenchmark Make20In8Out() {
+  PublishedBenchmark b;
+  b.name = "20-input-token, 8-output-token (Table D.2)";
+  b.input_tokens = 20;
+  b.output_tokens = 8;
+  b.rows = {
+      // batch   TP16            TP32            PP3/TP8        PaLM prefill    PaLM generate   PaLM total      MT-NLG total
+      R{1, TM{565, .01}, TM{431, .01}, TM{842, .00}, NA, NA, NA, NA},
+      R{2, TM{598, .02}, TM{455, .01}, TM{860, .01}, NA, NA, NA, NA},
+      R{4, TM{616, .04}, TM{493, .02}, TM{867, .02}, TM{34, .14}, TM{255, .01}, TM{289, .02}, TM{289, .02}},
+      R{8, TM{660, .07}, TM{523, .05}, TM{929, .03}, TM{40, .25}, TM{226, .02}, TM{265, .05}, TM{304, .04}},
+      R{16, TM{730, .13}, TM{575, .08}, TM{1049, .06}, TM{58, .34}, TM{234, .03}, TM{292, .09}, TM{339, .08}},
+      R{32, TM{865, .22}, TM{672, .14}, TM{1283, .10}, TM{99, .40}, TM{235, .07}, TM{334, .16}, TM{420, .13}},
+      R{64, TM{1191, .32}, TM{942, .20}, TM{1722, .15}, TM{186, .42}, TM{265, .12}, TM{451, .24}, TM{532, .20}},
+      R{128, TM{1862, .41}, TM{1431, .27}, TM{2124, .24}, TM{356, .44}, TM{312, .20}, TM{668, .33}, TM{740, .29}},
+      R{256, TM{3341, .46}, TM{2483, .31}, TM{3140, .32}, TM{668, .47}, TM{415, .30}, TM{1083, .41}, TM{1151, .38}},
+      R{512, NA, NA, NA, TM{1366, .46}, TM{671, .37}, TM{2037, .43}, TM{2151, .40}},
+      R{1024, NA, NA, NA, TM{2785, .45}, TM{1257, .40}, TM{4041, .44}, TM{4082, .42}},
+  };
+  return b;
+}
+
+PublishedBenchmark Make60In20Out() {
+  PublishedBenchmark b;
+  b.name = "60-input-token, 20-output-token (Table D.3)";
+  b.input_tokens = 60;
+  b.output_tokens = 20;
+  b.rows = {
+      R{1, TM{1379, .01}, TM{1037, .01}, TM{2085, .01}, NA, NA, NA, NA},
+      R{2, TM{1515, .02}, TM{1110, .02}, TM{2122, .01}, NA, NA, NA, NA},
+      R{4, TM{1512, .04}, TM{1198, .03}, TM{2184, .02}, TM{50, .29}, TM{640, .01}, TM{690, .03}, TM{678, .03}},
+      R{8, TM{1631, .08}, TM{1295, .05}, TM{2367, .04}, TM{80, .37}, TM{574, .02}, TM{653, .06}, TM{728, .05}},
+      R{16, TM{1868, .15}, TM{1454, .09}, TM{2753, .07}, TM{153, .39}, TM{602, .03}, TM{755, .10}, TM{838, .09}},
+      R{32, TM{2361, .23}, TM{1804, .15}, TM{3543, .10}, TM{270, .44}, TM{626, .06}, TM{896, .18}, TM{1058, .15}},
+      R{64, TM{3383, .32}, TM{2646, .21}, TM{4117, .18}, TM{501, .47}, TM{717, .11}, TM{1218, .26}, TM{1275, .24}},
+      R{128, TM{5406, .40}, TM{4099, .27}, TM{5319, .27}, TM{985, .48}, TM{829, .19}, TM{1814, .35}, TM{1902, .32}},
+      R{256, NA /*OOM*/, TM{7203, .30}, TM{8318, .35}, TM{2041, .46}, TM{1114, .28}, TM{3155, .40}, TM{3189, .39}},
+      R{512, NA, NA, NA, TM{4167, .45}, TM{1743, .36}, TM{5910, .43}, TM{6210, .40}},
+      R{1024, NA, NA, NA, TM{8349, .45}, TM{3260, .39}, TM{11608, .43}, TM{12390, .40}},
+  };
+  return b;
+}
+
+PublishedBenchmark Make128In8Out() {
+  PublishedBenchmark b;
+  b.name = "128-input-token, 8-output-token (Table D.4)";
+  b.input_tokens = 128;
+  b.output_tokens = 8;
+  b.rows = {
+      R{1, TM{585, .05}, TM{451, .03}, TM{866, .02}, NA, NA, NA, NA},
+      R{2, TM{667, .09}, TM{508, .06}, TM{932, .04}, NA, NA, NA, NA},
+      R{4, TM{765, .15}, TM{606, .10}, TM{1097, .07}, TM{81, .39}, TM{258, .01}, TM{343, .10}, TM{338, .10}},
+      R{8, TM{990, .23}, TM{766, .15}, TM{1434, .11}, TM{149, .42}, TM{234, .02}, TM{403, .17}, TM{384, .16}},
+      R{16, TM{1377, .34}, TM{1074, .22}, TM{2104, .15}, TM{287, .44}, TM{253, .03}, TM{586, .23}, TM{540, .23}},
+      R{32, TM{2251, .41}, TM{1741, .27}, TM{2623, .23}, TM{536, .47}, TM{263, .06}, TM{796, .34}, TM{799, .33}},
+      R{64, TM{4002, .46}, TM{3114, .30}, TM{3578, .34}, TM{1056, .48}, TM{317, .10}, TM{1329, .40}, TM{1372, .39}},
+      R{128, NA /*OOM*/, TM{5784, .32}, TM{5512, .45}, TM{2202, .46}, TM{381, .17}, TM{2343, .46}, TM{2583, .45}},
+      R{256, NA /*OOM*/, TM{11232, .33}, TM{9614, .51}, TM{4479, .45}, TM{431, .29}, TM{4710, .45}, TM{4911, .45}},
+      R{512, NA, NA, NA, TM{8913, .45}, TM{734, .34}, TM{9673, .44}, TM{9647, .43}},
+      R{1024, NA, NA, NA, TM{17766, .45}, TM{1370, .37}, TM{19723, .43}, TM{19136, .43}},
+  };
+  return b;
+}
+
+}  // namespace
+
+const PublishedBenchmark& PublishedBenchmark20In8Out() {
+  static const PublishedBenchmark b = Make20In8Out();
+  return b;
+}
+
+const PublishedBenchmark& PublishedBenchmark60In20Out() {
+  static const PublishedBenchmark b = Make60In20Out();
+  return b;
+}
+
+const PublishedBenchmark& PublishedBenchmark128In8Out() {
+  static const PublishedBenchmark b = Make128In8Out();
+  return b;
+}
+
+std::vector<const PublishedBenchmark*> AllPublishedBenchmarks() {
+  return {&PublishedBenchmark20In8Out(), &PublishedBenchmark60In20Out(),
+          &PublishedBenchmark128In8Out()};
+}
+
+std::vector<PublishedMaxContext> PublishedTable1() {
+  return {
+      {"Multihead (dh=128)", 1320, 330},
+      {"Baseline multiquery (dh=256)", 660, 165},
+      {"Optimized multiquery (dh=256)", 43000, 10700},
+  };
+}
+
+}  // namespace tsi

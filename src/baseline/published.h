@@ -1,0 +1,51 @@
+// Published benchmark numbers from the paper's Appendix D (Tables D.2-D.4):
+// FasterTransformer on Megatron-Turing NLG 530B (16-32 A100) and the paper's
+// own PaLM 540B / MT-NLG 530B results on 64 TPU v4. The harnesses print
+// these alongside our model's predictions so every comparison in
+// EXPERIMENTS.md is paper-reported vs. reproduced.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tsi {
+
+struct TimeMfu {
+  double ms = 0;   // milliseconds
+  double mfu = 0;  // fraction, e.g. 0.46
+};
+
+struct PublishedRow {
+  int batch = 0;
+  // FasterTransformer MT-NLG 530B end-to-end totals.
+  std::optional<TimeMfu> ft_tp16, ft_tp32, ft_pp3_tp8;
+  // Paper's implementation on 64 TPU v4.
+  std::optional<TimeMfu> palm_prefill, palm_generate, palm_total, mtnlg_total;
+};
+
+struct PublishedBenchmark {
+  std::string name;      // e.g. "60-input-token, 20-output-token"
+  int input_tokens = 0;
+  int output_tokens = 0;
+  std::vector<PublishedRow> rows;
+};
+
+// Tables D.2, D.3, D.4 respectively.
+const PublishedBenchmark& PublishedBenchmark20In8Out();
+const PublishedBenchmark& PublishedBenchmark60In20Out();
+const PublishedBenchmark& PublishedBenchmark128In8Out();
+
+// All three, in paper order.
+std::vector<const PublishedBenchmark*> AllPublishedBenchmarks();
+
+// Table 1: maximum context lengths for PaLM 540B attention variants on 64
+// chips with 30% of memory reserved for KV cache.
+struct PublishedMaxContext {
+  const char* variant;
+  int batch_128;
+  int batch_512;
+};
+std::vector<PublishedMaxContext> PublishedTable1();
+
+}  // namespace tsi

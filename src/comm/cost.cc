@@ -1,0 +1,4 @@
+#include "comm/cost.h"
+
+// Header-only today; this TU anchors the library target and is the intended
+// home for topology-aware refinements (multi-axis concurrent collectives).

@@ -1,0 +1,51 @@
+#include "core/attn_cost.h"
+
+#include <algorithm>
+
+namespace tsi {
+
+double AttnShardDivisor(const ModelConfig& config, AttnSharding sharding,
+                        int n_chips, double batch) {
+  switch (sharding) {
+    case AttnSharding::kHeads:
+      // Heads shard n_heads ways at most; beyond that chips replicate
+      // (paper: "for n_chips greater than n_heads, the attention heads are
+      // partially replicated"). For multiquery the *query* heads still
+      // shard, but the K/V head does not -- KV replication is handled in
+      // KvCacheBytesPerChip.
+      return std::min<double>(n_chips, static_cast<double>(config.n_heads));
+    case AttnSharding::kBatch:
+      return std::min<double>(n_chips, batch);
+  }
+  return 1.0;
+}
+
+double KvCacheBytesPerChip(const ModelConfig& config, AttnSharding sharding,
+                           int n_chips, double batch, double context) {
+  const double act = ActivationBytes();
+  const double per_layer_per_token_per_seq =
+      2.0 /*K and V*/ * config.n_kv_heads() * config.d_head * act;
+  const double total_per_chip_unsharded =
+      batch * context * per_layer_per_token_per_seq * config.num_layers;
+
+  switch (sharding) {
+    case AttnSharding::kHeads: {
+      // The K/V cache can shard at most n_kv_heads ways over the heads axis;
+      // the remainder replicates. Multiquery (kv = 1) is fully replicated
+      // (Fig 4b), multihead divides by min(n, heads), grouped-query
+      // interpolates.
+      return total_per_chip_unsharded /
+             std::min<double>(n_chips, static_cast<double>(config.n_kv_heads()));
+    }
+    case AttnSharding::kBatch:
+      return total_per_chip_unsharded / std::min<double>(n_chips, batch);
+  }
+  return total_per_chip_unsharded;
+}
+
+double KvCacheBytesTotal(const ModelConfig& config, double batch, double context) {
+  return batch * static_cast<double>(config.KvCacheBytesPerSequence(
+                     static_cast<int64_t>(context)));
+}
+
+}  // namespace tsi

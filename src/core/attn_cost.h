@@ -1,0 +1,32 @@
+// Attention-layer memory/compute sharding model (§3.3, Figures 4-5, Table 1).
+//
+// The inference-dominating quantity in long-context decode is the per-chip
+// KV-cache traffic: every decode step streams the whole per-chip KV cache
+// from HBM. How that cache divides across chips depends on the attention
+// variant and the sharding:
+//   * multihead, sharded over heads: divides by min(n_chips, n_heads);
+//   * multiquery, sharded over heads (Fig 4b "baseline"): the single K/V
+//     head cannot be split over heads, so it is REPLICATED on every chip --
+//     the n_heads memory saving is lost;
+//   * multiquery (or multihead), sharded over batch (Fig 4c, the paper's
+//     proposal): divides by min(n_chips, batch).
+#pragma once
+
+#include "core/layouts.h"
+#include "model/config.h"
+
+namespace tsi {
+
+// Number of ways the KV cache (and attention dot-product work) divides
+// across chips for a given sharding.
+double AttnShardDivisor(const ModelConfig& config, AttnSharding sharding,
+                        int n_chips, double batch);
+
+// Per-chip KV-cache bytes for B sequences of `context` cached tokens.
+double KvCacheBytesPerChip(const ModelConfig& config, AttnSharding sharding,
+                           int n_chips, double batch, double context);
+
+// Total KV-cache bytes across the whole machine (batch * per-sequence).
+double KvCacheBytesTotal(const ModelConfig& config, double batch, double context);
+
+}  // namespace tsi

@@ -1,0 +1,27 @@
+// Per-layer (transformer block) cost assembly.
+//
+// Combines the FFN communication model (§3.2), the attention sharding model
+// (§3.3), the parallel-block fusion (§3.4: a parallel block shares one
+// E-side reduce-scatter/all-gather pair between attention and FFN, a serial
+// block pays two), the overlap model (§3.5) and the weight format (§3.6)
+// into a CostBreakdown for one layer of one forward pass.
+#pragma once
+
+#include "core/layouts.h"
+#include "core/system.h"
+#include "hw/chip.h"
+#include "model/config.h"
+
+namespace tsi {
+
+enum class Phase { kPrefill, kDecode };
+
+// Cost of one transformer layer processing B sequences x L new tokens each,
+// attending to `context` total positions per sequence (context >= L; decode
+// passes L = 1, prefill passes context = prior cache + L).
+CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
+                        const ChipSpec& chip, const SystemModel& sys,
+                        Phase phase, double batch, double new_tokens,
+                        double context);
+
+}  // namespace tsi

@@ -1,0 +1,84 @@
+#include "core/ffn_cost.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+FfnCommVolume FfnCommVolumePerChip(int64_t d_model, int64_t d_ff, int in_proj,
+                                   const Torus3D& mesh, FfnLayout layout,
+                                   double batch_tokens,
+                                   double weight_bytes_per_param,
+                                   double act_bytes) {
+  const double E = static_cast<double>(d_model);
+  const double F = static_cast<double>(d_ff);
+  const double BL = batch_tokens;
+  const double act = act_bytes;
+  const int X = mesh.x();
+  const int YZ = mesh.y() * mesh.z();
+  const int n = mesh.num_chips();
+  const double n_matrices = in_proj + 1.0;
+
+  FfnCommVolume v;
+  switch (layout) {
+    case FfnLayout::kWS1D:
+      TSI_CHECK_EQ(X, 1) << "1D weight-stationary requires mesh.x == 1";
+      [[fallthrough]];
+    case FfnLayout::kWS2D: {
+      if (X > 1) {
+        // E is sharded over x, so the F-dim intermediates are partial sums:
+        // one reduce-scatter(x) per input projection, one all-gather(x) of
+        // the activated result (the §3.5 "reduce-scatter into the hidden
+        // dimension" choice).
+        v.act_f_bytes = (in_proj + 1.0) * BL * (F / YZ) * act;
+      }
+      // Output projection partial sums over yz: reduce-scatter + all-gather
+      // of the E-dim activations sharded over x.
+      v.act_e_bytes = 2.0 * BL * (E / X) * act;
+      break;
+    }
+    case FfnLayout::kWGX:
+    case FfnLayout::kWGXY:
+    case FfnLayout::kWGXYZ: {
+      const int N = WeightGatherWidth(layout, mesh);
+      // Weights start E_x F_yz and are all-gathered over N chips; each chip
+      // receives shards growing to N/n of every matrix (paper: volume EF/Z
+      // for XY-gathered with n = XYZ).
+      v.weight_bytes = n_matrices * E * F * weight_bytes_per_param *
+                       static_cast<double>(N) / n;
+      // Activations are batch-sharded over the gathered axes; the output
+      // projection's partial sums span the remaining axes.
+      if (N < n) {
+        v.act_e_bytes = 2.0 * (BL / N) * E * act;
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+double OptimalGatherWidth(double batch_tokens, int64_t d_ff, int n_chips) {
+  return std::sqrt(batch_tokens * static_cast<double>(n_chips) /
+                   static_cast<double>(d_ff));
+}
+
+double Ws1DCommTimeClosedForm(double batch_tokens, int64_t d_model, double bw,
+                              double act_bytes) {
+  return 2.0 * batch_tokens * static_cast<double>(d_model) * act_bytes / bw;
+}
+
+double Ws2DCommTimeClosedForm(double batch_tokens, int64_t d_model, int n_chips,
+                              double bw, double act_bytes) {
+  return 8.0 * batch_tokens * static_cast<double>(d_model) * act_bytes /
+         (std::sqrt(static_cast<double>(n_chips)) * bw);
+}
+
+double WgCommTimeClosedForm(double batch_tokens, int64_t d_model, int64_t d_ff,
+                            int n_chips, double bw, double act_bytes) {
+  return 4.0 * static_cast<double>(d_model) * act_bytes *
+         std::sqrt(batch_tokens * static_cast<double>(d_ff)) /
+         (std::sqrt(static_cast<double>(n_chips)) * bw);
+}
+
+}  // namespace tsi

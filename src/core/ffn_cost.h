@@ -1,0 +1,47 @@
+// Feedforward-layer communication volumes and closed-form optima (§3.2,
+// Appendix A.2). These are the quantities behind Figure 3 (communication
+// volume vs. batch size) and the layout-selection rules; end-to-end times
+// are assembled per layer in block_cost.h.
+#pragma once
+
+#include "core/layouts.h"
+#include "model/config.h"
+
+namespace tsi {
+
+// Per-chip communication volume of one feedforward layer, in bytes.
+struct FfnCommVolume {
+  double weight_bytes = 0;  // weights all-gathered over the network (WG)
+  double act_f_bytes = 0;   // F-dim activation collectives (over x)
+  double act_e_bytes = 0;   // E-dim activation collectives (over yz / z)
+  double total() const { return weight_bytes + act_f_bytes + act_e_bytes; }
+};
+
+// Volume for `batch_tokens` = B*L tokens through one FFN layer.
+// `in_proj` is the number of input projection matrices (1 plain, 2 gated);
+// weight_bytes_per_param follows the weight format.
+FfnCommVolume FfnCommVolumePerChip(int64_t d_model, int64_t d_ff, int in_proj,
+                                   const Torus3D& mesh, FfnLayout layout,
+                                   double batch_tokens,
+                                   double weight_bytes_per_param,
+                                   double act_bytes = 2.0);
+
+// Paper A.2.2: the gather width N minimizing total weight-gathered
+// communication, N* = sqrt(batch_tokens * n_chips / d_ff) (continuous).
+double OptimalGatherWidth(double batch_tokens, int64_t d_ff, int n_chips);
+
+// Closed-form total communication times from the paper, in seconds, for a
+// non-gated FFN with activations of `act_bytes` bytes/element. Used to
+// cross-check the constructive volumes above (tests) and to reason about
+// asymptotics. `bw` is bytes/s.
+// 1D weight-stationary (§3.2.1): 2*B*L*E / bw.
+double Ws1DCommTimeClosedForm(double batch_tokens, int64_t d_model, double bw,
+                              double act_bytes = 2.0);
+// 2D weight-stationary at the optimal X (A.2.1, F = 4E): 8*B*L*E/(sqrt(n)*bw).
+double Ws2DCommTimeClosedForm(double batch_tokens, int64_t d_model, int n_chips,
+                              double bw, double act_bytes = 2.0);
+// Weight-gathered at the optimal N (A.2.2): 4*E*sqrt(B*L*F)/(sqrt(n)*bw).
+double WgCommTimeClosedForm(double batch_tokens, int64_t d_model, int64_t d_ff,
+                            int n_chips, double bw, double act_bytes = 2.0);
+
+}  // namespace tsi

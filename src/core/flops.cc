@@ -1,0 +1,29 @@
+#include "core/flops.h"
+
+namespace tsi {
+
+int64_t MatmulParams(const ModelConfig& config) {
+  return config.num_layers * config.ParamsPerLayer() +
+         config.vocab_size * config.d_model;  // logit head
+}
+
+double MatmulFlopsPerToken(const ModelConfig& config) {
+  return 2.0 * static_cast<double>(MatmulParams(config));
+}
+
+double PrefillAttnFlops(const ModelConfig& config, double batch, double len) {
+  // Per layer: QK^T + AV = 2 matmuls, each 2*dh flops per attended pair;
+  // causal pairs per sequence = L(L+1)/2 ~= L^2/2.
+  double pairs = batch * len * (len + 1.0) / 2.0;
+  double per_layer = 2.0 /*matmuls*/ * 2.0 * config.d_head * config.n_heads * pairs;
+  return per_layer * static_cast<double>(config.num_layers);
+}
+
+double DecodeAttnFlopsPerStep(const ModelConfig& config, double batch,
+                              double context) {
+  double pairs = batch * context;
+  double per_layer = 2.0 * 2.0 * config.d_head * config.n_heads * pairs;
+  return per_layer * static_cast<double>(config.num_layers);
+}
+
+}  // namespace tsi

@@ -1,0 +1,32 @@
+// FLOP accounting (paper §2, "Compute costs").
+//
+// The 2N rule: an N-parameter decoder-only model spends 2 matmul FLOPs per
+// parameter per token. N here counts every projection matrix plus the logit
+// head (the embedding lookup itself is a gather, not a matmul). Attention
+// dot-products (QK^T and AV) are tracked separately: the paper excludes them
+// from the MFU numerator but they still take time, quadratically in context.
+#pragma once
+
+#include <cstdint>
+
+#include "model/config.h"
+
+namespace tsi {
+
+// Parameters that participate in matmuls: layer projections + logit head.
+int64_t MatmulParams(const ModelConfig& config);
+
+// 2 * MatmulParams: matmul FLOPs per token seen (prefill or decode alike).
+double MatmulFlopsPerToken(const ModelConfig& config);
+
+// Attention dot-product FLOPs for a causal prefill over B sequences of L
+// tokens: QK^T and AV each cost 2*dh mult-adds per (query, key) pair, and
+// causal masking halves the pair count. Total across all layers.
+double PrefillAttnFlops(const ModelConfig& config, double batch, double len);
+
+// Attention dot-product FLOPs for one decode step of B sequences attending
+// to `context` cached positions. Total across all layers.
+double DecodeAttnFlopsPerStep(const ModelConfig& config, double batch,
+                              double context);
+
+}  // namespace tsi

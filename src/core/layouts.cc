@@ -1,0 +1,89 @@
+#include "core/layouts.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+std::string ToString(FfnLayout layout) {
+  switch (layout) {
+    case FfnLayout::kWS1D: return "WS-1D";
+    case FfnLayout::kWS2D: return "WS-2D";
+    case FfnLayout::kWGX: return "WG-X";
+    case FfnLayout::kWGXY: return "WG-XY";
+    case FfnLayout::kWGXYZ: return "WG-XYZ";
+  }
+  return "?";
+}
+
+std::string ToString(AttnSharding sharding) {
+  switch (sharding) {
+    case AttnSharding::kHeads: return "head";
+    case AttnSharding::kBatch: return "batch";
+  }
+  return "?";
+}
+
+std::string ToString(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kBf16: return "bf16";
+    case WeightFormat::kInt8: return "int8";
+  }
+  return "?";
+}
+
+double WeightBytes(WeightFormat format) {
+  return format == WeightFormat::kInt8 ? 1.0 : 2.0;
+}
+
+int WeightGatherWidth(FfnLayout layout, const Torus3D& mesh) {
+  switch (layout) {
+    case FfnLayout::kWS1D:
+    case FfnLayout::kWS2D:
+      return 1;
+    case FfnLayout::kWGX:
+      return mesh.x();
+    case FfnLayout::kWGXY:
+      return mesh.x() * mesh.y();
+    case FfnLayout::kWGXYZ:
+      return mesh.num_chips();
+  }
+  return 1;
+}
+
+std::string PartitionSpec::ToString() const {
+  std::ostringstream os;
+  os << tsi::ToString(ffn) << "/" << tsi::ToString(attn) << "/"
+     << tsi::ToString(weight_format);
+  if (activations == WeightFormat::kInt8) os << "+int8act";
+  os << " on " << mesh.ToString();
+  return os.str();
+}
+
+Torus3D DefaultMeshFor(int n_chips) {
+  TSI_CHECK_GE(n_chips, 1);
+  double target_x = 0.5 * std::sqrt(static_cast<double>(n_chips));
+  int best_x = 1;
+  double best_err = 1e30;
+  for (int x = 1; x <= n_chips; ++x) {
+    if (n_chips % x) continue;
+    double err = std::fabs(std::log(static_cast<double>(x) / target_x));
+    // Prefer the larger X on ties (more E-sharding helps attention KV too).
+    if (err < best_err - 1e-12 || (std::fabs(err - best_err) < 1e-12 && x > best_x)) {
+      best_err = err;
+      best_x = x;
+    }
+  }
+  int rest = n_chips / best_x;
+  // Split the YZ product as square as possible.
+  int best_y = 1;
+  for (int y = 1; y <= rest; ++y) {
+    if (rest % y) continue;
+    if (y <= rest / y) best_y = y;
+  }
+  return Torus3D(best_x, rest / best_y, best_y);
+}
+
+}  // namespace tsi

@@ -1,0 +1,77 @@
+// Partitioning vocabulary (paper §3).
+//
+// A PartitionSpec says how one model is laid out on one torus: the mesh
+// shape (X, Y, Z), the feedforward layout, the attention sharding for each
+// phase, and the weight format. Following §3.2, the mesh's x axis carries
+// the d_model (E) partition and the y*z axes carry the d_ff / heads
+// partition:
+//   * 1D weight-stationary == X = 1 (E replicated, F split n ways);
+//   * 2D weight-stationary uses X ~ 0.5*sqrt(n) (Appendix A.2.1);
+//   * weight-gathered layouts start from the same E_x F_yz shards and
+//     all-gather weights over x, xy, or xyz (§3.2.3), so a serving system
+//     can switch layouts between prefill and decode without resharding.
+#pragma once
+
+#include <string>
+
+#include "hw/topology.h"
+
+namespace tsi {
+
+enum class FfnLayout {
+  kWS1D,   // §3.2.1, Megatron-style; requires mesh.x == 1
+  kWS2D,   // §3.2.2
+  kWGX,    // §3.2.3, weights all-gathered over x
+  kWGXY,   // §3.2.3, weights all-gathered over xy
+  kWGXYZ,  // §3.2.3, weights all-gathered over all chips
+};
+
+enum class AttnSharding {
+  kHeads,  // Q/K/V partitioned over the heads dim (Fig 4a/4b)
+  kBatch,  // Q/K/V partitioned over the batch dim (Fig 4c, the paper's
+           // proposed layout for multiquery decode)
+};
+
+enum class WeightFormat { kBf16, kInt8 };
+
+std::string ToString(FfnLayout layout);
+std::string ToString(AttnSharding sharding);
+std::string ToString(WeightFormat format);
+
+// Bytes per weight parameter as stored in HBM / moved in weight-gathered
+// collectives.
+double WeightBytes(WeightFormat format);
+
+// Bytes per activation / KV-cache element. The paper runs bf16 activations
+// throughout; int8 *activation* quantization is its stated future work
+// (§3.6) and is modelled via PartitionSpec::activations (see
+// bench_ablation_act_quant).
+inline double ActivationBytes() { return 2.0; }
+inline double ActivationBytes(WeightFormat format) {
+  return format == WeightFormat::kInt8 ? 1.0 : 2.0;
+}
+
+// For a weight-gathered layout, the number of chips N the weights are
+// gathered over (paper A.2.2); 1 for weight-stationary layouts.
+int WeightGatherWidth(FfnLayout layout, const Torus3D& mesh);
+
+struct PartitionSpec {
+  Torus3D mesh;  // x: E partition; y*z: F / heads partition
+  FfnLayout ffn = FfnLayout::kWS2D;
+  AttnSharding attn = AttnSharding::kHeads;
+  WeightFormat weight_format = WeightFormat::kBf16;
+  // §3.6 future work: int8 activations halve weight-stationary activation
+  // communication and double matmul throughput (int8 MACs run at 2x the
+  // bf16 rate on TPU-class hardware). KV cache stays bf16.
+  WeightFormat activations = WeightFormat::kBf16;
+
+  int num_chips() const { return mesh.num_chips(); }
+  std::string ToString() const;
+};
+
+// The paper's recommended meshes (Appendix A.2.1): X as close to
+// 0.5*sqrt(n) as the divisors of n allow (minimizes 2D-WS communication for
+// F = 4E), with the remainder split as evenly as possible between y and z.
+Torus3D DefaultMeshFor(int n_chips);
+
+}  // namespace tsi

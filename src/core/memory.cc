@@ -1,0 +1,27 @@
+#include "core/memory.h"
+
+#include "core/attn_cost.h"
+#include "core/flops.h"
+
+namespace tsi {
+
+MemoryReport ChipMemoryReport(const ModelConfig& config, const PartitionSpec& spec,
+                              const ChipSpec& chip, double batch, double context) {
+  MemoryReport r;
+  r.hbm_bytes = chip.hbm_bytes;
+  r.weight_bytes_per_chip = static_cast<double>(MatmulParams(config)) *
+                            WeightBytes(spec.weight_format) / spec.num_chips();
+  r.kv_bytes_per_chip =
+      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, context);
+  return r;
+}
+
+double MaxContextForReserve(const ModelConfig& config, const PartitionSpec& spec,
+                            const ChipSpec& chip, double batch, double reserve) {
+  double per_token =
+      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, 1.0);
+  if (per_token <= 0) return 0;
+  return reserve * chip.hbm_bytes / per_token;
+}
+
+}  // namespace tsi

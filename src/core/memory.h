@@ -1,0 +1,31 @@
+// Per-chip HBM budget accounting (§2 "Memory costs", Table 1).
+#pragma once
+
+#include "core/layouts.h"
+#include "core/system.h"
+#include "hw/chip.h"
+#include "model/config.h"
+
+namespace tsi {
+
+struct MemoryReport {
+  double weight_bytes_per_chip = 0;
+  double kv_bytes_per_chip = 0;
+  double hbm_bytes = 0;
+
+  double used() const { return weight_bytes_per_chip + kv_bytes_per_chip; }
+  double free_bytes() const { return hbm_bytes - used(); }
+  bool fits(double allowance = 0.95) const { return used() <= allowance * hbm_bytes; }
+};
+
+// HBM occupancy for one chip serving `batch` sequences at `context` tokens.
+MemoryReport ChipMemoryReport(const ModelConfig& config, const PartitionSpec& spec,
+                              const ChipSpec& chip, double batch, double context);
+
+// Table 1: maximum context length whose KV cache fits in `reserve` (default
+// 30%) of HBM, for the given attention variant and sharding.
+double MaxContextForReserve(const ModelConfig& config, const PartitionSpec& spec,
+                            const ChipSpec& chip, double batch,
+                            double reserve = 0.30);
+
+}  // namespace tsi

@@ -1,0 +1,143 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+std::vector<PartitionSpec> EnumerateSpecs(const ModelConfig& config, int n_chips,
+                                          WeightFormat format) {
+  std::vector<PartitionSpec> specs;
+  for (const Torus3D& mesh : AllTorusShapes(n_chips)) {
+    if (config.d_model % mesh.x() != 0) continue;
+    int yz = mesh.y() * mesh.z();
+    if (config.d_ff % yz != 0) continue;
+
+    std::vector<FfnLayout> layouts;
+    if (mesh.x() == 1) {
+      layouts.push_back(FfnLayout::kWS1D);
+    } else {
+      layouts.push_back(FfnLayout::kWS2D);
+      if (mesh.x() > 1) layouts.push_back(FfnLayout::kWGX);
+    }
+    if (mesh.x() * mesh.y() > 1) layouts.push_back(FfnLayout::kWGXY);
+    if (n_chips > 1) layouts.push_back(FfnLayout::kWGXYZ);
+
+    for (FfnLayout l : layouts) {
+      for (AttnSharding a : {AttnSharding::kHeads, AttnSharding::kBatch}) {
+        PartitionSpec s;
+        s.mesh = mesh;
+        s.ffn = l;
+        s.attn = a;
+        s.weight_format = format;
+        specs.push_back(s);
+      }
+    }
+  }
+  // Single chip: everything degenerates to one local layout.
+  if (specs.empty() && n_chips == 1) {
+    PartitionSpec s;
+    s.mesh = Torus3D(1, 1, 1);
+    s.ffn = FfnLayout::kWS1D;
+    s.attn = AttnSharding::kHeads;
+    s.weight_format = format;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+namespace {
+
+template <typename EvalFn>
+std::optional<ConfigEval> BestOf(const ModelConfig& config, int n_chips,
+                                 WeightFormat format, EvalFn eval) {
+  std::optional<ConfigEval> best;
+  for (const PartitionSpec& spec : EnumerateSpecs(config, n_chips, format)) {
+    PhaseResult r = eval(spec);
+    if (!r.fits_memory) continue;
+    if (!best || r.seconds < best->result.seconds) best = ConfigEval{spec, r};
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<ConfigEval> BestPrefill(const InferenceEstimator& est, int n_chips,
+                                      WeightFormat format, double batch,
+                                      double input_len) {
+  return BestOf(est.config(), n_chips, format, [&](const PartitionSpec& s) {
+    return est.Prefill(s, batch, input_len);
+  });
+}
+
+std::optional<ConfigEval> BestGenerate(const InferenceEstimator& est, int n_chips,
+                                       WeightFormat format, double batch,
+                                       double input_len, double gen_len) {
+  return BestOf(est.config(), n_chips, format, [&](const PartitionSpec& s) {
+    return est.Generate(s, batch, input_len, gen_len);
+  });
+}
+
+std::vector<SweepPoint> ParetoFrontier(std::vector<SweepPoint> points) {
+  std::sort(points.begin(), points.end(), [](const SweepPoint& a, const SweepPoint& b) {
+    if (a.latency != b.latency) return a.latency < b.latency;
+    return a.cost_chipsec_per_token < b.cost_chipsec_per_token;
+  });
+  std::vector<SweepPoint> frontier;
+  double best_cost = 1e300;
+  for (const SweepPoint& p : points) {
+    if (p.cost_chipsec_per_token < best_cost) {
+      frontier.push_back(p);
+      best_cost = p.cost_chipsec_per_token;
+    }
+  }
+  return frontier;
+}
+
+std::vector<SweepPoint> SweepGenerate(const InferenceEstimator& est,
+                                      const std::vector<int>& chip_counts,
+                                      const std::vector<double>& batches,
+                                      WeightFormat format, double input_len,
+                                      double gen_len) {
+  std::vector<SweepPoint> points;
+  for (int chips : chip_counts) {
+    for (double batch : batches) {
+      auto best = BestGenerate(est, chips, format, batch, input_len, gen_len);
+      if (!best) continue;
+      SweepPoint p;
+      p.chips = chips;
+      p.batch = batch;
+      p.spec = best->spec;
+      p.latency = best->result.PerStepLatency();
+      p.cost_chipsec_per_token = best->result.cost_chipsec_per_token;
+      p.mfu = best->result.mfu;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+std::vector<SweepPoint> SweepPrefill(const InferenceEstimator& est,
+                                     const std::vector<int>& chip_counts,
+                                     const std::vector<double>& batches,
+                                     WeightFormat format, double input_len) {
+  std::vector<SweepPoint> points;
+  for (int chips : chip_counts) {
+    for (double batch : batches) {
+      auto best = BestPrefill(est, chips, format, batch, input_len);
+      if (!best) continue;
+      SweepPoint p;
+      p.chips = chips;
+      p.batch = batch;
+      p.spec = best->spec;
+      p.latency = best->result.seconds;  // time to process the whole input
+      p.cost_chipsec_per_token = best->result.cost_chipsec_per_token;
+      p.mfu = best->result.mfu;
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+}  // namespace tsi

@@ -1,0 +1,70 @@
+// Partitioning planner: analytic layout selection and Pareto sweeps (§4).
+//
+// Instead of black-box search (Alpa/GSPMD style), the planner enumerates the
+// paper's small structured space -- mesh factorizations of the chip count,
+// the five FFN layouts, and the two attention shardings -- evaluates each
+// with the analytical estimator, discards configurations that do not fit in
+// memory, and keeps the latency winner. Sweeping batch size and chip count
+// then yields the cost-vs-latency Pareto frontiers of Figure 1/C.1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/inference_cost.h"
+
+namespace tsi {
+
+struct ConfigEval {
+  PartitionSpec spec;
+  PhaseResult result;
+};
+
+// All candidate specs for `n_chips`: mesh shapes whose X divides d_model and
+// whose Y*Z divides d_ff, crossed with FFN layouts (WS-1D only on X == 1
+// meshes, WS-2D only on X > 1) and both attention shardings.
+std::vector<PartitionSpec> EnumerateSpecs(const ModelConfig& config, int n_chips,
+                                          WeightFormat format);
+
+// Lowest-latency feasible config for a prefill of B x L tokens.
+std::optional<ConfigEval> BestPrefill(const InferenceEstimator& est, int n_chips,
+                                      WeightFormat format, double batch,
+                                      double input_len);
+
+// Lowest-latency feasible config for generating `gen_len` tokens after
+// `input_len` of context.
+std::optional<ConfigEval> BestGenerate(const InferenceEstimator& est, int n_chips,
+                                       WeightFormat format, double batch,
+                                       double input_len, double gen_len);
+
+// One point of a latency/efficiency sweep.
+struct SweepPoint {
+  int chips = 0;
+  double batch = 0;
+  PartitionSpec spec;
+  double latency = 0;  // seconds per token (decode) or seconds total (prefill)
+  double cost_chipsec_per_token = 0;
+  double mfu = 0;
+};
+
+// Keeps the points not dominated in (latency, cost): a point survives iff no
+// other point is at most as slow AND at most as expensive (with one strict).
+// Output is sorted by latency. `cost_of` selects the efficiency metric so the
+// same routine serves Figure 1 (cost) and Figure C.1 (MFU, negated).
+std::vector<SweepPoint> ParetoFrontier(std::vector<SweepPoint> points);
+
+// Figure-1-style sweep: for each (chips, batch) pick the best config and
+// report decode latency per token (generating `gen_len` tokens at `context`)
+// and its cost.
+std::vector<SweepPoint> SweepGenerate(const InferenceEstimator& est,
+                                      const std::vector<int>& chip_counts,
+                                      const std::vector<double>& batches,
+                                      WeightFormat format, double input_len,
+                                      double gen_len);
+
+std::vector<SweepPoint> SweepPrefill(const InferenceEstimator& est,
+                                     const std::vector<int>& chip_counts,
+                                     const std::vector<double>& batches,
+                                     WeightFormat format, double input_len);
+
+}  // namespace tsi

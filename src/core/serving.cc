@@ -1,0 +1,126 @@
+#include "core/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tsi {
+
+double ServingStats::MeanLatency() const {
+  if (requests.empty()) return 0;
+  double s = 0;
+  for (const auto& r : requests) s += r.Latency();
+  return s / static_cast<double>(requests.size());
+}
+
+double ServingStats::PercentileLatency(double p) const {
+  if (requests.empty()) return 0;
+  std::vector<double> lat;
+  lat.reserve(requests.size());
+  for (const auto& r : requests) lat.push_back(r.Latency());
+  std::sort(lat.begin(), lat.end());
+  double idx = p / 100.0 * (static_cast<double>(lat.size()) - 1.0);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, lat.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return lat[lo] * (1 - frac) + lat[hi] * frac;
+}
+
+double ServingStats::ThroughputTokensPerSec(double tokens_per_request) const {
+  return makespan > 0 ? tokens_per_request * static_cast<double>(requests.size()) / makespan
+                      : 0;
+}
+
+ServingStats SimulateServing(const InferenceEstimator& est,
+                             const ServingConfig& config,
+                             const std::vector<double>& arrivals) {
+  TSI_CHECK_GT(config.decode_batch, 0);
+  for (size_t i = 1; i < arrivals.size(); ++i)
+    TSI_CHECK_GE(arrivals[i], arrivals[i - 1]) << "arrivals must be sorted";
+
+  const double prefill_time =
+      est.Prefill(config.prefill_spec, 1, config.input_len).seconds;
+
+  ServingStats stats;
+  stats.requests.resize(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i)
+    stats.requests[i].arrival = arrivals[i];
+
+  // Prefill replica: FIFO, one request at a time (batch 1 minimizes
+  // latency, §4.4).
+  double prefill_free = 0;
+  for (auto& r : stats.requests) {
+    r.prefill_start = std::max(r.arrival, prefill_free);
+    r.prefill_done = r.prefill_start + prefill_time;
+    prefill_free = r.prefill_done;
+    stats.prefill_busy += prefill_time;
+  }
+
+  // Decode replica: batches ready requests. A burst launches when the
+  // replica is free AND either a full batch is ready or the oldest ready
+  // request has waited past the flush timeout.
+  double decode_free = 0;
+  size_t next = 0;
+  const size_t n = stats.requests.size();
+  while (next < n) {
+    // Requests are prefill-FIFO, so ready times are ascending from `next`.
+    size_t want = std::min(n, next + static_cast<size_t>(config.decode_batch));
+    double full_batch_ready = stats.requests[want - 1].prefill_done;
+    double oldest_ready = stats.requests[next].prefill_done;
+    double start_full = std::max({decode_free, full_batch_ready});
+    double start_flush = std::max({decode_free, oldest_ready + config.flush_timeout});
+
+    size_t batch_end;
+    double start;
+    const bool can_fill = want == next + static_cast<size_t>(config.decode_batch);
+    if (!can_fill) {
+      // Tail of the workload: no more requests are coming; launch as soon as
+      // the last straggler is prefilled.
+      batch_end = want;
+      start = start_full;
+    } else if (start_full <= start_flush) {
+      batch_end = want;
+      start = start_full;
+    } else {
+      // Flush: take everything prefilled by the flush point.
+      start = start_flush;
+      batch_end = next;
+      while (batch_end < want && stats.requests[batch_end].prefill_done <= start)
+        ++batch_end;
+      TSI_CHECK_GT(batch_end, next);
+    }
+    double burst = est.Generate(config.decode_spec,
+                                static_cast<double>(batch_end - next),
+                                config.input_len, config.gen_len)
+                       .seconds;
+    double done = start + burst;
+    for (size_t i = next; i < batch_end; ++i) stats.requests[i].decode_done = done;
+    stats.decode_busy += burst;
+    ++stats.decode_bursts;
+    decode_free = done;
+    next = batch_end;
+  }
+
+  for (const auto& r : stats.requests)
+    stats.makespan = std::max(stats.makespan, r.decode_done);
+  return stats;
+}
+
+std::vector<double> PoissonArrivals(double rate, int64_t count, uint64_t seed) {
+  TSI_CHECK_GT(rate, 0);
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<size_t>(count));
+  double t = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    // Exponential inter-arrival gaps.
+    t += -std::log(1.0 - rng.NextDouble()) / rate;
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+}  // namespace tsi

@@ -1,0 +1,70 @@
+// Serving-pipeline simulation (§4.4).
+//
+// The paper's low-latency recipe mixes batch sizes across phases: "batch
+// size 1 achieves best latency in the prefill phase, but for the generate
+// phase we can increase the batch size up to 64 with negligible latency
+// impact... This mixture of batch sizes is possible in practice either by
+// generating multiple samples from the same input text, or by pipelining a
+// batch-1 prefill server into a batch-64 decoding server."
+//
+// ServingSimulator implements that second option as a discrete-event
+// queueing simulation over the analytical cost model: requests arrive on a
+// virtual clock, a prefill replica processes them one at a time (batch 1),
+// finished prefills accumulate at a decode replica that launches a
+// generation burst once `decode_batch` requests are ready (or when the
+// flush timeout expires), and per-request latency statistics fall out.
+#pragma once
+
+#include <vector>
+
+#include "core/inference_cost.h"
+
+namespace tsi {
+
+struct ServingConfig {
+  PartitionSpec prefill_spec;
+  PartitionSpec decode_spec;
+  double input_len = 2048;
+  double gen_len = 64;
+  int64_t decode_batch = 64;  // requests grouped into one generation burst
+  // Max virtual seconds a ready request may wait for the batch to fill
+  // before a partial batch is launched.
+  double flush_timeout = 0.5;
+};
+
+struct RequestStats {
+  double arrival = 0;
+  double prefill_start = 0;
+  double prefill_done = 0;
+  double decode_done = 0;
+  double Latency() const { return decode_done - arrival; }
+};
+
+struct ServingStats {
+  std::vector<RequestStats> requests;
+  double makespan = 0;          // virtual time when the last request finished
+  double prefill_busy = 0;      // total busy seconds of the prefill replica
+  double decode_busy = 0;
+  int64_t decode_bursts = 0;
+
+  int64_t completed() const { return static_cast<int64_t>(requests.size()); }
+  double MeanLatency() const;
+  double PercentileLatency(double p) const;  // p in [0, 100]
+  double ThroughputTokensPerSec(double tokens_per_request) const;
+  double PrefillUtilization() const { return makespan > 0 ? prefill_busy / makespan : 0; }
+  double DecodeUtilization() const { return makespan > 0 ? decode_busy / makespan : 0; }
+};
+
+// Simulates serving `arrivals` (virtual-time arrival stamps, ascending) and
+// returns per-request stats. The prefill and decode replicas are separate
+// chip sets (as in the paper's pipeline), each with the estimator's chip
+// spec and the given partitioning.
+ServingStats SimulateServing(const InferenceEstimator& estimator,
+                             const ServingConfig& config,
+                             const std::vector<double>& arrivals);
+
+// Poisson-process arrival stamps at `rate` requests/sec for `count`
+// requests, deterministic in `seed`.
+std::vector<double> PoissonArrivals(double rate, int64_t count, uint64_t seed);
+
+}  // namespace tsi

@@ -1,0 +1,83 @@
+// System efficiency model and cost breakdown.
+//
+// The paper's analytical framework works in idealized times (peak FLOPS,
+// full HBM bandwidth, bandwidth-only collectives). Real systems land below
+// those ceilings; SystemModel holds the small set of derating constants we
+// calibrate once against the paper's end-to-end measurements and then hold
+// fixed for every experiment. EXPERIMENTS.md records the calibration.
+#pragma once
+
+#include <algorithm>
+
+namespace tsi {
+
+struct CostBreakdown {
+  double compute = 0;        // matmul time (derated peak)
+  double weight_memory = 0;  // HBM weight streaming time
+  double kv_memory = 0;      // HBM KV-cache streaming time
+  double comm = 0;           // unhidden interconnect time (alpha + exposed bw)
+  double overhead = 0;       // per-layer fixed costs (norms, launches, sampling)
+
+  CostBreakdown& operator+=(const CostBreakdown& o) {
+    compute += o.compute;
+    weight_memory += o.weight_memory;
+    kv_memory += o.kv_memory;
+    comm += o.comm;
+    overhead += o.overhead;
+    return *this;
+  }
+  CostBreakdown operator*(double s) const {
+    return {compute * s, weight_memory * s, kv_memory * s, comm * s, overhead * s};
+  }
+};
+
+struct SystemModel {
+  // Fraction of peak FLOPS reachable on large matmuls (layout/pipeline
+  // losses). Calibrated so large-batch prefill tops out near the paper's
+  // 76% MFU once communication is charged.
+  double matmul_peak_frac = 0.85;
+
+  // Small-batch rolloff: a matmul with `t` result rows per chip runs at
+  // t/(t+tau) of the large-matmul rate (systolic array fill / low
+  // utilization at tiny M). tau in tokens.
+  double matmul_tau_tokens = 64;
+
+  // Achievable fraction of peak HBM bandwidth when streaming weights/KV.
+  double hbm_frac = 0.75;
+
+  // Fixed per-layer time: layernorms, residual adds, kernel launches.
+  double per_layer_overhead = 10e-6;
+
+  // Fraction of collective *bandwidth* time hidden under matmuls by the
+  // Looped CollectiveEinsum of §3.5 (the alpha/latency term is never
+  // hidden). Set to 0 to model the unoverlapped compiler baseline; the
+  // paper reports ~1.4x from this optimization (ablated in
+  // bench_ablation_overlap).
+  double overlap_fraction = 0.6;
+
+  // Per-hop collective latency (CommCostModel::hop_latency).
+  double hop_latency = 1e-6;
+
+  // If true (default), compute and memory times add (observed behaviour of
+  // the measured system: weight streaming is not hidden under decode
+  // matmuls); if false, they overlap perfectly (roofline).
+  bool additive = true;
+
+  // Fraction of HBM reserved for the KV cache when computing the maximum
+  // supported context length (Table 1 uses 30%).
+  double kv_memory_reserve = 0.30;
+
+  double MatmulEff(double rows_per_chip) const {
+    double r = std::max(rows_per_chip, 1.0);
+    return matmul_peak_frac * r / (r + matmul_tau_tokens);
+  }
+
+  // Composes a breakdown into wall-clock seconds.
+  double PhaseTime(const CostBreakdown& b) const {
+    double mem = b.weight_memory + b.kv_memory;
+    double core = additive ? b.compute + mem : std::max(b.compute, mem);
+    return core + b.comm + b.overhead;
+  }
+};
+
+}  // namespace tsi

@@ -1,0 +1,112 @@
+// Distributed inference engine on the functional simulator.
+//
+// DistributedEngine executes the paper's partitioned transformer forward
+// pass on a SimMachine: every chip owns only its weight shards (E_x F_yz
+// storage, engine/sharding.h) and its slice of the KV cache, and cross-chip
+// data moves only through sim/collectives.h. Supported execution layouts:
+//
+//   * Weight-stationary (1D when mesh.x == 1, 2D otherwise, §3.2.1-§3.2.2):
+//     activations are sharded [tokens, E/X] over x and replicated over yz.
+//     F-dim intermediates are partial sums over x and are reduce-scattered
+//     into the hidden dimension, activated, and all-gathered back (the §3.5
+//     choice); attention/FFN outputs are partial sums over yz, combined with
+//     one all-reduce(yz) per parallel block (two for serial, §3.4).
+//   * Weight-gathered XYZ (§3.2.3): per layer, weight shards are all-gathered
+//     to full matrices over the whole mesh while activations stay fully
+//     batch-sharded; everything else is chip-local. Used for large-batch
+//     prefill (Table 2's high-throughput configuration).
+//
+//   * Attention sharding (§3.3): over heads (multihead chunks K/V heads over
+//     yz; multiquery replicates its single K/V head), or over batch (the
+//     paper's optimized multiquery layout) via all-to-all resharding of
+//     Q/K/V before attention and of the attention output after it.
+//
+// Incremental processing is supported: Prefill may be called repeatedly
+// (§3.5's "incremental processing of sequences during prefill") and mixes
+// freely with DecodeStep; the KV cache layout is fixed by the attention
+// sharding and shared across phases, which is what lets a serving system use
+// weight-gathered prefill + weight-stationary decode on the same state.
+//
+// Every forward pass is verified (tests/engine_test.cc) to match the
+// single-chip ReferenceModel bit-for-close across layouts x shardings x
+// meshes x block styles, and the virtual clock charges ChipSpec time for
+// every matmul, HBM stream, and collective.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/layouts.h"
+#include "engine/kvcache.h"
+#include "engine/sharding.h"
+#include "model/weights.h"
+#include "sim/machine.h"
+#include "sim/collectives.h"
+
+namespace tsi {
+
+struct EngineSpec {
+  FfnLayout prefill_ffn = FfnLayout::kWS2D;
+  FfnLayout decode_ffn = FfnLayout::kWS2D;
+  // One sharding for both phases: it fixes the KV-cache layout.
+  AttnSharding attn = AttnSharding::kHeads;
+  WeightFormat weight_format = WeightFormat::kBf16;
+  // §3.5 Looped CollectiveEinsum: fuse the weight-stationary FFN input
+  // projections with their reduce-scatter(x) so the ring steps pipeline
+  // under chunked matmuls. Numerically identical (tests assert it); the
+  // virtual clock charges the pipelined schedule instead of compute + comm.
+  bool fuse_collectives = false;
+};
+
+class DistributedEngine {
+ public:
+  // `machine` must outlive the engine. Weight shards are sliced from
+  // `weights` (int8 mode applies a quantize/dequantize roundtrip first and
+  // charges 1 byte/param of memory traffic).
+  DistributedEngine(const ModelWeights& weights, SimMachine* machine,
+                    EngineSpec spec);
+
+  // Processes `batch` sequences of tokens.size()/batch tokens each,
+  // extending the KV cache; returns logits [batch, len, vocab].
+  Tensor Prefill(const std::vector<int32_t>& tokens, int64_t batch);
+
+  // Extends every sequence by one token; returns logits [batch, 1, vocab].
+  Tensor DecodeStep(const std::vector<int32_t>& tokens);
+
+  int64_t context_length() const { return cache_.length(); }
+  const EngineSpec& spec() const { return spec_; }
+  SimMachine& machine() { return *machine_; }
+  const ModelConfig& config() const { return config_; }
+  const ShardedKvCache& cache() const { return cache_; }
+
+ private:
+  Tensor Forward(const std::vector<int32_t>& tokens, int64_t batch,
+                 FfnLayout layout);
+
+  // Weight-stationary block over activations sharded [B*T, E/X].
+  void WsBlock(ShardVec& x, int64_t layer, int64_t batch, int64_t t);
+  // Fully local block over batch-sharded activations with gathered weights.
+  void WgBlock(ShardVec& x, int64_t layer, int64_t batch_local, int64_t t);
+
+  // Head- or batch-sharded attention from replicated-over-x q/k/v shards;
+  // returns [B*T, (H/YZ)*dh] shards. Inputs are [B*T, cols].
+  ShardVec Attention(const ShardVec& q, const ShardVec& k, const ShardVec& v,
+                     int64_t layer, int64_t batch, int64_t t);
+
+  // LayerNorm over the E dim when E is sharded over x (moment all-reduce).
+  ShardVec DistLayerNorm(const ShardVec& x, bool second_gain, int64_t layer);
+
+  Tensor LocalMatMul(int chip, const Tensor& x, const Tensor& w);
+  void ChargeAttention(int chip, const Tensor& k_cache, double q_rows,
+                       double heads);
+
+  ModelConfig config_;
+  EngineSpec spec_;
+  SimMachine* machine_;
+  std::vector<ChipWeights> shards_;
+  ShardedKvCache cache_;
+  double weight_byte_width_;  // 2 (bf16) or 1 (int8) for traffic charging
+  int X_, YZ_, n_;
+};
+
+}  // namespace tsi

@@ -1,0 +1,45 @@
+#include "engine/generation.h"
+
+#include "util/logging.h"
+
+namespace tsi {
+
+GenerationResult Generate(DistributedEngine& engine,
+                          const std::vector<int32_t>& prompt_tokens,
+                          int64_t batch, const GenerationOptions& options) {
+  TSI_CHECK_GT(batch, 0);
+  TSI_CHECK_EQ(engine.context_length(), 0) << "engine already has cached context";
+  double t0 = engine.machine().MaxTime();
+
+  GenerationResult result;
+  result.sequences.assign(static_cast<size_t>(batch), {});
+  if (options.max_new_tokens <= 0) return result;
+
+  Sampler sampler(options.sampling);
+  std::vector<bool> done(static_cast<size_t>(batch), false);
+
+  Tensor logits = engine.Prefill(prompt_tokens, batch);
+  std::vector<int32_t> next = sampler.SampleBatch(logits);
+
+  for (int64_t step = 0; step < options.max_new_tokens; ++step) {
+    bool all_done = true;
+    for (int64_t b = 0; b < batch; ++b) {
+      if (done[static_cast<size_t>(b)]) continue;
+      result.sequences[static_cast<size_t>(b)].push_back(next[static_cast<size_t>(b)]);
+      if (options.eos_token && next[static_cast<size_t>(b)] == *options.eos_token) {
+        done[static_cast<size_t>(b)] = true;
+      } else {
+        all_done = false;
+      }
+    }
+    if (all_done) break;
+    if (step + 1 == options.max_new_tokens) break;  // budget exhausted
+    logits = engine.DecodeStep(next);
+    ++result.steps;
+    next = sampler.SampleBatch(logits);
+  }
+  result.virtual_seconds = engine.machine().MaxTime() - t0;
+  return result;
+}
+
+}  // namespace tsi

@@ -1,0 +1,38 @@
+// High-level autoregressive generation loop over a DistributedEngine:
+// prefill the prompts, then sample-and-decode until every sequence hits EOS
+// or the token budget. This is the API a serving binary would call; the
+// engine underneath runs the paper's partitioned execution and charges the
+// virtual clock, so the result carries the modelled latency too.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/sampler.h"
+
+namespace tsi {
+
+struct GenerationOptions {
+  int64_t max_new_tokens = 16;
+  SamplerOptions sampling;
+  // Stop a sequence once it emits this token (the token is kept). With a
+  // static decode batch the finished sequence keeps stepping as padding, as
+  // real fixed-batch servers do; generation ends when all finish.
+  std::optional<int32_t> eos_token;
+};
+
+struct GenerationResult {
+  // Generated tokens per sequence (prompt not included; EOS included).
+  std::vector<std::vector<int32_t>> sequences;
+  int64_t steps = 0;           // decode steps executed
+  double virtual_seconds = 0;  // machine time charged by prefill + decode
+};
+
+// `prompt_tokens` is [batch][prompt_len] row-major. The engine must be
+// freshly constructed (empty KV cache).
+GenerationResult Generate(DistributedEngine& engine,
+                          const std::vector<int32_t>& prompt_tokens,
+                          int64_t batch, const GenerationOptions& options);
+
+}  // namespace tsi

@@ -1,0 +1,43 @@
+#include "engine/kvcache.h"
+
+#include "util/logging.h"
+
+namespace tsi {
+
+ShardedKvCache::ShardedKvCache(int num_chips, int64_t num_layers,
+                               AttnSharding sharding)
+    : sharding_(sharding), num_layers_(num_layers) {
+  k_.assign(static_cast<size_t>(num_chips),
+            std::vector<Tensor>(static_cast<size_t>(num_layers)));
+  v_ = k_;
+}
+
+void ShardedKvCache::Append(int chip, int64_t layer, const Tensor& k,
+                            const Tensor& v) {
+  TSI_CHECK_EQ(k.rank(), 4);
+  TSI_CHECK(k.SameShape(v));
+  auto& ck = k_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  auto& cv = v_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  ck = ck.numel() == 0 ? k : Tensor::Concat(1, {ck, k});
+  cv = cv.numel() == 0 ? v : Tensor::Concat(1, {cv, v});
+  if (chip == static_cast<int>(k_.size()) - 1 && layer == num_layers_ - 1) {
+    length_ = ck.dim(1);
+  }
+}
+
+const Tensor& ShardedKvCache::K(int chip, int64_t layer) const {
+  return k_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+}
+
+const Tensor& ShardedKvCache::V(int chip, int64_t layer) const {
+  return v_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+}
+
+double ShardedKvCache::TotalBytes(double bytes_per_element) const {
+  double total = 0;
+  for (const auto& per_chip : k_)
+    for (const auto& t : per_chip) total += static_cast<double>(t.numel());
+  return 2.0 * total * bytes_per_element;  // K and V
+}
+
+}  // namespace tsi

@@ -1,0 +1,45 @@
+// Per-chip KV caches for the distributed engine.
+//
+// Layout depends on the attention sharding (§3.3):
+//   * kHeads: every chip caches [B, T, KVshard, dh] -- its head subset for
+//     multihead, or the full (replicated) single head for multiquery.
+//   * kBatch: every chip caches [B/n, T, KVall, dh] -- its batch subset with
+//     every kv head, the paper's optimized layout that divides KV memory
+//     traffic by n_chips.
+#pragma once
+
+#include <vector>
+
+#include "core/layouts.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+class ShardedKvCache {
+ public:
+  ShardedKvCache() = default;
+  ShardedKvCache(int num_chips, int64_t num_layers, AttnSharding sharding);
+
+  AttnSharding sharding() const { return sharding_; }
+  int64_t length() const { return length_; }
+
+  // Appends `k`/`v` of shape [b, t, kv, dh] for (chip, layer). Every chip
+  // must append the same t each step; length() advances when the last layer
+  // of the last chip has appended.
+  void Append(int chip, int64_t layer, const Tensor& k, const Tensor& v);
+
+  const Tensor& K(int chip, int64_t layer) const;
+  const Tensor& V(int chip, int64_t layer) const;
+
+  // Total cached bytes across all chips at `bytes_per_element` width.
+  double TotalBytes(double bytes_per_element) const;
+
+ private:
+  AttnSharding sharding_ = AttnSharding::kHeads;
+  int64_t num_layers_ = 0;
+  int64_t length_ = 0;
+  // [chip][layer]
+  std::vector<std::vector<Tensor>> k_, v_;
+};
+
+}  // namespace tsi

@@ -1,0 +1,97 @@
+#include "engine/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+int32_t Argmax(const float* logits, int64_t vocab) {
+  TSI_CHECK_GT(vocab, 0);
+  int64_t best = 0;
+  for (int64_t i = 1; i < vocab; ++i)
+    if (logits[i] > logits[best]) best = i;
+  return static_cast<int32_t>(best);
+}
+
+std::vector<int64_t> ArgTopK(const float* logits, int64_t vocab, int64_t k) {
+  TSI_CHECK_GT(vocab, 0);
+  k = std::min(k, vocab);
+  std::vector<int64_t> idx(static_cast<size_t>(vocab));
+  std::iota(idx.begin(), idx.end(), 0);
+  auto better = [&](int64_t a, int64_t b) {
+    return logits[a] != logits[b] ? logits[a] > logits[b] : a < b;
+  };
+  if (k < vocab) {
+    std::nth_element(idx.begin(), idx.begin() + k, idx.end(), better);
+    idx.resize(static_cast<size_t>(k));
+  }
+  std::sort(idx.begin(), idx.end(), better);
+  return idx;
+}
+
+Sampler::Sampler(SamplerOptions options)
+    : options_(options), rng_(options.seed) {}
+
+int32_t Sampler::Sample(const float* logits, int64_t vocab) {
+  if (options_.temperature <= 0.0) return Argmax(logits, vocab);
+
+  // Candidates sorted by logit descending; with top-k active only the top k
+  // are selected (partial selection, §3.5).
+  int64_t keep = options_.top_k > 0 ? std::min<int64_t>(options_.top_k, vocab) : vocab;
+  std::vector<int64_t> idx = ArgTopK(logits, vocab, keep);
+
+  // Probabilities over the kept candidates (base-2 softmax, §3.5).
+  constexpr double kLog2E = 1.4426950408889634;
+  double mx = logits[idx[0]];
+  std::vector<double> p(static_cast<size_t>(keep));
+  double sum = 0;
+  for (int64_t i = 0; i < keep; ++i) {
+    double z = (static_cast<double>(logits[idx[static_cast<size_t>(i)]]) - mx) /
+               options_.temperature;
+    p[static_cast<size_t>(i)] = std::exp2(z * kLog2E);
+    sum += p[static_cast<size_t>(i)];
+  }
+  for (auto& v : p) v /= sum;
+
+  // Nucleus truncation: smallest prefix with cumulative mass >= top_p.
+  if (options_.top_p < 1.0) {
+    double cum = 0;
+    int64_t cut = keep;
+    for (int64_t i = 0; i < keep; ++i) {
+      cum += p[static_cast<size_t>(i)];
+      if (cum >= options_.top_p) {
+        cut = i + 1;
+        break;
+      }
+    }
+    keep = cut;
+    double mass = 0;
+    for (int64_t i = 0; i < keep; ++i) mass += p[static_cast<size_t>(i)];
+    for (int64_t i = 0; i < keep; ++i) p[static_cast<size_t>(i)] /= mass;
+  }
+
+  double u = rng_.NextDouble();
+  double cum = 0;
+  for (int64_t i = 0; i < keep; ++i) {
+    cum += p[static_cast<size_t>(i)];
+    if (u < cum) return static_cast<int32_t>(idx[static_cast<size_t>(i)]);
+  }
+  return static_cast<int32_t>(idx[static_cast<size_t>(keep - 1)]);
+}
+
+std::vector<int32_t> Sampler::SampleBatch(const Tensor& logits) {
+  TSI_CHECK_EQ(logits.rank(), 3);
+  const int64_t B = logits.dim(0), T = logits.dim(1), V = logits.dim(2);
+  std::vector<int32_t> out;
+  out.reserve(static_cast<size_t>(B));
+  for (int64_t b = 0; b < B; ++b) {
+    const float* row = logits.data() + ((b * T) + (T - 1)) * V;
+    out.push_back(Sample(row, V));
+  }
+  return out;
+}
+
+}  // namespace tsi

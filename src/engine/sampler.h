@@ -1,0 +1,46 @@
+// Decode-time token sampling: greedy, temperature, top-k and top-p
+// (nucleus), using the base-2 softmax of §3.5. Deterministic given a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tsi {
+
+struct SamplerOptions {
+  double temperature = 1.0;  // 0 => greedy
+  int64_t top_k = 0;         // 0 => no top-k truncation
+  double top_p = 1.0;        // 1 => no nucleus truncation
+  uint64_t seed = 0;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(SamplerOptions options);
+
+  // Samples one token id from a logits row.
+  int32_t Sample(const float* logits, int64_t vocab);
+
+  // Samples the last position of every sequence in logits [B, T, vocab].
+  std::vector<int32_t> SampleBatch(const Tensor& logits);
+
+  const SamplerOptions& options() const { return options_; }
+
+ private:
+  SamplerOptions options_;
+  Rng rng_;
+};
+
+// Index of the max logit (ties resolve to the lowest index).
+int32_t Argmax(const float* logits, int64_t vocab);
+
+// Indices of the k largest logits, sorted by logit descending (§3.5's
+// "faster top-k implementations": partial selection in O(V + k log k)
+// instead of a full O(V log V) sort). Deterministic: ties resolve to the
+// lower index.
+std::vector<int64_t> ArgTopK(const float* logits, int64_t vocab, int64_t k);
+
+}  // namespace tsi

@@ -1,0 +1,44 @@
+// Weight sharding for the distributed engine.
+//
+// All weights are stored in the paper's E_x F_yz layout (§3.2.2/§3.2.3):
+// every matrix whose input is d_model has its rows chunked over the mesh x
+// axis; columns live on the y*z axes -- the FFN hidden dim F, and the
+// attention heads dim, chunk over yz. The multiquery K/V head cannot chunk
+// over heads and is replicated across yz (Fig 4b). This single storage
+// layout serves 1D weight-stationary (x == 1), 2D weight-stationary, and
+// weight-gathered execution (which all-gathers from it at run time), exactly
+// so the engine can switch layouts between prefill and decode without
+// resharding -- the property §3.2.3 calls out.
+#pragma once
+
+#include <vector>
+
+#include "hw/topology.h"
+#include "model/weights.h"
+
+namespace tsi {
+
+struct ShardedLayerWeights {
+  Tensor ln_gain;   // [E/X]
+  Tensor ln2_gain;  // [E/X]
+  Tensor wq;        // [E/X, (H/YZ)*dh]
+  Tensor wk;        // [E/X, KVcols]  (KVcols = dh for MQA, (KV/YZ)*dh for MHA)
+  Tensor wv;        // like wk
+  Tensor wo;        // [(H/YZ)*dh, E/X]
+  Tensor win;       // [E/X, F/YZ]
+  Tensor win_gate;  // [E/X, F/YZ] (gated only)
+  Tensor wout;      // [F/YZ, E/X]
+};
+
+struct ChipWeights {
+  std::vector<ShardedLayerWeights> layers;
+  Tensor embedding;      // [vocab, E] replicated (small at test scale)
+  Tensor final_ln_gain;  // [E/X]
+};
+
+// Slices `weights` for every chip of `mesh`. Requires d_model % X == 0,
+// d_ff % YZ == 0, n_heads % YZ == 0 (and n_kv_heads % YZ == 0 for multihead).
+std::vector<ChipWeights> ShardWeights(const ModelWeights& weights,
+                                      const Torus3D& mesh);
+
+}  // namespace tsi

@@ -1,0 +1,32 @@
+#include "hw/chip.h"
+
+namespace tsi {
+
+ChipSpec TpuV4() {
+  ChipSpec c;
+  c.name = "TPUv4";
+  c.peak_flops = 275e12;
+  c.hbm_bytes = 32.0 * 1024 * 1024 * 1024;
+  c.hbm_bw = 1200e9;
+  c.network_bw = 270e9;
+  return c;
+}
+
+ChipSpec A100_80G() {
+  ChipSpec c;
+  c.name = "A100-80G";
+  c.peak_flops = 312e12;
+  c.hbm_bytes = 80.0 * 1024 * 1024 * 1024;
+  c.hbm_bw = 2039e9;
+  // NVLink3: 600 GB/s bidirectional per GPU => ~300 GB/s usable egress for a
+  // ring collective within one node.
+  c.network_bw = 300e9;
+  return c;
+}
+
+double A100InterNodeBwPerGpu() {
+  // 8x HDR InfiniBand (~200 GB/s per node) shared across 8 GPUs.
+  return 25e9;
+}
+
+}  // namespace tsi

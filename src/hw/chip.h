@@ -1,0 +1,53 @@
+// Accelerator chip descriptions.
+//
+// The analytical model (src/core) and the functional simulator's virtual
+// clock (src/sim) are both parameterized by a ChipSpec, so the same
+// partitioning code can be evaluated on TPU v4 (the paper's platform), on
+// A100 (the FasterTransformer baseline platform), or on a synthetic chip in
+// tests.
+#pragma once
+
+#include <string>
+
+namespace tsi {
+
+struct ChipSpec {
+  std::string name;
+
+  // Peak dense-matmul throughput, FLOP/s (bf16/fp16 units).
+  double peak_flops = 0;
+
+  // High-bandwidth-memory capacity in bytes.
+  double hbm_bytes = 0;
+
+  // HBM bandwidth in bytes/s: rate at which weights and KV cache stream
+  // from memory to the compute cores ("memory time", §2).
+  double hbm_bw = 0;
+
+  // Per-chip interconnect bandwidth in bytes/s usable by a collective.
+  // This is the single "network bandwidth" scalar of the paper's Appendix A
+  // cost model: all-gather over K chips of per-chip output D takes
+  // D/network_bw * (K-1)/K.
+  double network_bw = 0;
+
+  // --- Derived helpers -----------------------------------------------------
+
+  // Seconds to execute `flops` at peak.
+  double ComputeTime(double flops) const { return flops / peak_flops; }
+  // Seconds to stream `bytes` from HBM.
+  double MemoryTime(double bytes) const { return bytes / hbm_bw; }
+};
+
+// TPU v4 (paper §4, "Methodology"): 275 TFLOPS bf16, 32 GiB HBM at
+// 1200 GB/s, 270 GB/s interconnect on a 3D torus.
+ChipSpec TpuV4();
+
+// NVIDIA A100-SXM 80 GiB (FasterTransformer baseline, §5): 312 TFLOPS bf16,
+// 2039 GB/s HBM, NVLink3 for intra-node collectives.
+ChipSpec A100_80G();
+
+// Inter-node link per GPU for the FasterTransformer pipeline-parallel
+// baseline (InfiniBand HDR, node bandwidth shared by 8 GPUs), bytes/s.
+double A100InterNodeBwPerGpu();
+
+}  // namespace tsi

@@ -1,0 +1,94 @@
+#include "hw/topology.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+std::string AxisName(unsigned mask) {
+  if (mask == kAxisNone) return "-";
+  std::string s;
+  if (mask & kAxisX) s += 'x';
+  if (mask & kAxisY) s += 'y';
+  if (mask & kAxisZ) s += 'z';
+  return s;
+}
+
+Torus3D::Torus3D(int x, int y, int z) : x_(x), y_(y), z_(z) {
+  TSI_CHECK(x >= 1 && y >= 1 && z >= 1) << "torus dims must be positive";
+}
+
+int Torus3D::GroupSize(unsigned mask) const {
+  int n = 1;
+  if (mask & kAxisX) n *= x_;
+  if (mask & kAxisY) n *= y_;
+  if (mask & kAxisZ) n *= z_;
+  return n;
+}
+
+Coord Torus3D::CoordOf(int chip) const {
+  TSI_CHECK(chip >= 0 && chip < num_chips());
+  Coord c;
+  c.z = chip % z_;
+  c.y = (chip / z_) % y_;
+  c.x = chip / (z_ * y_);
+  return c;
+}
+
+int Torus3D::ChipAt(Coord c) const {
+  TSI_CHECK(c.x >= 0 && c.x < x_ && c.y >= 0 && c.y < y_ && c.z >= 0 && c.z < z_)
+      << "coord out of range";
+  return (c.x * y_ + c.y) * z_ + c.z;
+}
+
+std::vector<int> Torus3D::GroupOf(int chip, unsigned mask) const {
+  Coord base = CoordOf(chip);
+  std::vector<int> group;
+  group.reserve(static_cast<size_t>(GroupSize(mask)));
+  int xs = (mask & kAxisX) ? x_ : 1;
+  int ys = (mask & kAxisY) ? y_ : 1;
+  int zs = (mask & kAxisZ) ? z_ : 1;
+  for (int ix = 0; ix < xs; ++ix) {
+    for (int iy = 0; iy < ys; ++iy) {
+      for (int iz = 0; iz < zs; ++iz) {
+        Coord c = base;
+        if (mask & kAxisX) c.x = ix;
+        if (mask & kAxisY) c.y = iy;
+        if (mask & kAxisZ) c.z = iz;
+        group.push_back(ChipAt(c));
+      }
+    }
+  }
+  return group;
+}
+
+int Torus3D::RankInGroup(int chip, unsigned mask) const {
+  std::vector<int> group = GroupOf(chip, mask);
+  for (size_t i = 0; i < group.size(); ++i)
+    if (group[i] == chip) return static_cast<int>(i);
+  TSI_CHECK(false) << "chip not in its own group";
+  return -1;
+}
+
+std::string Torus3D::ToString() const {
+  std::ostringstream os;
+  os << x_ << "x" << y_ << "x" << z_;
+  return os.str();
+}
+
+std::vector<Torus3D> AllTorusShapes(int n_chips) {
+  TSI_CHECK_GE(n_chips, 1);
+  std::vector<Torus3D> shapes;
+  for (int x = 1; x <= n_chips; ++x) {
+    if (n_chips % x) continue;
+    int rest = n_chips / x;
+    for (int y = 1; y <= rest; ++y) {
+      if (rest % y) continue;
+      shapes.emplace_back(x, y, rest / y);
+    }
+  }
+  return shapes;
+}
+
+}  // namespace tsi

@@ -1,0 +1,70 @@
+// 3D torus topology (TPU v4 style).
+//
+// Chips are addressed either by a linear id in [0, num_chips) or by a
+// coordinate (cx, cy, cz). Collectives operate over *axis sets*: e.g.
+// all-gather(x) runs independently in each group of chips that share (cy,
+// cz); all-gather(xy) runs in each group sharing cz. Axis sets are bitmasks
+// so "xy" composes naturally. The same abstraction drives both the analytic
+// cost model (group sizes) and the functional simulator (group membership).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsi {
+
+// Axis bitmask values. Combine with |, e.g. kAxisX | kAxisY.
+enum Axis : unsigned {
+  kAxisNone = 0,
+  kAxisX = 1,
+  kAxisY = 2,
+  kAxisZ = 4,
+  kAxisXY = kAxisX | kAxisY,
+  kAxisXYZ = kAxisX | kAxisY | kAxisZ,
+};
+
+std::string AxisName(unsigned mask);  // "x", "xy", "xyz", "-" for none
+
+struct Coord {
+  int x = 0, y = 0, z = 0;
+  bool operator==(const Coord&) const = default;
+};
+
+class Torus3D {
+ public:
+  Torus3D() : Torus3D(1, 1, 1) {}
+  Torus3D(int x, int y, int z);
+
+  int x() const { return x_; }
+  int y() const { return y_; }
+  int z() const { return z_; }
+  int num_chips() const { return x_ * y_ * z_; }
+
+  // Product of axis sizes selected by `mask` (the size of each group).
+  int GroupSize(unsigned mask) const;
+
+  Coord CoordOf(int chip) const;
+  int ChipAt(Coord c) const;
+
+  // Chips in the same group as `chip` for the given axis mask, i.e. all
+  // chips that share the coordinates of the axes NOT in the mask. The result
+  // is ordered by (x, y, z) coordinate, identically on every member, and the
+  // caller's rank within the group is its index in this vector.
+  std::vector<int> GroupOf(int chip, unsigned mask) const;
+
+  // Rank of `chip` within GroupOf(chip, mask).
+  int RankInGroup(int chip, unsigned mask) const;
+
+  std::string ToString() const;  // "4x2x2"
+
+  bool operator==(const Torus3D&) const = default;
+
+ private:
+  int x_, y_, z_;
+};
+
+// All (X, Y, Z) factorizations of n with X*Y*Z == n, ordered
+// lexicographically. Used by the planner to enumerate mesh shapes.
+std::vector<Torus3D> AllTorusShapes(int n_chips);
+
+}  // namespace tsi

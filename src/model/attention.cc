@@ -1,0 +1,59 @@
+#include "model/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tsi {
+
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, bool causal) {
+  TSI_CHECK_EQ(q.rank(), 4);
+  TSI_CHECK_EQ(k.rank(), 4);
+  TSI_CHECK_EQ(v.rank(), 4);
+  const int64_t B = q.dim(0), Tq = q.dim(1), H = q.dim(2), dh = q.dim(3);
+  const int64_t Tkv = k.dim(1), KV = k.dim(2);
+  TSI_CHECK_EQ(k.dim(0), B);
+  TSI_CHECK_EQ(v.dim(0), B);
+  TSI_CHECK_EQ(v.dim(1), Tkv);
+  TSI_CHECK_EQ(v.dim(2), KV);
+  TSI_CHECK_EQ(k.dim(3), dh);
+  TSI_CHECK_EQ(v.dim(3), dh);
+  TSI_CHECK_EQ(H % KV, 0) << "query heads must be a multiple of kv heads";
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Tensor out({B, Tq, H, dh});
+
+  // Per (batch, head) score matrix; sizes here are test-scale, so the simple
+  // loop nest is clearer and fast enough.
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t h = 0; h < H; ++h) {
+      int64_t g = h * KV / H;  // kv head for this query head
+      Tensor scores({Tq, Tkv});
+      for (int64_t i = 0; i < Tq; ++i) {
+        for (int64_t j = 0; j < Tkv; ++j) {
+          double acc = 0.0;
+          for (int64_t d = 0; d < dh; ++d) {
+            acc += static_cast<double>(q.at({b, i, h, d})) * k.at({b, j, g, d});
+          }
+          scores.at({i, j}) = static_cast<float>(acc) * scale;
+        }
+      }
+      if (causal) scores = CausalMask(scores);
+      scores = Softmax2(scores);
+      for (int64_t i = 0; i < Tq; ++i) {
+        for (int64_t d = 0; d < dh; ++d) {
+          double acc = 0.0;
+          for (int64_t j = 0; j < Tkv; ++j) {
+            acc += static_cast<double>(scores.at({i, j})) * v.at({b, j, g, d});
+          }
+          out.at({b, i, h, d}) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsi

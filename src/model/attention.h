@@ -1,0 +1,19 @@
+// Scaled-dot-product attention shared by the single-chip reference and the
+// distributed engine (which calls it per shard: over a head subset when
+// sharded by heads, over a batch subset when sharded by batch, §3.3).
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+// q:      [B, Tq, H, dh]
+// k, v:   [B, Tkv, KV, dh]   (KV == 1 for multiquery; KV == H for multihead;
+//                             any divisor of H acts as grouped-query)
+// Returns [B, Tq, H, dh]. Query head h reads kv head h*KV/H. When `causal`,
+// query position i attends to kv positions <= i + (Tkv - Tq), i.e. the
+// standard mask when the q block is the suffix of the kv block.
+Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
+                                 const Tensor& v, bool causal);
+
+}  // namespace tsi

@@ -1,0 +1,153 @@
+#include "model/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace tsi {
+namespace {
+
+constexpr uint64_t kMagic = 0x545349434B505431ull;  // "TSICKPT1"
+constexpr uint32_t kVersion = 2;
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WriteU64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::istream& is, std::string* s) {
+  uint64_t n;
+  if (!ReadU64(is, &n) || n > (1u << 20)) return false;
+  s->resize(n);
+  is.read(s->data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+void WriteTensor(std::ostream& os, const Tensor& t) {
+  WriteU64(os, static_cast<uint64_t>(t.rank()));
+  for (int64_t d = 0; d < t.rank(); ++d)
+    WriteU64(os, static_cast<uint64_t>(t.dim(d)));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+}
+
+bool ReadTensor(std::istream& is, Tensor* t) {
+  uint64_t rank;
+  if (!ReadU64(is, &rank) || rank > 8) return false;
+  Shape shape;
+  int64_t numel = 1;
+  for (uint64_t d = 0; d < rank; ++d) {
+    uint64_t v;
+    if (!ReadU64(is, &v) || v > (1ull << 32)) return false;
+    shape.push_back(static_cast<int64_t>(v));
+    numel *= static_cast<int64_t>(v);
+  }
+  if (numel < 0 || numel > (1ll << 32)) return false;
+  Tensor tensor(shape);
+  is.read(reinterpret_cast<char*>(tensor.data()),
+          static_cast<std::streamsize>(numel * sizeof(float)));
+  if (!is) return false;
+  *t = std::move(tensor);
+  return true;
+}
+
+}  // namespace
+
+void SaveCheckpoint(const ModelWeights& weights, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  TSI_CHECK(os.good()) << "cannot open " << path << " for writing";
+  const ModelConfig& c = weights.config;
+  WriteU64(os, kMagic);
+  WriteU64(os, kVersion);
+  WriteString(os, c.name);
+  WriteU64(os, static_cast<uint64_t>(c.num_layers));
+  WriteU64(os, static_cast<uint64_t>(c.d_model));
+  WriteU64(os, static_cast<uint64_t>(c.d_ff));
+  WriteU64(os, static_cast<uint64_t>(c.n_heads));
+  WriteU64(os, static_cast<uint64_t>(c.d_head));
+  WriteU64(os, static_cast<uint64_t>(c.vocab_size));
+  WriteU64(os, static_cast<uint64_t>(c.attention));
+  WriteU64(os, static_cast<uint64_t>(c.grouped_kv_heads));
+  WriteU64(os, c.gated_ffn ? 1 : 0);
+  WriteU64(os, c.parallel_block ? 1 : 0);
+
+  WriteTensor(os, weights.embedding);
+  WriteTensor(os, weights.final_ln_gain);
+  for (const LayerWeights& lw : weights.layers) {
+    WriteTensor(os, lw.ln_gain);
+    WriteTensor(os, lw.ln2_gain);
+    WriteTensor(os, lw.wq);
+    WriteTensor(os, lw.wk);
+    WriteTensor(os, lw.wv);
+    WriteTensor(os, lw.wo);
+    WriteTensor(os, lw.win);
+    if (c.gated_ffn) WriteTensor(os, lw.win_gate);
+    WriteTensor(os, lw.wout);
+  }
+  TSI_CHECK(os.good()) << "write to " << path << " failed";
+}
+
+bool LoadCheckpoint(const std::string& path, ModelWeights* out) {
+  TSI_CHECK(out != nullptr);
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return false;
+  uint64_t magic, version;
+  if (!ReadU64(is, &magic) || magic != kMagic) return false;
+  if (!ReadU64(is, &version) || version != kVersion) return false;
+
+  ModelWeights w;
+  ModelConfig& c = w.config;
+  uint64_t v;
+  if (!ReadString(is, &c.name)) return false;
+  auto read_i64 = [&](int64_t* dst) {
+    if (!ReadU64(is, &v)) return false;
+    *dst = static_cast<int64_t>(v);
+    return true;
+  };
+  if (!read_i64(&c.num_layers) || !read_i64(&c.d_model) || !read_i64(&c.d_ff) ||
+      !read_i64(&c.n_heads) || !read_i64(&c.d_head) || !read_i64(&c.vocab_size))
+    return false;
+  if (!ReadU64(is, &v) || v > 2) return false;
+  c.attention = static_cast<AttentionKind>(v);
+  if (!read_i64(&c.grouped_kv_heads)) return false;
+  if (!ReadU64(is, &v)) return false;
+  c.gated_ffn = v != 0;
+  if (!ReadU64(is, &v)) return false;
+  c.parallel_block = v != 0;
+  if (c.num_layers <= 0 || c.num_layers > 1000 || c.d_model <= 0) return false;
+
+  if (!ReadTensor(is, &w.embedding)) return false;
+  if (!ReadTensor(is, &w.final_ln_gain)) return false;
+  w.layers.resize(static_cast<size_t>(c.num_layers));
+  for (LayerWeights& lw : w.layers) {
+    if (!ReadTensor(is, &lw.ln_gain) || !ReadTensor(is, &lw.ln2_gain) ||
+        !ReadTensor(is, &lw.wq) || !ReadTensor(is, &lw.wk) ||
+        !ReadTensor(is, &lw.wv) || !ReadTensor(is, &lw.wo) ||
+        !ReadTensor(is, &lw.win))
+      return false;
+    if (c.gated_ffn && !ReadTensor(is, &lw.win_gate)) return false;
+    if (!ReadTensor(is, &lw.wout)) return false;
+    // Shape validation against the config.
+    if (lw.wq.shape() != Shape{c.d_model, c.n_heads * c.d_head}) return false;
+    if (lw.win.shape() != Shape{c.d_model, c.d_ff}) return false;
+  }
+  // Trailing-garbage check: the file must end exactly here.
+  char extra;
+  is.read(&extra, 1);
+  if (!is.eof()) return false;
+
+  *out = std::move(w);
+  return true;
+}
+
+}  // namespace tsi

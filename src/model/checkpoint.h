@@ -1,0 +1,23 @@
+// Binary checkpointing for ModelWeights.
+//
+// A minimal self-describing format (magic + version + config + tensors,
+// little-endian, fp32 payloads) so engines can load the same weights across
+// processes/runs without regenerating from seeds. Not a framework
+// interchange format -- it serializes exactly this library's model
+// structure, with integrity checks on load.
+#pragma once
+
+#include <string>
+
+#include "model/weights.h"
+
+namespace tsi {
+
+// Writes `weights` to `path`. Aborts (TSI_CHECK) on I/O failure.
+void SaveCheckpoint(const ModelWeights& weights, const std::string& path);
+
+// Loads a checkpoint written by SaveCheckpoint. Returns false (and leaves
+// `out` untouched) if the file is missing, truncated, or fails validation.
+bool LoadCheckpoint(const std::string& path, ModelWeights* out);
+
+}  // namespace tsi

@@ -1,0 +1,102 @@
+#include "model/reference.h"
+
+#include "model/attention.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace tsi {
+
+ReferenceModel::ReferenceModel(const ModelWeights* weights) : weights_(weights) {
+  TSI_CHECK(weights != nullptr);
+}
+
+namespace {
+
+Tensor FfnForward(const ModelConfig& cfg, const LayerWeights& lw, const Tensor& y) {
+  if (cfg.gated_ffn) {
+    Tensor h = Swish2(MatMul(y, lw.win)).Mul(MatMul(y, lw.win_gate));
+    return MatMul(h, lw.wout);
+  }
+  return MatMul(Gelu(MatMul(y, lw.win)), lw.wout);
+}
+
+}  // namespace
+
+Tensor ReferenceModel::AttnOut(const Tensor& y, int64_t batch, int64_t t,
+                               int64_t layer, KvCache* cache) const {
+  const ModelConfig& cfg = weights_->config;
+  const LayerWeights& lw = weights_->layers[static_cast<size_t>(layer)];
+  const int64_t H = cfg.n_heads, KV = cfg.n_kv_heads(), dh = cfg.d_head;
+
+  Tensor q = MatMul(y, lw.wq).Reshape({batch, t, H, dh});
+  Tensor k = MatMul(y, lw.wk).Reshape({batch, t, KV, dh});
+  Tensor v = MatMul(y, lw.wv).Reshape({batch, t, KV, dh});
+
+  auto& ck = cache->k[static_cast<size_t>(layer)];
+  auto& cv = cache->v[static_cast<size_t>(layer)];
+  ck = ck.numel() == 0 ? k : Tensor::Concat(1, {ck, k});
+  cv = cv.numel() == 0 ? v : Tensor::Concat(1, {cv, v});
+
+  Tensor attn = ScaledDotProductAttention(q, ck, cv, /*causal=*/true);
+  return MatMul(attn.Reshape({batch * t, H * dh}), lw.wo);
+}
+
+Tensor ReferenceModel::Block(const Tensor& x, int64_t layer, KvCache* cache) const {
+  const ModelConfig& cfg = weights_->config;
+  const LayerWeights& lw = weights_->layers[static_cast<size_t>(layer)];
+  const int64_t B = x.dim(0), T = x.dim(1), E = x.dim(2);
+  Tensor flat = x.Reshape({B * T, E});
+
+  if (cfg.parallel_block) {
+    // x + Attn(LN(x)) + FFN(LN(x)): one shared pre-norm (§3.4).
+    Tensor y = LayerNorm(flat, lw.ln_gain);
+    Tensor attn = AttnOut(y, B, T, layer, cache);
+    Tensor ffn = FfnForward(cfg, lw, y);
+    return flat.Add(attn).Add(ffn).Reshape({B, T, E});
+  }
+  // Serial: x += Attn(LN1(x)); x += FFN(LN2(x)).
+  Tensor h = flat.Add(AttnOut(LayerNorm(flat, lw.ln_gain), B, T, layer, cache));
+  h = h.Add(FfnForward(cfg, lw, LayerNorm(h, lw.ln2_gain)));
+  return h.Reshape({B, T, E});
+}
+
+Tensor ReferenceModel::Forward(const Tensor& x, KvCache* cache) const {
+  const ModelConfig& cfg = weights_->config;
+  TSI_CHECK_EQ(x.rank(), 3);
+  TSI_CHECK_EQ(x.dim(2), cfg.d_model);
+  if (cache->k.empty()) {
+    cache->k.assign(static_cast<size_t>(cfg.num_layers), Tensor{});
+    cache->v.assign(static_cast<size_t>(cfg.num_layers), Tensor{});
+  }
+  TSI_CHECK_EQ(static_cast<int64_t>(cache->k.size()), cfg.num_layers);
+
+  Tensor h = x;
+  for (int64_t l = 0; l < cfg.num_layers; ++l) h = Block(h, l, cache);
+
+  const int64_t B = h.dim(0), T = h.dim(1);
+  Tensor flat = LayerNorm(h.Reshape({B * T, cfg.d_model}), weights_->final_ln_gain);
+  Tensor logits = MatMul(flat, weights_->embedding.Transpose2D());
+  return logits.Reshape({B, T, cfg.vocab_size});
+}
+
+Tensor ReferenceModel::Prefill(const std::vector<int32_t>& tokens, int64_t batch,
+                               KvCache* cache) const {
+  const ModelConfig& cfg = weights_->config;
+  TSI_CHECK_GT(batch, 0);
+  TSI_CHECK_EQ(static_cast<int64_t>(tokens.size()) % batch, 0);
+  int64_t len = static_cast<int64_t>(tokens.size()) / batch;
+  Tensor x = EmbeddingLookup(weights_->embedding, tokens)
+                 .Reshape({batch, len, cfg.d_model});
+  return Forward(x, cache);
+}
+
+Tensor ReferenceModel::DecodeStep(const std::vector<int32_t>& tokens,
+                                  KvCache* cache) const {
+  const ModelConfig& cfg = weights_->config;
+  int64_t batch = static_cast<int64_t>(tokens.size());
+  Tensor x = EmbeddingLookup(weights_->embedding, tokens)
+                 .Reshape({batch, 1, cfg.d_model});
+  return Forward(x, cache);
+}
+
+}  // namespace tsi

@@ -1,0 +1,53 @@
+// Single-chip reference transformer.
+//
+// This is the numerically-trusted implementation the distributed engine is
+// verified against: plain dense forward pass with a per-layer KV cache, no
+// sharding. Prefill processes all input tokens in one pass; DecodeStep
+// extends every sequence by one token (§2.2's two phases).
+#pragma once
+
+#include <vector>
+
+#include "model/weights.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+// Per-layer K/V tensors of shape [B, T, KV, dh]; grows along T as decoding
+// proceeds.
+struct KvCache {
+  std::vector<Tensor> k, v;
+
+  bool Empty() const { return k.empty() || k[0].numel() == 0; }
+  int64_t length() const { return Empty() ? 0 : k[0].dim(1); }
+  int64_t batch() const { return Empty() ? 0 : k[0].dim(0); }
+};
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(const ModelWeights* weights);
+
+  // tokens laid out [batch][len] row-major, tokens.size() == batch * len.
+  // Appends K/V for all positions to `cache` and returns logits
+  // [batch, len, vocab].
+  Tensor Prefill(const std::vector<int32_t>& tokens, int64_t batch,
+                 KvCache* cache) const;
+
+  // One token per sequence; returns logits [batch, 1, vocab].
+  Tensor DecodeStep(const std::vector<int32_t>& tokens, KvCache* cache) const;
+
+  // Core forward over embedded inputs x: [B, T, E] -> logits [B, T, vocab].
+  // Exposed so tests can bypass the embedding.
+  Tensor Forward(const Tensor& x, KvCache* cache) const;
+
+  const ModelConfig& config() const { return weights_->config; }
+
+ private:
+  Tensor Block(const Tensor& x, int64_t layer, KvCache* cache) const;
+  Tensor AttnOut(const Tensor& y, int64_t batch, int64_t t, int64_t layer,
+                 KvCache* cache) const;
+
+  const ModelWeights* weights_;
+};
+
+}  // namespace tsi

@@ -1,0 +1,46 @@
+// Deterministic weight generation.
+//
+// Every tensor is drawn from a seed derived from (root seed, layer, tensor
+// tag), so the full-model weights used by the single-chip reference and the
+// shards the distributed engine slices out of them are bit-identical by
+// construction. Initialization scales are 1/sqrt(fan_in) to keep activations
+// O(1) through deep stacks, which keeps the fp32-vs-sharded-sum comparisons
+// well-conditioned.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+struct LayerWeights {
+  Tensor ln_gain;   // [E] pre-norm gain (the only norm in a parallel block)
+  Tensor ln2_gain;  // [E] second pre-norm; used by serial blocks only
+  Tensor wq;        // [E, H*dh]
+  Tensor wk;        // [E, KV*dh]
+  Tensor wv;        // [E, KV*dh]
+  Tensor wo;        // [H*dh, E]
+  Tensor win;       // [E, F]
+  Tensor win_gate;  // [E, F]; gated FFN only
+  Tensor wout;      // [F, E]
+};
+
+struct ModelWeights {
+  ModelConfig config;
+  Tensor embedding;  // [vocab, E]; shared for input lookup and output logits
+  std::vector<LayerWeights> layers;
+  Tensor final_ln_gain;  // [E]
+
+  // Deterministic random initialization from `seed`.
+  static ModelWeights Random(const ModelConfig& config, uint64_t seed);
+
+  // Replaces every projection matrix with dequantize(quantize_int8(w)).
+  // After this, an engine running int8 weights must agree with the reference
+  // to fp32 accumulation tolerance.
+  void SimulateInt8Roundtrip();
+};
+
+}  // namespace tsi

@@ -1,0 +1,143 @@
+#include "quant/int8.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+QuantizedTensor QuantizeInt8(const Tensor& w) {
+  TSI_CHECK_EQ(w.rank(), 2);
+  int64_t rows = w.dim(0), cols = w.dim(1);
+  QuantizedTensor q;
+  q.shape = w.shape();
+  q.values.resize(static_cast<size_t>(rows * cols));
+  q.scales.assign(static_cast<size_t>(cols), 0.0f);
+
+  for (int64_t c = 0; c < cols; ++c) {
+    float mx = 0.0f;
+    for (int64_t r = 0; r < rows; ++r)
+      mx = std::max(mx, std::fabs(w[r * cols + c]));
+    q.scales[static_cast<size_t>(c)] = mx > 0.0f ? mx / 127.0f : 1.0f;
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      float s = q.scales[static_cast<size_t>(c)];
+      float v = w[r * cols + c] / s;
+      int iv = static_cast<int>(std::lround(v));
+      iv = std::min(127, std::max(-127, iv));
+      q.values[static_cast<size_t>(r * cols + c)] = static_cast<int8_t>(iv);
+    }
+  }
+  return q;
+}
+
+Tensor Dequantize(const QuantizedTensor& q) {
+  Tensor out(q.shape);
+  int64_t rows = q.rows(), cols = q.cols();
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c)
+      out[r * cols + c] = static_cast<float>(q.values[static_cast<size_t>(r * cols + c)]) *
+                          q.scales[static_cast<size_t>(c)];
+  return out;
+}
+
+Tensor MatMulDequant(const Tensor& x, const QuantizedTensor& w) {
+  int64_t k = x.dim(-1);
+  TSI_CHECK_EQ(k, w.rows());
+  int64_t n = w.cols();
+  int64_t m = x.numel() / k;
+
+  Shape out_shape(x.shape().begin(), x.shape().end() - 1);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+  const float* X = x.data();
+  float* C = out.data();
+  std::vector<double> acc(static_cast<size_t>(n));
+  for (int64_t i = 0; i < m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      double xv = X[i * k + kk];
+      if (xv == 0.0) continue;
+      const int8_t* wrow = w.values.data() + kk * n;
+      for (int64_t j = 0; j < n; ++j)
+        acc[static_cast<size_t>(j)] += xv * static_cast<double>(wrow[j]) *
+                                       w.scales[static_cast<size_t>(j)];
+    }
+    for (int64_t j = 0; j < n; ++j) C[i * n + j] = static_cast<float>(acc[static_cast<size_t>(j)]);
+  }
+  return out;
+}
+
+QuantizedActivations QuantizeActivationsInt8(const Tensor& x) {
+  TSI_CHECK_EQ(x.rank(), 2);
+  int64_t rows = x.dim(0), cols = x.dim(1);
+  QuantizedActivations q;
+  q.shape = x.shape();
+  q.values.resize(static_cast<size_t>(rows * cols));
+  q.scales.assign(static_cast<size_t>(rows), 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    float mx = 0.0f;
+    for (int64_t c = 0; c < cols; ++c) mx = std::max(mx, std::fabs(x[r * cols + c]));
+    float s = mx > 0.0f ? mx / 127.0f : 1.0f;
+    q.scales[static_cast<size_t>(r)] = s;
+    for (int64_t c = 0; c < cols; ++c) {
+      int iv = static_cast<int>(std::lround(x[r * cols + c] / s));
+      q.values[static_cast<size_t>(r * cols + c)] =
+          static_cast<int8_t>(std::min(127, std::max(-127, iv)));
+    }
+  }
+  return q;
+}
+
+Tensor Dequantize(const QuantizedActivations& q) {
+  Tensor out(q.shape);
+  int64_t rows = q.rows(), cols = q.cols();
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t c = 0; c < cols; ++c)
+      out[r * cols + c] = static_cast<float>(q.values[static_cast<size_t>(r * cols + c)]) *
+                          q.scales[static_cast<size_t>(r)];
+  return out;
+}
+
+Tensor MatMulInt8(const QuantizedActivations& x, const QuantizedTensor& w) {
+  TSI_CHECK_EQ(x.cols(), w.rows());
+  int64_t m = x.rows(), k = x.cols(), n = w.cols();
+  Tensor out(Shape{m, n});
+  std::vector<int64_t> acc(static_cast<size_t>(n));
+  for (int64_t i = 0; i < m; ++i) {
+    std::fill(acc.begin(), acc.end(), 0);
+    const int8_t* xrow = x.values.data() + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      int64_t xv = xrow[kk];
+      if (xv == 0) continue;
+      const int8_t* wrow = w.values.data() + kk * n;
+      for (int64_t j = 0; j < n; ++j) acc[static_cast<size_t>(j)] += xv * wrow[j];
+    }
+    float sx = x.scales[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < n; ++j) {
+      out[i * n + j] = static_cast<float>(acc[static_cast<size_t>(j)]) * sx *
+                       w.scales[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+float QuantizationRelError(const Tensor& w) {
+  QuantizedTensor q = QuantizeInt8(w);
+  Tensor back = Dequantize(q);
+  int64_t rows = w.dim(0), cols = w.dim(1);
+  float worst = 0.0f;
+  for (int64_t c = 0; c < cols; ++c) {
+    float mx = 0.0f;
+    for (int64_t r = 0; r < rows; ++r) mx = std::max(mx, std::fabs(w[r * cols + c]));
+    if (mx == 0.0f) continue;
+    for (int64_t r = 0; r < rows; ++r) {
+      float err = std::fabs(w[r * cols + c] - back[r * cols + c]) / mx;
+      worst = std::max(worst, err);
+    }
+  }
+  return worst;
+}
+
+}  // namespace tsi

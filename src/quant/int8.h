@@ -1,0 +1,72 @@
+// Int8 symmetric per-output-channel weight quantization, in the style of the
+// AQT library the paper uses (§3.6). Only *weights* are quantized; matmul
+// arithmetic stays in fp32 (paper: "the matmuls still use bfloat16
+// arithmetic"), so the runtime benefit modelled elsewhere is halved weight
+// bytes for memory time and weight-gathered communication volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+// Quantized 2-D weight [rows, cols]; one scale per column (output channel),
+// value = int8 * scale.
+struct QuantizedTensor {
+  Shape shape;                 // logical fp shape, rank 2
+  std::vector<int8_t> values;  // row-major, shape.numel() entries
+  std::vector<float> scales;   // one per column
+
+  int64_t rows() const { return shape[0]; }
+  int64_t cols() const { return shape[1]; }
+  // Bytes this tensor occupies on-chip (int8 payload + fp32 scales).
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(values.size()) +
+           static_cast<int64_t>(scales.size()) * 4;
+  }
+};
+
+// Symmetric per-column quantization: scale_c = max_r |w[r,c]| / 127.
+QuantizedTensor QuantizeInt8(const Tensor& w);
+
+// Exact inverse transform of the stored representation.
+Tensor Dequantize(const QuantizedTensor& q);
+
+// x [.., k] @ dequant(w) [k, n]. Dequantizes on the fly column-block by
+// column-block; numerically identical to MatMul(x, Dequantize(w)).
+Tensor MatMulDequant(const Tensor& x, const QuantizedTensor& w);
+
+// Max elementwise |w - dequant(quant(w))| relative to per-column max.
+// Always <= 0.5/127 by construction; tests assert this bound.
+float QuantizationRelError(const Tensor& w);
+
+// --- Activation quantization (§3.6 future work) ----------------------------
+// The paper quantizes only weights and notes that *activation* quantization
+// "could reduce compute time in large-batch configurations and reduce
+// communication volume of activations in weight-stationary layouts". This is
+// the kernel-level piece: dynamic symmetric per-row int8 activations and a
+// fully-int8 matmul with fp32 accumulation (LLM.int8-style without
+// outlier decomposition). The projected system-level gains are modelled in
+// core/ (PartitionSpec::act_format) and ablated in bench_ablation_act_quant.
+
+// Per-row symmetric quantization of activations [rows, cols]:
+// scale_r = max_c |x[r,c]| / 127.
+struct QuantizedActivations {
+  Shape shape;                 // rank 2
+  std::vector<int8_t> values;  // row-major
+  std::vector<float> scales;   // one per row
+
+  int64_t rows() const { return shape[0]; }
+  int64_t cols() const { return shape[1]; }
+};
+
+QuantizedActivations QuantizeActivationsInt8(const Tensor& x);
+Tensor Dequantize(const QuantizedActivations& q);
+
+// int8 x int8 -> fp32: result[i,j] = scale_x[i] * scale_w[j] *
+// sum_k xq[i,k] * wq[k,j], with int32 accumulation of the integer dot.
+Tensor MatMulInt8(const QuantizedActivations& x, const QuantizedTensor& w);
+
+}  // namespace tsi

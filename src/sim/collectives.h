@@ -1,0 +1,41 @@
+// Functional collectives over a SimMachine.
+//
+// Each function takes the per-chip tensors (`shards[chip]`, one entry per
+// chip of the machine) and applies the collective independently within every
+// torus group selected by the axis mask, returning new per-chip tensors.
+// Group membership and member order come from Torus3D::GroupOf, so results
+// are deterministic and identical to what a rank-ordered MPI communicator
+// would produce.
+//
+// Timing: each collective first synchronizes the clocks of its group (entry
+// barrier), then advances every member by the Appendix-A bandwidth cost of
+// the operation, and charges per-chip egress traffic of D*(K-1)/K bytes.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+using ShardVec = std::vector<Tensor>;
+
+// out[c] = Concat(dim, in[g] for g in group(c, mask)); replicated in group.
+ShardVec AllGather(SimMachine& m, const ShardVec& in, unsigned mask, int64_t dim);
+
+// Sums in[] over each group, then chip with rank r keeps chunk r along
+// `dim`. Requires dim size divisible by group size.
+ShardVec ReduceScatter(SimMachine& m, const ShardVec& in, unsigned mask, int64_t dim);
+
+// Sums in[] over each group; result replicated on every member.
+ShardVec AllReduce(SimMachine& m, const ShardVec& in, unsigned mask);
+
+// Re-shards within each group from `split_dim` to `concat_dim`: chip r ends
+// with Concat(concat_dim, chunk_r(in[g], split_dim) for g in group).
+// With split_dim == concat_dim this is the identity permutation of data
+// volume (but still redistributes which chip holds what).
+ShardVec AllToAll(SimMachine& m, const ShardVec& in, unsigned mask,
+                  int64_t split_dim, int64_t concat_dim);
+
+}  // namespace tsi

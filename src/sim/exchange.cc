@@ -1,0 +1,40 @@
+#include "sim/exchange.h"
+
+#include "util/logging.h"
+
+namespace tsi {
+
+ExchangeHub::GroupState& ExchangeHub::StateFor(const std::vector<int>& group) {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  return groups_[group];  // default-constructs on first use
+}
+
+std::vector<Tensor> ExchangeHub::Exchange(const std::vector<int>& group,
+                                          int rank, Tensor t) {
+  TSI_CHECK(!group.empty());
+  TSI_CHECK(rank >= 0 && rank < static_cast<int>(group.size()));
+  const int k = static_cast<int>(group.size());
+  if (k == 1) return {std::move(t)};
+
+  GroupState& g = StateFor(group);
+  std::unique_lock<std::mutex> lock(g.m);
+  const uint64_t my_epoch = g.epoch;
+  if (g.slots.empty()) g.slots.resize(static_cast<size_t>(k));
+  g.slots[static_cast<size_t>(rank)] = std::move(t);
+  if (++g.arrived == k) {
+    // Last arrival publishes the round and wakes the group. `slots` is
+    // cleared so the next epoch starts fresh; `result` stays valid until
+    // the *next* round completes, by which time every waiter of this round
+    // has copied it (they copy under the lock before returning).
+    g.result = std::move(g.slots);
+    g.slots.clear();
+    g.arrived = 0;
+    ++g.epoch;
+    g.cv.notify_all();
+    return g.result;
+  }
+  g.cv.wait(lock, [&] { return g.epoch != my_epoch; });
+  return g.result;
+}
+
+}  // namespace tsi

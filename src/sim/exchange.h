@@ -1,0 +1,55 @@
+// Rendezvous exchange for threaded SPMD execution.
+//
+// ExchangeHub is the synchronization core of the threaded runtime
+// (sim/threaded.h): every member of a group deposits one tensor and blocks
+// until the whole group has arrived, then receives the full ordered set of
+// deposits. Groups are identified by their (ordered) member list; distinct
+// groups synchronize independently, and one group can rendezvous repeatedly
+// (each round is an epoch). This is the moral equivalent of an MPI
+// communicator's collective entry point, reduced to the one primitive every
+// collective in this codebase can be built from.
+//
+// Correctness contract (same as MPI): all members of a group must call
+// Exchange the same number of times in the same order. A member of two
+// overlapping groups must not interleave their rounds differently on
+// different chips -- SPMD programs satisfy this by construction.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+class ExchangeHub {
+ public:
+  ExchangeHub() = default;
+  ExchangeHub(const ExchangeHub&) = delete;
+  ExchangeHub& operator=(const ExchangeHub&) = delete;
+
+  // Deposits `t` as `group[rank]`'s contribution and blocks until every
+  // member of `group` has deposited; returns the deposits in group order.
+  // `group` must be identical (same order) on every member.
+  std::vector<Tensor> Exchange(const std::vector<int>& group, int rank,
+                               Tensor t);
+
+ private:
+  struct GroupState {
+    std::mutex m;
+    std::condition_variable cv;
+    uint64_t epoch = 0;
+    int arrived = 0;
+    std::vector<Tensor> slots;
+    std::vector<Tensor> result;
+  };
+
+  GroupState& StateFor(const std::vector<int>& group);
+
+  std::mutex registry_mutex_;
+  std::map<std::vector<int>, GroupState> groups_;
+};
+
+}  // namespace tsi

@@ -1,0 +1,97 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+SimMachine::SimMachine(Torus3D topo, ChipSpec chip)
+    : topo_(topo), chip_(std::move(chip)),
+      counters_(static_cast<size_t>(topo.num_chips())) {
+  TSI_CHECK_GT(chip_.peak_flops, 0);
+  TSI_CHECK_GT(chip_.hbm_bw, 0);
+  TSI_CHECK_GT(chip_.network_bw, 0);
+}
+
+void SimMachine::ChargeCompute(int chip, double flops, const char* trace_name) {
+  auto& c = counters_[static_cast<size_t>(chip)];
+  c.flops += flops;
+  double t = chip_.ComputeTime(flops);
+  if (tracer_) tracer_->Record(chip, trace_name, c.time, t);
+  c.time += t;
+}
+
+void SimMachine::ChargeMemory(int chip, double bytes, const char* trace_name) {
+  auto& c = counters_[static_cast<size_t>(chip)];
+  c.hbm_bytes += bytes;
+  double t = chip_.MemoryTime(bytes);
+  if (tracer_) tracer_->Record(chip, trace_name, c.time, t);
+  c.time += t;
+}
+
+void SimMachine::ChargeComputeAndMemory(int chip, double flops, double bytes,
+                                        const char* trace_name) {
+  auto& c = counters_[static_cast<size_t>(chip)];
+  c.flops += flops;
+  c.hbm_bytes += bytes;
+  double t = std::max(chip_.ComputeTime(flops), chip_.MemoryTime(bytes));
+  if (tracer_) tracer_->Record(chip, trace_name, c.time, t);
+  c.time += t;
+}
+
+void SimMachine::AdvanceTime(int chip, double seconds) {
+  counters_[static_cast<size_t>(chip)].time += seconds;
+}
+
+void SimMachine::AdvanceTimeTraced(int chip, double seconds,
+                                   const std::string& name) {
+  auto& c = counters_[static_cast<size_t>(chip)];
+  if (tracer_) tracer_->Record(chip, name, c.time, seconds);
+  c.time += seconds;
+}
+
+void SimMachine::ChargeNetwork(int chip, double bytes) {
+  counters_[static_cast<size_t>(chip)].network_bytes += bytes;
+}
+
+void SimMachine::BookWork(int chip, double flops, double hbm_bytes) {
+  auto& c = counters_[static_cast<size_t>(chip)];
+  c.flops += flops;
+  c.hbm_bytes += hbm_bytes;
+}
+
+double SimMachine::SyncClocks(const std::vector<int>& chips) {
+  double t = 0;
+  for (int c : chips) t = std::max(t, counters_[static_cast<size_t>(c)].time);
+  for (int c : chips) counters_[static_cast<size_t>(c)].time = t;
+  return t;
+}
+
+const ChipCounters& SimMachine::counters(int chip) const {
+  return counters_[static_cast<size_t>(chip)];
+}
+
+double SimMachine::MaxTime() const {
+  double t = 0;
+  for (const auto& c : counters_) t = std::max(t, c.time);
+  return t;
+}
+
+double SimMachine::TotalFlops() const {
+  double f = 0;
+  for (const auto& c : counters_) f += c.flops;
+  return f;
+}
+
+double SimMachine::TotalNetworkBytes() const {
+  double b = 0;
+  for (const auto& c : counters_) b += c.network_bytes;
+  return b;
+}
+
+void SimMachine::ResetCounters() {
+  std::fill(counters_.begin(), counters_.end(), ChipCounters{});
+}
+
+}  // namespace tsi

@@ -1,0 +1,98 @@
+// Functional multi-chip machine.
+//
+// SimMachine models an accelerator pod: a 3D torus of chips, each with its
+// own virtual clock and traffic counters. Programs are written SPMD-style
+// but executed chip-by-chip in lockstep inside one process: chip-local
+// state lives in per-chip containers (std::vector indexed by chip id) and
+// cross-chip data movement happens exclusively through the collectives in
+// sim/collectives.h. This gives us
+//   * real distributed *algorithms* (every chip only touches its shard plus
+//     what a collective delivered), verifiable against a one-chip reference;
+//   * a virtual clock charging ChipSpec compute/memory time and Appendix-A
+//     communication time, so the simulator reproduces the analytical
+//     model's timings on the same workload.
+#pragma once
+
+#include <vector>
+
+#include "comm/cost.h"
+#include "hw/chip.h"
+#include "hw/topology.h"
+#include "sim/trace.h"
+
+namespace tsi {
+
+// Per-chip accounting, all monotonically increasing.
+struct ChipCounters {
+  double time = 0;           // virtual clock, seconds
+  double flops = 0;          // compute charged
+  double hbm_bytes = 0;      // memory traffic charged
+  double network_bytes = 0;  // interconnect egress charged
+};
+
+class SimMachine {
+ public:
+  SimMachine(Torus3D topo, ChipSpec chip);
+
+  const Torus3D& topo() const { return topo_; }
+  const ChipSpec& chip() const { return chip_; }
+  int num_chips() const { return topo_.num_chips(); }
+
+  // Logical bytes per activation element for timing purposes. Tensors are
+  // stored fp32 for numerics, but the modelled hardware moves bf16; traffic
+  // and time are charged at this width.
+  double bytes_per_element() const { return bytes_per_element_; }
+  void set_bytes_per_element(double b) { bytes_per_element_ = b; }
+
+  // Per-hop collective latency used by the virtual clock (alpha term).
+  double hop_latency() const { return hop_latency_; }
+  void set_hop_latency(double s) { hop_latency_ = s; }
+
+  CommCostModel comm_cost() const {
+    return {chip_.network_bw, hop_latency_, /*exact=*/true};
+  }
+
+  // --- Virtual clock ------------------------------------------------------
+  // Charge `flops` of matmul work to `chip` at peak throughput.
+  void ChargeCompute(int chip, double flops, const char* trace_name = "compute");
+  // Charge an HBM stream of `bytes` to `chip`.
+  void ChargeMemory(int chip, double bytes, const char* trace_name = "memory");
+  // Charge matmul work together with the HBM traffic for its weights; the
+  // two overlap on real hardware, so time advances by max(compute, memory).
+  void ChargeComputeAndMemory(int chip, double flops, double bytes,
+                              const char* trace_name = "matmul");
+  // Advance the clock only (used by collectives).
+  void AdvanceTime(int chip, double seconds);
+  // Advance the clock and record a trace event under `name`.
+  void AdvanceTimeTraced(int chip, double seconds, const std::string& name);
+  void ChargeNetwork(int chip, double bytes);
+  // Book flops/HBM traffic in the counters without advancing the clock
+  // (used by fused ops that charge pipelined time separately).
+  void BookWork(int chip, double flops, double hbm_bytes);
+
+  // Optional execution trace; `tracer` must outlive the machine (or be
+  // detached with nullptr).
+  void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+
+  // Synchronizes the clocks of `chips` to their max (a collective entry
+  // barrier) and returns the synchronized time.
+  double SyncClocks(const std::vector<int>& chips);
+
+  const ChipCounters& counters(int chip) const;
+  // Max clock over all chips == end-to-end latency of the program so far.
+  double MaxTime() const;
+  double TotalFlops() const;
+  double TotalNetworkBytes() const;
+  void ResetCounters();
+
+ private:
+  Torus3D topo_;
+  ChipSpec chip_;
+  double bytes_per_element_ = 2.0;  // bf16
+  double hop_latency_ = 1e-6;
+  Tracer* tracer_ = nullptr;
+  std::vector<ChipCounters> counters_;
+};
+
+}  // namespace tsi

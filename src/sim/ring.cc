@@ -1,0 +1,133 @@
+#include "sim/ring.h"
+
+#include "util/logging.h"
+
+namespace tsi {
+namespace {
+
+template <typename Fn>
+void ForEachGroup(const Torus3D& topo, unsigned mask, Fn fn) {
+  std::vector<bool> seen(static_cast<size_t>(topo.num_chips()), false);
+  for (int c = 0; c < topo.num_chips(); ++c) {
+    if (seen[static_cast<size_t>(c)]) continue;
+    std::vector<int> group = topo.GroupOf(c, mask);
+    for (int g : group) seen[static_cast<size_t>(g)] = true;
+    fn(group);
+  }
+}
+
+void InitTraffic(const SimMachine& m, RingTraffic* traffic) {
+  if (traffic && traffic->bytes_sent.empty())
+    traffic->bytes_sent.assign(static_cast<size_t>(m.num_chips()), 0.0);
+}
+
+// Charges one ring step (every member sends `bytes` to its successor
+// concurrently) and logs per-link traffic.
+void ChargeStep(SimMachine& m, const std::vector<int>& group, double bytes,
+                const char* name, RingTraffic* traffic) {
+  CommCostModel cost = m.comm_cost();
+  double t = cost.hop_latency + bytes / cost.network_bw;
+  for (int c : group) {
+    m.AdvanceTimeTraced(c, t, name);
+    m.ChargeNetwork(c, bytes);
+    if (traffic) traffic->bytes_sent[static_cast<size_t>(c)] += bytes;
+  }
+}
+
+}  // namespace
+
+ShardVec RingAllGather(SimMachine& m, const ShardVec& in, unsigned mask,
+                       int64_t dim, RingTraffic* traffic) {
+  TSI_CHECK_EQ(static_cast<int>(in.size()), m.num_chips());
+  InitTraffic(m, traffic);
+  ShardVec out(in.size());
+  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
+    const int k = static_cast<int>(group.size());
+    if (k == 1) {
+      out[static_cast<size_t>(group[0])] = in[static_cast<size_t>(group[0])];
+      return;
+    }
+    m.SyncClocks(group);
+    // chunks[rank][slot]: the chunk originating at `slot`, as currently held
+    // by `rank` (empty until it arrives).
+    std::vector<std::vector<Tensor>> held(static_cast<size_t>(k),
+                                          std::vector<Tensor>(static_cast<size_t>(k)));
+    for (int r = 0; r < k; ++r)
+      held[static_cast<size_t>(r)][static_cast<size_t>(r)] =
+          in[static_cast<size_t>(group[static_cast<size_t>(r)])];
+
+    double chunk_bytes = static_cast<double>(in[static_cast<size_t>(group[0])].numel()) *
+                         m.bytes_per_element();
+    // Step s: rank r forwards the chunk that originated at (r - s) mod k.
+    for (int s = 0; s < k - 1; ++s) {
+      std::vector<Tensor> in_flight(static_cast<size_t>(k));
+      for (int r = 0; r < k; ++r) {
+        int slot = ((r - s) % k + k) % k;
+        in_flight[static_cast<size_t>((r + 1) % k)] =
+            held[static_cast<size_t>(r)][static_cast<size_t>(slot)];
+      }
+      for (int r = 0; r < k; ++r) {
+        int slot = ((r - 1 - s) % k + k) % k;  // chunk just received
+        held[static_cast<size_t>(r)][static_cast<size_t>(slot)] =
+            std::move(in_flight[static_cast<size_t>(r)]);
+      }
+      ChargeStep(m, group, chunk_bytes, "ring-all-gather", traffic);
+    }
+    for (int r = 0; r < k; ++r) {
+      out[static_cast<size_t>(group[static_cast<size_t>(r)])] =
+          Tensor::Concat(dim, held[static_cast<size_t>(r)]);
+    }
+  });
+  return out;
+}
+
+ShardVec RingReduceScatter(SimMachine& m, const ShardVec& in, unsigned mask,
+                           int64_t dim, RingTraffic* traffic) {
+  TSI_CHECK_EQ(static_cast<int>(in.size()), m.num_chips());
+  InitTraffic(m, traffic);
+  ShardVec out(in.size());
+  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
+    const int64_t k = static_cast<int64_t>(group.size());
+    if (k == 1) {
+      out[static_cast<size_t>(group[0])] = in[static_cast<size_t>(group[0])];
+      return;
+    }
+    m.SyncClocks(group);
+    // acc[rank][c]: rank's running partial of chunk c.
+    std::vector<std::vector<Tensor>> acc(static_cast<size_t>(k));
+    for (int64_t r = 0; r < k; ++r) {
+      for (int64_t c = 0; c < k; ++c) {
+        acc[static_cast<size_t>(r)].push_back(
+            in[static_cast<size_t>(group[static_cast<size_t>(r)])].Chunk(dim, k, c));
+      }
+    }
+    double chunk_bytes =
+        static_cast<double>(acc[0][0].numel()) * m.bytes_per_element();
+    // Chunk c starts at rank (c+1) and travels k-1 hops to land on rank c:
+    // at step s, rank r sends chunk (r - s - 1) mod k; the receiver adds its
+    // own contribution.
+    for (int64_t s = 0; s < k - 1; ++s) {
+      std::vector<Tensor> in_flight(static_cast<size_t>(k));
+      std::vector<int64_t> in_flight_chunk(static_cast<size_t>(k));
+      for (int64_t r = 0; r < k; ++r) {
+        int64_t c = ((r - s - 1) % k + k) % k;
+        in_flight[static_cast<size_t>((r + 1) % k)] =
+            acc[static_cast<size_t>(r)][static_cast<size_t>(c)];
+        in_flight_chunk[static_cast<size_t>((r + 1) % k)] = c;
+      }
+      for (int64_t r = 0; r < k; ++r) {
+        int64_t c = in_flight_chunk[static_cast<size_t>(r)];
+        acc[static_cast<size_t>(r)][static_cast<size_t>(c)].AddInPlace(
+            in_flight[static_cast<size_t>(r)]);
+      }
+      ChargeStep(m, group, chunk_bytes, "ring-reduce-scatter", traffic);
+    }
+    for (int64_t r = 0; r < k; ++r) {
+      out[static_cast<size_t>(group[static_cast<size_t>(r)])] =
+          std::move(acc[static_cast<size_t>(r)][static_cast<size_t>(r)]);
+    }
+  });
+  return out;
+}
+
+}  // namespace tsi

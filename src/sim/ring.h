@@ -1,0 +1,41 @@
+// Wire-level ring collectives (Appendix A.1).
+//
+// The direct collectives in sim/collectives.h produce results "by fiat" and
+// charge closed-form time. These implement the actual chunked ring
+// algorithms the cost model describes -- K-1 dependent steps, each moving a
+// D/K chunk to the ring successor -- so that
+//   * the D*(K-1)/K bandwidth term and the alpha*(K-1) latency term emerge
+//     from the step loop instead of being asserted, and
+//   * per-link traffic can be audited (every chip sends exactly
+//     D*(K-1)/K bytes to its successor; tests verify this and that the
+//     results are bit-identical to the direct collectives).
+// Ring order within a group is the group's rank order (the torus axis
+// order), so chunk ownership matches sim/collectives.h exactly.
+#pragma once
+
+#include <vector>
+
+#include "sim/collectives.h"
+#include "sim/machine.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+// bytes_sent[i] = total bytes chip i sent to its ring successor.
+struct RingTraffic {
+  std::vector<double> bytes_sent;
+};
+
+// Ring all-gather along `mask`: K-1 steps, each forwarding the chunk
+// received in the previous step. out[chip] = Concat over the group along
+// `dim`, identical to AllGather(m, in, mask, dim).
+ShardVec RingAllGather(SimMachine& m, const ShardVec& in, unsigned mask,
+                       int64_t dim, RingTraffic* traffic = nullptr);
+
+// Ring reduce-scatter along `mask`: chunk r circulates K-1 hops accumulating
+// every chip's contribution and lands, fully reduced, on the rank-r chip.
+// Identical to ReduceScatter(m, in, mask, dim).
+ShardVec RingReduceScatter(SimMachine& m, const ShardVec& in, unsigned mask,
+                           int64_t dim, RingTraffic* traffic = nullptr);
+
+}  // namespace tsi

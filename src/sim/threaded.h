@@ -1,0 +1,51 @@
+// Threaded SPMD runtime.
+//
+// The lockstep simulator (sim/collectives.h) executes chips sequentially
+// inside one thread, which is ideal for deterministic verification and
+// virtual-clock accounting. This runtime is the concurrent counterpart: one
+// OS thread per chip, each running the same program against a chip-local
+// context, with collectives implemented by rendezvous (sim/exchange.h) --
+// the shape of a real multi-host SPMD job. Tests verify the two runtimes
+// produce identical collective results, which pins down that chip-local
+// state in the engine algorithms is genuinely local (no hidden cross-chip
+// reads outside collectives).
+#pragma once
+
+#include <functional>
+
+#include "hw/topology.h"
+#include "sim/exchange.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+// Per-chip collective endpoint. Thread-safe: each chip's thread calls the
+// methods with its own chip id; groups rendezvous through the shared hub.
+// Semantics match sim/collectives.h exactly (same group order, same chunk
+// assignment).
+class ThreadedCollectives {
+ public:
+  explicit ThreadedCollectives(Torus3D topo);
+
+  const Torus3D& topo() const { return topo_; }
+
+  Tensor AllGather(int chip, unsigned mask, Tensor t, int64_t dim);
+  Tensor ReduceScatter(int chip, unsigned mask, Tensor t, int64_t dim);
+  Tensor AllReduce(int chip, unsigned mask, Tensor t);
+  Tensor AllToAll(int chip, unsigned mask, Tensor t, int64_t split_dim,
+                  int64_t concat_dim);
+
+  // Pure synchronization (no data), e.g. between program phases.
+  void Barrier(int chip, unsigned mask);
+
+ private:
+  Torus3D topo_;
+  ExchangeHub hub_;
+};
+
+// Runs `body(chip)` on `num_chips` concurrent threads and joins them.
+// Any TSI_CHECK failure inside a body aborts the process (as in-process
+// SPMD "task failure").
+void RunSpmd(int num_chips, const std::function<void(int chip)>& body);
+
+}  // namespace tsi

@@ -1,0 +1,53 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace tsi {
+
+void Tracer::Record(int chip, std::string name, double start, double duration) {
+  events_.push_back({chip, std::move(name), start, duration});
+}
+
+void Tracer::Clear() { events_.clear(); }
+
+std::map<std::string, double> Tracer::TotalsByName() const {
+  std::map<std::string, double> totals;
+  for (const auto& e : events_) totals[e.name] += e.duration;
+  return totals;
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
+       << e.chip << ",\"ts\":" << e.start * 1e6 << ",\"dur\":" << e.duration * 1e6
+       << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::Summary() const {
+  auto totals = TotalsByName();
+  double all = 0;
+  for (const auto& [name, t] : totals) all += t;
+  Table table({"category", "chip-seconds", "share"});
+  // Sort by descending time.
+  std::vector<std::pair<std::string, double>> rows(totals.begin(), totals.end());
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (const auto& [name, t] : rows) {
+    table.AddRow({name, FormatDouble(t * 1e6, 1) + "us",
+                  FormatPercent(all > 0 ? t / all : 0)});
+  }
+  return table.ToString();
+}
+
+}  // namespace tsi

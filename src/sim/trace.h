@@ -1,0 +1,45 @@
+// Virtual-time execution traces.
+//
+// When a Tracer is attached to a SimMachine, every charged interval
+// (matmuls, HBM streams, collectives) is recorded against the chip's
+// virtual clock. The trace exports to the Chrome tracing JSON format
+// (chrome://tracing, Perfetto) with one row per chip -- the standard way to
+// eyeball where a partitioning layout spends its time -- and aggregates
+// per-category totals that tests and harnesses can assert on.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tsi {
+
+struct TraceEvent {
+  int chip = 0;
+  std::string name;     // "matmul", "all-gather(yz)", "attention", ...
+  double start = 0;     // virtual seconds
+  double duration = 0;  // virtual seconds
+};
+
+class Tracer {
+ public:
+  void Record(int chip, std::string name, double start, double duration);
+  void Clear();
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  // Total charged seconds per event name, across all chips.
+  std::map<std::string, double> TotalsByName() const;
+
+  // Chrome tracing "traceEvents" JSON; timestamps in virtual microseconds,
+  // one process, one thread row per chip.
+  std::string ToChromeTraceJson() const;
+
+  // Human-readable per-category breakdown table.
+  std::string Summary() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace tsi

@@ -1,0 +1,158 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tsi {
+namespace {
+
+constexpr double kLog2E = 1.4426950408889634;  // log2(e)
+
+template <typename ExpFn>
+Tensor SoftmaxImpl(const Tensor& x, ExpFn exp_fn) {
+  int64_t n = x.dim(-1);
+  int64_t rows = x.numel() / n;
+  Tensor out = x;
+  float* d = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = d + r * n;
+    float mx = row[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
+    double sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double e = exp_fn(static_cast<double>(row[i]) - mx);
+      row[i] = static_cast<float>(e);
+      sum += e;
+    }
+    double inv = 1.0 / sum;
+    for (int64_t i = 0; i < n; ++i) row[i] = static_cast<float>(row[i] * inv);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Softmax(const Tensor& x) {
+  return SoftmaxImpl(x, [](double v) { return std::exp(v); });
+}
+
+Tensor Softmax2(const Tensor& x) {
+  return SoftmaxImpl(x, [](double v) { return std::exp2(v * kLog2E); });
+}
+
+namespace {
+
+template <typename StatFn>
+Tensor NormImpl(const Tensor& x, const Tensor& gain, float eps, StatFn stat) {
+  int64_t n = x.dim(-1);
+  TSI_CHECK_EQ(gain.numel(), n) << "norm gain size";
+  int64_t rows = x.numel() / n;
+  Tensor out = x;
+  float* d = out.data();
+  const float* g = gain.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = d + r * n;
+    stat(row, n, eps, g);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gain, float eps) {
+  return NormImpl(x, gain, eps, [](float* row, int64_t n, float eps, const float* g) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += row[i];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double c = row[i] - mean;
+      var += c * c;
+    }
+    var /= static_cast<double>(n);
+    double inv = 1.0 / std::sqrt(var + eps);
+    for (int64_t i = 0; i < n; ++i)
+      row[i] = static_cast<float>((row[i] - mean) * inv) * g[i];
+  });
+}
+
+Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
+  return NormImpl(x, gain, eps, [](float* row, int64_t n, float eps, const float* g) {
+    double ms = 0.0;
+    for (int64_t i = 0; i < n; ++i) ms += static_cast<double>(row[i]) * row[i];
+    ms /= static_cast<double>(n);
+    double inv = 1.0 / std::sqrt(ms + eps);
+    for (int64_t i = 0; i < n; ++i) row[i] = static_cast<float>(row[i] * inv) * g[i];
+  });
+}
+
+Tensor Swish(const Tensor& x) {
+  Tensor out = x;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    double v = out[i];
+    out[i] = static_cast<float>(v / (1.0 + std::exp(-v)));
+  }
+  return out;
+}
+
+Tensor Swish2(const Tensor& x) {
+  Tensor out = x;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    double v = out[i];
+    out[i] = static_cast<float>(v / (1.0 + std::exp2(-v * kLog2E)));
+  }
+  return out;
+}
+
+Tensor Gelu(const Tensor& x) {
+  Tensor out = x;
+  constexpr double kSqrt2OverPi = 0.7978845608028654;
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    double v = out[i];
+    double inner = kSqrt2OverPi * (v + 0.044715 * v * v * v);
+    out[i] = static_cast<float>(0.5 * v * (1.0 + std::tanh(inner)));
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& ids) {
+  TSI_CHECK_EQ(table.rank(), 2);
+  int64_t vocab = table.dim(0), d = table.dim(1);
+  Tensor out(Shape{static_cast<int64_t>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TSI_CHECK(ids[i] >= 0 && ids[i] < vocab) << "token id out of range";
+    const float* src = table.data() + static_cast<int64_t>(ids[i]) * d;
+    float* dst = out.data() + static_cast<int64_t>(i) * d;
+    std::copy(src, src + d, dst);
+  }
+  return out;
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  int64_t n = x.dim(-1);
+  TSI_CHECK_EQ(bias.numel(), n);
+  Tensor out = x;
+  int64_t rows = x.numel() / n;
+  for (int64_t r = 0; r < rows; ++r)
+    for (int64_t i = 0; i < n; ++i) out[r * n + i] += bias[i];
+  return out;
+}
+
+Tensor CausalMask(const Tensor& scores) {
+  TSI_CHECK_GE(scores.rank(), 2);
+  int64_t kv = scores.dim(-1);
+  int64_t q = scores.dim(-2);
+  TSI_CHECK_LE(q, kv) << "queries cannot outnumber kv positions in causal mask";
+  int64_t offset = kv - q;  // query i attends to kv <= i + offset
+  int64_t mats = scores.numel() / (q * kv);
+  Tensor out = scores;
+  for (int64_t m = 0; m < mats; ++m) {
+    float* base = out.data() + m * q * kv;
+    for (int64_t i = 0; i < q; ++i)
+      for (int64_t j = i + offset + 1; j < kv; ++j) base[i * kv + j] = -1e30f;
+  }
+  return out;
+}
+
+}  // namespace tsi

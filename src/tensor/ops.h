@@ -1,0 +1,40 @@
+// Neural-net primitive ops on Tensor.
+//
+// Two flavours of the transcendental ops are provided, mirroring §3.5 of the
+// paper ("faster log-base-2 implementations of Softmax and Swish"): the
+// standard base-e form and a base-2 form that computes exp(x) as
+// exp2(x * log2(e)). The two are mathematically identical; the base-2 form
+// maps to the hardware's exp2 unit. Tests assert their outputs agree.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+// Softmax over the last dim, numerically stabilized by the row max.
+Tensor Softmax(const Tensor& x);
+// Base-2 formulation: exp2((x - max) * log2(e)) normalized.
+Tensor Softmax2(const Tensor& x);
+
+// LayerNorm over the last dim with learned gain (no bias, as in PaLM).
+Tensor LayerNorm(const Tensor& x, const Tensor& gain, float eps = 1e-6f);
+// RMSNorm over the last dim with learned gain.
+Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps = 1e-6f);
+
+// SwiGLU-free pointwise activations.
+Tensor Swish(const Tensor& x);   // x * sigmoid(x)
+Tensor Swish2(const Tensor& x);  // base-2 sigmoid formulation
+Tensor Gelu(const Tensor& x);    // tanh approximation
+
+// Rows of `table` ([vocab, d]) gathered by integer ids ([n]) -> [n, d].
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int32_t>& ids);
+
+// Adds `bias` ([n]) to every row of x ([..., n]).
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+// Applies a causal mask to attention scores [..., q_len, kv_len]: position q
+// may attend to kv positions <= q + (kv_len - q_len). Masked entries get
+// -1e30 before softmax.
+Tensor CausalMask(const Tensor& scores);
+
+}  // namespace tsi

@@ -1,0 +1,98 @@
+// Dense row-major fp32 tensor.
+//
+// This is the numeric substrate for the functional multi-chip simulator. It
+// is deliberately simple: owning value type, copy = deep copy, no views.
+// Sharding in the engine is expressed with Chunk/Slice/Concat, which copy;
+// at the scaled-down model sizes used for functional verification this is
+// never a bottleneck, and value semantics keep chip-local state trivially
+// isolated (no accidental aliasing between "chips").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsi {
+
+using Shape = std::vector<int64_t>;
+
+int64_t NumElements(const Shape& shape);
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor Zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(Shape shape, float value);
+  // I.i.d. N(0, stddev) entries drawn from `rng`.
+  static Tensor Gaussian(Shape shape, Rng& rng, float stddev = 1.0f);
+  // Entries 0,1,2,... (useful in layout tests: value identifies position).
+  static Tensor Iota(Shape shape);
+
+  const Shape& shape() const { return shape_; }
+  int64_t rank() const { return static_cast<int64_t>(shape_.size()); }
+  int64_t dim(int64_t i) const;
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  float operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  // Multi-index access (rank must match).
+  float& at(std::initializer_list<int64_t> idx);
+  float at(std::initializer_list<int64_t> idx) const;
+
+  // Returns a tensor with the same data and a new shape (numel must match).
+  Tensor Reshape(Shape new_shape) const;
+
+  // Copy of elements [start, start+len) along `dim`.
+  Tensor Slice(int64_t dim, int64_t start, int64_t len) const;
+  // Splits dim into `num` equal chunks and returns chunk `index`.
+  Tensor Chunk(int64_t dim, int64_t num, int64_t index) const;
+  // Concatenates along `dim`; all parts must agree on the other dims.
+  static Tensor Concat(int64_t dim, const std::vector<Tensor>& parts);
+
+  // Swaps the last two dims.
+  Tensor Transpose2D() const;
+
+  // Elementwise ops (shapes must match exactly).
+  Tensor Add(const Tensor& other) const;
+  Tensor Sub(const Tensor& other) const;
+  Tensor Mul(const Tensor& other) const;
+  Tensor Scale(float s) const;
+  void AddInPlace(const Tensor& other);
+
+  float MaxAbs() const;
+  double SumDouble() const;
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  int64_t FlattenIndex(std::initializer_list<int64_t> idx) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+// Max |a-b| over all elements; shapes must match.
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+// True iff |a-b| <= atol + rtol*|b| elementwise.
+bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+// C = A @ B for A:[m,k], B:[k,n]. Higher-rank A treats leading dims as batch
+// rows (A:[..., k] viewed as [prod(...), k]).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Batched matmul: A:[batch, m, k] @ B:[batch, k, n] -> [batch, m, n].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+}  // namespace tsi

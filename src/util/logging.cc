@@ -1,0 +1,16 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tsi {
+
+void CheckFailed(const char* file, int line, const char* cond,
+                 const std::string& msg) {
+  std::fprintf(stderr, "TSI_CHECK failed at %s:%d: %s %s\n", file, line, cond,
+               msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tsi

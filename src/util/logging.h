@@ -1,0 +1,51 @@
+// Minimal logging / invariant-checking support.
+//
+// TSI_CHECK is used for programmer-error invariants throughout the library:
+// it prints the failed condition with source location and aborts. Benches and
+// examples use it too; it is enabled in all build types because the cost of a
+// predictable abort is far lower than the cost of silently corrupt shards.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tsi {
+
+// Aborts the process after printing `msg` with source location.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* cond,
+                              const std::string& msg);
+
+namespace internal {
+// Stream-collector so TSI_CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* cond)
+      : file_(file), line_(line), cond_(cond) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, cond_, ss_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* cond_;
+  std::ostringstream ss_;
+};
+}  // namespace internal
+
+}  // namespace tsi
+
+#define TSI_CHECK(cond)                                             \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::tsi::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define TSI_CHECK_EQ(a, b) TSI_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSI_CHECK_NE(a, b) TSI_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSI_CHECK_LE(a, b) TSI_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSI_CHECK_LT(a, b) TSI_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSI_CHECK_GE(a, b) TSI_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define TSI_CHECK_GT(a, b) TSI_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "

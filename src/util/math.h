@@ -1,0 +1,35 @@
+// Small numeric helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+constexpr int64_t RoundUp(int64_t a, int64_t b) { return CeilDiv(a, b) * b; }
+
+constexpr bool IsPowerOfTwo(int64_t x) { return x > 0 && (x & (x - 1)) == 0; }
+
+// Largest power of two <= x (x > 0).
+constexpr int64_t FloorPowerOfTwo(int64_t x) {
+  int64_t p = 1;
+  while (p * 2 <= x) p *= 2;
+  return p;
+}
+
+// Integer square root (floor).
+constexpr int64_t ISqrt(int64_t x) {
+  if (x < 0) return 0;
+  int64_t r = 0;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+}  // namespace tsi

@@ -1,0 +1,51 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace tsi {
+
+uint64_t Rng::NextU64() {
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  // Rejection-free (slightly biased for huge n; fine for our use).
+  return n == 0 ? 0 : NextU64() % n;
+}
+
+uint64_t Rng::DeriveSeed(uint64_t root, uint64_t tag) {
+  // One SplitMix64 scramble of (root ^ rotated tag).
+  uint64_t z = root ^ (tag * 0xD1B54A32D192ED03ull + 0x2545F4914F6CDD1Dull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace tsi

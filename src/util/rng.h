@@ -1,0 +1,40 @@
+// Deterministic, seedable RNG used for weight generation and sampling.
+//
+// We deliberately avoid <random> distributions (their outputs are not
+// portable across standard libraries); this generator produces identical
+// streams on every platform, which the distributed-vs-reference equivalence
+// tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsi {
+
+// SplitMix64: tiny, fast, passes BigCrush when used as a stream.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  // Uniform in [lo, hi).
+  double NextUniform(double lo, double hi);
+  // Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n);
+
+  // Derives an independent stream for a named sub-object. Used so that every
+  // weight tensor has a seed that depends only on (root seed, tensor tag),
+  // letting per-chip shard generation match whole-tensor generation.
+  static uint64_t DeriveSeed(uint64_t root, uint64_t tag);
+
+ private:
+  uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace tsi

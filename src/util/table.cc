@@ -1,0 +1,109 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  TSI_CHECK_EQ(row.size(), header_.size()) << "row arity mismatch";
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Right-align numbers-ish cells, left-align first column.
+      size_t pad = width[c] - row[c].size();
+      if (c == 0) {
+        os << row[c] << std::string(pad, ' ');
+      } else {
+        os << std::string(pad, ' ') << row[c];
+      }
+    }
+    os << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Table::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << row[c];
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string FormatMs(double seconds) {
+  char buf[64];
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  }
+  return buf;
+}
+
+std::string FormatPercent(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* unit[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 5) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, unit[u]);
+  return buf;
+}
+
+std::string FormatCount(int64_t v) {
+  char buf[64];
+  if (v >= 1000000000000ll) {
+    std::snprintf(buf, sizeof(buf), "%.1fT", static_cast<double>(v) / 1e12);
+  } else if (v >= 1000000000ll) {
+    std::snprintf(buf, sizeof(buf), "%.0fB", static_cast<double>(v) / 1e9);
+  } else if (v >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", static_cast<double>(v) / 1e6);
+  } else if (v >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(v) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  }
+  return buf;
+}
+
+}  // namespace tsi

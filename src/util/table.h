@@ -1,0 +1,39 @@
+// Console table printer used by the benchmark harnesses to reproduce the
+// paper's tables/figure series in a readable, diffable layout, plus a CSV
+// writer for plotting the figure data externally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tsi {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Adds a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with aligned columns and a separator under the header.
+  std::string ToString() const;
+  // Prints ToString() to stdout.
+  void Print() const;
+  // Renders as CSV (no alignment padding).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for table cells.
+std::string FormatMs(double seconds);        // "12.3ms" / "1.82s"
+std::string FormatPercent(double fraction);  // 0.76 -> "76%"
+std::string FormatDouble(double v, int digits);
+std::string FormatBytes(double bytes);  // "3.0 TiB", "32 GiB", ...
+std::string FormatCount(int64_t v);     // "540B", "62B", "1.2M", ...
+
+}  // namespace tsi

@@ -1,0 +1,164 @@
+// Attention sharding model (§3.3) including the Table 1 max-context numbers.
+#include "core/attn_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "core/memory.h"
+#include "hw/chip.h"
+
+namespace tsi {
+namespace {
+
+PartitionSpec SpecOn64(AttnSharding attn) {
+  PartitionSpec s;
+  s.mesh = Torus3D(4, 4, 4);
+  s.ffn = FfnLayout::kWS2D;
+  s.attn = attn;
+  return s;
+}
+
+TEST(AttnCostTest, ShardDivisors) {
+  ModelConfig mq = Palm540B();   // 48 query heads, 1 kv head
+  ModelConfig mh = MtNlg530B();  // 128 heads
+  EXPECT_EQ(AttnShardDivisor(mq, AttnSharding::kHeads, 64, 512), 48);
+  EXPECT_EQ(AttnShardDivisor(mh, AttnSharding::kHeads, 64, 512), 64);
+  EXPECT_EQ(AttnShardDivisor(mq, AttnSharding::kBatch, 64, 512), 64);
+  EXPECT_EQ(AttnShardDivisor(mq, AttnSharding::kBatch, 64, 16), 16);
+}
+
+TEST(AttnCostTest, MultiqueryHeadShardingReplicatesKv) {
+  // Fig 4b: per-chip KV bytes for head-sharded multiquery are independent of
+  // chip count.
+  ModelConfig mq = Palm540B();
+  double kv8 = KvCacheBytesPerChip(mq, AttnSharding::kHeads, 8, 256, 2048);
+  double kv64 = KvCacheBytesPerChip(mq, AttnSharding::kHeads, 64, 256, 2048);
+  EXPECT_DOUBLE_EQ(kv8, kv64);
+}
+
+TEST(AttnCostTest, BatchShardingDividesByChips) {
+  ModelConfig mq = Palm540B();
+  double kv8 = KvCacheBytesPerChip(mq, AttnSharding::kBatch, 8, 256, 2048);
+  double kv64 = KvCacheBytesPerChip(mq, AttnSharding::kBatch, 64, 256, 2048);
+  EXPECT_NEAR(kv8 / kv64, 8.0, 1e-9);
+}
+
+TEST(AttnCostTest, BatchShardingSaturatesAtBatchSize) {
+  // More chips than sequences: no further division (min(n, B)).
+  ModelConfig mq = Palm540B();
+  double kv = KvCacheBytesPerChip(mq, AttnSharding::kBatch, 64, 16, 2048);
+  double kv2 = KvCacheBytesPerChip(mq, AttnSharding::kBatch, 128, 16, 2048);
+  EXPECT_DOUBLE_EQ(kv, kv2);
+}
+
+TEST(AttnCostTest, TotalKvMatchesPerSequenceAccounting) {
+  ModelConfig mh = Palm540BMultihead();
+  EXPECT_DOUBLE_EQ(KvCacheBytesTotal(mh, 512, 2048),
+                   512.0 * mh.KvCacheBytesPerSequence(2048));
+}
+
+// Table 1 ("We reserve 30% of the total memory for KV cache"; 64 chips).
+struct Table1Case {
+  bool multihead;
+  AttnSharding sharding;
+  double batch;
+  double want;  // paper's reported max context
+};
+
+class Table1Test : public ::testing::TestWithParam<Table1Case> {};
+
+TEST_P(Table1Test, MaxContextMatchesPaper) {
+  const auto& p = GetParam();
+  ModelConfig cfg = p.multihead ? Palm540BMultihead() : Palm540B();
+  double got = MaxContextForReserve(cfg, SpecOn64(p.sharding), TpuV4(), p.batch);
+  EXPECT_NEAR(got / p.want, 1.0, 0.05)
+      << "got " << got << " want " << p.want;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1Test,
+    ::testing::Values(Table1Case{true, AttnSharding::kHeads, 128, 1320},
+                      Table1Case{true, AttnSharding::kHeads, 512, 330},
+                      Table1Case{false, AttnSharding::kHeads, 128, 660},
+                      Table1Case{false, AttnSharding::kHeads, 512, 165},
+                      Table1Case{false, AttnSharding::kBatch, 128, 43000},
+                      Table1Case{false, AttnSharding::kBatch, 512, 10700}));
+
+// The headline claim: optimized multiquery supports ~32x the context of
+// baseline multiquery and ~64x of multihead... (paper: "32-64 times").
+TEST(AttnCostTest, OptimizedMultiqueryContextGain) {
+  ModelConfig mq = Palm540B();
+  double base = MaxContextForReserve(mq, SpecOn64(AttnSharding::kHeads), TpuV4(), 512);
+  double opt = MaxContextForReserve(mq, SpecOn64(AttnSharding::kBatch), TpuV4(), 512);
+  EXPECT_NEAR(opt / base, 64.0, 1.0);  // divides by n_chips = 64
+  ModelConfig mh = Palm540BMultihead();
+  double mh_ctx = MaxContextForReserve(mh, SpecOn64(AttnSharding::kHeads), TpuV4(), 512);
+  EXPECT_GT(opt / mh_ctx, 30.0);
+  EXPECT_LT(opt / mh_ctx, 64.0);
+}
+
+// Grouped-query attention interpolates between MHA and MQA: per-chip KV
+// bytes under head sharding divide by min(n, kv_heads).
+TEST(AttnCostTest, GroupedQueryInterpolatesKvMemory) {
+  ModelConfig mq = Palm540B();
+  ModelConfig mh = Palm540B();
+  mh.attention = AttentionKind::kMultiHead;
+  double mq_kv = KvCacheBytesPerChip(mq, AttnSharding::kHeads, 64, 256, 2048);
+  double mh_kv = KvCacheBytesPerChip(mh, AttnSharding::kHeads, 64, 256, 2048);
+  double prev = mq_kv;
+  for (int64_t kv : {2, 4, 8, 16, 48}) {
+    ModelConfig g = Palm540BGrouped(kv);
+    EXPECT_EQ(g.n_kv_heads(), kv);
+    double g_kv = KvCacheBytesPerChip(g, AttnSharding::kHeads, 64, 256, 2048);
+    // Total KV grows with kv heads but per-chip sharding divides by kv, so
+    // head-sharded per-chip KV is flat here (kv/min(64,kv) * base) -- equal
+    // to the multiquery replicated cost until kv > 1 starts sharding.
+    EXPECT_DOUBLE_EQ(g_kv, mq_kv) << kv;
+    prev = g_kv;
+  }
+  (void)prev;
+  // The *batch-sharded* layout shows the real interpolation: per-chip KV
+  // scales linearly in kv heads.
+  double mq_b = KvCacheBytesPerChip(mq, AttnSharding::kBatch, 64, 256, 2048);
+  double g8_b = KvCacheBytesPerChip(Palm540BGrouped(8), AttnSharding::kBatch, 64, 256, 2048);
+  double mh_b = KvCacheBytesPerChip(mh, AttnSharding::kBatch, 64, 256, 2048);
+  EXPECT_DOUBLE_EQ(g8_b, 8.0 * mq_b);
+  EXPECT_DOUBLE_EQ(mh_b, 48.0 * mq_b);
+  EXPECT_GT(mh_kv, 0);
+}
+
+TEST(MemoryReportTest, WeightsDominateAtShortContext) {
+  ModelConfig cfg = Palm540BPadded();
+  PartitionSpec s = SpecOn64(AttnSharding::kBatch);
+  s.weight_format = WeightFormat::kInt8;
+  MemoryReport r = ChipMemoryReport(cfg, s, TpuV4(), 64, 2048);
+  EXPECT_GT(r.weight_bytes_per_chip, r.kv_bytes_per_chip);
+  EXPECT_TRUE(r.fits());
+  // bf16 540B on 64 chips: ~17.4 GB weights/chip.
+  PartitionSpec sb = SpecOn64(AttnSharding::kBatch);
+  MemoryReport rb = ChipMemoryReport(cfg, sb, TpuV4(), 64, 2048);
+  EXPECT_NEAR(rb.weight_bytes_per_chip / 17.4e9, 1.0, 0.05);
+}
+
+TEST(MemoryReportTest, Palm540Bbf16DoesNotFitOn16Chips) {
+  ModelConfig cfg = Palm540BPadded();
+  PartitionSpec s;
+  s.mesh = Torus3D(2, 4, 2);
+  MemoryReport r = ChipMemoryReport(cfg, s, TpuV4(), 1, 128);
+  EXPECT_FALSE(r.fits());
+  // int8 on 32 chips does fit.
+  PartitionSpec s32;
+  s32.mesh = Torus3D(2, 4, 4);
+  s32.weight_format = WeightFormat::kInt8;
+  EXPECT_TRUE(ChipMemoryReport(cfg, s32, TpuV4(), 1, 128).fits());
+}
+
+// §2.1: the multihead KV cache at B=512, L=2048 is ~3x the model's weights.
+TEST(AttnCostTest, KvCacheCanTripleModelSize) {
+  ModelConfig mh = Palm540BMultihead();
+  double kv = KvCacheBytesTotal(mh, 512, 2048);
+  double weights = static_cast<double>(mh.ParamCount()) * 2.0;
+  EXPECT_NEAR(kv / weights, 3.0, 0.8);
+}
+
+}  // namespace
+}  // namespace tsi

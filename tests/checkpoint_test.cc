@@ -1,0 +1,127 @@
+// Checkpoint save/load: exact roundtrip, config preservation, and failure
+// injection (missing file, corrupt header, truncation, trailing garbage).
+#include "model/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "model/reference.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class CheckpointTest : public ::testing::TestWithParam<int /*variant*/> {
+ protected:
+  ModelConfig Config() const {
+    switch (GetParam()) {
+      case 1: return TinyTestModelMultihead();
+      case 2: return TinyTestModelGrouped();
+      default: return TinyTestModel();
+    }
+  }
+};
+
+TEST_P(CheckpointTest, RoundtripIsExact) {
+  ModelConfig cfg = Config();
+  ModelWeights w = ModelWeights::Random(cfg, 77);
+  std::string path = TempPath("tsi_ckpt_roundtrip.bin");
+  SaveCheckpoint(w, path);
+
+  ModelWeights loaded;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded));
+  EXPECT_EQ(loaded.config.name, cfg.name);
+  EXPECT_EQ(loaded.config.num_layers, cfg.num_layers);
+  EXPECT_EQ(loaded.config.n_kv_heads(), cfg.n_kv_heads());
+  EXPECT_EQ(loaded.config.gated_ffn, cfg.gated_ffn);
+  EXPECT_EQ(loaded.config.parallel_block, cfg.parallel_block);
+  EXPECT_EQ(MaxAbsDiff(loaded.embedding, w.embedding), 0.0f);
+  for (size_t l = 0; l < w.layers.size(); ++l) {
+    EXPECT_EQ(MaxAbsDiff(loaded.layers[l].wq, w.layers[l].wq), 0.0f);
+    EXPECT_EQ(MaxAbsDiff(loaded.layers[l].wout, w.layers[l].wout), 0.0f);
+    if (cfg.gated_ffn) {
+      EXPECT_EQ(MaxAbsDiff(loaded.layers[l].win_gate, w.layers[l].win_gate), 0.0f);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_P(CheckpointTest, LoadedModelProducesIdenticalLogits) {
+  ModelConfig cfg = Config();
+  ModelWeights w = ModelWeights::Random(cfg, 78);
+  std::string path = TempPath("tsi_ckpt_logits.bin");
+  SaveCheckpoint(w, path);
+  ModelWeights loaded;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded));
+
+  ReferenceModel a(&w), b(&loaded);
+  std::vector<int32_t> tokens = {1, 5, 9, 2};
+  KvCache ca, cb;
+  EXPECT_EQ(MaxAbsDiff(a.Prefill(tokens, 1, &ca), b.Prefill(tokens, 1, &cb)), 0.0f);
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CheckpointTest, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0   ? "mqa"
+                                  : info.param == 1 ? "mha"
+                                                    : "gqa";
+                         });
+
+TEST(CheckpointFailureTest, MissingFileFails) {
+  ModelWeights out;
+  EXPECT_FALSE(LoadCheckpoint(TempPath("tsi_ckpt_does_not_exist.bin"), &out));
+}
+
+TEST(CheckpointFailureTest, CorruptMagicFails) {
+  std::string path = TempPath("tsi_ckpt_badmagic.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    uint64_t junk = 0xDEADBEEF;
+    os.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  }
+  ModelWeights out;
+  EXPECT_FALSE(LoadCheckpoint(path, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointFailureTest, TruncationFails) {
+  ModelWeights w = ModelWeights::Random(TinyTestModel(), 79);
+  std::string path = TempPath("tsi_ckpt_trunc.bin");
+  SaveCheckpoint(w, path);
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  ModelWeights out;
+  EXPECT_FALSE(LoadCheckpoint(path, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointFailureTest, TrailingGarbageFails) {
+  ModelWeights w = ModelWeights::Random(TinyTestModel(), 80);
+  std::string path = TempPath("tsi_ckpt_trailing.bin");
+  SaveCheckpoint(w, path);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::app);
+    os << "junk";
+  }
+  ModelWeights out;
+  EXPECT_FALSE(LoadCheckpoint(path, &out));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointFailureTest, FailedLoadLeavesOutputUntouched) {
+  ModelWeights out = ModelWeights::Random(TinyTestModel(), 81);
+  float before = out.embedding[0];
+  EXPECT_FALSE(LoadCheckpoint(TempPath("tsi_ckpt_nope.bin"), &out));
+  EXPECT_EQ(out.embedding[0], before);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,75 @@
+#include "comm/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+
+namespace tsi {
+namespace {
+
+CommCostModel NoAlpha(double bw, bool exact = true) {
+  return {bw, /*hop_latency=*/0.0, exact};
+}
+
+TEST(CommCostTest, AllGatherMatchesAppendixA1) {
+  CommCostModel c = NoAlpha(100e9);
+  // T = D/bw * (K-1)/K.
+  EXPECT_DOUBLE_EQ(c.AllGatherTime(100e9, 2), 0.5);
+  EXPECT_DOUBLE_EQ(c.AllGatherTime(100e9, 4), 0.75);
+  EXPECT_DOUBLE_EQ(c.AllGatherTime(100e9, 100), 0.99);
+}
+
+TEST(CommCostTest, ApproximateFormDropsFactor) {
+  CommCostModel c = NoAlpha(100e9, /*exact=*/false);
+  EXPECT_DOUBLE_EQ(c.AllGatherTime(100e9, 2), 1.0);
+  EXPECT_DOUBLE_EQ(c.AllGatherTime(100e9, 64), 1.0);
+}
+
+TEST(CommCostTest, ApproximationErrorVanishesAtLargeK) {
+  CommCostModel exact = NoAlpha(1e9, true);
+  CommCostModel approx = NoAlpha(1e9, false);
+  double e64 = exact.AllGatherTime(1e9, 64) / approx.AllGatherTime(1e9, 64);
+  EXPECT_NEAR(e64, 63.0 / 64.0, 1e-12);
+  EXPECT_GT(e64, 0.98);
+}
+
+TEST(CommCostTest, ReduceScatterSymmetricToAllGather) {
+  CommCostModel c = NoAlpha(270e9);
+  EXPECT_DOUBLE_EQ(c.ReduceScatterTime(1e9, 8), c.AllGatherTime(1e9, 8));
+}
+
+TEST(CommCostTest, AllReduceIsTwice) {
+  CommCostModel c = NoAlpha(270e9);
+  EXPECT_DOUBLE_EQ(c.AllReduceTime(1e9, 8), 2 * c.AllGatherTime(1e9, 8));
+}
+
+TEST(CommCostTest, SingleChipIsFree) {
+  CommCostModel c{270e9, 1e-6, true};
+  EXPECT_EQ(c.AllGatherTime(1e9, 1), 0.0);
+  EXPECT_EQ(c.AllReduceTime(1e9, 1), 0.0);
+  EXPECT_EQ(c.AllToAllTime(1e9, 1), 0.0);
+}
+
+TEST(CommCostTest, AlphaGrowsLinearlyWithGroupSize) {
+  CommCostModel c{270e9, 1e-6, true};
+  double t8 = c.AllGatherTime(0, 8);
+  double t64 = c.AllGatherTime(0, 64);
+  EXPECT_NEAR(t8, 7e-6, 1e-12);
+  EXPECT_NEAR(t64, 63e-6, 1e-12);
+}
+
+TEST(CommCostTest, AllToAllChargesSingleHopLatency) {
+  CommCostModel c{270e9, 2e-6, true};
+  EXPECT_NEAR(c.AllToAllTime(0, 16), 2e-6, 1e-15);
+}
+
+TEST(CommCostTest, TpuV4NumbersAreSane) {
+  // 18 MiB all-gather over 8 chips on TPU v4: sub-millisecond.
+  CommCostModel c{TpuV4().network_bw, 1e-6, true};
+  double t = c.AllGatherTime(18.0 * 1024 * 1024, 8);
+  EXPECT_GT(t, 50e-6);
+  EXPECT_LT(t, 200e-6);
+}
+
+}  // namespace
+}  // namespace tsi

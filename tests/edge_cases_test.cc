@@ -1,0 +1,176 @@
+// Failure injection and boundary behaviour: invariant violations must die
+// loudly (TSI_CHECK), and degenerate-but-legal inputs must work.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "engine/engine.h"
+#include "engine/sampler.h"
+#include "hw/chip.h"
+#include "model/reference.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+using EdgeDeathTest = ::testing::Test;
+
+TEST(EdgeDeathTest, TensorChunkRequiresDivisibility) {
+  Tensor t(Shape{6, 4});
+  EXPECT_DEATH(t.Chunk(0, 4, 0), "not divisible");
+}
+
+TEST(EdgeDeathTest, TensorSliceBoundsChecked) {
+  Tensor t(Shape{4, 4});
+  EXPECT_DEATH(t.Slice(0, 2, 3), "slice");
+}
+
+TEST(EdgeDeathTest, MatMulInnerDimMismatch) {
+  Tensor a(Shape{2, 3});
+  Tensor b(Shape{4, 2});
+  EXPECT_DEATH(MatMul(a, b), "inner-dim mismatch");
+}
+
+TEST(EdgeDeathTest, ReshapeNumelMismatch) {
+  Tensor t(Shape{2, 3});
+  EXPECT_DEATH(t.Reshape({4, 2}), "->");
+}
+
+TEST(EdgeDeathTest, CausalMaskRejectsMoreQueriesThanKeys) {
+  Tensor scores(Shape{5, 3});
+  EXPECT_DEATH(CausalMask(scores), "queries cannot outnumber");
+}
+
+TEST(EdgeDeathTest, TorusRejectsNonPositiveDims) {
+  EXPECT_DEATH(Torus3D(0, 1, 1), "positive");
+}
+
+TEST(EdgeDeathTest, EngineRejectsWs1DOnShardedMesh) {
+  ModelWeights w = ModelWeights::Random(TinyTestModel(), 1);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWS1D;
+  spec.decode_ffn = FfnLayout::kWS1D;
+  EXPECT_DEATH(DistributedEngine(w, &machine, spec), "mesh.x == 1");
+}
+
+TEST(EdgeDeathTest, EngineRejectsWeightGatheredWithHeadSharding) {
+  ModelWeights w = ModelWeights::Random(TinyTestModel(), 2);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWGXYZ;
+  spec.attn = AttnSharding::kHeads;
+  EXPECT_DEATH(DistributedEngine(w, &machine, spec), "batch-sharded");
+}
+
+TEST(EdgeDeathTest, EngineRejectsAnalyticOnlyLayouts) {
+  ModelWeights w = ModelWeights::Random(TinyTestModel(), 3);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWGX;
+  EXPECT_DEATH(DistributedEngine(w, &machine, spec), "analytically");
+}
+
+TEST(EdgeDeathTest, BatchShardingRequiresDivisibleBatch) {
+  ModelWeights w = ModelWeights::Random(TinyTestModel(), 4);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(w, &machine, spec);
+  std::vector<int32_t> tokens(3 * 2, 1);  // batch 3 on 4 chips
+  EXPECT_DEATH(engine.Prefill(tokens, 3), "batch");
+}
+
+TEST(EdgeDeathTest, ShardingRequiresDivisibleDims) {
+  ModelConfig cfg = TinyTestModel();  // d_ff = 64
+  ModelWeights w = ModelWeights::Random(cfg, 5);
+  EXPECT_DEATH(ShardWeights(w, Torus3D(1, 3, 1)), "divide");
+}
+
+// --- Degenerate but legal ---------------------------------------------------
+
+TEST(EdgeCaseTest, SingleChipEngineIsJustTheModel) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights w = ModelWeights::Random(cfg, 6);
+  ReferenceModel reference(&w);
+  SimMachine machine(Torus3D(1, 1, 1), TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWS1D;
+  spec.decode_ffn = FfnLayout::kWS1D;
+  DistributedEngine engine(w, &machine, spec);
+  std::vector<int32_t> tokens = {1, 2, 3};
+  KvCache cache;
+  EXPECT_LT(MaxAbsDiff(engine.Prefill(tokens, 1), reference.Prefill(tokens, 1, &cache)),
+            1e-4f);
+  EXPECT_EQ(machine.TotalNetworkBytes(), 0.0);
+}
+
+TEST(EdgeCaseTest, BatchOfOneWorks) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights w = ModelWeights::Random(cfg, 7);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;  // head-sharded: batch-1 is fine
+  DistributedEngine engine(w, &machine, spec);
+  Tensor logits = engine.Prefill({5, 6}, 1);
+  EXPECT_EQ(logits.shape(), (Shape{1, 2, cfg.vocab_size}));
+}
+
+TEST(EdgeCaseTest, SingleTokenPrefill) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights w = ModelWeights::Random(cfg, 8);
+  SimMachine machine(Torus3D(1, 2, 2), TpuV4());
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(w, &machine, spec);
+  std::vector<int32_t> one_each = {1, 2, 3, 4};
+  Tensor logits = engine.Prefill(one_each, 4);
+  EXPECT_EQ(logits.dim(1), 1);
+  EXPECT_EQ(engine.context_length(), 1);
+}
+
+TEST(EdgeCaseTest, PlannerOnOddChipCounts) {
+  // 12 = 2^2 * 3. PaLM dims are powers of two, so no 12-chip mesh divides
+  // them: the planner must report infeasibility rather than produce an
+  // invalid layout.
+  InferenceEstimator palm(Palm62B(), TpuV4());
+  EXPECT_FALSE(BestGenerate(palm, 12, WeightFormat::kInt8, 12, 512, 8).has_value());
+
+  // A model whose dims carry a factor of 3 partitions fine on 12 chips.
+  ModelConfig cfg = TinyTestModel();
+  cfg.d_model = 96;
+  cfg.d_ff = 192;
+  cfg.n_heads = 12;
+  cfg.num_layers = 8;
+  InferenceEstimator est(cfg, TpuV4());
+  auto best = BestGenerate(est, 12, WeightFormat::kInt8, 12, 512, 8);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->spec.num_chips(), 12);
+  EXPECT_EQ(cfg.d_model % best->spec.mesh.x(), 0);
+  EXPECT_EQ(cfg.d_ff % (best->spec.mesh.y() * best->spec.mesh.z()), 0);
+}
+
+TEST(EdgeCaseTest, EstimatorHandlesTinyAndHugeBatch) {
+  InferenceEstimator est(Palm62B(), TpuV4());
+  PartitionSpec s;
+  s.mesh = Torus3D(2, 2, 2);
+  s.weight_format = WeightFormat::kInt8;
+  auto tiny = est.DecodeStep(s, 1, 1);
+  auto huge = est.DecodeStep(s, 4096, 32768);
+  EXPECT_GT(tiny.seconds, 0);
+  EXPECT_GT(huge.seconds, tiny.seconds);
+  EXPECT_FALSE(huge.fits_memory);  // 4096 x 32k context cannot fit on 8 chips
+}
+
+TEST(EdgeCaseTest, ZeroTemperatureSamplerNeverConsumesRandomness) {
+  SamplerOptions opt;
+  opt.temperature = 0.0;
+  opt.seed = 1;
+  Sampler a(opt);
+  std::vector<float> l1 = {0.0f, 1.0f};
+  // Interleave greedy samples; results depend only on logits.
+  EXPECT_EQ(a.Sample(l1.data(), 2), 1);
+  EXPECT_EQ(a.Sample(l1.data(), 2), 1);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,312 @@
+// Distributed-engine correctness: every supported combination of mesh shape,
+// FFN layout, attention sharding, block style and weight format must produce
+// the same logits as the single-chip reference model, for prefill and for
+// autoregressive decode on the shared KV cache.
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+#include "model/reference.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t) v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+struct EngineCase {
+  int x, y, z;
+  FfnLayout prefill_ffn;
+  FfnLayout decode_ffn;
+  AttnSharding attn;
+  int variant;  // 0: MQA+parallel+gated, 1: MHA+serial+plain, 2: GQA(2 kv)
+  WeightFormat format;
+  bool fused = false;  // §3.5 Looped CollectiveEinsum
+};
+
+std::string CaseName(const ::testing::TestParamInfo<EngineCase>& info) {
+  const auto& p = info.param;
+  std::string s = std::to_string(p.x) + "x" + std::to_string(p.y) + "x" +
+                  std::to_string(p.z);
+  auto clean = [](std::string v) {
+    std::string out;
+    for (char c : v)
+      if (isalnum(static_cast<unsigned char>(c))) out += c;
+    return out;
+  };
+  s += "_" + clean(ToString(p.prefill_ffn)) + "_" + clean(ToString(p.decode_ffn));
+  s += "_" + clean(ToString(p.attn));
+  s += p.variant == 0 ? "_mqa" : (p.variant == 1 ? "_mha" : "_gqa");
+  s += "_" + clean(ToString(p.format));
+  if (p.fused) s += "_fused";
+  return s;
+}
+
+ModelConfig ConfigForVariant(int variant) {
+  switch (variant) {
+    case 1: return TinyTestModelMultihead();
+    case 2: return TinyTestModelGrouped();
+    default: return TinyTestModel();
+  }
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineEquivalenceTest, MatchesReferenceThroughPrefillAndDecode) {
+  const EngineCase& p = GetParam();
+  ModelConfig cfg = ConfigForVariant(p.variant);
+  ModelWeights weights = ModelWeights::Random(cfg, 42);
+
+  // Reference: identical numerics include the int8 roundtrip when used.
+  ModelWeights ref_weights = weights;
+  if (p.format == WeightFormat::kInt8) ref_weights.SimulateInt8Roundtrip();
+  ReferenceModel reference(&ref_weights);
+
+  SimMachine machine(Torus3D(p.x, p.y, p.z), TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = p.prefill_ffn;
+  spec.decode_ffn = p.decode_ffn;
+  spec.attn = p.attn;
+  spec.weight_format = p.format;
+  spec.fuse_collectives = p.fused;
+  DistributedEngine engine(weights, &machine, spec);
+
+  const int64_t B = 8, L = 4;
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 7);
+
+  KvCache ref_cache;
+  Tensor want = reference.Prefill(tokens, B, &ref_cache);
+  Tensor got = engine.Prefill(tokens, B);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_LT(MaxAbsDiff(got, want), 5e-3f) << "prefill logits diverge";
+  EXPECT_EQ(engine.context_length(), L);
+  EXPECT_GT(machine.MaxTime(), 0.0) << "virtual clock must advance";
+
+  // Two decode steps on the shared cache.
+  auto next = RandomTokens(B, cfg.vocab_size, 8);
+  for (int step = 0; step < 2; ++step) {
+    Tensor want_step = reference.DecodeStep(next, &ref_cache);
+    Tensor got_step = engine.DecodeStep(next);
+    EXPECT_LT(MaxAbsDiff(got_step, want_step), 5e-3f) << "decode step " << step;
+    next = RandomTokens(B, cfg.vocab_size, 9 + static_cast<uint64_t>(step));
+  }
+  EXPECT_EQ(engine.context_length(), L + 2);
+}
+
+constexpr auto kWS1D = FfnLayout::kWS1D;
+constexpr auto kWS2D = FfnLayout::kWS2D;
+constexpr auto kWG = FfnLayout::kWGXYZ;
+constexpr auto kHeads = AttnSharding::kHeads;
+constexpr auto kBatch = AttnSharding::kBatch;
+constexpr auto kBf16 = WeightFormat::kBf16;
+constexpr auto kInt8 = WeightFormat::kInt8;
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, EngineEquivalenceTest,
+    ::testing::Values(
+        // Single chip degenerate.
+        EngineCase{1, 1, 1, kWS1D, kWS1D, kHeads, false, kBf16},
+        // 1D weight-stationary (Megatron-style), heads and batch sharding.
+        EngineCase{1, 2, 2, kWS1D, kWS1D, kHeads, false, kBf16},
+        EngineCase{1, 2, 2, kWS1D, kWS1D, kBatch, false, kBf16},
+        EngineCase{1, 4, 1, kWS1D, kWS1D, kHeads, true, kBf16},
+        EngineCase{1, 2, 4, kWS1D, kWS1D, kHeads, false, kBf16},
+        // 2D weight-stationary across mesh shapes.
+        EngineCase{2, 2, 1, kWS2D, kWS2D, kHeads, false, kBf16},
+        EngineCase{2, 2, 2, kWS2D, kWS2D, kHeads, false, kBf16},
+        EngineCase{2, 2, 2, kWS2D, kWS2D, kBatch, false, kBf16},
+        EngineCase{4, 2, 1, kWS2D, kWS2D, kHeads, false, kBf16},
+        EngineCase{2, 1, 2, kWS2D, kWS2D, kBatch, false, kBf16},
+        // Multihead + serial blocks.
+        EngineCase{2, 2, 1, kWS2D, kWS2D, kHeads, true, kBf16},
+        EngineCase{2, 2, 2, kWS2D, kWS2D, kBatch, true, kBf16},
+        EngineCase{1, 2, 2, kWS1D, kWS1D, kBatch, true, kBf16},
+        // Weight-gathered prefill and decode.
+        EngineCase{2, 2, 2, kWG, kWG, kBatch, false, kBf16},
+        EngineCase{2, 2, 1, kWG, kWG, kBatch, true, kBf16},
+        // The paper's serving mixture: weight-gathered prefill, 2D
+        // weight-stationary decode, batch-sharded attention (Table 2).
+        EngineCase{2, 2, 2, kWG, kWS2D, kBatch, false, kBf16},
+        EngineCase{2, 2, 1, kWG, kWS2D, kBatch, true, kBf16},
+        EngineCase{1, 2, 2, kWG, kWS1D, kBatch, false, kBf16},
+        // Grouped-query attention (2 kv heads): sharded over yz when it
+        // divides (yz=2), replicated when it does not (yz=4, yz=8).
+        EngineCase{2, 2, 1, kWS2D, kWS2D, kHeads, 2, kBf16},
+        EngineCase{2, 2, 2, kWS2D, kWS2D, kHeads, 2, kBf16},
+        EngineCase{1, 2, 4, kWS1D, kWS1D, kHeads, 2, kBf16},
+        EngineCase{2, 2, 2, kWS2D, kWS2D, kBatch, 2, kBf16},
+        EngineCase{2, 2, 2, kWG, kWS2D, kBatch, 2, kBf16},
+        // Int8 weights.
+        EngineCase{2, 2, 1, kWS2D, kWS2D, kHeads, false, kInt8},
+        EngineCase{2, 2, 2, kWG, kWS2D, kBatch, false, kInt8},
+        EngineCase{1, 2, 2, kWS1D, kWS1D, kHeads, true, kInt8},
+        // Fused collectives (§3.5) combined with int8 and GQA.
+        EngineCase{4, 2, 1, kWS2D, kWS2D, kBatch, 0, kInt8, true},
+        EngineCase{2, 2, 2, kWS2D, kWS2D, kHeads, 2, kBf16, true},
+        EngineCase{2, 2, 1, kWS2D, kWS2D, kHeads, 1, kBf16, true}),
+    CaseName);
+
+TEST(EngineTest, MultiplePrefillsAccumulateContext) {
+  // §3.5 "incremental processing of sequences during prefill": two prefill
+  // calls must equal one combined prefill.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 1);
+  ReferenceModel reference(&weights);
+
+  const int64_t B = 4, L1 = 3, L2 = 2;
+  auto t1 = RandomTokens(B * L1, cfg.vocab_size, 2);
+  auto t2 = RandomTokens(B * L2, cfg.vocab_size, 3);
+
+  // Reference over the concatenation, per sequence.
+  std::vector<int32_t> all;
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t i = 0; i < L1; ++i) all.push_back(t1[static_cast<size_t>(b * L1 + i)]);
+    for (int64_t i = 0; i < L2; ++i) all.push_back(t2[static_cast<size_t>(b * L2 + i)]);
+  }
+  KvCache rc;
+  Tensor want = reference.Prefill(all, B, &rc);
+
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(weights, &machine, spec);
+  engine.Prefill(t1, B);
+  Tensor got2 = engine.Prefill(t2, B);
+  EXPECT_EQ(engine.context_length(), L1 + L2);
+  // The second prefill's logits must match the tail of the combined run.
+  Tensor want2 = want.Slice(1, L1, L2);
+  EXPECT_LT(MaxAbsDiff(got2, want2), 5e-3f);
+}
+
+TEST(EngineTest, TimingScalesWithContext) {
+  // Decode steps at longer context charge more time (KV streaming).
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 4);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(weights, &machine, spec);
+
+  const int64_t B = 4;
+  engine.Prefill(RandomTokens(B * 8, cfg.vocab_size, 5), B);
+  machine.ResetCounters();
+  engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 6));
+  double early = machine.MaxTime();
+
+  for (int i = 0; i < 16; ++i)
+    engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 7 + static_cast<uint64_t>(i)));
+  machine.ResetCounters();
+  engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 30));
+  double late = machine.MaxTime();
+  EXPECT_GT(late, early);
+}
+
+TEST(EngineTest, Int8ChargesHalfTheWeightTraffic) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 9);
+  const int64_t B = 4, L = 4;
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 10);
+
+  auto hbm_bytes = [&](WeightFormat f) {
+    SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+    EngineSpec spec;
+    spec.weight_format = f;
+    DistributedEngine engine(weights, &machine, spec);
+    engine.Prefill(tokens, B);
+    double total = 0;
+    for (int c = 0; c < machine.num_chips(); ++c)
+      total += machine.counters(c).hbm_bytes;
+    return total;
+  };
+  double bf16 = hbm_bytes(WeightFormat::kBf16);
+  double int8 = hbm_bytes(WeightFormat::kInt8);
+  EXPECT_LT(int8, bf16);
+  // Weight traffic halves; KV/attention traffic is unchanged, so the ratio
+  // sits between 0.5 and 1.
+  EXPECT_GT(int8 / bf16, 0.45);
+  EXPECT_LT(int8 / bf16, 0.95);
+}
+
+TEST(EngineTest, BatchShardedKvCacheIsSmallerPerChip) {
+  // The point of Fig 4c: per-chip KV bytes shrink by ~n_chips vs the
+  // replicated baseline for multiquery attention.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 11);
+  const int64_t B = 8, L = 8;
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 12);
+
+  auto cache_bytes = [&](AttnSharding a) {
+    SimMachine machine(Torus3D(2, 2, 2), TpuV4());
+    EngineSpec spec;
+    spec.attn = a;
+    DistributedEngine engine(weights, &machine, spec);
+    engine.Prefill(tokens, B);
+    return engine.cache().TotalBytes(2.0);
+  };
+  double heads = cache_bytes(AttnSharding::kHeads);
+  double batch = cache_bytes(AttnSharding::kBatch);
+  EXPECT_NEAR(heads / batch, 8.0, 1e-6);  // replicated on 8 chips vs sharded
+}
+
+TEST(EngineTest, FusedCollectivesMatchUnfusedAndRunFaster) {
+  // §3.5 Looped CollectiveEinsum as an engine option: identical logits,
+  // strictly less (or equal) virtual time.
+  ModelConfig cfg = TinyTestModel();
+  cfg.num_layers = 3;
+  ModelWeights weights = ModelWeights::Random(cfg, 91);
+  const int64_t B = 8, L = 8;
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 92);
+
+  auto run = [&](bool fuse) {
+    SimMachine machine(Torus3D(4, 2, 1), TpuV4());
+    EngineSpec spec;
+    spec.attn = AttnSharding::kBatch;
+    spec.fuse_collectives = fuse;
+    DistributedEngine engine(weights, &machine, spec);
+    Tensor logits = engine.Prefill(tokens, B);
+    return std::make_pair(std::move(logits), machine.MaxTime());
+  };
+  auto [unfused_logits, unfused_time] = run(false);
+  auto [fused_logits, fused_time] = run(true);
+  EXPECT_LT(MaxAbsDiff(fused_logits, unfused_logits), 1e-4f);
+  EXPECT_LE(fused_time, unfused_time + 1e-15);
+  EXPECT_LT(fused_time, unfused_time) << "pipelining should hide something";
+}
+
+TEST(EngineTest, FusedEngineStillMatchesReference) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 93);
+  ReferenceModel reference(&weights);
+  SimMachine machine(Torus3D(2, 2, 2), TpuV4());
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  spec.fuse_collectives = true;
+  DistributedEngine engine(weights, &machine, spec);
+
+  const int64_t B = 8, L = 4;
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 94);
+  KvCache cache;
+  Tensor want = reference.Prefill(tokens, B, &cache);
+  Tensor got = engine.Prefill(tokens, B);
+  EXPECT_LT(MaxAbsDiff(got, want), 5e-3f);
+  auto next = RandomTokens(B, cfg.vocab_size, 95);
+  EXPECT_LT(MaxAbsDiff(engine.DecodeStep(next), reference.DecodeStep(next, &cache)),
+            5e-3f);
+}
+
+TEST(EngineTest, DecodeWithoutPrefillIsRejected) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 13);
+  SimMachine machine(Torus3D(1, 1, 1), TpuV4());
+  DistributedEngine engine(weights, &machine, EngineSpec{});
+  EXPECT_DEATH(engine.DecodeStep({0}), "decode requires a prefilled cache");
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,130 @@
+// Property sweep over every enumerated partitioning: invariants the
+// estimator must satisfy for any spec the planner can produce, plus
+// engine-vs-analytic traffic accounting cross-checks.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/flops.h"
+#include "core/planner.h"
+#include "engine/engine.h"
+#include "hw/chip.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+class EstimatorPropertyTest : public ::testing::TestWithParam<int /*chips*/> {};
+
+TEST_P(EstimatorPropertyTest, InvariantsHoldForEverySpec) {
+  const int chips = GetParam();
+  ModelConfig cfg = Palm62B();
+  InferenceEstimator est(cfg, TpuV4());
+  auto specs = EnumerateSpecs(cfg, chips, WeightFormat::kBf16);
+  ASSERT_FALSE(specs.empty());
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec.ToString());
+    auto d = est.DecodeStep(spec, 64, 2048);
+    EXPECT_GT(d.seconds, 0);
+    EXPECT_TRUE(std::isfinite(d.seconds));
+    EXPECT_GT(d.mfu, 0);
+    EXPECT_LE(d.mfu, 1.0);
+    EXPECT_DOUBLE_EQ(d.cost_chipsec_per_token, chips * d.seconds / 64.0);
+
+    // Monotone in context (KV streaming can only grow).
+    auto d_long = est.DecodeStep(spec, 64, 8192);
+    EXPECT_GE(d_long.seconds, d.seconds);
+
+    // Monotone in input length for prefill.
+    auto p_short = est.Prefill(spec, 8, 256);
+    auto p_long = est.Prefill(spec, 8, 1024);
+    EXPECT_GT(p_long.seconds, p_short.seconds);
+
+    // Generate is bracketed by per-step bounds at the context endpoints.
+    auto gen = est.Generate(spec, 64, 2048, 8);
+    double lo = 8 * est.DecodeStep(spec, 64, 2048).seconds;
+    double hi = 8 * est.DecodeStep(spec, 64, 2056).seconds;
+    EXPECT_GE(gen.seconds, lo - 1e-12);
+    EXPECT_LE(gen.seconds, hi + 1e-12);
+
+    // int8 weights never slow anything down.
+    PartitionSpec i8 = spec;
+    i8.weight_format = WeightFormat::kInt8;
+    EXPECT_LE(est.DecodeStep(i8, 64, 2048).seconds, d.seconds + 1e-12);
+
+    // Breakdown components compose to the reported seconds.
+    const auto& b = d.breakdown;
+    double composed = b.compute + b.weight_memory + b.kv_memory + b.comm + b.overhead;
+    EXPECT_NEAR(composed, d.seconds, 1e-12);  // additive default
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipCounts, EstimatorPropertyTest,
+                         ::testing::Values(8, 16, 64),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "chips" + std::to_string(info.param);
+                         });
+
+// The functional engine's charged network egress must match the Appendix-A
+// accounting exactly in a configuration where the collective set is known in
+// closed form: WS-1D (x == 1), heads-sharded attention, parallel blocks.
+// Per layer the only collective is the shared output all-reduce(yz) of the
+// [B*T, E] activations, plus one final all-gather of the vocab-sharded
+// logits; nothing else communicates.
+TEST(EngineTrafficTest, Ws1DHeadsEgressMatchesClosedForm) {
+  ModelConfig cfg = TinyTestModel();  // parallel blocks, 2 layers
+  ModelWeights weights = ModelWeights::Random(cfg, 31);
+  Torus3D topo(1, 2, 2);
+  SimMachine machine(topo, TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWS1D;
+  spec.decode_ffn = FfnLayout::kWS1D;
+  spec.attn = AttnSharding::kHeads;
+  DistributedEngine engine(weights, &machine, spec);
+
+  const int64_t B = 4, T = 8;
+  std::vector<int32_t> tokens(static_cast<size_t>(B * T), 3);
+  engine.Prefill(tokens, B);
+
+  const double n = topo.num_chips();
+  const double bytes = static_cast<double>(B * T) * cfg.d_model *
+                       machine.bytes_per_element();
+  // all-reduce = 2 legs, each moving D*(n-1)/n per chip...
+  double expect_per_chip = cfg.num_layers * 2.0 * bytes * (n - 1.0) / n;
+  // ...plus the all-gather of the vocab-sharded logits.
+  double logit_bytes = static_cast<double>(B * T) * cfg.vocab_size *
+                       machine.bytes_per_element();
+  expect_per_chip += logit_bytes * (n - 1.0) / n;
+  for (int c = 0; c < topo.num_chips(); ++c) {
+    EXPECT_NEAR(machine.counters(c).network_bytes, expect_per_chip, 1e-6)
+        << "chip " << c;
+  }
+}
+
+// Total matmul FLOPs charged across chips: sharded matmuls must sum back to
+// the whole model's work (2 flops per param per token through the layers
+// and the vocab-sharded logit head).
+TEST(EngineTrafficTest, TotalFlopsMatchTwoNRule) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 32);
+  Torus3D topo(2, 2, 1);
+  SimMachine machine(topo, TpuV4());
+  EngineSpec spec;
+  spec.attn = AttnSharding::kHeads;
+  DistributedEngine engine(weights, &machine, spec);
+
+  const int64_t B = 4, T = 4;
+  std::vector<int32_t> tokens(static_cast<size_t>(B * T), 1);
+  engine.Prefill(tokens, B);
+
+  const double BT = static_cast<double>(B * T);
+  double layer_flops = 2.0 * BT * cfg.num_layers * cfg.ParamsPerLayer();
+  double logit_flops = 2.0 * BT * cfg.d_model * cfg.vocab_size;
+  // Attention dot products add a small context-dependent term on top.
+  double total = machine.TotalFlops();
+  EXPECT_GT(total, layer_flops + logit_flops - 1);
+  EXPECT_LT(total, (layer_flops + logit_flops) * 1.15);
+}
+
+}  // namespace
+}  // namespace tsi

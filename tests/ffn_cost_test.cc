@@ -1,0 +1,188 @@
+// Feedforward partitioning cost model vs. the paper's closed forms
+// (§3.2, Appendix A.2) and the layout-crossover behaviour of Figure 3.
+#include "core/ffn_cost.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsi {
+namespace {
+
+constexpr double kBw = 270e9;
+constexpr int64_t kE = 16384;
+constexpr int64_t kF = 65536;  // Figure 3's setting: F = 4E
+
+TEST(FfnCostTest, Ws1DVolumeIs2BLE) {
+  // 1D weight-stationary: all-gather + reduce-scatter of the full BLE
+  // activations, independent of chip count (§3.2.1).
+  for (double bl : {256.0, 4096.0}) {
+    for (int n : {8, 64}) {
+      Torus3D mesh(1, n, 1);
+      auto v = FfnCommVolumePerChip(kE, kF, /*in_proj=*/1, mesh,
+                                    FfnLayout::kWS1D, bl, 2.0);
+      EXPECT_DOUBLE_EQ(v.weight_bytes, 0);
+      EXPECT_DOUBLE_EQ(v.act_f_bytes, 0);
+      EXPECT_DOUBLE_EQ(v.act_e_bytes, 2.0 * bl * kE * 2.0);
+      // Matches the closed form at act_bytes = 2.
+      EXPECT_DOUBLE_EQ(v.total() / kBw, Ws1DCommTimeClosedForm(bl, kE, kBw));
+    }
+  }
+}
+
+TEST(FfnCostTest, Ws2DVolumeMatchesDerivation) {
+  // T = (2BL/bw)(E/X + F/YZ) for a non-gated FFN (A.2.1).
+  Torus3D mesh(4, 4, 4);
+  double bl = 1024;
+  auto v = FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWS2D, bl, 2.0);
+  double want = 2.0 * bl * (kE / 4.0 + kF / 16.0) * 2.0;
+  EXPECT_DOUBLE_EQ(v.total(), want);
+}
+
+TEST(FfnCostTest, Ws2DAtOptimalMeshMatchesClosedForm) {
+  // With F = 4E the optimum is X = 0.5*sqrt(n), YZ = 2*sqrt(n), giving
+  // 8BLE/sqrt(n)/bw (A.2.1). n = 64: X = 4, YZ = 16.
+  Torus3D mesh(4, 4, 4);
+  double bl = 512;
+  auto v = FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWS2D, bl, 2.0);
+  EXPECT_NEAR(v.total() / kBw, Ws2DCommTimeClosedForm(bl, kE, 64, kBw), 1e-15);
+}
+
+TEST(FfnCostTest, Ws2DOptimalMeshBeatsOtherSplits) {
+  double bl = 512;
+  Torus3D best(4, 4, 4);  // X = 0.5*sqrt(64)
+  double best_vol =
+      FfnCommVolumePerChip(kE, kF, 1, best, FfnLayout::kWS2D, bl, 2.0).total();
+  for (int x : {2, 8, 16}) {
+    Torus3D mesh(x, 64 / x, 1);
+    double vol =
+        FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWS2D, bl, 2.0).total();
+    EXPECT_GE(vol, best_vol) << "X=" << x;
+  }
+}
+
+TEST(FfnCostTest, Ws2DScalesAsInverseSqrtChips) {
+  // Doubling chips 4x should halve... no: scale 1/sqrt(n): 64 -> 256 chips
+  // reduces volume by 2 at optimal meshes.
+  double bl = 512;
+  double v64 =
+      FfnCommVolumePerChip(kE, kF, 1, Torus3D(4, 4, 4), FfnLayout::kWS2D, bl, 2.0)
+          .total();
+  double v256 =
+      FfnCommVolumePerChip(kE, kF, 1, Torus3D(8, 8, 4), FfnLayout::kWS2D, bl, 2.0)
+          .total();
+  EXPECT_NEAR(v64 / v256, 2.0, 1e-9);
+}
+
+TEST(FfnCostTest, WeightGatheredVolumeMatchesFormula) {
+  // 2EFN/n (weights) + 2BLE/N (activations), A.2.2.
+  Torus3D mesh(4, 4, 4);
+  double bl = 65536;
+  for (auto [layout, N] : {std::pair{FfnLayout::kWGX, 4},
+                           std::pair{FfnLayout::kWGXY, 16},
+                           std::pair{FfnLayout::kWGXYZ, 64}}) {
+    auto v = FfnCommVolumePerChip(kE, kF, 1, mesh, layout, bl, 2.0);
+    EXPECT_DOUBLE_EQ(v.weight_bytes,
+                     2.0 * kE * kF * 2.0 * static_cast<double>(N) / 64.0)
+        << ToString(layout);
+    double want_act = N == 64 ? 0.0 : 2.0 * (bl / N) * kE * 2.0;
+    EXPECT_DOUBLE_EQ(v.act_e_bytes, want_act) << ToString(layout);
+  }
+}
+
+TEST(FfnCostTest, OptimalGatherWidthFormula) {
+  // N* = sqrt(BL * n / F).
+  EXPECT_DOUBLE_EQ(OptimalGatherWidth(65536, kF, 64), 8.0);
+  EXPECT_NEAR(OptimalGatherWidth(1048576, 73728, 64), 30.17, 0.01);
+}
+
+TEST(FfnCostTest, WgClosedFormIsGeometricMeanOfTerms) {
+  // At N = N*, weight and activation terms are equal and total
+  // 4E*sqrt(BLF)/(sqrt(n)*bw).
+  double bl = 65536;
+  int n = 64;
+  double N = OptimalGatherWidth(bl, kF, n);
+  double weights = 2.0 * kE * kF * 2.0 * N / n / kBw;
+  double acts = 2.0 * bl * kE * 2.0 / N / kBw;
+  EXPECT_NEAR(weights, acts, 1e-9);
+  EXPECT_NEAR(weights + acts, WgCommTimeClosedForm(bl, kE, kF, n, kBw), 1e-9);
+}
+
+// Figure 3: as batch (in tokens) grows, the communication-optimal layout
+// walks from WS-2D to WG-X to WG-XY to WG-XYZ.
+TEST(FfnCostTest, LayoutCrossoversFollowFigure3) {
+  Torus3D mesh(4, 4, 4);
+  auto best_layout = [&](double bl) {
+    FfnLayout best = FfnLayout::kWS2D;
+    double best_vol = 1e300;
+    for (FfnLayout l : {FfnLayout::kWS2D, FfnLayout::kWGX, FfnLayout::kWGXY,
+                        FfnLayout::kWGXYZ}) {
+      double vol = FfnCommVolumePerChip(kE, kF, 1, mesh, l, bl, 2.0).total();
+      if (vol < best_vol) {
+        best_vol = vol;
+        best = l;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(best_layout(1024), FfnLayout::kWS2D);
+  EXPECT_EQ(best_layout(1 << 20), FfnLayout::kWGXYZ);
+
+  // Monotone progression: the optimal N never decreases with batch.
+  auto width_of = [&](FfnLayout l) { return WeightGatherWidth(l, mesh); };
+  int prev = 0;
+  for (double bl = 512; bl <= (1 << 21); bl *= 2) {
+    int w = width_of(best_layout(bl));
+    EXPECT_GE(w, prev) << "batch " << bl;
+    prev = w;
+  }
+  EXPECT_EQ(prev, 64);  // ends at fully gathered
+}
+
+// Exhaustive check of Appendix A.2.1: across EVERY mesh factorization of n,
+// the constructive volume is minimized exactly at X = 0.5*sqrt(n) (F = 4E),
+// and the minimum equals the closed form.
+TEST(FfnCostTest, ConstructiveOptimumMatchesClosedFormAcrossAllMeshes) {
+  const double bl = 1024;
+  for (int n : {64, 256}) {
+    double best_vol = 1e300;
+    int best_x = 0;
+    for (const Torus3D& mesh : AllTorusShapes(n)) {
+      FfnLayout layout = mesh.x() == 1 ? FfnLayout::kWS1D : FfnLayout::kWS2D;
+      double vol = FfnCommVolumePerChip(kE, kF, 1, mesh, layout, bl, 2.0).total();
+      if (vol < best_vol) {
+        best_vol = vol;
+        best_x = mesh.x();
+      }
+    }
+    int want_x = static_cast<int>(0.5 * std::sqrt(static_cast<double>(n)));
+    EXPECT_EQ(best_x, want_x) << "n=" << n;
+    EXPECT_NEAR(best_vol / kBw, Ws2DCommTimeClosedForm(bl, kE, n, kBw), 1e-12);
+    // And the planner's default mesh picks that X.
+    EXPECT_EQ(DefaultMeshFor(n).x(), want_x);
+  }
+}
+
+TEST(FfnCostTest, GatedFfnAddsInputProjectionVolume) {
+  Torus3D mesh(4, 4, 4);
+  double bl = 1024;
+  auto plain = FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWS2D, bl, 2.0);
+  auto gated = FfnCommVolumePerChip(kE, kF, 2, mesh, FfnLayout::kWS2D, bl, 2.0);
+  // One extra reduce-scatter of BLF/YZ on the F side; E side unchanged.
+  EXPECT_DOUBLE_EQ(gated.act_e_bytes, plain.act_e_bytes);
+  EXPECT_DOUBLE_EQ(gated.act_f_bytes / plain.act_f_bytes, 1.5);
+  // And 3/2 more weight volume when gathered.
+  auto pg = FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWGXYZ, bl, 2.0);
+  auto gg = FfnCommVolumePerChip(kE, kF, 2, mesh, FfnLayout::kWGXYZ, bl, 2.0);
+  EXPECT_DOUBLE_EQ(gg.weight_bytes / pg.weight_bytes, 1.5);
+}
+
+TEST(FfnCostTest, Int8HalvesWeightGatherVolume) {
+  Torus3D mesh(4, 4, 4);
+  auto bf16 = FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWGXYZ, 4096, 2.0);
+  auto int8 = FfnCommVolumePerChip(kE, kF, 1, mesh, FfnLayout::kWGXYZ, 4096, 1.0);
+  EXPECT_DOUBLE_EQ(int8.weight_bytes * 2.0, bf16.weight_bytes);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,132 @@
+#include "engine/generation.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+#include "model/reference.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t) v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+DistributedEngine MakeEngine(const ModelWeights& weights, SimMachine* machine) {
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  return DistributedEngine(weights, machine, spec);
+}
+
+TEST(GenerationTest, GreedyMatchesReferenceDrivenLoop) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 21);
+  const int64_t B = 4, L = 4, G = 6;
+  auto prompt = RandomTokens(B * L, cfg.vocab_size, 22);
+
+  // Reference loop: greedy over the single-chip model.
+  ReferenceModel reference(&weights);
+  KvCache cache;
+  Tensor logits = reference.Prefill(prompt, B, &cache);
+  std::vector<std::vector<int32_t>> want(static_cast<size_t>(B));
+  std::vector<int32_t> next(static_cast<size_t>(B));
+  for (int64_t step = 0; step < G; ++step) {
+    for (int64_t b = 0; b < B; ++b) {
+      const float* row = logits.data() +
+                         ((b * logits.dim(1)) + (logits.dim(1) - 1)) * cfg.vocab_size;
+      next[static_cast<size_t>(b)] = Argmax(row, cfg.vocab_size);
+      want[static_cast<size_t>(b)].push_back(next[static_cast<size_t>(b)]);
+    }
+    if (step + 1 < G) logits = reference.DecodeStep(next, &cache);
+  }
+
+  // Engine loop via Generate().
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  DistributedEngine engine = MakeEngine(weights, &machine);
+  GenerationOptions opt;
+  opt.max_new_tokens = G;
+  opt.sampling.temperature = 0.0;  // greedy
+  GenerationResult got = Generate(engine, prompt, B, opt);
+
+  ASSERT_EQ(got.sequences.size(), static_cast<size_t>(B));
+  for (int64_t b = 0; b < B; ++b) {
+    EXPECT_EQ(got.sequences[static_cast<size_t>(b)], want[static_cast<size_t>(b)])
+        << "sequence " << b;
+  }
+  EXPECT_EQ(got.steps, G - 1);  // last sampled token needs no extra step
+  EXPECT_GT(got.virtual_seconds, 0.0);
+}
+
+TEST(GenerationTest, RespectsTokenBudget) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 23);
+  SimMachine machine(Torus3D(1, 2, 2), TpuV4());
+  DistributedEngine engine = MakeEngine(weights, &machine);
+  GenerationOptions opt;
+  opt.max_new_tokens = 3;
+  opt.sampling.seed = 1;
+  auto out = Generate(engine, RandomTokens(4 * 2, cfg.vocab_size, 24), 4, opt);
+  for (const auto& seq : out.sequences) EXPECT_EQ(seq.size(), 3u);
+}
+
+TEST(GenerationTest, EosStopsSequenceAndKeepsToken) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 25);
+  SimMachine machine(Torus3D(1, 2, 2), TpuV4());
+  DistributedEngine engine = MakeEngine(weights, &machine);
+
+  // Probe the greedy continuation, then rerun with its second token as EOS.
+  GenerationOptions probe;
+  probe.max_new_tokens = 4;
+  probe.sampling.temperature = 0.0;
+  auto probe_out = Generate(engine, RandomTokens(4 * 2, cfg.vocab_size, 26), 4, probe);
+  int32_t eos = probe_out.sequences[0][1];
+
+  SimMachine machine2(Torus3D(1, 2, 2), TpuV4());
+  DistributedEngine engine2 = MakeEngine(weights, &machine2);
+  GenerationOptions opt = probe;
+  opt.max_new_tokens = 8;
+  opt.eos_token = eos;
+  auto out = Generate(engine2, RandomTokens(4 * 2, cfg.vocab_size, 26), 4, opt);
+  EXPECT_EQ(out.sequences[0].size(), 2u);
+  EXPECT_EQ(out.sequences[0].back(), eos);
+  // Other sequences keep generating past it (up to budget or their own EOS).
+  for (const auto& seq : out.sequences) {
+    EXPECT_LE(seq.size(), 8u);
+    EXPECT_GE(seq.size(), 1u);
+  }
+}
+
+TEST(GenerationTest, DeterministicForFixedSeed) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 27);
+  auto run = [&] {
+    SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+    DistributedEngine engine = MakeEngine(weights, &machine);
+    GenerationOptions opt;
+    opt.max_new_tokens = 5;
+    opt.sampling.seed = 99;
+    opt.sampling.top_k = 4;
+    return Generate(engine, RandomTokens(4 * 3, cfg.vocab_size, 28), 4, opt).sequences;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(GenerationTest, ZeroBudgetGeneratesNothing) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 29);
+  SimMachine machine(Torus3D(1, 1, 1), TpuV4());
+  DistributedEngine engine = MakeEngine(weights, &machine);
+  GenerationOptions opt;
+  opt.max_new_tokens = 0;
+  auto out = Generate(engine, RandomTokens(2 * 2, cfg.vocab_size, 30), 2, opt);
+  for (const auto& seq : out.sequences) EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(out.steps, 0);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,125 @@
+#include "model/config.h"
+
+#include <gtest/gtest.h>
+
+#include "core/flops.h"
+#include "util/math.h"
+
+namespace tsi {
+namespace {
+
+// The presets must land on the published parameter counts (Table D.1 and the
+// PaLM paper). We allow ~2% slack for accounting details (norm gains,
+// biases).
+TEST(ModelConfigTest, Palm540BParamCount) {
+  double n = static_cast<double>(Palm540B().ParamCount());
+  EXPECT_NEAR(n / 540e9, 1.0, 0.02);
+}
+
+TEST(ModelConfigTest, Palm62BParamCount) {
+  double n = static_cast<double>(Palm62B().ParamCount());
+  EXPECT_NEAR(n / 62e9, 1.0, 0.03);
+}
+
+TEST(ModelConfigTest, Palm8BParamCount) {
+  double n = static_cast<double>(Palm8B().ParamCount());
+  EXPECT_NEAR(n / 8.6e9, 1.0, 0.05);
+}
+
+TEST(ModelConfigTest, MtNlg530BParamCount) {
+  double n = static_cast<double>(MtNlg530B().ParamCount());
+  EXPECT_NEAR(n / 530e9, 1.0, 0.02);
+}
+
+// §4 methodology: padding heads 48 -> 64 "adds 18B parameters".
+TEST(ModelConfigTest, HeadPaddingAdds18BParams) {
+  double delta = static_cast<double>(Palm540BPadded().ParamCount() -
+                                     Palm540B().ParamCount());
+  EXPECT_NEAR(delta / 18e9, 1.0, 0.02);
+}
+
+// §4.2: the multihead variant halves d_head to keep attention params equal.
+TEST(ModelConfigTest, MultiheadVariantKeepsAttentionParamsClose) {
+  ModelConfig mq = Palm540B();
+  ModelConfig mh = Palm540BMultihead();
+  auto attn_params = [](const ModelConfig& c) {
+    return 2 * c.d_model * c.n_heads * c.d_head +
+           2 * c.d_model * c.n_kv_heads() * c.d_head;
+  };
+  double ratio = static_cast<double>(attn_params(mh)) / attn_params(mq);
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(ModelConfigTest, MultiqueryHasSingleKvHead) {
+  EXPECT_EQ(Palm540B().n_kv_heads(), 1);
+  EXPECT_EQ(MtNlg530B().n_kv_heads(), 128);
+  EXPECT_EQ(Palm540BMultihead().n_kv_heads(), 48);
+}
+
+// §2.1: "for batch size 512 and context length 2048, the [multihead] KV
+// cache totals 3TB" -- for a 500B+ multihead model.
+TEST(ModelConfigTest, MultiheadKvCacheMatchesPaperExample) {
+  ModelConfig mh = Palm540BMultihead();
+  double total = 512.0 * mh.KvCacheBytesPerSequence(2048);
+  EXPECT_NEAR(total / 3e12, 1.0, 0.35);
+}
+
+TEST(ModelConfigTest, MultiqueryKvCacheIsHeadsTimesSmaller) {
+  ModelConfig mq = Palm540B();
+  ModelConfig mh = Palm540B();
+  mh.attention = AttentionKind::kMultiHead;
+  double ratio = static_cast<double>(mh.KvCacheBytesPerSequence(2048)) /
+                 mq.KvCacheBytesPerSequence(2048);
+  EXPECT_DOUBLE_EQ(ratio, static_cast<double>(mq.n_heads));
+}
+
+TEST(ModelConfigTest, GatedFfnCountsThreeMatrices) {
+  ModelConfig c = TinyTestModel();
+  int64_t gated = c.ParamsPerLayer();
+  c.gated_ffn = false;
+  int64_t plain = c.ParamsPerLayer();
+  EXPECT_EQ(gated - plain, c.d_model * c.d_ff);
+}
+
+TEST(FlopsTest, MatmulFlopsPerTokenIsTwiceParams) {
+  ModelConfig c = Palm62B();
+  EXPECT_DOUBLE_EQ(MatmulFlopsPerToken(c),
+                   2.0 * static_cast<double>(MatmulParams(c)));
+  // MatmulParams excludes nothing big: close to total params.
+  EXPECT_NEAR(static_cast<double>(MatmulParams(c)) / c.ParamCount(), 1.0, 0.01);
+}
+
+TEST(FlopsTest, PrefillAttnFlopsQuadraticInLength) {
+  ModelConfig c = TinyTestModel();
+  double f1 = PrefillAttnFlops(c, 2, 128);
+  double f2 = PrefillAttnFlops(c, 2, 256);
+  EXPECT_NEAR(f2 / f1, 4.0, 0.05);
+  // And linear in batch.
+  EXPECT_DOUBLE_EQ(PrefillAttnFlops(c, 4, 128), 2 * f1);
+}
+
+TEST(FlopsTest, DecodeAttnFlopsLinearInContext) {
+  ModelConfig c = TinyTestModel();
+  EXPECT_DOUBLE_EQ(DecodeAttnFlopsPerStep(c, 3, 2000),
+                   2.0 * DecodeAttnFlopsPerStep(c, 3, 1000));
+}
+
+TEST(FlopsTest, PrefillReducesToDecodeAtLengthOne) {
+  ModelConfig c = TinyTestModel();
+  // One new token attending to itself: pairs = 1.
+  EXPECT_DOUBLE_EQ(PrefillAttnFlops(c, 5, 1), DecodeAttnFlopsPerStep(c, 5, 1));
+}
+
+TEST(MathTest, Helpers) {
+  EXPECT_EQ(CeilDiv(7, 3), 3);
+  EXPECT_EQ(CeilDiv(6, 3), 2);
+  EXPECT_EQ(RoundUp(7, 4), 8);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+  EXPECT_EQ(FloorPowerOfTwo(48), 32);
+  EXPECT_EQ(ISqrt(63), 7);
+  EXPECT_EQ(ISqrt(64), 8);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,160 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Rng rng(1);
+  Tensor x = Tensor::Gaussian({8, 16}, rng, 3.0f);
+  Tensor s = Softmax(x);
+  for (int64_t r = 0; r < 8; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 16; ++c) sum += s.at({r, c});
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxTest, StableUnderLargeInputs) {
+  Tensor x({1, 3});
+  x[0] = 1000.0f;
+  x[1] = 1001.0f;
+  x[2] = 999.0f;
+  Tensor s = Softmax(x);
+  EXPECT_GT(s[1], s[0]);
+  EXPECT_GT(s[0], s[2]);
+  EXPECT_FALSE(std::isnan(s[0]));
+}
+
+TEST(SoftmaxTest, PreservesOrder) {
+  Tensor x({1, 4});
+  x[0] = 0.1f; x[1] = 2.0f; x[2] = -1.0f; x[3] = 0.5f;
+  Tensor s = Softmax(x);
+  EXPECT_GT(s[1], s[3]);
+  EXPECT_GT(s[3], s[0]);
+  EXPECT_GT(s[0], s[2]);
+}
+
+// §3.5: the base-2 softmax must be mathematically identical.
+TEST(SoftmaxTest, Base2VariantMatchesBaseE) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x = Tensor::Gaussian({4, 32}, rng, 5.0f);
+    EXPECT_LT(MaxAbsDiff(Softmax(x), Softmax2(x)), 1e-6f);
+  }
+}
+
+TEST(SwishTest, Base2VariantMatchesBaseE) {
+  Rng rng(3);
+  Tensor x = Tensor::Gaussian({128}, rng, 4.0f);
+  EXPECT_LT(MaxAbsDiff(Swish(x), Swish2(x)), 1e-6f);
+}
+
+TEST(SwishTest, KnownValues) {
+  Tensor x({3});
+  x[0] = 0.0f; x[1] = 10.0f; x[2] = -10.0f;
+  Tensor s = Swish(x);
+  EXPECT_NEAR(s[0], 0.0f, 1e-7);
+  EXPECT_NEAR(s[1], 10.0f, 1e-3);   // sigmoid(10) ~ 1
+  EXPECT_NEAR(s[2], 0.0f, 1e-3);    // x*sigmoid(x) -> 0
+}
+
+TEST(GeluTest, KnownValues) {
+  Tensor x({3});
+  x[0] = 0.0f; x[1] = 5.0f; x[2] = -5.0f;
+  Tensor g = Gelu(x);
+  EXPECT_NEAR(g[0], 0.0f, 1e-7);
+  EXPECT_NEAR(g[1], 5.0f, 1e-3);
+  EXPECT_NEAR(g[2], 0.0f, 1e-3);
+}
+
+TEST(LayerNormTest, NormalizesToZeroMeanUnitVar) {
+  Rng rng(4);
+  Tensor x = Tensor::Gaussian({6, 64}, rng, 3.0f);
+  Tensor gain = Tensor::Full({64}, 1.0f);
+  Tensor y = LayerNorm(x, gain);
+  for (int64_t r = 0; r < 6; ++r) {
+    double mean = 0, var = 0;
+    for (int64_t c = 0; c < 64; ++c) mean += y.at({r, c});
+    mean /= 64;
+    for (int64_t c = 0; c < 64; ++c) {
+      double d = y.at({r, c}) - mean;
+      var += d * d;
+    }
+    var /= 64;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormTest, GainScalesOutput) {
+  Rng rng(5);
+  Tensor x = Tensor::Gaussian({2, 8}, rng);
+  Tensor g1 = Tensor::Full({8}, 1.0f);
+  Tensor g2 = Tensor::Full({8}, 2.0f);
+  Tensor y1 = LayerNorm(x, g1);
+  Tensor y2 = LayerNorm(x, g2);
+  EXPECT_LT(MaxAbsDiff(y1.Scale(2.0f), y2), 1e-6f);
+}
+
+TEST(RmsNormTest, UnitRmsWithUnitGain) {
+  Rng rng(6);
+  Tensor x = Tensor::Gaussian({4, 32}, rng, 2.0f);
+  Tensor y = RmsNorm(x, Tensor::Full({32}, 1.0f));
+  for (int64_t r = 0; r < 4; ++r) {
+    double ms = 0;
+    for (int64_t c = 0; c < 32; ++c) ms += static_cast<double>(y.at({r, c})) * y.at({r, c});
+    EXPECT_NEAR(ms / 32, 1.0, 1e-3);
+  }
+}
+
+TEST(EmbeddingLookupTest, GathersRows) {
+  Tensor table = Tensor::Iota({5, 3});
+  Tensor out = EmbeddingLookup(table, {4, 0, 2});
+  EXPECT_EQ(out.shape(), (Shape{3, 3}));
+  EXPECT_EQ(out.at({0, 0}), 12.0f);
+  EXPECT_EQ(out.at({1, 1}), 1.0f);
+  EXPECT_EQ(out.at({2, 2}), 8.0f);
+}
+
+TEST(AddBiasTest, Broadcasts) {
+  Tensor x = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Iota({3});
+  Tensor y = AddBias(x, b);
+  EXPECT_EQ(y.at({0, 2}), 2.0f);
+  EXPECT_EQ(y.at({1, 1}), 1.0f);
+}
+
+TEST(CausalMaskTest, SquareBlockMasksStrictUpper) {
+  Tensor s = Tensor::Zeros({3, 3});
+  Tensor m = CausalMask(s);
+  for (int64_t i = 0; i < 3; ++i)
+    for (int64_t j = 0; j < 3; ++j)
+      EXPECT_EQ(m.at({i, j}), j > i ? -1e30f : 0.0f) << i << "," << j;
+}
+
+TEST(CausalMaskTest, SuffixBlockSeesWholePrefix) {
+  // 2 queries over 5 kv positions: query 0 is global position 3.
+  Tensor s = Tensor::Zeros({2, 5});
+  Tensor m = CausalMask(s);
+  for (int64_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(m.at({0, j}), j > 3 ? -1e30f : 0.0f);
+    EXPECT_EQ(m.at({1, j}), 0.0f);
+  }
+}
+
+TEST(CausalMaskTest, MaskedSoftmaxIgnoresFuture) {
+  Rng rng(7);
+  Tensor s = Tensor::Gaussian({4, 4}, rng);
+  Tensor p = Softmax(CausalMask(s));
+  for (int64_t i = 0; i < 4; ++i)
+    for (int64_t j = i + 1; j < 4; ++j) EXPECT_NEAR(p.at({i, j}), 0.0f, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsi

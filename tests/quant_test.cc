@@ -1,0 +1,152 @@
+#include "quant/int8.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+TEST(QuantTest, RoundtripErrorBounded) {
+  Rng rng(1);
+  Tensor w = Tensor::Gaussian({64, 32}, rng);
+  // Symmetric int8 quantization error is at most half a step of the
+  // per-column scale: 0.5/127 of the column max.
+  EXPECT_LE(QuantizationRelError(w), 0.5f / 127.0f + 1e-6f);
+}
+
+class QuantShapeTest : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(QuantShapeTest, RoundtripBoundHoldsAcrossShapes) {
+  auto [rows, cols] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 131 + cols));
+  Tensor w = Tensor::Gaussian({rows, cols}, rng, 2.5f);
+  EXPECT_LE(QuantizationRelError(w), 0.5f / 127.0f + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QuantShapeTest,
+                         ::testing::Values(std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{1, 16},
+                                           std::pair<int64_t, int64_t>{16, 1},
+                                           std::pair<int64_t, int64_t>{8, 8},
+                                           std::pair<int64_t, int64_t>{128, 64},
+                                           std::pair<int64_t, int64_t>{63, 17}));
+
+TEST(QuantTest, ScalesArePerColumnMaxOver127) {
+  Tensor w(Shape{2, 3});
+  w.at({0, 0}) = 1.0f;  w.at({0, 1}) = -2.0f; w.at({0, 2}) = 0.0f;
+  w.at({1, 0}) = -4.0f; w.at({1, 1}) = 1.0f;  w.at({1, 2}) = 0.0f;
+  QuantizedTensor q = QuantizeInt8(w);
+  EXPECT_FLOAT_EQ(q.scales[0], 4.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scales[1], 2.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scales[2], 1.0f);  // all-zero column gets scale 1
+}
+
+TEST(QuantTest, ExtremesMapToPlusMinus127) {
+  Tensor w(Shape{2, 1});
+  w[0] = 3.0f;
+  w[1] = -3.0f;
+  QuantizedTensor q = QuantizeInt8(w);
+  EXPECT_EQ(q.values[0], 127);
+  EXPECT_EQ(q.values[1], -127);
+}
+
+TEST(QuantTest, DequantizeInvertsExactGrid) {
+  // Values exactly on the quantization grid roundtrip exactly.
+  Tensor w(Shape{3, 1});
+  w[0] = 127.0f;
+  w[1] = -64.0f;
+  w[2] = 1.0f;
+  Tensor back = Dequantize(QuantizeInt8(w));
+  EXPECT_FLOAT_EQ(back[0], 127.0f);
+  EXPECT_FLOAT_EQ(back[1], -64.0f);
+  EXPECT_FLOAT_EQ(back[2], 1.0f);
+}
+
+TEST(QuantTest, MatMulDequantMatchesExplicitDequant) {
+  Rng rng(5);
+  Tensor x = Tensor::Gaussian({7, 24}, rng);
+  Tensor w = Tensor::Gaussian({24, 12}, rng);
+  QuantizedTensor q = QuantizeInt8(w);
+  Tensor a = MatMulDequant(x, q);
+  Tensor b = MatMul(x, Dequantize(q));
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-4f);
+}
+
+TEST(QuantTest, QuantizedMatMulCloseToFp32) {
+  Rng rng(6);
+  Tensor x = Tensor::Gaussian({4, 64}, rng);
+  Tensor w = Tensor::Gaussian({64, 16}, rng);
+  Tensor exact = MatMul(x, w);
+  Tensor approx = MatMulDequant(x, QuantizeInt8(w));
+  // Error per output element: ~sqrt(k) * step * |x|; generous bound.
+  EXPECT_LT(MaxAbsDiff(exact, approx), 0.05f * exact.MaxAbs() + 0.05f);
+}
+
+TEST(QuantTest, ByteSizeHalvesBf16Weights) {
+  Rng rng(7);
+  Tensor w = Tensor::Gaussian({128, 128}, rng);
+  QuantizedTensor q = QuantizeInt8(w);
+  int64_t bf16_bytes = w.numel() * 2;
+  // int8 payload + fp32 scales: close to half of bf16.
+  EXPECT_LT(q.ByteSize(), bf16_bytes * 0.52);
+  EXPECT_EQ(q.ByteSize(), 128 * 128 + 128 * 4);
+}
+
+// --- Activation quantization (§3.6 future work) ----------------------------
+
+TEST(ActQuantTest, RoundtripErrorBoundedPerRow) {
+  Rng rng(21);
+  Tensor x = Tensor::Gaussian({16, 48}, rng, 3.0f);
+  QuantizedActivations q = QuantizeActivationsInt8(x);
+  Tensor back = Dequantize(q);
+  for (int64_t r = 0; r < 16; ++r) {
+    float mx = 0;
+    for (int64_t c = 0; c < 48; ++c) mx = std::max(mx, std::fabs(x.at({r, c})));
+    for (int64_t c = 0; c < 48; ++c) {
+      EXPECT_LE(std::fabs(x.at({r, c}) - back.at({r, c})),
+                0.5f * mx / 127.0f + 1e-6f);
+    }
+  }
+}
+
+TEST(ActQuantTest, ScalesArePerRowMax) {
+  Tensor x(Shape{2, 3});
+  x.at({0, 0}) = 2.0f; x.at({0, 1}) = -6.0f; x.at({0, 2}) = 1.0f;
+  x.at({1, 0}) = 0.0f; x.at({1, 1}) = 0.0f;  x.at({1, 2}) = 0.0f;
+  QuantizedActivations q = QuantizeActivationsInt8(x);
+  EXPECT_FLOAT_EQ(q.scales[0], 6.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scales[1], 1.0f);  // all-zero row
+}
+
+TEST(ActQuantTest, FullyInt8MatMulCloseToFp32) {
+  Rng rng(22);
+  Tensor x = Tensor::Gaussian({8, 64}, rng);
+  Tensor w = Tensor::Gaussian({64, 24}, rng);
+  Tensor exact = MatMul(x, w);
+  Tensor approx = MatMulInt8(QuantizeActivationsInt8(x), QuantizeInt8(w));
+  EXPECT_LT(MaxAbsDiff(exact, approx), 0.08f * exact.MaxAbs() + 0.08f);
+}
+
+TEST(ActQuantTest, Int8MatMulMatchesDequantizedReference) {
+  Rng rng(23);
+  Tensor x = Tensor::Gaussian({5, 32}, rng);
+  Tensor w = Tensor::Gaussian({32, 9}, rng);
+  QuantizedActivations qx = QuantizeActivationsInt8(x);
+  QuantizedTensor qw = QuantizeInt8(w);
+  // Integer-exact check: int8 matmul == matmul of the two dequantized grids.
+  Tensor got = MatMulInt8(qx, qw);
+  Tensor want = MatMul(Dequantize(qx), Dequantize(qw));
+  EXPECT_LT(MaxAbsDiff(got, want), 1e-4f);
+}
+
+TEST(QuantTest, ZeroMatrixStaysZero) {
+  Tensor w = Tensor::Zeros({8, 8});
+  Tensor back = Dequantize(QuantizeInt8(w));
+  EXPECT_EQ(back.MaxAbs(), 0.0f);
+}
+
+}  // namespace
+}  // namespace tsi

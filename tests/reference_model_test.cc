@@ -1,0 +1,191 @@
+#include "model/reference.h"
+
+#include <gtest/gtest.h>
+
+#include "model/attention.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t) v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+class ReferenceModelTest : public ::testing::TestWithParam<int /*variant*/> {
+ protected:
+  ModelConfig Config() const {
+    switch (GetParam()) {
+      case 1: return TinyTestModelMultihead();
+      case 2: return TinyTestModelGrouped();
+      default: return TinyTestModel();
+    }
+  }
+};
+
+TEST_P(ReferenceModelTest, PrefillShapes) {
+  ModelWeights w = ModelWeights::Random(Config(), 1);
+  ReferenceModel model(&w);
+  KvCache cache;
+  auto tokens = RandomTokens(2 * 5, Config().vocab_size, 9);
+  Tensor logits = model.Prefill(tokens, /*batch=*/2, &cache);
+  EXPECT_EQ(logits.shape(), (Shape{2, 5, Config().vocab_size}));
+  EXPECT_EQ(cache.length(), 5);
+  EXPECT_EQ(cache.batch(), 2);
+  EXPECT_EQ(static_cast<int64_t>(cache.k.size()), Config().num_layers);
+}
+
+// The KV-cache invariant: prefilling L tokens then decoding one must give
+// the same logits as prefilling L+1 tokens, position by position.
+TEST_P(ReferenceModelTest, IncrementalDecodeMatchesFullPrefill) {
+  ModelConfig cfg = Config();
+  ModelWeights w = ModelWeights::Random(cfg, 2);
+  ReferenceModel model(&w);
+  const int64_t B = 2, L = 6;
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 10);
+
+  // Full prefill over all L tokens.
+  KvCache full_cache;
+  Tensor full = model.Prefill(tokens, B, &full_cache);
+
+  // Prefill L-1, then decode the last token.
+  std::vector<int32_t> prefix, last;
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t i = 0; i < L - 1; ++i) prefix.push_back(tokens[static_cast<size_t>(b * L + i)]);
+    last.push_back(tokens[static_cast<size_t>(b * L + L - 1)]);
+  }
+  KvCache inc_cache;
+  model.Prefill(prefix, B, &inc_cache);
+  Tensor step = model.DecodeStep(last, &inc_cache);
+
+  Tensor full_last = full.Slice(1, L - 1, 1);
+  EXPECT_LT(MaxAbsDiff(step, full_last), 2e-3f);
+  EXPECT_EQ(inc_cache.length(), L);
+}
+
+// Causality: changing a later token must not change earlier logits.
+TEST_P(ReferenceModelTest, CausalityHolds) {
+  ModelConfig cfg = Config();
+  ModelWeights w = ModelWeights::Random(cfg, 3);
+  ReferenceModel model(&w);
+  const int64_t L = 5;
+  auto tokens = RandomTokens(L, cfg.vocab_size, 11);
+  KvCache c1, c2;
+  Tensor a = model.Prefill(tokens, 1, &c1);
+  auto tokens2 = tokens;
+  tokens2.back() = (tokens2.back() + 1) % static_cast<int32_t>(cfg.vocab_size);
+  Tensor b = model.Prefill(tokens2, 1, &c2);
+  Tensor a_head = a.Slice(1, 0, L - 1);
+  Tensor b_head = b.Slice(1, 0, L - 1);
+  EXPECT_LT(MaxAbsDiff(a_head, b_head), 1e-5f);
+  // But the last position does change.
+  EXPECT_GT(MaxAbsDiff(a.Slice(1, L - 1, 1), b.Slice(1, L - 1, 1)), 1e-4f);
+}
+
+// Sequences in a batch are independent.
+TEST_P(ReferenceModelTest, BatchIndependence) {
+  ModelConfig cfg = Config();
+  ModelWeights w = ModelWeights::Random(cfg, 4);
+  ReferenceModel model(&w);
+  const int64_t L = 4;
+  auto s1 = RandomTokens(L, cfg.vocab_size, 12);
+  auto s2 = RandomTokens(L, cfg.vocab_size, 13);
+  std::vector<int32_t> both = s1;
+  both.insert(both.end(), s2.begin(), s2.end());
+
+  KvCache cb, c1;
+  Tensor batched = model.Prefill(both, 2, &cb);
+  Tensor solo = model.Prefill(s1, 1, &c1);
+  EXPECT_LT(MaxAbsDiff(batched.Slice(0, 0, 1), solo), 1e-4f);
+}
+
+TEST_P(ReferenceModelTest, DeterministicAcrossRuns) {
+  ModelConfig cfg = Config();
+  ModelWeights w1 = ModelWeights::Random(cfg, 5);
+  ModelWeights w2 = ModelWeights::Random(cfg, 5);
+  ReferenceModel m1(&w1), m2(&w2);
+  auto tokens = RandomTokens(6, cfg.vocab_size, 14);
+  KvCache c1, c2;
+  EXPECT_EQ(MaxAbsDiff(m1.Prefill(tokens, 1, &c1), m2.Prefill(tokens, 1, &c2)), 0.0f);
+}
+
+TEST_P(ReferenceModelTest, DifferentSeedsDiffer) {
+  ModelConfig cfg = Config();
+  ModelWeights w1 = ModelWeights::Random(cfg, 6);
+  ModelWeights w2 = ModelWeights::Random(cfg, 7);
+  ReferenceModel m1(&w1), m2(&w2);
+  auto tokens = RandomTokens(4, cfg.vocab_size, 15);
+  KvCache c1, c2;
+  EXPECT_GT(MaxAbsDiff(m1.Prefill(tokens, 1, &c1), m2.Prefill(tokens, 1, &c2)), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ReferenceModelTest, ::testing::Values(0, 1, 2),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return info.param == 0   ? "MultiqueryParallel"
+                                  : info.param == 1 ? "MultiheadSerial"
+                                                    : "GroupedQueryParallel";
+                         });
+
+TEST(AttentionTest, SingleHeadUniformValuesAveragesOverPrefix) {
+  // With all keys identical, causal attention averages the values seen so
+  // far; with V = position index the output at position i is mean(0..i).
+  const int64_t T = 4, dh = 2;
+  Tensor q = Tensor::Full({1, T, 1, dh}, 1.0f);
+  Tensor k = Tensor::Full({1, T, 1, dh}, 1.0f);
+  Tensor v({1, T, 1, dh});
+  for (int64_t t = 0; t < T; ++t)
+    for (int64_t d = 0; d < dh; ++d) v.at({0, t, 0, d}) = static_cast<float>(t);
+  Tensor out = ScaledDotProductAttention(q, k, v, /*causal=*/true);
+  for (int64_t t = 0; t < T; ++t) {
+    double expect = static_cast<double>(t) / 2.0;  // mean of 0..t
+    EXPECT_NEAR(out.at({0, t, 0, 0}), expect, 1e-5) << "t=" << t;
+  }
+}
+
+TEST(AttentionTest, MultiqueryHeadsShareKv) {
+  Rng rng(20);
+  const int64_t B = 2, T = 3, H = 4, dh = 8;
+  Tensor q = Tensor::Gaussian({B, T, H, dh}, rng);
+  Tensor k = Tensor::Gaussian({B, T, 1, dh}, rng);
+  Tensor v = Tensor::Gaussian({B, T, 1, dh}, rng);
+  Tensor out = ScaledDotProductAttention(q, k, v, true);
+  // Computing each query head separately against the shared K/V matches.
+  for (int64_t h = 0; h < H; ++h) {
+    Tensor qh = q.Slice(2, h, 1);
+    Tensor oh = ScaledDotProductAttention(qh, k, v, true);
+    EXPECT_LT(MaxAbsDiff(oh, out.Slice(2, h, 1)), 1e-5f);
+  }
+}
+
+TEST(AttentionTest, NonCausalDecodeSuffixEqualsCausal) {
+  // A single query at the end of the kv block attends to everything either
+  // way; causal and non-causal agree.
+  Rng rng(21);
+  Tensor q = Tensor::Gaussian({1, 1, 2, 4}, rng);
+  Tensor k = Tensor::Gaussian({1, 7, 2, 4}, rng);
+  Tensor v = Tensor::Gaussian({1, 7, 2, 4}, rng);
+  Tensor a = ScaledDotProductAttention(q, k, v, true);
+  Tensor b = ScaledDotProductAttention(q, k, v, false);
+  EXPECT_LT(MaxAbsDiff(a, b), 1e-6f);
+}
+
+TEST(WeightsTest, Int8RoundtripKeepsLogitsClose) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights w = ModelWeights::Random(cfg, 8);
+  ModelWeights wq = ModelWeights::Random(cfg, 8);
+  wq.SimulateInt8Roundtrip();
+  ReferenceModel m(&w), mq(&wq);
+  auto tokens = RandomTokens(4, cfg.vocab_size, 16);
+  KvCache c1, c2;
+  Tensor a = m.Prefill(tokens, 1, &c1);
+  Tensor b = mq.Prefill(tokens, 1, &c2);
+  EXPECT_GT(MaxAbsDiff(a, b), 0.0f);          // quantization does something
+  EXPECT_LT(MaxAbsDiff(a, b), 0.15f * a.MaxAbs() + 0.15f);  // but not much
+}
+
+}  // namespace
+}  // namespace tsi

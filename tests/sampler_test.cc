@@ -1,0 +1,150 @@
+#include "engine/sampler.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace tsi {
+namespace {
+
+TEST(SamplerTest, GreedyPicksArgmax) {
+  std::vector<float> logits = {0.1f, 2.0f, -1.0f, 1.9f};
+  SamplerOptions opt;
+  opt.temperature = 0.0;
+  Sampler s(opt);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.Sample(logits.data(), 4), 1);
+}
+
+TEST(SamplerTest, ArgmaxTieBreaksLow) {
+  std::vector<float> logits = {1.0f, 1.0f, 0.0f};
+  EXPECT_EQ(Argmax(logits.data(), 3), 0);
+}
+
+TEST(SamplerTest, DeterministicGivenSeed) {
+  std::vector<float> logits = {1.0f, 1.1f, 0.9f, 1.05f};
+  SamplerOptions opt;
+  opt.seed = 99;
+  Sampler a(opt), b(opt);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.Sample(logits.data(), 4), b.Sample(logits.data(), 4));
+}
+
+TEST(SamplerTest, TopKRestrictsSupport) {
+  std::vector<float> logits = {5.0f, 4.0f, 3.0f, -10.0f, -11.0f};
+  SamplerOptions opt;
+  opt.top_k = 2;
+  opt.seed = 7;
+  Sampler s(opt);
+  for (int i = 0; i < 200; ++i) {
+    int32_t t = s.Sample(logits.data(), 5);
+    EXPECT_TRUE(t == 0 || t == 1) << t;
+  }
+}
+
+TEST(SamplerTest, TopPOneKeepsFullSupportReachable) {
+  // With flat logits and top_p = 1, every token should eventually appear.
+  std::vector<float> logits(8, 0.0f);
+  SamplerOptions opt;
+  opt.seed = 3;
+  Sampler s(opt);
+  std::map<int32_t, int> seen;
+  for (int i = 0; i < 2000; ++i) seen[s.Sample(logits.data(), 8)]++;
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SamplerTest, TopPTruncatesTail) {
+  // One dominant token with p > top_p: nucleus keeps only it.
+  std::vector<float> logits = {10.0f, 0.0f, 0.0f, 0.0f};
+  SamplerOptions opt;
+  opt.top_p = 0.9;
+  opt.seed = 11;
+  Sampler s(opt);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.Sample(logits.data(), 4), 0);
+}
+
+TEST(SamplerTest, TemperatureSharpensDistribution) {
+  std::vector<float> logits = {1.0f, 0.0f};
+  auto freq0 = [&](double temp) {
+    SamplerOptions opt;
+    opt.temperature = temp;
+    opt.seed = 5;
+    Sampler s(opt);
+    int c = 0;
+    for (int i = 0; i < 4000; ++i)
+      if (s.Sample(logits.data(), 2) == 0) ++c;
+    return static_cast<double>(c) / 4000;
+  };
+  double cold = freq0(0.3);
+  double hot = freq0(3.0);
+  EXPECT_GT(cold, hot);
+  EXPECT_GT(cold, 0.9);
+  EXPECT_LT(hot, 0.7);
+}
+
+TEST(SamplerTest, SampleBatchUsesLastPosition) {
+  Tensor logits(Shape{2, 3, 4});
+  // Sequence 0: last position favours token 2; sequence 1: token 3.
+  logits.at({0, 2, 2}) = 10.0f;
+  logits.at({1, 2, 3}) = 10.0f;
+  // Earlier positions favour other tokens and must be ignored.
+  logits.at({0, 0, 1}) = 20.0f;
+  logits.at({1, 1, 0}) = 20.0f;
+  SamplerOptions opt;
+  opt.temperature = 0.0;
+  Sampler s(opt);
+  auto out = s.SampleBatch(logits);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 3);
+}
+
+TEST(ArgTopKTest, ReturnsSortedTopK) {
+  std::vector<float> logits = {0.5f, 3.0f, -1.0f, 2.0f, 2.5f, 0.0f};
+  auto top3 = ArgTopK(logits.data(), 6, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], 1);
+  EXPECT_EQ(top3[1], 4);
+  EXPECT_EQ(top3[2], 3);
+}
+
+TEST(ArgTopKTest, KLargerThanVocabClamps) {
+  std::vector<float> logits = {1.0f, 2.0f};
+  auto all = ArgTopK(logits.data(), 2, 10);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], 1);
+}
+
+TEST(ArgTopKTest, TiesResolveToLowIndex) {
+  std::vector<float> logits = {1.0f, 1.0f, 1.0f, 1.0f};
+  auto top2 = ArgTopK(logits.data(), 4, 2);
+  EXPECT_EQ(top2[0], 0);
+  EXPECT_EQ(top2[1], 1);
+}
+
+TEST(ArgTopKTest, PartialSelectionMatchesFullSort) {
+  Rng rng(31);
+  std::vector<float> logits(1000);
+  for (auto& v : logits) v = static_cast<float>(rng.NextGaussian());
+  auto partial = ArgTopK(logits.data(), 1000, 16);
+  auto full = ArgTopK(logits.data(), 1000, 1000);
+  for (size_t i = 0; i < 16; ++i) EXPECT_EQ(partial[i], full[i]) << i;
+}
+
+TEST(SamplerTest, EmpiricalFrequenciesTrackSoftmax) {
+  std::vector<float> logits = {std::log(0.7f), std::log(0.2f), std::log(0.1f)};
+  SamplerOptions opt;
+  opt.seed = 17;
+  Sampler s(opt);
+  std::map<int32_t, int> seen;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) seen[s.Sample(logits.data(), 3)]++;
+  EXPECT_NEAR(seen[0] / static_cast<double>(n), 0.7, 0.02);
+  EXPECT_NEAR(seen[1] / static_cast<double>(n), 0.2, 0.02);
+  EXPECT_NEAR(seen[2] / static_cast<double>(n), 0.1, 0.02);
+}
+
+}  // namespace
+}  // namespace tsi

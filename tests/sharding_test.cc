@@ -1,0 +1,157 @@
+// Weight sharding (E_x F_yz storage, engine/sharding.h): shards must
+// reassemble exactly to the full matrices on every mesh, with the right
+// per-chip shapes, for every attention variant.
+#include "engine/sharding.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/kvcache.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+struct ShardCase {
+  int x, y, z;
+  int variant;  // 0 mqa, 1 mha, 2 gqa
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ShardCase>& info) {
+  const auto& p = info.param;
+  std::string v = p.variant == 0 ? "mqa" : (p.variant == 1 ? "mha" : "gqa");
+  return std::to_string(p.x) + "x" + std::to_string(p.y) + "x" +
+         std::to_string(p.z) + "_" + v;
+}
+
+ModelConfig ConfigFor(int variant) {
+  switch (variant) {
+    case 1: return TinyTestModelMultihead();
+    case 2: return TinyTestModelGrouped();
+    default: return TinyTestModel();
+  }
+}
+
+class ShardingTest : public ::testing::TestWithParam<ShardCase> {};
+
+// Reassembles a matrix stored rows-over-x / cols-over-yz.
+Tensor ReassembleRowsXColsYZ(const std::vector<ChipWeights>& chips,
+                             const Torus3D& mesh, int64_t layer,
+                             Tensor ShardedLayerWeights::*member,
+                             bool cols_replicated) {
+  const int X = mesh.x(), YZ = mesh.y() * mesh.z();
+  std::vector<Tensor> row_blocks;
+  for (int xr = 0; xr < X; ++xr) {
+    std::vector<Tensor> col_blocks;
+    for (int yzr = 0; yzr < (cols_replicated ? 1 : YZ); ++yzr) {
+      // Find the chip with these ranks.
+      for (int c = 0; c < mesh.num_chips(); ++c) {
+        if (mesh.RankInGroup(c, kAxisX) == xr &&
+            mesh.RankInGroup(c, kAxisY | kAxisZ) == yzr) {
+          col_blocks.push_back(
+              chips[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)].*member);
+          break;
+        }
+      }
+    }
+    row_blocks.push_back(col_blocks.size() == 1 ? col_blocks[0]
+                                                : Tensor::Concat(1, col_blocks));
+  }
+  return row_blocks.size() == 1 ? row_blocks[0] : Tensor::Concat(0, row_blocks);
+}
+
+TEST_P(ShardingTest, ShardsReassembleToFullWeights) {
+  const auto& p = GetParam();
+  ModelConfig cfg = ConfigFor(p.variant);
+  ModelWeights w = ModelWeights::Random(cfg, 11);
+  Torus3D mesh(p.x, p.y, p.z);
+  auto chips = ShardWeights(w, mesh);
+  ASSERT_EQ(static_cast<int>(chips.size()), mesh.num_chips());
+
+  const int YZ = mesh.y() * mesh.z();
+  const bool kv_replicated = cfg.n_kv_heads() % YZ != 0;
+  for (int64_t l = 0; l < cfg.num_layers; ++l) {
+    EXPECT_EQ(MaxAbsDiff(ReassembleRowsXColsYZ(chips, mesh, l,
+                                               &ShardedLayerWeights::wq, false),
+                         w.layers[static_cast<size_t>(l)].wq),
+              0.0f);
+    EXPECT_EQ(MaxAbsDiff(ReassembleRowsXColsYZ(chips, mesh, l,
+                                               &ShardedLayerWeights::wk, kv_replicated),
+                         w.layers[static_cast<size_t>(l)].wk),
+              0.0f);
+    EXPECT_EQ(MaxAbsDiff(ReassembleRowsXColsYZ(chips, mesh, l,
+                                               &ShardedLayerWeights::win, false),
+                         w.layers[static_cast<size_t>(l)].win),
+              0.0f);
+  }
+}
+
+TEST_P(ShardingTest, PerChipShapes) {
+  const auto& p = GetParam();
+  ModelConfig cfg = ConfigFor(p.variant);
+  ModelWeights w = ModelWeights::Random(cfg, 12);
+  Torus3D mesh(p.x, p.y, p.z);
+  auto chips = ShardWeights(w, mesh);
+
+  const int64_t X = mesh.x(), YZ = mesh.y() * mesh.z();
+  const int64_t E = cfg.d_model, F = cfg.d_ff, H = cfg.n_heads, dh = cfg.d_head;
+  const int64_t KV = cfg.n_kv_heads();
+  const bool kv_replicated = KV % YZ != 0;
+  for (const auto& chip : chips) {
+    const auto& lw = chip.layers[0];
+    EXPECT_EQ(lw.win.shape(), (Shape{E / X, F / YZ}));
+    EXPECT_EQ(lw.wout.shape(), (Shape{F / YZ, E / X}));
+    EXPECT_EQ(lw.wq.shape(), (Shape{E / X, H / YZ * dh}));
+    EXPECT_EQ(lw.wo.shape(), (Shape{H / YZ * dh, E / X}));
+    int64_t kv_cols = kv_replicated ? KV * dh : KV / YZ * dh;
+    EXPECT_EQ(lw.wk.shape(), (Shape{E / X, kv_cols}));
+    EXPECT_EQ(lw.ln_gain.shape(), (Shape{E / X}));
+  }
+}
+
+TEST_P(ShardingTest, TotalShardBytesAccounting) {
+  // Non-replicated matrices: per-chip bytes sum to exactly the full matrix;
+  // replicated K/V: yz copies.
+  const auto& p = GetParam();
+  ModelConfig cfg = ConfigFor(p.variant);
+  ModelWeights w = ModelWeights::Random(cfg, 13);
+  Torus3D mesh(p.x, p.y, p.z);
+  auto chips = ShardWeights(w, mesh);
+  int64_t total_win = 0, total_wk = 0;
+  for (const auto& chip : chips) {
+    total_win += chip.layers[0].win.numel();
+    total_wk += chip.layers[0].wk.numel();
+  }
+  EXPECT_EQ(total_win, w.layers[0].win.numel());
+  const int64_t YZ = mesh.y() * mesh.z();
+  const bool kv_replicated = cfg.n_kv_heads() % YZ != 0;
+  EXPECT_EQ(total_wk, w.layers[0].wk.numel() * (kv_replicated ? YZ : 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Meshes, ShardingTest,
+                         ::testing::Values(ShardCase{1, 1, 1, 0},
+                                           ShardCase{2, 2, 1, 0},
+                                           ShardCase{2, 2, 2, 0},
+                                           ShardCase{4, 2, 1, 1},
+                                           ShardCase{2, 2, 2, 1},
+                                           ShardCase{1, 2, 2, 2},
+                                           ShardCase{2, 1, 2, 2},
+                                           ShardCase{2, 2, 2, 2}),
+                         CaseName);
+
+TEST(ShardedKvCacheTest, AppendsAndTracksLength) {
+  ShardedKvCache cache(2, 3, AttnSharding::kBatch);
+  EXPECT_EQ(cache.length(), 0);
+  Tensor kv({2, 4, 1, 8});
+  for (int chip = 0; chip < 2; ++chip)
+    for (int64_t layer = 0; layer < 3; ++layer) cache.Append(chip, layer, kv, kv);
+  EXPECT_EQ(cache.length(), 4);
+  for (int chip = 0; chip < 2; ++chip)
+    for (int64_t layer = 0; layer < 3; ++layer) cache.Append(chip, layer, kv, kv);
+  EXPECT_EQ(cache.length(), 8);
+  EXPECT_EQ(cache.K(1, 2).dim(1), 8);
+  // 2 chips * 3 layers * K&V * 8 tokens * 1 head * 8 dh * 2 bytes.
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 2 * 3 * 2 * (2 * 8 * 1 * 8) * 2.0);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,201 @@
+// Threaded SPMD runtime: the rendezvous collectives must agree exactly with
+// the lockstep simulator's collectives on every mesh/axis combination, under
+// real concurrency, across many repeated rounds.
+#include "sim/threaded.h"
+
+#include <atomic>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hw/chip.h"
+#include "sim/collectives.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+ShardVec RandomShards(int n, Shape shape, uint64_t seed) {
+  ShardVec shards;
+  for (int c = 0; c < n; ++c) {
+    Rng rng(Rng::DeriveSeed(seed, static_cast<uint64_t>(c)));
+    shards.push_back(Tensor::Gaussian(shape, rng));
+  }
+  return shards;
+}
+
+struct ThreadedCase {
+  int x, y, z;
+  unsigned mask;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<ThreadedCase>& info) {
+  const auto& p = info.param;
+  return std::to_string(p.x) + "x" + std::to_string(p.y) + "x" +
+         std::to_string(p.z) + "_" + AxisName(p.mask);
+}
+
+class ThreadedCollectiveTest : public ::testing::TestWithParam<ThreadedCase> {};
+
+TEST_P(ThreadedCollectiveTest, AllGatherMatchesLockstep) {
+  auto p = GetParam();
+  Torus3D topo(p.x, p.y, p.z);
+  int n = topo.num_chips();
+  int k = topo.GroupSize(p.mask);
+  ShardVec in = RandomShards(n, {2, 3}, 1);
+
+  SimMachine lockstep(topo, TpuV4());
+  ShardVec want = AllGather(lockstep, in, p.mask, 0);
+
+  ThreadedCollectives tc(topo);
+  ShardVec got(static_cast<size_t>(n));
+  RunSpmd(n, [&](int chip) {
+    got[static_cast<size_t>(chip)] =
+        tc.AllGather(chip, p.mask, in[static_cast<size_t>(chip)], 0);
+  });
+  for (int c = 0; c < n; ++c) {
+    EXPECT_EQ(got[static_cast<size_t>(c)].dim(0), 2 * k);
+    EXPECT_EQ(MaxAbsDiff(got[static_cast<size_t>(c)], want[static_cast<size_t>(c)]), 0.0f);
+  }
+}
+
+TEST_P(ThreadedCollectiveTest, ReduceScatterMatchesLockstep) {
+  auto p = GetParam();
+  Torus3D topo(p.x, p.y, p.z);
+  int n = topo.num_chips();
+  int k = topo.GroupSize(p.mask);
+  ShardVec in = RandomShards(n, {static_cast<int64_t>(4 * k), 3}, 2);
+
+  SimMachine lockstep(topo, TpuV4());
+  ShardVec want = ReduceScatter(lockstep, in, p.mask, 0);
+
+  ThreadedCollectives tc(topo);
+  ShardVec got(static_cast<size_t>(n));
+  RunSpmd(n, [&](int chip) {
+    got[static_cast<size_t>(chip)] =
+        tc.ReduceScatter(chip, p.mask, in[static_cast<size_t>(chip)], 0);
+  });
+  for (int c = 0; c < n; ++c) {
+    EXPECT_LT(MaxAbsDiff(got[static_cast<size_t>(c)], want[static_cast<size_t>(c)]), 1e-5f);
+  }
+}
+
+TEST_P(ThreadedCollectiveTest, AllReduceMatchesLockstep) {
+  auto p = GetParam();
+  Torus3D topo(p.x, p.y, p.z);
+  int n = topo.num_chips();
+  ShardVec in = RandomShards(n, {3, 5}, 3);
+
+  SimMachine lockstep(topo, TpuV4());
+  ShardVec want = AllReduce(lockstep, in, p.mask);
+
+  ThreadedCollectives tc(topo);
+  ShardVec got(static_cast<size_t>(n));
+  RunSpmd(n, [&](int chip) {
+    got[static_cast<size_t>(chip)] =
+        tc.AllReduce(chip, p.mask, in[static_cast<size_t>(chip)]);
+  });
+  for (int c = 0; c < n; ++c) {
+    EXPECT_LT(MaxAbsDiff(got[static_cast<size_t>(c)], want[static_cast<size_t>(c)]), 1e-5f);
+  }
+}
+
+TEST_P(ThreadedCollectiveTest, AllToAllMatchesLockstep) {
+  auto p = GetParam();
+  Torus3D topo(p.x, p.y, p.z);
+  int n = topo.num_chips();
+  int k = topo.GroupSize(p.mask);
+  ShardVec in = RandomShards(n, {static_cast<int64_t>(2 * k), 3}, 4);
+
+  SimMachine lockstep(topo, TpuV4());
+  ShardVec want = AllToAll(lockstep, in, p.mask, 0, 1);
+
+  ThreadedCollectives tc(topo);
+  ShardVec got(static_cast<size_t>(n));
+  RunSpmd(n, [&](int chip) {
+    got[static_cast<size_t>(chip)] =
+        tc.AllToAll(chip, p.mask, in[static_cast<size_t>(chip)], 0, 1);
+  });
+  for (int c = 0; c < n; ++c) {
+    EXPECT_EQ(MaxAbsDiff(got[static_cast<size_t>(c)], want[static_cast<size_t>(c)]), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Meshes, ThreadedCollectiveTest,
+    ::testing::Values(ThreadedCase{1, 1, 1, kAxisXYZ},
+                      ThreadedCase{4, 1, 1, kAxisX},
+                      ThreadedCase{2, 2, 1, kAxisY},
+                      ThreadedCase{2, 2, 2, kAxisY | kAxisZ},
+                      ThreadedCase{2, 2, 2, kAxisXYZ},
+                      ThreadedCase{2, 3, 2, kAxisXY}),
+    CaseName);
+
+// Many rounds over overlapping groups: the epoch machinery must keep rounds
+// separate even when fast threads lap slow ones.
+TEST(ThreadedStressTest, RepeatedRoundsStayConsistent) {
+  Torus3D topo(2, 2, 2);
+  const int n = topo.num_chips();
+  const int rounds = 200;
+  ThreadedCollectives tc(topo);
+  std::atomic<int> failures{0};
+  RunSpmd(n, [&](int chip) {
+    for (int r = 0; r < rounds; ++r) {
+      // Alternate axes so groups interleave.
+      unsigned mask = (r % 3 == 0) ? kAxisX : (r % 3 == 1) ? kAxisY | kAxisZ : kAxisXYZ;
+      Tensor t = Tensor::Full({4}, static_cast<float>(chip + r));
+      Tensor sum = tc.AllReduce(chip, mask, t);
+      // Expected: sum over group members of (member + r).
+      double want = 0;
+      for (int g : topo.GroupOf(chip, mask)) want += g + r;
+      if (std::fabs(sum[0] - want) > 1e-4) failures.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// A distributed matmul written SPMD-style: each thread owns a column shard
+// of B, computes its partial product, and all-gathers the result.
+TEST(ThreadedSpmdTest, ColumnShardedMatMul) {
+  Torus3D topo(1, 2, 2);
+  const int n = topo.num_chips();
+  Rng rng(7);
+  Tensor a = Tensor::Gaussian({6, 8}, rng);
+  Tensor b = Tensor::Gaussian({8, 12}, rng);
+  Tensor want = MatMul(a, b);
+
+  ThreadedCollectives tc(topo);
+  ShardVec got(static_cast<size_t>(n));
+  RunSpmd(n, [&](int chip) {
+    int r = topo.RankInGroup(chip, kAxisXYZ);
+    Tensor local = MatMul(a, b.Chunk(1, n, r));
+    got[static_cast<size_t>(chip)] = tc.AllGather(chip, kAxisXYZ, local, 1);
+  });
+  for (int c = 0; c < n; ++c)
+    EXPECT_LT(MaxAbsDiff(got[static_cast<size_t>(c)], want), 1e-5f);
+}
+
+TEST(ThreadedSpmdTest, BarrierSynchronizes) {
+  Torus3D topo(2, 2, 1);
+  ThreadedCollectives tc(topo);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> ok{true};
+  RunSpmd(topo.num_chips(), [&](int chip) {
+    phase1.fetch_add(1);
+    tc.Barrier(chip, kAxisXYZ);
+    // After the barrier, every thread must observe all phase-1 increments.
+    if (phase1.load() != topo.num_chips()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadedSpmdTest, SingleChipDegenerates) {
+  ThreadedCollectives tc(Torus3D(1, 1, 1));
+  Tensor t = Tensor::Full({3}, 2.0f);
+  Tensor ag = tc.AllGather(0, kAxisXYZ, t, 0);
+  EXPECT_EQ(ag.dim(0), 3);
+  EXPECT_EQ(tc.AllReduce(0, kAxisXYZ, t)[0], 2.0f);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,102 @@
+#include "hw/topology.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tsi {
+namespace {
+
+TEST(TopologyTest, CoordRoundtrip) {
+  Torus3D t(4, 2, 3);
+  for (int c = 0; c < t.num_chips(); ++c) {
+    EXPECT_EQ(t.ChipAt(t.CoordOf(c)), c);
+  }
+}
+
+TEST(TopologyTest, GroupSizes) {
+  Torus3D t(4, 2, 3);
+  EXPECT_EQ(t.GroupSize(kAxisNone), 1);
+  EXPECT_EQ(t.GroupSize(kAxisX), 4);
+  EXPECT_EQ(t.GroupSize(kAxisY), 2);
+  EXPECT_EQ(t.GroupSize(kAxisZ), 3);
+  EXPECT_EQ(t.GroupSize(kAxisXY), 8);
+  EXPECT_EQ(t.GroupSize(kAxisXYZ), 24);
+}
+
+TEST(TopologyTest, AxisNames) {
+  EXPECT_EQ(AxisName(kAxisNone), "-");
+  EXPECT_EQ(AxisName(kAxisX), "x");
+  EXPECT_EQ(AxisName(kAxisXY), "xy");
+  EXPECT_EQ(AxisName(kAxisXYZ), "xyz");
+  EXPECT_EQ(AxisName(kAxisY | kAxisZ), "yz");
+}
+
+class TopologyGroupTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TopologyGroupTest, GroupsPartitionChips) {
+  unsigned mask = GetParam();
+  Torus3D t(2, 3, 2);
+  std::set<int> covered;
+  for (int c = 0; c < t.num_chips(); ++c) {
+    std::vector<int> group = t.GroupOf(c, mask);
+    EXPECT_EQ(static_cast<int>(group.size()), t.GroupSize(mask));
+    // Every member sees the identical ordered group.
+    for (int g : group) EXPECT_EQ(t.GroupOf(g, mask), group);
+    // Chip is in its own group at its reported rank.
+    EXPECT_EQ(group[static_cast<size_t>(t.RankInGroup(c, mask))], c);
+    covered.insert(group.begin(), group.end());
+  }
+  EXPECT_EQ(static_cast<int>(covered.size()), t.num_chips());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, TopologyGroupTest,
+                         ::testing::Values(kAxisNone, kAxisX, kAxisY, kAxisZ,
+                                           kAxisXY, kAxisX | kAxisZ,
+                                           kAxisY | kAxisZ, kAxisXYZ));
+
+TEST(TopologyTest, GroupMembersShareUnmaskedCoords) {
+  Torus3D t(2, 2, 4);
+  for (int c = 0; c < t.num_chips(); ++c) {
+    Coord base = t.CoordOf(c);
+    for (int g : t.GroupOf(c, kAxisY)) {
+      Coord gc = t.CoordOf(g);
+      EXPECT_EQ(gc.x, base.x);
+      EXPECT_EQ(gc.z, base.z);
+    }
+  }
+}
+
+TEST(TopologyTest, AllTorusShapesEnumeratesFactorizations) {
+  auto shapes = AllTorusShapes(12);
+  // 12 = product of ordered triples: count divisor triples.
+  int count = 0;
+  for (int x = 1; x <= 12; ++x)
+    for (int y = 1; y <= 12; ++y)
+      for (int z = 1; z <= 12; ++z)
+        if (x * y * z == 12) ++count;
+  EXPECT_EQ(static_cast<int>(shapes.size()), count);
+  for (const auto& s : shapes) EXPECT_EQ(s.num_chips(), 12);
+}
+
+TEST(TopologyTest, AllTorusShapesUnique) {
+  auto shapes = AllTorusShapes(64);
+  std::set<std::string> seen;
+  for (const auto& s : shapes) EXPECT_TRUE(seen.insert(s.ToString()).second);
+}
+
+TEST(TopologyTest, SingleChipDegenerate) {
+  Torus3D t(1, 1, 1);
+  EXPECT_EQ(t.num_chips(), 1);
+  EXPECT_EQ(t.GroupOf(0, kAxisXYZ), std::vector<int>{0});
+  EXPECT_EQ(t.RankInGroup(0, kAxisXYZ), 0);
+}
+
+TEST(TopologyTest, ToStringFormat) {
+  EXPECT_EQ(Torus3D(4, 4, 4).ToString(), "4x4x4");
+  EXPECT_EQ(Torus3D(1, 2, 8).ToString(), "1x2x8");
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "util/table.h"
+
+namespace tsi {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvHasNoPadding) {
+  Table t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(FormatTest, Milliseconds) {
+  EXPECT_EQ(FormatMs(0.0285), "28.5ms");
+  EXPECT_EQ(FormatMs(1.9), "1.90s");
+  EXPECT_EQ(FormatMs(0.0001), "0.1ms");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.76), "76%");
+  EXPECT_EQ(FormatPercent(0.0), "0%");
+  EXPECT_EQ(FormatPercent(1.0), "100%");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(32.0 * 1024 * 1024 * 1024), "32.0 GiB");
+  EXPECT_EQ(FormatBytes(3.0e12), "2.7 TiB");
+}
+
+TEST(FormatTest, Counts) {
+  EXPECT_EQ(FormatCount(540000000000ll), "540B");
+  EXPECT_EQ(FormatCount(1200000), "1.2M");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1500), "1.5k");
+  EXPECT_EQ(FormatCount(1300000000000ll), "1.3T");
+}
+
+TEST(FormatTest, DoubleDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.0, 0), "3");
+}
+
+}  // namespace
+}  // namespace tsi
