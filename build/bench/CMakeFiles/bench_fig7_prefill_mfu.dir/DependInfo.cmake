@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_prefill_mfu.cc" "bench/CMakeFiles/bench_fig7_prefill_mfu.dir/bench_fig7_prefill_mfu.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_prefill_mfu.dir/bench_fig7_prefill_mfu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_prefill_mfu.dir/bench_fig7_prefill_mfu.cc.o"
+  "CMakeFiles/bench_fig7_prefill_mfu.dir/bench_fig7_prefill_mfu.cc.o.d"
+  "bench_fig7_prefill_mfu"
+  "bench_fig7_prefill_mfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_prefill_mfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

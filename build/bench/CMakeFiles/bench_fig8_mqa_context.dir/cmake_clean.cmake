@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mqa_context.dir/bench_fig8_mqa_context.cc.o"
+  "CMakeFiles/bench_fig8_mqa_context.dir/bench_fig8_mqa_context.cc.o.d"
+  "bench_fig8_mqa_context"
+  "bench_fig8_mqa_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mqa_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

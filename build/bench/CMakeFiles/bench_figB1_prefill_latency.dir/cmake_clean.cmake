@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figB1_prefill_latency.dir/bench_figB1_prefill_latency.cc.o"
+  "CMakeFiles/bench_figB1_prefill_latency.dir/bench_figB1_prefill_latency.cc.o.d"
+  "bench_figB1_prefill_latency"
+  "bench_figB1_prefill_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figB1_prefill_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figC1_mfu_vs_latency.
+# This may be replaced when dependencies are built.

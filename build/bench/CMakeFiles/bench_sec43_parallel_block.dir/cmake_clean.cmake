@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_parallel_block.dir/bench_sec43_parallel_block.cc.o"
+  "CMakeFiles/bench_sec43_parallel_block.dir/bench_sec43_parallel_block.cc.o.d"
+  "bench_sec43_parallel_block"
+  "bench_sec43_parallel_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_parallel_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

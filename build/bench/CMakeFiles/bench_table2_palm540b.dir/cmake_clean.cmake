@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_palm540b.dir/bench_table2_palm540b.cc.o"
+  "CMakeFiles/bench_table2_palm540b.dir/bench_table2_palm540b.cc.o.d"
+  "bench_table2_palm540b"
+  "bench_table2_palm540b.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_palm540b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

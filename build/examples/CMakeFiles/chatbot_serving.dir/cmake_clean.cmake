@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chatbot_serving.dir/chatbot_serving.cpp.o"
+  "CMakeFiles/chatbot_serving.dir/chatbot_serving.cpp.o.d"
+  "chatbot_serving"
+  "chatbot_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chatbot_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

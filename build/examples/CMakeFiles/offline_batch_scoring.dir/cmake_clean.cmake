@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_batch_scoring.dir/offline_batch_scoring.cpp.o"
+  "CMakeFiles/offline_batch_scoring.dir/offline_batch_scoring.cpp.o.d"
+  "offline_batch_scoring"
+  "offline_batch_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_batch_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

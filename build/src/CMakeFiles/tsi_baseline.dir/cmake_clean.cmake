@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_baseline.dir/baseline/ft.cc.o"
+  "CMakeFiles/tsi_baseline.dir/baseline/ft.cc.o.d"
+  "CMakeFiles/tsi_baseline.dir/baseline/published.cc.o"
+  "CMakeFiles/tsi_baseline.dir/baseline/published.cc.o.d"
+  "libtsi_baseline.a"
+  "libtsi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_comm.dir/comm/cost.cc.o"
+  "CMakeFiles/tsi_comm.dir/comm/cost.cc.o.d"
+  "libtsi_comm.a"
+  "libtsi_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

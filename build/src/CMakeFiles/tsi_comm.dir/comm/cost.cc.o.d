@@ -1,0 +1,2 @@
+src/CMakeFiles/tsi_comm.dir/comm/cost.cc.o: /root/repo/src/comm/cost.cc \
+ /usr/include/stdc-predef.h /root/repo/src/comm/cost.h

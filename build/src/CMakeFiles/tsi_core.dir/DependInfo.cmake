@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attn_cost.cc" "src/CMakeFiles/tsi_core.dir/core/attn_cost.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/attn_cost.cc.o.d"
+  "/root/repo/src/core/block_cost.cc" "src/CMakeFiles/tsi_core.dir/core/block_cost.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/block_cost.cc.o.d"
+  "/root/repo/src/core/ffn_cost.cc" "src/CMakeFiles/tsi_core.dir/core/ffn_cost.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/ffn_cost.cc.o.d"
+  "/root/repo/src/core/flops.cc" "src/CMakeFiles/tsi_core.dir/core/flops.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/flops.cc.o.d"
+  "/root/repo/src/core/inference_cost.cc" "src/CMakeFiles/tsi_core.dir/core/inference_cost.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/inference_cost.cc.o.d"
+  "/root/repo/src/core/layouts.cc" "src/CMakeFiles/tsi_core.dir/core/layouts.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/layouts.cc.o.d"
+  "/root/repo/src/core/memory.cc" "src/CMakeFiles/tsi_core.dir/core/memory.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/memory.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/CMakeFiles/tsi_core.dir/core/planner.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/planner.cc.o.d"
+  "/root/repo/src/core/serving.cc" "src/CMakeFiles/tsi_core.dir/core/serving.cc.o" "gcc" "src/CMakeFiles/tsi_core.dir/core/serving.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_core.dir/core/attn_cost.cc.o"
+  "CMakeFiles/tsi_core.dir/core/attn_cost.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/block_cost.cc.o"
+  "CMakeFiles/tsi_core.dir/core/block_cost.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/ffn_cost.cc.o"
+  "CMakeFiles/tsi_core.dir/core/ffn_cost.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/flops.cc.o"
+  "CMakeFiles/tsi_core.dir/core/flops.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/inference_cost.cc.o"
+  "CMakeFiles/tsi_core.dir/core/inference_cost.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/layouts.cc.o"
+  "CMakeFiles/tsi_core.dir/core/layouts.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/memory.cc.o"
+  "CMakeFiles/tsi_core.dir/core/memory.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/planner.cc.o"
+  "CMakeFiles/tsi_core.dir/core/planner.cc.o.d"
+  "CMakeFiles/tsi_core.dir/core/serving.cc.o"
+  "CMakeFiles/tsi_core.dir/core/serving.cc.o.d"
+  "libtsi_core.a"
+  "libtsi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

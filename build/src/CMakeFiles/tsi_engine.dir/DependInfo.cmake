@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/tsi_engine.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/tsi_engine.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/generation.cc" "src/CMakeFiles/tsi_engine.dir/engine/generation.cc.o" "gcc" "src/CMakeFiles/tsi_engine.dir/engine/generation.cc.o.d"
+  "/root/repo/src/engine/kvcache.cc" "src/CMakeFiles/tsi_engine.dir/engine/kvcache.cc.o" "gcc" "src/CMakeFiles/tsi_engine.dir/engine/kvcache.cc.o.d"
+  "/root/repo/src/engine/sampler.cc" "src/CMakeFiles/tsi_engine.dir/engine/sampler.cc.o" "gcc" "src/CMakeFiles/tsi_engine.dir/engine/sampler.cc.o.d"
+  "/root/repo/src/engine/sharding.cc" "src/CMakeFiles/tsi_engine.dir/engine/sharding.cc.o" "gcc" "src/CMakeFiles/tsi_engine.dir/engine/sharding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

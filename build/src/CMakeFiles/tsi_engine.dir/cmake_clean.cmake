@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_engine.dir/engine/engine.cc.o"
+  "CMakeFiles/tsi_engine.dir/engine/engine.cc.o.d"
+  "CMakeFiles/tsi_engine.dir/engine/generation.cc.o"
+  "CMakeFiles/tsi_engine.dir/engine/generation.cc.o.d"
+  "CMakeFiles/tsi_engine.dir/engine/kvcache.cc.o"
+  "CMakeFiles/tsi_engine.dir/engine/kvcache.cc.o.d"
+  "CMakeFiles/tsi_engine.dir/engine/sampler.cc.o"
+  "CMakeFiles/tsi_engine.dir/engine/sampler.cc.o.d"
+  "CMakeFiles/tsi_engine.dir/engine/sharding.cc.o"
+  "CMakeFiles/tsi_engine.dir/engine/sharding.cc.o.d"
+  "libtsi_engine.a"
+  "libtsi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_hw.dir/hw/chip.cc.o"
+  "CMakeFiles/tsi_hw.dir/hw/chip.cc.o.d"
+  "CMakeFiles/tsi_hw.dir/hw/topology.cc.o"
+  "CMakeFiles/tsi_hw.dir/hw/topology.cc.o.d"
+  "libtsi_hw.a"
+  "libtsi_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

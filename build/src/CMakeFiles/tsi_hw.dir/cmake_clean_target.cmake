@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsi_hw.a"
+)

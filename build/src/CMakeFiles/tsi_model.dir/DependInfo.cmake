@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attention.cc" "src/CMakeFiles/tsi_model.dir/model/attention.cc.o" "gcc" "src/CMakeFiles/tsi_model.dir/model/attention.cc.o.d"
+  "/root/repo/src/model/checkpoint.cc" "src/CMakeFiles/tsi_model.dir/model/checkpoint.cc.o" "gcc" "src/CMakeFiles/tsi_model.dir/model/checkpoint.cc.o.d"
+  "/root/repo/src/model/config.cc" "src/CMakeFiles/tsi_model.dir/model/config.cc.o" "gcc" "src/CMakeFiles/tsi_model.dir/model/config.cc.o.d"
+  "/root/repo/src/model/reference.cc" "src/CMakeFiles/tsi_model.dir/model/reference.cc.o" "gcc" "src/CMakeFiles/tsi_model.dir/model/reference.cc.o.d"
+  "/root/repo/src/model/weights.cc" "src/CMakeFiles/tsi_model.dir/model/weights.cc.o" "gcc" "src/CMakeFiles/tsi_model.dir/model/weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

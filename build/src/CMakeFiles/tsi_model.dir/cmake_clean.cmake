@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_model.dir/model/attention.cc.o"
+  "CMakeFiles/tsi_model.dir/model/attention.cc.o.d"
+  "CMakeFiles/tsi_model.dir/model/checkpoint.cc.o"
+  "CMakeFiles/tsi_model.dir/model/checkpoint.cc.o.d"
+  "CMakeFiles/tsi_model.dir/model/config.cc.o"
+  "CMakeFiles/tsi_model.dir/model/config.cc.o.d"
+  "CMakeFiles/tsi_model.dir/model/reference.cc.o"
+  "CMakeFiles/tsi_model.dir/model/reference.cc.o.d"
+  "CMakeFiles/tsi_model.dir/model/weights.cc.o"
+  "CMakeFiles/tsi_model.dir/model/weights.cc.o.d"
+  "libtsi_model.a"
+  "libtsi_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_quant.dir/quant/int8.cc.o"
+  "CMakeFiles/tsi_quant.dir/quant/int8.cc.o.d"
+  "libtsi_quant.a"
+  "libtsi_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/collective_einsum.cc" "src/CMakeFiles/tsi_sim.dir/sim/collective_einsum.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/collective_einsum.cc.o.d"
+  "/root/repo/src/sim/collectives.cc" "src/CMakeFiles/tsi_sim.dir/sim/collectives.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/collectives.cc.o.d"
+  "/root/repo/src/sim/exchange.cc" "src/CMakeFiles/tsi_sim.dir/sim/exchange.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/exchange.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/CMakeFiles/tsi_sim.dir/sim/machine.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/machine.cc.o.d"
+  "/root/repo/src/sim/ring.cc" "src/CMakeFiles/tsi_sim.dir/sim/ring.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/ring.cc.o.d"
+  "/root/repo/src/sim/threaded.cc" "src/CMakeFiles/tsi_sim.dir/sim/threaded.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/threaded.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/tsi_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/tsi_sim.dir/sim/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsi_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

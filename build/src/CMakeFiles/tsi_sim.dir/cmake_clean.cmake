@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_sim.dir/sim/collective_einsum.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/collective_einsum.cc.o.d"
+  "CMakeFiles/tsi_sim.dir/sim/collectives.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/collectives.cc.o.d"
+  "CMakeFiles/tsi_sim.dir/sim/exchange.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/exchange.cc.o.d"
+  "CMakeFiles/tsi_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/tsi_sim.dir/sim/ring.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/ring.cc.o.d"
+  "CMakeFiles/tsi_sim.dir/sim/threaded.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/threaded.cc.o.d"
+  "CMakeFiles/tsi_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/tsi_sim.dir/sim/trace.cc.o.d"
+  "libtsi_sim.a"
+  "libtsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

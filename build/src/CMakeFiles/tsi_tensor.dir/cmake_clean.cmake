@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/tsi_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/tsi_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/tsi_tensor.dir/tensor/tensor.cc.o.d"
+  "libtsi_tensor.a"
+  "libtsi_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsi_util.dir/util/logging.cc.o"
+  "CMakeFiles/tsi_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/tsi_util.dir/util/rng.cc.o"
+  "CMakeFiles/tsi_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/tsi_util.dir/util/table.cc.o"
+  "CMakeFiles/tsi_util.dir/util/table.cc.o.d"
+  "libtsi_util.a"
+  "libtsi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attn_cost_test.dir/attn_cost_test.cc.o"
+  "CMakeFiles/attn_cost_test.dir/attn_cost_test.cc.o.d"
+  "attn_cost_test"
+  "attn_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attn_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_cost_test.dir/comm_cost_test.cc.o"
+  "CMakeFiles/comm_cost_test.dir/comm_cost_test.cc.o.d"
+  "comm_cost_test"
+  "comm_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

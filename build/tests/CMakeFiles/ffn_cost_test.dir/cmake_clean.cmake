@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ffn_cost_test.dir/ffn_cost_test.cc.o"
+  "CMakeFiles/ffn_cost_test.dir/ffn_cost_test.cc.o.d"
+  "ffn_cost_test"
+  "ffn_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ffn_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
