@@ -1,7 +1,12 @@
 // Experiment E15 -- google-benchmark microbenchmarks of the functional
 // collectives substrate: wall-clock cost of simulating each collective, and
 // (as counters) the virtual time / traffic the simulator charges.
+//
+// Writes BENCH_micro_collectives.json (override with TSI_BENCH_JSON); see
+// json_reporter.h for the record format.
 #include <benchmark/benchmark.h>
+
+#include "json_reporter.h"
 
 #include "hw/chip.h"
 #include "sim/collective_einsum.h"
@@ -88,16 +93,18 @@ BENCHMARK(BM_RingAllGather);
 
 void BM_ThreadedAllReduce(benchmark::State& state) {
   // Rendezvous-based concurrent collective: measures the thread + exchange
-  // overhead of the SPMD runtime.
+  // overhead of the SPMD runtime. The collectives object lives across
+  // iterations, so this exercises the steady-state path (cached channels,
+  // reused SPMD threads), not setup cost.
   Torus3D topo(2, 2, 2);
   ShardVec in;
   for (int c = 0; c < topo.num_chips(); ++c) {
     Rng rng(static_cast<uint64_t>(c + 100));
     in.push_back(Tensor::Gaussian({64, 64}, rng));
   }
+  ThreadedCollectives tc(topo);
+  ShardVec out(static_cast<size_t>(topo.num_chips()));
   for (auto _ : state) {
-    ThreadedCollectives tc(topo);
-    ShardVec out(static_cast<size_t>(topo.num_chips()));
     RunSpmd(topo.num_chips(), [&](int chip) {
       out[static_cast<size_t>(chip)] =
           tc.AllReduce(chip, kAxisXYZ, in[static_cast<size_t>(chip)]);
@@ -106,6 +113,27 @@ void BM_ThreadedAllReduce(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThreadedAllReduce);
+
+void BM_ThreadedAllGather(benchmark::State& state) {
+  // Zero-copy gather: deposits travel by shared_ptr and land in one output
+  // buffer (no per-member deep copies, no Concat temporaries).
+  Torus3D topo(2, 2, 2);
+  ShardVec in;
+  for (int c = 0; c < topo.num_chips(); ++c) {
+    Rng rng(static_cast<uint64_t>(c + 200));
+    in.push_back(Tensor::Gaussian({256, 64}, rng));
+  }
+  ThreadedCollectives tc(topo);
+  ShardVec out(static_cast<size_t>(topo.num_chips()));
+  for (auto _ : state) {
+    RunSpmd(topo.num_chips(), [&](int chip) {
+      out[static_cast<size_t>(chip)] =
+          tc.AllGather(chip, kAxisXYZ, in[static_cast<size_t>(chip)], 0);
+    });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ThreadedAllGather);
 
 void BM_LoopedMatMulReduceScatter(benchmark::State& state) {
   SimMachine m(Torus3D(4, 1, 1), TpuV4());
@@ -123,4 +151,14 @@ BENCHMARK(BM_LoopedMatMulReduceScatter);
 }  // namespace
 }  // namespace tsi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  tsi::InitializeForFileReporter(&argc, argv, &args);
+  if (benchmark::ReportUnrecognizedArguments(argc, args.data())) return 1;
+  benchmark::ConsoleReporter display;
+  tsi::JsonFileReporter json(
+      tsi::BenchJsonPath("BENCH_micro_collectives.json"));
+  benchmark::RunSpecifiedBenchmarks(&display, &json);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,8 +1,16 @@
 // Experiment E16 -- google-benchmark microbenchmarks of the tensor
-// substrate: matmul, quantized matmul, softmax variants (§3.5's base-2
+// substrate: matmul (blocked kernel vs the pre-kernel-layer naive loop),
+// fused epilogues, quantized matmul, softmax variants (§3.5's base-2
 // formulation), attention.
+//
+// Writes BENCH_micro.json (override with TSI_BENCH_JSON) with one record per
+// run: op, shape, ns/iter, GFLOP/s. items processed == flops, so GFLOP/s is
+// items_per_second/1e9.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
+#include "json_reporter.h"
 #include "model/attention.h"
 #include "quant/int8.h"
 #include "tensor/ops.h"
@@ -12,17 +20,80 @@ namespace tsi {
 namespace {
 
 void BM_MatMul(benchmark::State& state) {
-  int64_t n = state.range(0);
+  int64_t m = state.range(0), k = state.range(1), n = state.range(2);
   Rng rng(1);
-  Tensor a = Tensor::Gaussian({n, n}, rng);
-  Tensor b = Tensor::Gaussian({n, n}, rng);
+  Tensor a = Tensor::Gaussian({m, k}, rng);
+  Tensor b = Tensor::Gaussian({k, n}, rng);
   for (auto _ : state) {
     Tensor c = MatMul(a, b);
     benchmark::DoNotOptimize(c);
   }
-  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)
+    ->Args({32, 32, 32})
+    ->Args({64, 64, 64})
+    ->Args({128, 128, 128})
+    ->Args({512, 2048, 2048})
+    ->Args({1024, 4096, 4096});  // the ISSUE-1 acceptance shape
+
+// The seed repository's MatMul (i-k-j, double accumulator row, no blocking,
+// no SIMD) -- kept runnable as the "before" row of BENCH_micro.json so the
+// kernel-layer speedup is measured, not remembered. One iteration: this is
+// O(10 s) at the acceptance shape.
+void BM_MatMulNaiveSeed(benchmark::State& state) {
+  int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(1);
+  Tensor a = Tensor::Gaussian({m, k}, rng);
+  Tensor b = Tensor::Gaussian({k, n}, rng);
+  std::vector<double> acc(static_cast<size_t>(n));
+  for (auto _ : state) {
+    Tensor c({m, n});
+    const float* A = a.data();
+    const float* B = b.data();
+    float* C = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        double av = A[i * k + kk];
+        if (av == 0.0) continue;
+        const float* brow = B + kk * n;
+        for (int64_t j = 0; j < n; ++j) acc[static_cast<size_t>(j)] += av * brow[j];
+      }
+      for (int64_t j = 0; j < n; ++j) C[i * n + j] = static_cast<float>(acc[static_cast<size_t>(j)]);
+    }
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_MatMulNaiveSeed)->Args({1024, 4096, 4096})->Iterations(1);
+
+void BM_MatMulGelu(benchmark::State& state) {
+  // Fused projection + activation, as used by the FFN hot path.
+  int64_t m = state.range(0), k = state.range(1), n = state.range(2);
+  Rng rng(6);
+  Tensor a = Tensor::Gaussian({m, k}, rng);
+  Tensor b = Tensor::Gaussian({k, n}, rng);
+  for (auto _ : state) {
+    Tensor c = MatMulGelu(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+BENCHMARK(BM_MatMulGelu)->Args({256, 1024, 4096});
+
+void BM_BatchMatMul(benchmark::State& state) {
+  int64_t b = state.range(0), n = state.range(1);
+  Rng rng(7);
+  Tensor x = Tensor::Gaussian({b, n, n}, rng);
+  Tensor y = Tensor::Gaussian({b, n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = BatchMatMul(x, y);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * n * n * n);
+}
+BENCHMARK(BM_BatchMatMul)->Args({8, 128});
 
 void BM_MatMulDequantInt8(benchmark::State& state) {
   int64_t n = state.range(0);
@@ -85,4 +156,13 @@ BENCHMARK(BM_QuantizeInt8);
 }  // namespace
 }  // namespace tsi
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  tsi::InitializeForFileReporter(&argc, argv, &args);
+  if (benchmark::ReportUnrecognizedArguments(argc, args.data())) return 1;
+  benchmark::ConsoleReporter display;
+  tsi::JsonFileReporter json(tsi::BenchJsonPath("BENCH_micro.json"));
+  benchmark::RunSpecifiedBenchmarks(&display, &json);
+  benchmark::Shutdown();
+  return 0;
+}

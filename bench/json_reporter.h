@@ -1,0 +1,114 @@
+// Machine-readable output for the micro benchmarks.
+//
+// JsonFileReporter is a google-benchmark file reporter that writes a compact
+// JSON document -- one record per benchmark run with the fields downstream
+// tooling wants (op, shape, ns/iter, GFLOP/s) -- instead of the verbose
+// built-in JSON. Pass it as the file reporter:
+//
+//   benchmark::ConsoleReporter display;
+//   tsi::JsonFileReporter json(tsi::BenchJsonPath("BENCH_micro.json"));
+//   benchmark::RunSpecifiedBenchmarks(&display, &json);
+//
+// The output path defaults to BENCH_micro.json in the working directory and
+// can be redirected with the TSI_BENCH_JSON environment variable. GFLOP/s is
+// derived from SetItemsProcessed (items == flops for the compute kernels);
+// ops without an items rate report gflops == 0.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace tsi {
+
+inline std::string BenchJsonPath(const char* default_name) {
+  if (const char* env = std::getenv("TSI_BENCH_JSON")) return env;
+  return default_name;
+}
+
+// benchmark::RunSpecifiedBenchmarks refuses a file reporter unless
+// --benchmark_out is set; JsonFileReporter writes its own file in Finalize,
+// so point the library's stream at /dev/null unless the user set one.
+inline void InitializeForFileReporter(int* argc, char** argv,
+                                      std::vector<char*>* patched) {
+  static char out_flag[] = "--benchmark_out=/dev/null";
+  bool has_out = false;
+  for (int i = 0; i < *argc; ++i) {
+    patched->push_back(argv[i]);
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) patched->push_back(out_flag);
+  patched->push_back(nullptr);
+  int patched_argc = static_cast<int>(patched->size()) - 1;
+  benchmark::Initialize(&patched_argc, patched->data());
+  *argc = patched_argc;
+}
+
+class JsonFileReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit JsonFileReporter(std::string path) : path_(std::move(path)) {}
+
+  bool ReportContext(const Context&) override { return true; }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Record rec;
+      std::string name = run.benchmark_name();
+      // "BM_MatMul/1024/4096/4096" -> op "BM_MatMul", shape "1024x4096x4096".
+      // Modifier segments like "iterations:1" are not part of the shape.
+      size_t slash = name.find('/');
+      rec.op = name.substr(0, slash);
+      while (slash != std::string::npos) {
+        size_t next = name.find('/', slash + 1);
+        std::string seg = name.substr(slash + 1, next - slash - 1);
+        if (seg.find(':') == std::string::npos) {
+          if (!rec.shape.empty()) rec.shape += 'x';
+          rec.shape += seg;
+        }
+        slash = next;
+      }
+      rec.ns_per_iter = run.GetAdjustedRealTime();  // default unit is ns
+      auto it = run.counters.find("items_per_second");
+      rec.gflops = it != run.counters.end() ? it->second.value / 1e9 : 0.0;
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  void Finalize() override {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "JsonFileReporter: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f,
+                   "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                   "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
+                   r.op.c_str(), r.shape.c_str(), r.ns_per_iter, r.gflops,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu records)\n", path_.c_str(),
+                 records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string op;
+    std::string shape;
+    double ns_per_iter = 0.0;
+    double gflops = 0.0;
+  };
+
+  std::string path_;
+  std::vector<Record> records_;
+};
+
+}  // namespace tsi

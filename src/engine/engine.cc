@@ -56,6 +56,25 @@ Tensor DistributedEngine::LocalMatMul(int chip, const Tensor& x, const Tensor& w
   return MatMul(x, w);
 }
 
+Tensor DistributedEngine::LocalMatMulGelu(int chip, const Tensor& x,
+                                          const Tensor& w) {
+  double flops = 2.0 * (x.numel() / x.dim(-1)) * w.dim(0) * w.dim(1);
+  machine_->ChargeComputeAndMemory(chip, flops,
+                                   static_cast<double>(w.numel()) * weight_byte_width_);
+  return MatMulGelu(x, w);
+}
+
+Tensor DistributedEngine::LocalMatMulSwishMulGate(int chip, const Tensor& x,
+                                                  const Tensor& w,
+                                                  const Tensor& w_gate) {
+  // Two projections' worth of compute and weight traffic.
+  double flops = 4.0 * (x.numel() / x.dim(-1)) * w.dim(0) * w.dim(1);
+  machine_->ChargeComputeAndMemory(
+      chip, flops,
+      static_cast<double>(w.numel() + w_gate.numel()) * weight_byte_width_);
+  return MatMulSwishMulGate(x, w, w_gate);
+}
+
 void DistributedEngine::ChargeAttention(int chip, const Tensor& k_cache,
                                         double q_rows, double heads) {
   double kv_len = static_cast<double>(k_cache.dim(1));
@@ -245,31 +264,28 @@ void DistributedEngine::WsBlock(ShardVec& x, int64_t layer, int64_t B, int64_t T
 
   // Computes the FFN branch from normed input `y`; partial over yz.
   auto ffn_branch = [&](const ShardVec& y) {
-    ShardVec h1(x.size()), h2(x.size());
-    const bool fused = spec_.fuse_collectives && X_ > 1;
-    if (fused) {
-      // §3.5 Looped CollectiveEinsum: the input projection and its
-      // reduce-scatter(x) execute as one pipelined op.
-      ShardVec win(x.size()), wgate(x.size());
-      for (int c = 0; c < n_; ++c) {
-        win[static_cast<size_t>(c)] = lw(c).win;
-        if (gated) wgate[static_cast<size_t>(c)] = lw(c).win_gate;
-      }
-      h1 = MatMulReduceScatter(*machine_, y, win, kAxisX, weight_byte_width_);
-      if (gated)
-        h2 = MatMulReduceScatter(*machine_, y, wgate, kAxisX, weight_byte_width_);
-    } else {
-      for (int c = 0; c < n_; ++c) {
-        h1[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).win);
-        if (gated)
-          h2[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).win_gate);
-      }
-    }
     ShardVec h(x.size());
     if (X_ > 1) {
-      // §3.5: reduce-scatter the partial sums into the hidden dim, apply the
-      // nonlinearity on 1/X of the data, and all-gather the result once.
-      if (!fused) {
+      ShardVec h1(x.size()), h2(x.size());
+      if (spec_.fuse_collectives) {
+        // §3.5 Looped CollectiveEinsum: the input projection and its
+        // reduce-scatter(x) execute as one pipelined op.
+        ShardVec win(x.size()), wgate(x.size());
+        for (int c = 0; c < n_; ++c) {
+          win[static_cast<size_t>(c)] = lw(c).win;
+          if (gated) wgate[static_cast<size_t>(c)] = lw(c).win_gate;
+        }
+        h1 = MatMulReduceScatter(*machine_, y, win, kAxisX, weight_byte_width_);
+        if (gated)
+          h2 = MatMulReduceScatter(*machine_, y, wgate, kAxisX, weight_byte_width_);
+      } else {
+        for (int c = 0; c < n_; ++c) {
+          h1[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).win);
+          if (gated)
+            h2[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).win_gate);
+        }
+        // §3.5: reduce-scatter the partial sums into the hidden dim, apply
+        // the nonlinearity on 1/X of the data, and all-gather once.
         h1 = ReduceScatter(*machine_, h1, kAxisX, /*dim=*/1);
         if (gated) h2 = ReduceScatter(*machine_, h2, kAxisX, 1);
       }
@@ -280,10 +296,13 @@ void DistributedEngine::WsBlock(ShardVec& x, int64_t layer, int64_t B, int64_t T
       }
       h = AllGather(*machine_, h, kAxisX, 1);
     } else {
+      // Unsharded hidden dim: the projection and nonlinearity fuse into one
+      // kernel (bit-identical to the matmul + activation composition).
       for (int c = 0; c < n_; ++c) {
         h[static_cast<size_t>(c)] =
-            gated ? Swish2(h1[static_cast<size_t>(c)]).Mul(h2[static_cast<size_t>(c)])
-                  : Gelu(h1[static_cast<size_t>(c)]);
+            gated ? LocalMatMulSwishMulGate(c, y[static_cast<size_t>(c)],
+                                            lw(c).win, lw(c).win_gate)
+                  : LocalMatMulGelu(c, y[static_cast<size_t>(c)], lw(c).win);
       }
     }
     ShardVec o(x.size());
@@ -392,11 +411,12 @@ void DistributedEngine::WgBlock(ShardVec& x, int64_t layer, int64_t b_local,
   auto run_ffn = [&](const ShardVec& y) {
     ShardVec o(x.size());
     for (int c = 0; c < n_; ++c) {
-      Tensor h1 = LocalMatMul(c, y[static_cast<size_t>(c)], win[static_cast<size_t>(c)]);
       Tensor h = config_.gated_ffn
-                     ? Swish2(h1).Mul(LocalMatMul(c, y[static_cast<size_t>(c)],
-                                                  wgate[static_cast<size_t>(c)]))
-                     : Gelu(h1);
+                     ? LocalMatMulSwishMulGate(c, y[static_cast<size_t>(c)],
+                                               win[static_cast<size_t>(c)],
+                                               wgate[static_cast<size_t>(c)])
+                     : LocalMatMulGelu(c, y[static_cast<size_t>(c)],
+                                       win[static_cast<size_t>(c)]);
       o[static_cast<size_t>(c)] = LocalMatMul(c, h, wout[static_cast<size_t>(c)]);
     }
     return o;

@@ -97,6 +97,11 @@ class DistributedEngine {
   ShardVec DistLayerNorm(const ShardVec& x, bool second_gain, int64_t layer);
 
   Tensor LocalMatMul(int chip, const Tensor& x, const Tensor& w);
+  // Fused matmul+activation hot paths; charge exactly like the LocalMatMul
+  // calls they replace (flops/bytes are a function of shapes, not fusion).
+  Tensor LocalMatMulGelu(int chip, const Tensor& x, const Tensor& w);
+  Tensor LocalMatMulSwishMulGate(int chip, const Tensor& x, const Tensor& w,
+                                 const Tensor& w_gate);
   void ChargeAttention(int chip, const Tensor& k_cache, double q_rows,
                        double heads);
 

@@ -1,12 +1,24 @@
 #include "model/attention.h"
 
 #include <cmath>
+#include <vector>
 
 #include "tensor/ops.h"
+#include "tensor/scalar_ops.h"
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace tsi {
 
+// Streaming attention: for each (batch, query-head) pair the score matrix is
+// processed one query row at a time -- QK^T row, base-2 softmax, then the
+// weighted sum over V -- so the scratch is one Tkv-row plus one dh-row
+// regardless of sequence length. Causal masking is folded into the j-loop
+// bounds: a masked score contributed exactly exp2(-huge) == +0.0 to the
+// softmax sum and 0*v to the output, so skipping it is value-identical to
+// the mask-then-softmax formulation. (batch, head) pairs are independent and
+// distributed over the pool; the arithmetic inside each pair is sequential,
+// so results do not depend on the worker count.
 Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
                                  const Tensor& v, bool causal) {
   TSI_CHECK_EQ(q.rank(), 4);
@@ -21,38 +33,58 @@ Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
   TSI_CHECK_EQ(k.dim(3), dh);
   TSI_CHECK_EQ(v.dim(3), dh);
   TSI_CHECK_EQ(H % KV, 0) << "query heads must be a multiple of kv heads";
+  if (causal)
+    TSI_CHECK_LE(Tq, Tkv) << "queries cannot outnumber kv positions in causal mask";
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const int64_t offset = Tkv - Tq;  // query i attends to kv <= i + offset
   Tensor out({B, Tq, H, dh});
 
-  // Per (batch, head) score matrix; sizes here are test-scale, so the simple
-  // loop nest is clearer and fast enough.
-  for (int64_t b = 0; b < B; ++b) {
-    for (int64_t h = 0; h < H; ++h) {
-      int64_t g = h * KV / H;  // kv head for this query head
-      Tensor scores({Tq, Tkv});
+  const float* Q = q.data();
+  const float* K = k.data();
+  const float* V = v.data();
+  float* O = out.data();
+
+  ThreadPool::Global().ParallelFor(B * H, 1, [&](int64_t begin, int64_t end) {
+    thread_local std::vector<float> srow;   // one row of scores
+    thread_local std::vector<double> orow;  // one row of output accumulators
+    srow.resize(static_cast<size_t>(Tkv));
+    orow.resize(static_cast<size_t>(dh));
+    for (int64_t bh = begin; bh < end; ++bh) {
+      const int64_t b = bh / H, h = bh % H;
+      const int64_t g = h * KV / H;  // kv head for this query head
       for (int64_t i = 0; i < Tq; ++i) {
-        for (int64_t j = 0; j < Tkv; ++j) {
+        const int64_t jmax = causal ? i + offset + 1 : Tkv;
+        const float* qrow = Q + ((b * Tq + i) * H + h) * dh;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const float* krow = K + ((b * Tkv + j) * KV + g) * dh;
           double acc = 0.0;
-          for (int64_t d = 0; d < dh; ++d) {
-            acc += static_cast<double>(q.at({b, i, h, d})) * k.at({b, j, g, d});
-          }
-          scores.at({i, j}) = static_cast<float>(acc) * scale;
+          for (int64_t d = 0; d < dh; ++d)
+            acc += static_cast<double>(qrow[d]) * krow[d];
+          srow[static_cast<size_t>(j)] = static_cast<float>(acc) * scale;
         }
-      }
-      if (causal) scores = CausalMask(scores);
-      scores = Softmax2(scores);
-      for (int64_t i = 0; i < Tq; ++i) {
-        for (int64_t d = 0; d < dh; ++d) {
-          double acc = 0.0;
-          for (int64_t j = 0; j < Tkv; ++j) {
-            acc += static_cast<double>(scores.at({i, j})) * v.at({b, j, g, d});
-          }
-          out.at({b, i, h, d}) = static_cast<float>(acc);
+        float mx = srow[0];
+        for (int64_t j = 1; j < jmax; ++j) mx = std::max(mx, srow[static_cast<size_t>(j)]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < jmax; ++j) {
+          float e = std::exp2((srow[static_cast<size_t>(j)] - mx) * kLog2Ef);
+          srow[static_cast<size_t>(j)] = e;
+          sum += static_cast<double>(e);
         }
+        const double inv = 1.0 / sum;
+        for (int64_t d = 0; d < dh; ++d) orow[static_cast<size_t>(d)] = 0.0;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const double w = static_cast<float>(srow[static_cast<size_t>(j)] * inv);
+          const float* vrow = V + ((b * Tkv + j) * KV + g) * dh;
+          for (int64_t d = 0; d < dh; ++d)
+            orow[static_cast<size_t>(d)] += w * vrow[d];
+        }
+        float* outrow = O + ((b * Tq + i) * H + h) * dh;
+        for (int64_t d = 0; d < dh; ++d)
+          outrow[d] = static_cast<float>(orow[static_cast<size_t>(d)]);
       }
     }
-  }
+  });
   return out;
 }
 

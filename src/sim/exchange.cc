@@ -4,37 +4,40 @@
 
 namespace tsi {
 
-ExchangeHub::GroupState& ExchangeHub::StateFor(const std::vector<int>& group) {
+ExchangeHub::Channel& ExchangeHub::ChannelFor(const std::vector<int>& group) {
+  TSI_CHECK(!group.empty());
   std::lock_guard<std::mutex> lock(registry_mutex_);
-  return groups_[group];  // default-constructs on first use
+  Channel& ch = groups_[group];  // default-constructs on first use
+  if (ch.size_ == 0) ch.size_ = static_cast<int>(group.size());
+  return ch;
 }
 
-std::vector<Tensor> ExchangeHub::Exchange(const std::vector<int>& group,
-                                          int rank, Tensor t) {
-  TSI_CHECK(!group.empty());
-  TSI_CHECK(rank >= 0 && rank < static_cast<int>(group.size()));
-  const int k = static_cast<int>(group.size());
-  if (k == 1) return {std::move(t)};
+std::vector<std::shared_ptr<const Tensor>> ExchangeHub::Exchange(Channel& ch,
+                                                                 int rank,
+                                                                 Tensor t) {
+  const int k = ch.size_;
+  TSI_CHECK(rank >= 0 && rank < k);
+  auto mine = std::make_shared<const Tensor>(std::move(t));
+  if (k == 1) return {std::move(mine)};
 
-  GroupState& g = StateFor(group);
-  std::unique_lock<std::mutex> lock(g.m);
-  const uint64_t my_epoch = g.epoch;
-  if (g.slots.empty()) g.slots.resize(static_cast<size_t>(k));
-  g.slots[static_cast<size_t>(rank)] = std::move(t);
-  if (++g.arrived == k) {
+  std::unique_lock<std::mutex> lock(ch.m);
+  const uint64_t my_epoch = ch.epoch;
+  if (ch.slots.empty()) ch.slots.resize(static_cast<size_t>(k));
+  ch.slots[static_cast<size_t>(rank)] = std::move(mine);
+  if (++ch.arrived == k) {
     // Last arrival publishes the round and wakes the group. `slots` is
     // cleared so the next epoch starts fresh; `result` stays valid until
     // the *next* round completes, by which time every waiter of this round
-    // has copied it (they copy under the lock before returning).
-    g.result = std::move(g.slots);
-    g.slots.clear();
-    g.arrived = 0;
-    ++g.epoch;
-    g.cv.notify_all();
-    return g.result;
+    // has copied the (cheap) pointer vector under the lock.
+    ch.result = std::move(ch.slots);
+    ch.slots.clear();
+    ch.arrived = 0;
+    ++ch.epoch;
+    ch.cv.notify_all();
+    return ch.result;
   }
-  g.cv.wait(lock, [&] { return g.epoch != my_epoch; });
-  return g.result;
+  ch.cv.wait(lock, [&] { return ch.epoch != my_epoch; });
+  return ch.result;
 }
 
 }  // namespace tsi

@@ -9,6 +9,11 @@
 // communicator's collective entry point, reduced to the one primitive every
 // collective in this codebase can be built from.
 //
+// Deposits travel as shared_ptr<const Tensor>: the depositing chip moves its
+// tensor in once, and every member receives pointers to the same immutable
+// payloads -- no per-member deep copies. Callers that assemble an output
+// (concat, reduce) read through the pointers directly.
+//
 // Correctness contract (same as MPI): all members of a group must call
 // Exchange the same number of times in the same order. A member of two
 // overlapping groups must not interleave their rounds differently on
@@ -17,6 +22,7 @@
 
 #include <condition_variable>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -26,30 +32,53 @@ namespace tsi {
 
 class ExchangeHub {
  public:
-  ExchangeHub() = default;
-  ExchangeHub(const ExchangeHub&) = delete;
-  ExchangeHub& operator=(const ExchangeHub&) = delete;
+  // Rendezvous state for one group; a stable handle into the hub's registry,
+  // so per-round callers skip the registry lock and group-key lookup.
+  class Channel {
+   public:
+    Channel() = default;
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
 
-  // Deposits `t` as `group[rank]`'s contribution and blocks until every
-  // member of `group` has deposited; returns the deposits in group order.
-  // `group` must be identical (same order) on every member.
-  std::vector<Tensor> Exchange(const std::vector<int>& group, int rank,
-                               Tensor t);
+    int size() const { return size_; }
 
- private:
-  struct GroupState {
+   private:
+    friend class ExchangeHub;
+
     std::mutex m;
     std::condition_variable cv;
     uint64_t epoch = 0;
     int arrived = 0;
-    std::vector<Tensor> slots;
-    std::vector<Tensor> result;
+    int size_ = 0;  // group size, fixed at registration
+    std::vector<std::shared_ptr<const Tensor>> slots;
+    std::vector<std::shared_ptr<const Tensor>> result;
   };
 
-  GroupState& StateFor(const std::vector<int>& group);
+  ExchangeHub() = default;
+  ExchangeHub(const ExchangeHub&) = delete;
+  ExchangeHub& operator=(const ExchangeHub&) = delete;
 
+  // Returns the channel for `group`, creating it on first use. The reference
+  // is stable for the hub's lifetime; every member must resolve the same
+  // (same-order) group list.
+  Channel& ChannelFor(const std::vector<int>& group);
+
+  // Deposits `t` as the contribution of member `rank` and blocks until every
+  // member has deposited; returns the deposits in group order (shared, not
+  // copied). `ch` must be the channel of a group of which the caller is
+  // member `rank`.
+  std::vector<std::shared_ptr<const Tensor>> Exchange(Channel& ch, int rank,
+                                                      Tensor t);
+
+  // Convenience: resolve the channel and exchange in one call.
+  std::vector<std::shared_ptr<const Tensor>> Exchange(
+      const std::vector<int>& group, int rank, Tensor t) {
+    return Exchange(ChannelFor(group), rank, std::move(t));
+  }
+
+ private:
   std::mutex registry_mutex_;
-  std::map<std::vector<int>, GroupState> groups_;
+  std::map<std::vector<int>, Channel> groups_;
 };
 
 }  // namespace tsi

@@ -1,55 +1,174 @@
 #include "sim/threaded.h"
 
-#include <thread>
+#include <cstring>
 
 #include "util/logging.h"
+#include "util/threadpool.h"
 
 namespace tsi {
+namespace {
 
-ThreadedCollectives::ThreadedCollectives(Torus3D topo) : topo_(topo) {}
+// Copies (or accumulates, when `add`) a box of `box` elements from `src` at
+// multi-index offset `src_off` into `dst` at `dst_off`. Shapes are row-major;
+// the last dim is contiguous in both tensors, so the inner loop runs over
+// box.back()-element rows (memcpy when copying). This one helper subsumes
+// the Chunk/Concat temporaries the collectives used to allocate: gather
+// places whole deposits, all-to-all places sub-chunks, reduce accumulates.
+void TransferBox(const Tensor& src, const Shape& src_off, Tensor* dst,
+                 const Shape& dst_off, const Shape& box, bool add) {
+  const int64_t rank = static_cast<int64_t>(box.size());
+  TSI_CHECK_EQ(src.rank(), rank);
+  TSI_CHECK_EQ(dst->rank(), rank);
+  // Row-major strides.
+  Shape sstr(static_cast<size_t>(rank)), dstr(static_cast<size_t>(rank));
+  int64_t ss = 1, ds = 1;
+  for (int64_t d = rank - 1; d >= 0; --d) {
+    sstr[static_cast<size_t>(d)] = ss;
+    dstr[static_cast<size_t>(d)] = ds;
+    ss *= src.dim(d);
+    ds *= dst->dim(d);
+  }
+  int64_t src_base = 0, dst_base = 0;
+  for (int64_t d = 0; d < rank; ++d) {
+    TSI_CHECK(src_off[static_cast<size_t>(d)] + box[static_cast<size_t>(d)] <=
+              src.dim(d));
+    TSI_CHECK(dst_off[static_cast<size_t>(d)] + box[static_cast<size_t>(d)] <=
+              dst->dim(d));
+    src_base += src_off[static_cast<size_t>(d)] * sstr[static_cast<size_t>(d)];
+    dst_base += dst_off[static_cast<size_t>(d)] * dstr[static_cast<size_t>(d)];
+  }
+  const int64_t run = box[static_cast<size_t>(rank - 1)];
+  const int64_t rows = NumElements(box) / (run == 0 ? 1 : run);
+  if (run == 0) return;
+  const float* sp = src.data();
+  float* dp = dst->data();
+  // Odometer over all dims but the last.
+  Shape idx(static_cast<size_t>(rank - 1), 0);
+  for (int64_t r = 0; r < rows; ++r) {
+    int64_t so = src_base, doff = dst_base;
+    for (int64_t d = 0; d < rank - 1; ++d) {
+      so += idx[static_cast<size_t>(d)] * sstr[static_cast<size_t>(d)];
+      doff += idx[static_cast<size_t>(d)] * dstr[static_cast<size_t>(d)];
+    }
+    if (add) {
+      for (int64_t j = 0; j < run; ++j) dp[doff + j] += sp[so + j];
+    } else {
+      std::memcpy(dp + doff, sp + so, static_cast<size_t>(run) * sizeof(float));
+    }
+    for (int64_t d = rank - 2; d >= 0; --d) {
+      if (++idx[static_cast<size_t>(d)] < box[static_cast<size_t>(d)]) break;
+      idx[static_cast<size_t>(d)] = 0;
+    }
+  }
+}
+
+}  // namespace
+
+ThreadedCollectives::ThreadedCollectives(Torus3D topo)
+    : topo_(topo),
+      group_cache_(static_cast<size_t>(topo_.num_chips())) {}
+
+ThreadedCollectives::CachedGroup& ThreadedCollectives::GroupFor(int chip,
+                                                                unsigned mask) {
+  TSI_CHECK(chip >= 0 && chip < topo_.num_chips());
+  TSI_CHECK(mask >= 1 && mask < 8);
+  std::unique_ptr<CachedGroup>& slot =
+      group_cache_[static_cast<size_t>(chip)][mask];
+  if (!slot) {
+    std::vector<int> group = topo_.GroupOf(chip, mask);
+    auto cg = std::make_unique<CachedGroup>();
+    cg->rank = topo_.RankInGroup(chip, mask);
+    cg->size = static_cast<int>(group.size());
+    cg->channel = &hub_.ChannelFor(group);
+    slot = std::move(cg);
+  }
+  return *slot;
+}
 
 Tensor ThreadedCollectives::AllGather(int chip, unsigned mask, Tensor t,
                                       int64_t dim) {
-  std::vector<int> group = topo_.GroupOf(chip, mask);
-  int rank = topo_.RankInGroup(chip, mask);
-  std::vector<Tensor> parts = hub_.Exchange(group, rank, std::move(t));
-  return parts.size() == 1 ? std::move(parts[0]) : Tensor::Concat(dim, parts);
+  CachedGroup& cg = GroupFor(chip, mask);
+  if (cg.size == 1) return t;
+  auto parts = hub_.Exchange(*cg.channel, cg.rank, std::move(t));
+  // Assemble every deposit directly into one output (what Concat would
+  // produce, without the per-part temporaries).
+  Shape out_shape = parts[0]->shape();
+  out_shape[static_cast<size_t>(dim)] = 0;
+  for (const auto& p : parts)
+    out_shape[static_cast<size_t>(dim)] += p->dim(dim);
+  Tensor out(out_shape);
+  Shape zero(out_shape.size(), 0);
+  Shape dst_off(out_shape.size(), 0);
+  for (const auto& p : parts) {
+    TransferBox(*p, zero, &out, dst_off, p->shape(), /*add=*/false);
+    dst_off[static_cast<size_t>(dim)] += p->dim(dim);
+  }
+  return out;
 }
 
 Tensor ThreadedCollectives::ReduceScatter(int chip, unsigned mask, Tensor t,
                                           int64_t dim) {
-  std::vector<int> group = topo_.GroupOf(chip, mask);
-  int rank = topo_.RankInGroup(chip, mask);
-  std::vector<Tensor> parts = hub_.Exchange(group, rank, std::move(t));
-  Tensor sum = parts[0];
-  for (size_t i = 1; i < parts.size(); ++i) sum.AddInPlace(parts[i]);
-  int64_t k = static_cast<int64_t>(parts.size());
-  return k == 1 ? sum : sum.Chunk(dim, k, rank);
+  CachedGroup& cg = GroupFor(chip, mask);
+  if (cg.size == 1) return t;
+  auto parts = hub_.Exchange(*cg.channel, cg.rank, std::move(t));
+  const int64_t k = static_cast<int64_t>(parts.size());
+  // Sum only this rank's chunk, in group order -- elementwise the same
+  // additions as summing everything and then chunking, at 1/k the work.
+  const Tensor& p0 = *parts[0];
+  TSI_CHECK_EQ(p0.dim(dim) % k, 0)
+      << "dim " << p0.dim(dim) << " not divisible into " << k << " chunks";
+  const int64_t len = p0.dim(dim) / k;
+  Shape box = p0.shape();
+  box[static_cast<size_t>(dim)] = len;
+  Shape src_off(box.size(), 0);
+  src_off[static_cast<size_t>(dim)] = static_cast<int64_t>(cg.rank) * len;
+  Shape zero(box.size(), 0);
+  Tensor out(box);
+  TransferBox(p0, src_off, &out, zero, box, /*add=*/false);
+  for (int64_t i = 1; i < k; ++i)
+    TransferBox(*parts[static_cast<size_t>(i)], src_off, &out, zero, box,
+                /*add=*/true);
+  return out;
 }
 
 Tensor ThreadedCollectives::AllReduce(int chip, unsigned mask, Tensor t) {
-  std::vector<int> group = topo_.GroupOf(chip, mask);
-  int rank = topo_.RankInGroup(chip, mask);
-  std::vector<Tensor> parts = hub_.Exchange(group, rank, std::move(t));
-  Tensor sum = parts[0];
-  for (size_t i = 1; i < parts.size(); ++i) sum.AddInPlace(parts[i]);
+  CachedGroup& cg = GroupFor(chip, mask);
+  if (cg.size == 1) return t;
+  auto parts = hub_.Exchange(*cg.channel, cg.rank, std::move(t));
+  Tensor sum = *parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) sum.AddInPlace(*parts[i]);
   return sum;
 }
 
 Tensor ThreadedCollectives::AllToAll(int chip, unsigned mask, Tensor t,
                                      int64_t split_dim, int64_t concat_dim) {
-  std::vector<int> group = topo_.GroupOf(chip, mask);
-  int rank = topo_.RankInGroup(chip, mask);
-  std::vector<Tensor> all = hub_.Exchange(group, rank, std::move(t));
-  int64_t k = static_cast<int64_t>(group.size());
-  if (k == 1) return std::move(all[0]);
-  // Note: the rendezvous moves whole tensors; a wire implementation would
+  CachedGroup& cg = GroupFor(chip, mask);
+  if (cg.size == 1) return t;
+  auto parts = hub_.Exchange(*cg.channel, cg.rank, std::move(t));
+  const int64_t k = static_cast<int64_t>(parts.size());
+  // Note: the rendezvous shares whole tensors; a wire implementation would
   // route only chunk `rank` of each peer. Data volume accounting for
-  // all-to-all lives in the lockstep simulator's cost model.
-  std::vector<Tensor> mine;
-  mine.reserve(all.size());
-  for (const Tensor& peer : all) mine.push_back(peer.Chunk(split_dim, k, rank));
-  return Tensor::Concat(concat_dim, mine);
+  // all-to-all lives in the lockstep simulator's cost model. Each peer's
+  // chunk is placed straight into the output (no Chunk/Concat temporaries).
+  const Tensor& p0 = *parts[0];
+  TSI_CHECK_EQ(p0.dim(split_dim) % k, 0);
+  const int64_t len = p0.dim(split_dim) / k;
+  Shape box = p0.shape();
+  box[static_cast<size_t>(split_dim)] = len;
+  Shape out_shape = box;
+  out_shape[static_cast<size_t>(concat_dim)] =
+      box[static_cast<size_t>(concat_dim)] * k;
+  Tensor out(out_shape);
+  Shape src_off(box.size(), 0);
+  src_off[static_cast<size_t>(split_dim)] = static_cast<int64_t>(cg.rank) * len;
+  Shape dst_off(box.size(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    dst_off[static_cast<size_t>(concat_dim)] =
+        i * box[static_cast<size_t>(concat_dim)];
+    TransferBox(*parts[static_cast<size_t>(i)], src_off, &out, dst_off, box,
+                /*add=*/false);
+  }
+  return out;
 }
 
 void ThreadedCollectives::Barrier(int chip, unsigned mask) {
@@ -58,10 +177,7 @@ void ThreadedCollectives::Barrier(int chip, unsigned mask) {
 
 void RunSpmd(int num_chips, const std::function<void(int chip)>& body) {
   TSI_CHECK_GE(num_chips, 1);
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_chips));
-  for (int c = 0; c < num_chips; ++c) threads.emplace_back(body, c);
-  for (auto& th : threads) th.join();
+  ThreadPool::Global().RunBlocking(num_chips, body);
 }
 
 }  // namespace tsi

@@ -11,7 +11,9 @@
 // reads outside collectives).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <memory>
 
 #include "hw/topology.h"
 #include "sim/exchange.h"
@@ -22,7 +24,14 @@ namespace tsi {
 // Per-chip collective endpoint. Thread-safe: each chip's thread calls the
 // methods with its own chip id; groups rendezvous through the shared hub.
 // Semantics match sim/collectives.h exactly (same group order, same chunk
-// assignment).
+// assignment, same float addition order in the reductions).
+//
+// Data path: deposits travel through the hub as shared immutable tensors
+// (no per-member deep copy), and each collective assembles its result
+// directly into a single output tensor -- no intermediate Chunk/Concat
+// temporaries. ReduceScatter sums only the caller's chunk, which is
+// bit-identical to chunking the full sum (elementwise, same add order) at
+// 1/k the arithmetic.
 class ThreadedCollectives {
  public:
   explicit ThreadedCollectives(Torus3D topo);
@@ -39,13 +48,27 @@ class ThreadedCollectives {
   void Barrier(int chip, unsigned mask);
 
  private:
+  // Resolved (group, rank, channel) for one (chip, axis-mask) pair, cached
+  // so steady-state collectives skip the group-list allocation and the
+  // hub's registry lookup. Each entry is only touched by its chip's thread.
+  struct CachedGroup {
+    int rank = 0;
+    int size = 0;
+    ExchangeHub::Channel* channel = nullptr;
+  };
+
+  CachedGroup& GroupFor(int chip, unsigned mask);
+
   Torus3D topo_;
   ExchangeHub hub_;
+  // Indexed [chip][mask]; axis masks are 3-bit combinations (1..7).
+  std::vector<std::array<std::unique_ptr<CachedGroup>, 8>> group_cache_;
 };
 
-// Runs `body(chip)` on `num_chips` concurrent threads and joins them.
-// Any TSI_CHECK failure inside a body aborts the process (as in-process
-// SPMD "task failure").
+// Runs `body(chip)` on `num_chips` concurrent chip threads and joins them.
+// The threads come from ThreadPool::Global()'s reusable SPMD slots -- no
+// std::thread is spawned per invocation. Any TSI_CHECK failure inside a
+// body aborts the process (as in-process SPMD "task failure").
 void RunSpmd(int num_chips, const std::function<void(int chip)>& body);
 
 }  // namespace tsi

@@ -2,13 +2,15 @@
 
 #include <cmath>
 
+#include "tensor/scalar_ops.h"
 #include "util/logging.h"
 
 namespace tsi {
 namespace {
 
-constexpr double kLog2E = 1.4426950408889634;  // log2(e)
-
+// Shared softmax skeleton: row max for stability, single-precision
+// exponentials (one transcendental per element), double running sum so the
+// normalizer is order-robust.
 template <typename ExpFn>
 Tensor SoftmaxImpl(const Tensor& x, ExpFn exp_fn) {
   int64_t n = x.dim(-1);
@@ -21,9 +23,9 @@ Tensor SoftmaxImpl(const Tensor& x, ExpFn exp_fn) {
     for (int64_t i = 1; i < n; ++i) mx = std::max(mx, row[i]);
     double sum = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      double e = exp_fn(static_cast<double>(row[i]) - mx);
-      row[i] = static_cast<float>(e);
-      sum += e;
+      float e = exp_fn(row[i] - mx);
+      row[i] = e;
+      sum += static_cast<double>(e);
     }
     double inv = 1.0 / sum;
     for (int64_t i = 0; i < n; ++i) row[i] = static_cast<float>(row[i] * inv);
@@ -34,11 +36,11 @@ Tensor SoftmaxImpl(const Tensor& x, ExpFn exp_fn) {
 }  // namespace
 
 Tensor Softmax(const Tensor& x) {
-  return SoftmaxImpl(x, [](double v) { return std::exp(v); });
+  return SoftmaxImpl(x, [](float v) { return std::exp(v); });
 }
 
 Tensor Softmax2(const Tensor& x) {
-  return SoftmaxImpl(x, [](double v) { return std::exp2(v * kLog2E); });
+  return SoftmaxImpl(x, [](float v) { return std::exp2(v * kLog2Ef); });
 }
 
 namespace {
@@ -61,16 +63,19 @@ Tensor NormImpl(const Tensor& x, const Tensor& gain, float eps, StatFn stat) {
 }  // namespace
 
 Tensor LayerNorm(const Tensor& x, const Tensor& gain, float eps) {
+  // Single stats pass: accumulate (sum, sum-of-squares) in double and use
+  // var = E[x^2] - mean^2 -- the same moment formulation the engine's
+  // distributed LayerNorm reduces over shards, so cross-layout diffs come
+  // only from addition order.
   return NormImpl(x, gain, eps, [](float* row, int64_t n, float eps, const float* g) {
-    double mean = 0.0;
-    for (int64_t i = 0; i < n; ++i) mean += row[i];
-    mean /= static_cast<double>(n);
-    double var = 0.0;
+    double s = 0.0, sq = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      double c = row[i] - mean;
-      var += c * c;
+      double v = row[i];
+      s += v;
+      sq += v * v;
     }
-    var /= static_cast<double>(n);
+    double mean = s / static_cast<double>(n);
+    double var = sq / static_cast<double>(n) - mean * mean;
     double inv = 1.0 / std::sqrt(var + eps);
     for (int64_t i = 0; i < n; ++i)
       row[i] = static_cast<float>((row[i] - mean) * inv) * g[i];
@@ -87,32 +92,24 @@ Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
   });
 }
 
+// The pointwise activations delegate to the scalar kernels in scalar_ops.h,
+// which the fused matmul epilogues share -- fused and unfused paths are
+// bit-identical by construction.
 Tensor Swish(const Tensor& x) {
   Tensor out = x;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    double v = out[i];
-    out[i] = static_cast<float>(v / (1.0 + std::exp(-v)));
-  }
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = SwishScalar(out[i]);
   return out;
 }
 
 Tensor Swish2(const Tensor& x) {
   Tensor out = x;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    double v = out[i];
-    out[i] = static_cast<float>(v / (1.0 + std::exp2(-v * kLog2E)));
-  }
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = Swish2Scalar(out[i]);
   return out;
 }
 
 Tensor Gelu(const Tensor& x) {
   Tensor out = x;
-  constexpr double kSqrt2OverPi = 0.7978845608028654;
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    double v = out[i];
-    double inner = kSqrt2OverPi * (v + 0.044715 * v * v * v);
-    out[i] = static_cast<float>(0.5 * v * (1.0 + std::tanh(inner)));
-  }
+  for (int64_t i = 0; i < out.numel(); ++i) out[i] = GeluScalar(out[i]);
   return out;
 }
 

@@ -234,58 +234,7 @@ bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
   return true;
 }
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  TSI_CHECK_EQ(b.rank(), 2);
-  TSI_CHECK_GE(a.rank(), 2);
-  int64_t k = a.dim(-1);
-  TSI_CHECK_EQ(k, b.dim(0)) << "matmul inner-dim mismatch";
-  int64_t n = b.dim(1);
-  int64_t m = a.numel() / k;
-
-  Shape out_shape(a.shape().begin(), a.shape().end() - 1);
-  out_shape.push_back(n);
-  Tensor out(out_shape);
-
-  // i-k-j loop order: streams through B rows; accumulate in double so that
-  // sharded sums (different addition orders across layouts) stay comparable.
-  const float* A = a.data();
-  const float* B = b.data();
-  float* C = out.data();
-  std::vector<double> acc(static_cast<size_t>(n));
-  for (int64_t i = 0; i < m; ++i) {
-    std::fill(acc.begin(), acc.end(), 0.0);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      double av = A[i * k + kk];
-      if (av == 0.0) continue;
-      const float* Brow = B + kk * n;
-      for (int64_t j = 0; j < n; ++j) acc[static_cast<size_t>(j)] += av * Brow[j];
-    }
-    for (int64_t j = 0; j < n; ++j) C[i * n + j] = static_cast<float>(acc[static_cast<size_t>(j)]);
-  }
-  return out;
-}
-
-Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
-  TSI_CHECK_EQ(a.rank(), 3);
-  TSI_CHECK_EQ(b.rank(), 3);
-  int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2);
-  TSI_CHECK_EQ(batch, b.dim(0));
-  TSI_CHECK_EQ(k, b.dim(1));
-  int64_t n = b.dim(2);
-  Tensor out(Shape{batch, m, n});
-  for (int64_t bb = 0; bb < batch; ++bb) {
-    const float* A = a.data() + bb * m * k;
-    const float* B = b.data() + bb * k * n;
-    float* C = out.data() + bb * m * n;
-    for (int64_t i = 0; i < m; ++i) {
-      for (int64_t j = 0; j < n; ++j) {
-        double acc = 0.0;
-        for (int64_t kk = 0; kk < k; ++kk) acc += static_cast<double>(A[i * k + kk]) * B[kk * n + j];
-        C[i * n + j] = static_cast<float>(acc);
-      }
-    }
-  }
-  return out;
-}
+// MatMul / BatchMatMul and the fused epilogues live in matmul.cc (the
+// blocked, pool-parallel kernel layer).
 
 }  // namespace tsi

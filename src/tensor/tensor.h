@@ -88,11 +88,34 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b);
 bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-4f,
               float atol = 1e-5f);
 
+class ThreadPool;
+
 // C = A @ B for A:[m,k], B:[k,n]. Higher-rank A treats leading dims as batch
 // rows (A:[..., k] viewed as [prod(...), k]).
+//
+// Determinism contract (see docs/kernels.md): every output element is an
+// fma(double) chain over k in ascending order, cast to float once at the
+// end. The chain is independent of tiling, SIMD width, and thread count, so
+// results are bit-identical across pool sizes and across the blocked and
+// fallback paths (asserted by determinism_test), and sharded sums across
+// layouts stay comparable within the usual float tolerances.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+// Same, on an explicit pool (the default uses ThreadPool::Global()).
+Tensor MatMul(ThreadPool& pool, const Tensor& a, const Tensor& b);
 
 // Batched matmul: A:[batch, m, k] @ B:[batch, k, n] -> [batch, m, n].
 Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+Tensor BatchMatMul(ThreadPool& pool, const Tensor& a, const Tensor& b);
+
+// Fused matmul epilogues. Each is bit-identical to the unfused composition
+// it replaces (same scalar kernels, applied to the same float intermediate)
+// but skips the extra output traversal and temporary:
+//   MatMulBias(a, b, bias)       == AddBias(MatMul(a, b), bias)
+//   MatMulGelu(a, b)             == Gelu(MatMul(a, b))
+//   MatMulSwishMulGate(a, b, g)  == Swish2(MatMul(a, b)).Mul(MatMul(a, g))
+Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias);
+Tensor MatMulGelu(const Tensor& a, const Tensor& b);
+Tensor MatMulSwishMulGate(const Tensor& a, const Tensor& b,
+                          const Tensor& b_gate);
 
 }  // namespace tsi

@@ -1,0 +1,247 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+// One ParallelFor invocation. The iteration space starts as one contiguous
+// range per participant; a participant claims grain-sized chunks from the
+// front of its own range and, when that is empty, steals chunks from the
+// fullest remaining range. Ranges are mutex-guarded: claims happen once per
+// chunk (not per element) so contention is negligible, and plain locking
+// keeps the pool trivially clean under ThreadSanitizer.
+struct ThreadPool::Job {
+  struct Range {
+    std::mutex mu;
+    int64_t lo = 0;
+    int64_t hi = 0;  // [lo, hi) still unclaimed
+  };
+
+  const std::function<void(int64_t, int64_t)>* body = nullptr;
+  std::vector<std::unique_ptr<Range>> ranges;
+  int64_t grain = 1;
+  std::atomic<int64_t> remaining{0};  // elements not yet executed
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  bool done() const { return remaining.load(std::memory_order_acquire) == 0; }
+
+  // Claims up to `grain` elements, preferring the participant's own range,
+  // else stealing from the fullest one. Returns false when every range is
+  // empty (work may still be executing on its claimants).
+  bool ClaimChunk(int slot, int64_t* begin, int64_t* end) {
+    if (slot >= 0) {
+      Range& own = *ranges[static_cast<size_t>(slot)];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (own.lo < own.hi) {
+        *begin = own.lo;
+        *end = std::min(own.hi, own.lo + grain);
+        own.lo = *end;
+        return true;
+      }
+    }
+    for (;;) {
+      size_t victim = ranges.size();
+      int64_t most = 0;
+      for (size_t r = 0; r < ranges.size(); ++r) {
+        Range& range = *ranges[r];
+        std::lock_guard<std::mutex> lock(range.mu);
+        if (range.hi - range.lo > most) {
+          most = range.hi - range.lo;
+          victim = r;
+        }
+      }
+      if (victim == ranges.size()) return false;
+      Range& range = *ranges[victim];
+      std::lock_guard<std::mutex> lock(range.mu);
+      if (range.lo >= range.hi) continue;  // drained between scan and lock
+      *begin = range.lo;
+      *end = std::min(range.hi, range.lo + grain);
+      range.lo = *end;
+      return true;
+    }
+  }
+};
+
+// A dedicated SPMD thread, parked between RunBlocking invocations.
+struct ThreadPool::SpmdSlot {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::function<void()> work;  // empty when parked
+  bool stop = false;
+  std::thread th;
+
+  void Main() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stop || work; });
+      if (stop) return;
+      std::function<void()> w = std::move(work);
+      work = nullptr;
+      lock.unlock();
+      w();
+      lock.lock();
+    }
+  }
+};
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    int threads = 0;
+    if (const char* env = std::getenv("TSI_NUM_THREADS")) threads = std::atoi(env);
+    if (threads <= 0) threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+    return new ThreadPool(threads - 1);
+  }();
+  return *pool;
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  TSI_CHECK_GE(num_workers, 0);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w)
+    workers_.emplace_back([this, w] { WorkerMain(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& th : workers_) th.join();
+  {
+    std::lock_guard<std::mutex> lock(spmd_mu_);
+    for (auto& slot : spmd_slots_) {
+      {
+        std::lock_guard<std::mutex> slot_lock(slot->mu);
+        slot->stop = true;
+      }
+      slot->cv.notify_one();
+    }
+    for (auto& slot : spmd_slots_) slot->th.join();
+  }
+}
+
+void ThreadPool::Participate(Job& job, int slot) {
+  int64_t begin = 0, end = 0;
+  while (job.ClaimChunk(slot, &begin, &end)) {
+    (*job.body)(begin, end);
+    if (job.remaining.fetch_sub(end - begin, std::memory_order_acq_rel) ==
+        end - begin) {
+      std::lock_guard<std::mutex> lock(job.done_mu);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerMain(int) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<Job> job = jobs_.front();
+    lock.unlock();
+    Participate(*job, /*slot=*/-1);
+    lock.lock();
+    // No claimable work left (claimed chunks finish on their claimants):
+    // retire the job so waiting never degrades into a spin. Idempotent --
+    // the caller or another worker may already have removed it.
+    for (size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i] == job) {
+        jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t n, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int participants = num_workers() + 1;
+  if (participants == 1 || n <= grain) {
+    body(0, n);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->grain = grain;
+  job->remaining.store(n, std::memory_order_release);
+  job->ranges.reserve(static_cast<size_t>(participants));
+  int64_t lo = 0;
+  for (int p = 0; p < participants; ++p) {
+    auto range = std::make_unique<Job::Range>();
+    int64_t hi = lo + n / participants + (p < n % participants ? 1 : 0);
+    range->lo = lo;
+    range->hi = hi;
+    lo = hi;
+    job->ranges.push_back(std::move(range));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The caller participates as slot 0, then waits for straggler chunks
+  // still executing on workers.
+  Participate(*job, /*slot=*/0);
+  if (!job->done()) {
+    std::unique_lock<std::mutex> lock(job->done_mu);
+    job->done_cv.wait(lock, [&] { return job->done(); });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i] == job) {
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void ThreadPool::RunBlocking(int n, const std::function<void(int)>& body) {
+  TSI_CHECK_GE(n, 1);
+  if (n == 1) {
+    body(0);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(spmd_run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(spmd_mu_);
+    while (static_cast<int>(spmd_slots_.size()) < n - 1) {
+      auto slot = std::make_unique<SpmdSlot>();
+      SpmdSlot* raw = slot.get();
+      slot->th = std::thread([raw] { raw->Main(); });
+      spmd_slots_.push_back(std::move(slot));
+    }
+  }
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  int pending = n - 1;
+  for (int i = 1; i < n; ++i) {
+    SpmdSlot& slot = *spmd_slots_[static_cast<size_t>(i - 1)];
+    {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.work = [&, i] {
+        body(i);
+        std::lock_guard<std::mutex> done_lock(done_mu);
+        if (--pending == 0) done_cv.notify_one();
+      };
+    }
+    slot.cv.notify_one();
+  }
+  body(0);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+}  // namespace tsi

@@ -1,0 +1,86 @@
+// Process-wide thread pool: intra-op data parallelism + SPMD chip threads.
+//
+// Two kinds of parallelism share this pool so they never oversubscribe the
+// machine:
+//
+//  * ParallelFor -- work-stealing data parallelism for tensor kernels. The
+//    iteration space is split into one contiguous range per participant;
+//    each participant drains its own range front-to-back and, when empty,
+//    steals the top half of the fullest remaining range. The caller
+//    participates, so a pool with zero workers degrades to a plain serial
+//    loop with no synchronization overhead. Bodies must not block on other
+//    pool work.
+//
+//  * RunBlocking -- long-lived dedicated threads for SPMD chip programs,
+//    which block in collective rendezvous and therefore must never run on
+//    ParallelFor workers (a rendezvous between N chips multiplexed onto
+//    fewer workers would deadlock). Threads are created once, parked on a
+//    condition variable between invocations, and reused; no std::thread is
+//    spawned per call after the high-water mark is reached.
+//
+// Determinism: ParallelFor only affects WHICH thread executes an index
+// range, never the order of arithmetic within an output element, so kernels
+// that accumulate per-element in a fixed order produce bit-identical
+// results for any worker count (asserted by determinism_test).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsi {
+
+class ThreadPool {
+ public:
+  // Shared process-wide pool. Worker count is TSI_NUM_THREADS - 1 if the
+  // environment variable is set, else hardware_concurrency() - 1 (the
+  // calling thread is always the extra participant).
+  static ThreadPool& Global();
+
+  // A pool with `num_workers` background workers. ParallelFor has
+  // num_workers + 1 participants (the caller helps).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Runs body(begin, end) over a partition of [0, n). Ranges are claimed in
+  // chunks of at least `grain` elements. Safe to call concurrently from
+  // multiple threads (e.g. several SPMD chip threads inside one kernel
+  // each); the caller returns only when its own loop is fully executed.
+  void ParallelFor(int64_t n, int64_t grain,
+                   const std::function<void(int64_t begin, int64_t end)>& body);
+
+  // Runs body(0..n-1) concurrently on dedicated reusable threads; body may
+  // block (rendezvous, condition variables). The caller runs body(0).
+  // Concurrent RunBlocking invocations are serialized.
+  void RunBlocking(int n, const std::function<void(int)>& body);
+
+ private:
+  struct Job;
+  struct SpmdSlot;
+
+  void WorkerMain(int worker_index);
+  // Claims and runs chunks of `job` as participant `slot` until no work is
+  // left to claim.
+  void Participate(Job& job, int slot);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::vector<std::shared_ptr<Job>> jobs_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+
+  std::mutex spmd_run_mu_;   // serializes RunBlocking invocations
+  std::mutex spmd_mu_;       // guards spmd_slots_
+  std::vector<std::unique_ptr<SpmdSlot>> spmd_slots_;
+};
+
+}  // namespace tsi

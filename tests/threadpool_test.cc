@@ -1,0 +1,121 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsi {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (int workers : {0, 1, 3}) {
+    ThreadPool pool(workers);
+    for (int64_t n : {int64_t{1}, int64_t{7}, int64_t{64}, int64_t{1000}}) {
+      for (int64_t grain : {int64_t{1}, int64_t{16}, int64_t{5000}}) {
+        std::vector<std::atomic<int>> hits(static_cast<size_t>(n));
+        for (auto& h : hits) h.store(0);
+        pool.ParallelFor(n, grain, [&](int64_t begin, int64_t end) {
+          ASSERT_LE(0, begin);
+          ASSERT_LE(begin, end);
+          ASSERT_LE(end, n);
+          for (int64_t i = begin; i < end; ++i)
+            hits[static_cast<size_t>(i)].fetch_add(1);
+        });
+        for (int64_t i = 0; i < n; ++i)
+          ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+              << "workers=" << workers << " n=" << n << " grain=" << grain
+              << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, 1, [&](int64_t, int64_t) { called = true; });
+  pool.ParallelFor(-3, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, RepeatedInvocationsStayCorrect) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(100, 7, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 100 * 99 / 2);
+  }
+}
+
+TEST(RunBlockingTest, RunsEveryIndexAndCallerIsSlotZero) {
+  ThreadPool pool(0);  // SPMD slots are independent of ParallelFor workers
+  std::vector<std::thread::id> ids(8);
+  pool.RunBlocking(8, [&](int i) { ids[static_cast<size_t>(i)] = std::this_thread::get_id(); });
+  EXPECT_EQ(ids[0], std::this_thread::get_id());
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_NE(ids[static_cast<size_t>(i)], std::thread::id());
+    for (int j = 1; j < i; ++j) EXPECT_NE(ids[static_cast<size_t>(i)], ids[static_cast<size_t>(j)]);
+  }
+}
+
+TEST(RunBlockingTest, ReusesDedicatedThreadsAcrossInvocations) {
+  // The no-std::thread-per-call contract: slot threads are created once and
+  // parked, so the same indices land on the same thread ids every time.
+  ThreadPool pool(0);
+  std::vector<std::thread::id> first(6), second(6);
+  pool.RunBlocking(6, [&](int i) { first[static_cast<size_t>(i)] = std::this_thread::get_id(); });
+  pool.RunBlocking(6, [&](int i) { second[static_cast<size_t>(i)] = std::this_thread::get_id(); });
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(first[static_cast<size_t>(i)], second[static_cast<size_t>(i)]) << i;
+}
+
+TEST(RunBlockingTest, BodiesMayBlockOnEachOther) {
+  // Rendezvous between bodies must not deadlock regardless of pool size --
+  // this is why SPMD bodies get dedicated threads, not ParallelFor workers.
+  ThreadPool pool(0);
+  const int n = 4;
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  pool.RunBlocking(n, [&](int) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (++arrived == n) {
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return arrived == n; });
+    }
+  });
+  EXPECT_EQ(arrived, n);
+}
+
+TEST(RunBlockingTest, ChipBodiesCanUseParallelFor) {
+  // Chip threads (RunBlocking) share the pool's ParallelFor workers without
+  // deadlock: ParallelFor callers always participate in their own loop.
+  ThreadPool pool(2);
+  std::vector<int64_t> sums(3, 0);
+  pool.RunBlocking(3, [&](int chip) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(1000, 16, [&](int64_t begin, int64_t end) {
+      int64_t local = 0;
+      for (int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    sums[static_cast<size_t>(chip)] = sum.load();
+  });
+  for (int64_t s : sums) EXPECT_EQ(s, 1000 * 999 / 2);
+}
+
+TEST(ThreadPoolTest, GlobalIsASingleton) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI-style check: build + test the Release configuration, then build + test
+# a ThreadSanitizer configuration (-DTSI_TSAN=ON). Run from anywhere:
+#
+#   tools/check.sh            # both configs, all tests
+#   TSI_TSAN_TESTS='threadpool_test|determinism_test|threaded_test' tools/check.sh
+#
+# TSan halves throughput and multiplies memory, so TSI_TSAN_TESTS can narrow
+# the sanitized run to the concurrency-heavy tests; default is everything.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc)"
+
+echo "== Release build =="
+cmake -B "$repo/build-check" -S "$repo" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$repo/build-check" -j "$jobs"
+ctest --test-dir "$repo/build-check" --output-on-failure -j "$jobs"
+
+echo "== ThreadSanitizer build =="
+cmake -B "$repo/build-check-tsan" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTSI_TSAN=ON >/dev/null
+cmake --build "$repo/build-check-tsan" -j "$jobs"
+ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
+      ${TSI_TSAN_TESTS:+-R "$TSI_TSAN_TESTS"}
+
+echo "OK: both configurations pass"
