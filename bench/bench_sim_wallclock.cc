@@ -1,0 +1,157 @@
+// Experiment E21 -- host wall-clock scaling of the parallel lockstep SPMD
+// executor (sim/spmd.h).
+//
+// The virtual clock is slot-count invariant (tests/spmd_test.cc asserts
+// bit-identical results); this bench measures the *host* wall-clock of the
+// same decode workload as the execution-slot count sweeps 1 (the honest
+// serialized baseline: the same per-chip closures, run one at a time through
+// the same rendezvous machinery) up to the chip count. On a host with >= 8
+// cores the 8-chip mesh should come close to linear; on fewer cores the
+// curve flattens at the core count -- the table reports the host's
+// concurrency so the numbers read honestly either way.
+//
+// Writes BENCH_sim.json (override with TSI_BENCH_JSON): one record per
+// (mesh, slots) with wall-clock ms, speedup vs the 1-slot baseline, and
+// whether the logits matched the baseline bit-for-bit.
+#include "common.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "engine/engine.h"
+#include "model/reference.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace tsi {
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t)
+    v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+// Big enough that per-chip matmul work dominates rendezvous overhead, small
+// enough that the slot sweep finishes in seconds.
+ModelConfig BenchModel() {
+  ModelConfig cfg = TinyTestModel();
+  cfg.name = "wallclock";
+  cfg.num_layers = 4;
+  cfg.d_model = 256;
+  cfg.d_ff = 512;
+  cfg.n_heads = 16;
+  cfg.d_head = 16;
+  cfg.vocab_size = 512;
+  return cfg;
+}
+
+struct Measurement {
+  double wall_ms = 0;
+  Tensor last_logits;
+};
+
+// Prefill + `steps` decode steps with the engine pinned to `slots` execution
+// slots; returns host wall-clock of the decode loop plus the final logits.
+Measurement RunDecode(const ModelWeights& weights, Torus3D mesh, int slots,
+                      int steps) {
+  SimMachine machine(mesh, TpuV4());
+  EngineSpec spec;  // WS-2D decode, head-sharded attention
+  DistributedEngine engine(weights, &machine, spec);
+  engine.spmd().set_slots(slots);
+
+  const ModelConfig& cfg = weights.config;
+  const int64_t B = 32, L = 8;
+  engine.Prefill(RandomTokens(B * L, cfg.vocab_size, 7), B);
+
+  Measurement m;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s)
+    m.last_logits =
+        engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 100 + static_cast<uint64_t>(s)));
+  auto t1 = std::chrono::steady_clock::now();
+  m.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return m;
+}
+
+bool SameBits(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+struct Record {
+  std::string mesh;
+  int chips, slots;
+  double wall_ms, speedup;
+  bool identical;
+};
+
+}  // namespace
+}  // namespace tsi
+
+int main() {
+  using namespace tsi;
+  ModelConfig cfg = BenchModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 1);
+  const int steps = 4;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::vector<Record> records;
+  for (Torus3D mesh : {Torus3D(2, 2, 2), Torus3D(2, 4, 4)}) {
+    const int n = mesh.num_chips();
+    PrintHeader("SPMD wall-clock, " + std::to_string(mesh.x()) + "x" +
+                std::to_string(mesh.y()) + "x" + std::to_string(mesh.z()) +
+                " mesh (" + std::to_string(n) + " chips), " +
+                std::to_string(cores) + " host cores");
+    Table t({"slots", "wall (ms)", "speedup vs 1 slot", "bit-identical"});
+    Measurement base;
+    for (int slots = 1; slots <= n; slots *= 2) {
+      Measurement m = RunDecode(weights, mesh, slots, steps);
+      if (slots == 1) base = m;
+      bool same = SameBits(m.last_logits, base.last_logits);
+      double speedup = base.wall_ms / m.wall_ms;
+      t.AddRow({std::to_string(slots), FormatDouble(m.wall_ms, 2),
+                FormatDouble(speedup, 2), same ? "yes" : "NO"});
+      records.push_back({std::to_string(mesh.x()) + "x" +
+                             std::to_string(mesh.y()) + "x" +
+                             std::to_string(mesh.z()),
+                         n, slots, m.wall_ms, speedup, same});
+    }
+    t.Print();
+  }
+
+  const char* path = "BENCH_sim.json";
+  if (const char* env = std::getenv("TSI_BENCH_JSON")) path = env;
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f, "{\n  \"host_cores\": %u,\n  \"decode_steps\": %d,\n"
+                 "  \"runs\": [\n", cores, steps);
+    for (size_t i = 0; i < records.size(); ++i) {
+      const Record& r = records[i];
+      std::fprintf(f,
+                   "    {\"mesh\": \"%s\", \"chips\": %d, \"slots\": %d, "
+                   "\"wall_ms\": %.3f, \"speedup_vs_1slot\": %.3f, "
+                   "\"bit_identical\": %s}%s\n",
+                   r.mesh.c_str(), r.chips, r.slots, r.wall_ms, r.speedup,
+                   r.identical ? "true" : "false",
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu records)\n", path, records.size());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+
+  std::printf(
+      "\nThe virtual clock and logits are identical for every slot count\n"
+      "(the 'bit-identical' column); only host wall-clock changes. Speedup\n"
+      "saturates at min(chips, host cores) -- a 1-core host shows ~1.0x\n"
+      "throughout, which is expected, not a regression.\n");
+  return 0;
+}

@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "model/attention.h"
-#include "sim/collective_einsum.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -22,7 +21,8 @@ DistributedEngine::DistributedEngine(const ModelWeights& weights,
       weight_byte_width_(WeightBytes(spec.weight_format)),
       X_(machine->topo().x()),
       YZ_(machine->topo().y() * machine->topo().z()),
-      n_(machine->num_chips()) {
+      n_(machine->num_chips()),
+      spmd_(machine) {
   TSI_CHECK(machine_ != nullptr);
   for (FfnLayout l : {spec_.prefill_ffn, spec_.decode_ffn}) {
     TSI_CHECK(l == FfnLayout::kWS1D || l == FfnLayout::kWS2D ||
@@ -83,102 +83,58 @@ void DistributedEngine::ChargeAttention(int chip, const Tensor& k_cache,
   machine_->ChargeComputeAndMemory(chip, flops, kv_bytes, "attention");
 }
 
-ShardVec DistributedEngine::DistLayerNorm(const ShardVec& x, bool second_gain,
-                                          int64_t layer) {
-  auto gain_of = [&](int c) -> const Tensor& {
-    if (layer < 0) return shards_[static_cast<size_t>(c)].final_ln_gain;
-    const auto& lw = shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)];
-    return second_gain ? lw.ln2_gain : lw.ln_gain;
-  };
-  if (X_ == 1) {
-    ShardVec out(x.size());
-    for (int c = 0; c < n_; ++c)
-      out[static_cast<size_t>(c)] = LayerNorm(x[static_cast<size_t>(c)], gain_of(c));
-    return out;
-  }
+Tensor DistributedEngine::DistLayerNormChip(SpmdContext& ctx, const Tensor& x,
+                                            bool second_gain, int64_t layer) {
+  const int c = ctx.chip();
+  const auto& shard = shards_[static_cast<size_t>(c)];
+  const Tensor& gain =
+      layer < 0 ? shard.final_ln_gain
+                : (second_gain ? shard.layers[static_cast<size_t>(layer)].ln2_gain
+                               : shard.layers[static_cast<size_t>(layer)].ln_gain);
+  if (X_ == 1) return LayerNorm(x, gain);
   // E sharded over x: all-reduce per-row (sum, sumsq) moments over x, then
-  // normalize each chip's shard locally.
-  const int64_t rows = x[0].numel() / x[0].dim(-1);
-  const int64_t cols = x[0].dim(-1);
-  const double E = static_cast<double>(config_.d_model);
-  ShardVec moments(x.size());
-  for (int c = 0; c < n_; ++c) {
-    Tensor m({rows, 2});
-    const Tensor& xc = x[static_cast<size_t>(c)];
-    for (int64_t r = 0; r < rows; ++r) {
-      double s = 0, sq = 0;
-      for (int64_t j = 0; j < cols; ++j) {
-        double v = xc[r * cols + j];
-        s += v;
-        sq += v * v;
-      }
-      m.at({r, 0}) = static_cast<float>(s);
-      m.at({r, 1}) = static_cast<float>(sq);
-    }
-    moments[static_cast<size_t>(c)] = std::move(m);
-  }
-  moments = AllReduce(*machine_, moments, kAxisX);
-  ShardVec out(x.size());
-  for (int c = 0; c < n_; ++c) {
-    const Tensor& xc = x[static_cast<size_t>(c)];
-    const Tensor& mc = moments[static_cast<size_t>(c)];
-    const Tensor& g = gain_of(c);
-    Tensor y = xc;
-    for (int64_t r = 0; r < rows; ++r) {
-      double mean = mc.at({r, 0}) / E;
-      double var = mc.at({r, 1}) / E - mean * mean;
-      double inv = 1.0 / std::sqrt(var + 1e-6);
-      for (int64_t j = 0; j < cols; ++j)
-        y[r * cols + j] = static_cast<float>((xc[r * cols + j] - mean) * inv) * g[j];
-    }
-    out[static_cast<size_t>(c)] = std::move(y);
-  }
-  return out;
+  // normalize this chip's shard locally (single-pass kernels, tensor/ops.h).
+  Tensor moments = ctx.AllReduce(kAxisX, RowMoments(x));
+  return NormalizeWithMoments(x, moments, gain,
+                              static_cast<double>(config_.d_model));
 }
 
-ShardVec DistributedEngine::Attention(const ShardVec& q, const ShardVec& k,
-                                      const ShardVec& v, int64_t layer,
-                                      int64_t B, int64_t T) {
+Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
+                                        Tensor v, int64_t layer, int64_t B,
+                                        int64_t T) {
+  const int c = ctx.chip();
   const int64_t H = config_.n_heads, dh = config_.d_head;
   const int64_t Hl = H / YZ_;
   const int64_t KV = config_.n_kv_heads();
   const bool kv_replicated = KV % YZ_ != 0;  // see engine/sharding.cc
   const int64_t KVl = kv_replicated ? KV : KV / YZ_;
-  const Torus3D& topo = machine_->topo();
+  const Torus3D& topo = ctx.topo();
 
-  // Reshape the projected shards to 4-D per-chip tensors.
-  ShardVec q4(q.size()), k4(k.size()), v4(v.size());
-  for (int c = 0; c < n_; ++c) {
-    q4[static_cast<size_t>(c)] = q[static_cast<size_t>(c)].Reshape({B, T, Hl, dh});
-    k4[static_cast<size_t>(c)] = k[static_cast<size_t>(c)].Reshape({B, T, KVl, dh});
-    v4[static_cast<size_t>(c)] = v[static_cast<size_t>(c)].Reshape({B, T, KVl, dh});
-  }
+  // Reshape the projected shards to 4-D.
+  Tensor q4 = q.Reshape({B, T, Hl, dh});
+  Tensor k4 = k.Reshape({B, T, KVl, dh});
+  Tensor v4 = v.Reshape({B, T, KVl, dh});
 
-  ShardVec out(q.size());
   if (spec_.attn == AttnSharding::kHeads) {
-    for (int c = 0; c < n_; ++c) {
-      cache_.Append(c, layer, k4[static_cast<size_t>(c)], v4[static_cast<size_t>(c)]);
-      Tensor kc = cache_.K(c, layer);
-      Tensor vc = cache_.V(c, layer);
-      if (kv_replicated && KV > 1) {
-        // Grouped-query with replicated K/V heads: this chip's query chunk
-        // [yzr*Hl, (yzr+1)*Hl) reads only its kv group(s); slice them so the
-        // local head->kv mapping stays h*KV_local/H_local.
-        const int64_t heads_per_group = H / KV;
-        const int64_t h0 = static_cast<int64_t>(topo.RankInGroup(c, kAxisYZ)) * Hl;
-        const int64_t g0 = h0 / heads_per_group;
-        const int64_t g1 = (h0 + Hl - 1) / heads_per_group;
-        TSI_CHECK(g0 == g1 || Hl % heads_per_group == 0)
-            << "query-head chunk must align with kv groups";
-        kc = kc.Slice(2, g0, g1 - g0 + 1);
-        vc = vc.Slice(2, g0, g1 - g0 + 1);
-      }
-      ChargeAttention(c, kc, static_cast<double>(B * T), static_cast<double>(Hl));
-      Tensor attn = ScaledDotProductAttention(q4[static_cast<size_t>(c)], kc, vc,
-                                              /*causal=*/true);
-      out[static_cast<size_t>(c)] = attn.Reshape({B * T, Hl * dh});
+    cache_.Append(c, layer, k4, v4);
+    Tensor kc = cache_.K(c, layer);
+    Tensor vc = cache_.V(c, layer);
+    if (kv_replicated && KV > 1) {
+      // Grouped-query with replicated K/V heads: this chip's query chunk
+      // [yzr*Hl, (yzr+1)*Hl) reads only its kv group(s); slice them so the
+      // local head->kv mapping stays h*KV_local/H_local.
+      const int64_t heads_per_group = H / KV;
+      const int64_t h0 = static_cast<int64_t>(topo.RankInGroup(c, kAxisYZ)) * Hl;
+      const int64_t g0 = h0 / heads_per_group;
+      const int64_t g1 = (h0 + Hl - 1) / heads_per_group;
+      TSI_CHECK(g0 == g1 || Hl % heads_per_group == 0)
+          << "query-head chunk must align with kv groups";
+      kc = kc.Slice(2, g0, g1 - g0 + 1);
+      vc = vc.Slice(2, g0, g1 - g0 + 1);
     }
-    return out;
+    ChargeAttention(c, kc, static_cast<double>(B * T), static_cast<double>(Hl));
+    Tensor attn = ScaledDotProductAttention(q4, kc, vc, /*causal=*/true);
+    return attn.Reshape({B * T, Hl * dh});
   }
 
   // Batch-sharded (§3.3, Fig 5b): reshard Q (and multihead K/V) from heads
@@ -188,260 +144,191 @@ ShardVec DistributedEngine::Attention(const ShardVec& q, const ShardVec& k,
   // rank x-major, matching the weight-gathered path's xyz group rank so the
   // two phases share one KV-cache layout.
   TSI_CHECK_EQ(B % n_, 0) << "batch-sharded attention needs batch % chips == 0";
-  auto slice_x = [&](ShardVec t) {
+  auto slice_x = [&](Tensor t) {
     if (X_ == 1) return t;
-    for (int c = 0; c < n_; ++c) {
-      int xr = topo.RankInGroup(c, kAxisX);
-      t[static_cast<size_t>(c)] = t[static_cast<size_t>(c)].Chunk(0, X_, xr);
-    }
-    return t;
+    int xr = topo.RankInGroup(c, kAxisX);
+    return t.Chunk(0, X_, xr);
   };
-  auto slice_yz = [&](ShardVec t) {
+  auto slice_yz = [&](Tensor t) {
     if (YZ_ == 1) return t;
-    for (int c = 0; c < n_; ++c) {
-      int yzr = topo.RankInGroup(c, kAxisYZ);
-      t[static_cast<size_t>(c)] = t[static_cast<size_t>(c)].Chunk(0, YZ_, yzr);
-    }
-    return t;
+    int yzr = topo.RankInGroup(c, kAxisYZ);
+    return t.Chunk(0, YZ_, yzr);
   };
-  ShardVec qb = AllToAll(*machine_, slice_x(q4), kAxisYZ, /*split=*/0, /*concat=*/2);
-  ShardVec kb, vb;
+  Tensor qb = ctx.AllToAll(kAxisYZ, slice_x(std::move(q4)), /*split=*/0,
+                           /*concat=*/2);
+  Tensor kb, vb;
   if (kv_replicated) {
     // The K/V heads are replicated over yz: the batch split is a local
     // slice, no communication (this is the saving of Fig 4c).
-    kb = slice_yz(slice_x(k4));
-    vb = slice_yz(slice_x(v4));
+    kb = slice_yz(slice_x(std::move(k4)));
+    vb = slice_yz(slice_x(std::move(v4)));
   } else {
-    kb = AllToAll(*machine_, slice_x(k4), kAxisYZ, 0, 2);
-    vb = AllToAll(*machine_, slice_x(v4), kAxisYZ, 0, 2);
+    kb = ctx.AllToAll(kAxisYZ, slice_x(std::move(k4)), 0, 2);
+    vb = ctx.AllToAll(kAxisYZ, slice_x(std::move(v4)), 0, 2);
   }
-  ShardVec attn_local(q.size());
-  for (int c = 0; c < n_; ++c) {
-    cache_.Append(c, layer, kb[static_cast<size_t>(c)], vb[static_cast<size_t>(c)]);
-    const Tensor& kcache = cache_.K(c, layer);
-    const Tensor& vcache = cache_.V(c, layer);
-    Tensor attn = ScaledDotProductAttention(qb[static_cast<size_t>(c)], kcache,
-                                            vcache, /*causal=*/true);
-    ChargeAttention(c, kcache, static_cast<double>(B / n_ * T),
-                    static_cast<double>(H));
-    attn_local[static_cast<size_t>(c)] = std::move(attn);  // [B/n, T, H, dh]
-  }
+  cache_.Append(c, layer, kb, vb);
+  const Tensor& kcache = cache_.K(c, layer);
+  const Tensor& vcache = cache_.V(c, layer);
+  Tensor attn = ScaledDotProductAttention(qb, kcache, vcache, /*causal=*/true);
+  ChargeAttention(c, kcache, static_cast<double>(B / n_ * T),
+                  static_cast<double>(H));
   // Back to head sharding: all-to-all heads <- batch over yz, then gather
-  // the x batch slices.
-  ShardVec back = AllToAll(*machine_, attn_local, kAxisYZ, /*split=*/2, /*concat=*/0);
-  if (X_ > 1) back = AllGather(*machine_, back, kAxisX, 0);
-  for (int c = 0; c < n_; ++c)
-    out[static_cast<size_t>(c)] = back[static_cast<size_t>(c)].Reshape({B * T, Hl * dh});
-  return out;
+  // the x batch slices. attn is [B/n, T, H, dh].
+  Tensor back = ctx.AllToAll(kAxisYZ, std::move(attn), /*split=*/2,
+                             /*concat=*/0);
+  if (X_ > 1) back = ctx.AllGather(kAxisX, std::move(back), 0);
+  return back.Reshape({B * T, Hl * dh});
 }
 
-void DistributedEngine::WsBlock(ShardVec& x, int64_t layer, int64_t B, int64_t T) {
+void DistributedEngine::WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
+                                    int64_t B, int64_t T) {
+  const int c = ctx.chip();
   const bool gated = config_.gated_ffn;
-  auto lw = [&](int c) -> const ShardedLayerWeights& {
-    return shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)];
-  };
+  const ShardedLayerWeights& lw =
+      shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)];
 
   // Computes the attention branch from normed input `y`; returns the
   // partial-sum-over-yz output projection.
-  auto attn_branch = [&](const ShardVec& y) {
-    ShardVec q(x.size()), k(x.size()), v(x.size());
-    for (int c = 0; c < n_; ++c) {
-      q[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).wq);
-      k[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).wk);
-      v[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).wv);
-    }
+  auto attn_branch = [&](const Tensor& y) {
+    Tensor q = LocalMatMul(c, y, lw.wq);
+    Tensor k = LocalMatMul(c, y, lw.wk);
+    Tensor v = LocalMatMul(c, y, lw.wv);
     if (X_ > 1) {
-      q = AllReduce(*machine_, q, kAxisX);
-      k = AllReduce(*machine_, k, kAxisX);
-      v = AllReduce(*machine_, v, kAxisX);
+      q = ctx.AllReduce(kAxisX, std::move(q));
+      k = ctx.AllReduce(kAxisX, std::move(k));
+      v = ctx.AllReduce(kAxisX, std::move(v));
     }
-    ShardVec attn = Attention(q, k, v, layer, B, T);
-    ShardVec o(x.size());
-    for (int c = 0; c < n_; ++c)
-      o[static_cast<size_t>(c)] = LocalMatMul(c, attn[static_cast<size_t>(c)], lw(c).wo);
-    return o;  // [B*T, E/X] partial over yz
+    Tensor attn = AttentionChip(ctx, std::move(q), std::move(k), std::move(v),
+                                layer, B, T);
+    return LocalMatMul(c, attn, lw.wo);  // [B*T, E/X] partial over yz
   };
 
   // Computes the FFN branch from normed input `y`; partial over yz.
-  auto ffn_branch = [&](const ShardVec& y) {
-    ShardVec h(x.size());
+  auto ffn_branch = [&](const Tensor& y) {
+    Tensor h;
     if (X_ > 1) {
-      ShardVec h1(x.size()), h2(x.size());
+      Tensor h1, h2;
       if (spec_.fuse_collectives) {
         // §3.5 Looped CollectiveEinsum: the input projection and its
         // reduce-scatter(x) execute as one pipelined op.
-        ShardVec win(x.size()), wgate(x.size());
-        for (int c = 0; c < n_; ++c) {
-          win[static_cast<size_t>(c)] = lw(c).win;
-          if (gated) wgate[static_cast<size_t>(c)] = lw(c).win_gate;
-        }
-        h1 = MatMulReduceScatter(*machine_, y, win, kAxisX, weight_byte_width_);
+        h1 = ctx.MatMulReduceScatter(kAxisX, y, lw.win, weight_byte_width_);
         if (gated)
-          h2 = MatMulReduceScatter(*machine_, y, wgate, kAxisX, weight_byte_width_);
+          h2 = ctx.MatMulReduceScatter(kAxisX, y, lw.win_gate,
+                                       weight_byte_width_);
       } else {
-        for (int c = 0; c < n_; ++c) {
-          h1[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).win);
-          if (gated)
-            h2[static_cast<size_t>(c)] = LocalMatMul(c, y[static_cast<size_t>(c)], lw(c).win_gate);
-        }
+        h1 = LocalMatMul(c, y, lw.win);
+        if (gated) h2 = LocalMatMul(c, y, lw.win_gate);
         // §3.5: reduce-scatter the partial sums into the hidden dim, apply
         // the nonlinearity on 1/X of the data, and all-gather once.
-        h1 = ReduceScatter(*machine_, h1, kAxisX, /*dim=*/1);
-        if (gated) h2 = ReduceScatter(*machine_, h2, kAxisX, 1);
+        h1 = ctx.ReduceScatter(kAxisX, std::move(h1), /*dim=*/1);
+        if (gated) h2 = ctx.ReduceScatter(kAxisX, std::move(h2), 1);
       }
-      for (int c = 0; c < n_; ++c) {
-        Tensor act = gated ? Swish2(h1[static_cast<size_t>(c)]).Mul(h2[static_cast<size_t>(c)])
-                           : Gelu(h1[static_cast<size_t>(c)]);
-        h[static_cast<size_t>(c)] = std::move(act);
-      }
-      h = AllGather(*machine_, h, kAxisX, 1);
+      h = gated ? Swish2(h1).Mul(h2) : Gelu(h1);
+      h = ctx.AllGather(kAxisX, std::move(h), 1);
     } else {
       // Unsharded hidden dim: the projection and nonlinearity fuse into one
       // kernel (bit-identical to the matmul + activation composition).
-      for (int c = 0; c < n_; ++c) {
-        h[static_cast<size_t>(c)] =
-            gated ? LocalMatMulSwishMulGate(c, y[static_cast<size_t>(c)],
-                                            lw(c).win, lw(c).win_gate)
-                  : LocalMatMulGelu(c, y[static_cast<size_t>(c)], lw(c).win);
-      }
+      h = gated ? LocalMatMulSwishMulGate(c, y, lw.win, lw.win_gate)
+                : LocalMatMulGelu(c, y, lw.win);
     }
-    ShardVec o(x.size());
-    for (int c = 0; c < n_; ++c)
-      o[static_cast<size_t>(c)] = LocalMatMul(c, h[static_cast<size_t>(c)], lw(c).wout);
-    return o;  // [B*T, E/X] partial over yz
+    return LocalMatMul(c, h, lw.wout);  // [B*T, E/X] partial over yz
   };
 
   if (config_.parallel_block) {
-    ShardVec y = DistLayerNorm(x, /*second_gain=*/false, layer);
-    ShardVec oa = attn_branch(y);
-    ShardVec of = ffn_branch(y);
-    for (int c = 0; c < n_; ++c)
-      oa[static_cast<size_t>(c)].AddInPlace(of[static_cast<size_t>(c)]);
+    Tensor y = DistLayerNormChip(ctx, x, /*second_gain=*/false, layer);
+    Tensor oa = attn_branch(y);
+    Tensor of = ffn_branch(y);
+    oa.AddInPlace(of);
     // §3.4: one shared all-reduce(yz) for the summed branch outputs.
-    ShardVec o = YZ_ > 1 ? AllReduce(*machine_, oa, kAxisYZ) : std::move(oa);
-    for (int c = 0; c < n_; ++c)
-      x[static_cast<size_t>(c)].AddInPlace(o[static_cast<size_t>(c)]);
+    Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
+    x.AddInPlace(o);
     return;
   }
 
   // Serial: x += Attn(LN1(x)); x += FFN(LN2(x)) -- two all-reduces.
   {
-    ShardVec oa = attn_branch(DistLayerNorm(x, false, layer));
-    ShardVec o = YZ_ > 1 ? AllReduce(*machine_, oa, kAxisYZ) : std::move(oa);
-    for (int c = 0; c < n_; ++c)
-      x[static_cast<size_t>(c)].AddInPlace(o[static_cast<size_t>(c)]);
+    Tensor oa = attn_branch(DistLayerNormChip(ctx, x, false, layer));
+    Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
+    x.AddInPlace(o);
   }
   {
-    ShardVec of = ffn_branch(DistLayerNorm(x, true, layer));
-    ShardVec o = YZ_ > 1 ? AllReduce(*machine_, of, kAxisYZ) : std::move(of);
-    for (int c = 0; c < n_; ++c)
-      x[static_cast<size_t>(c)].AddInPlace(o[static_cast<size_t>(c)]);
+    Tensor of = ffn_branch(DistLayerNormChip(ctx, x, true, layer));
+    Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(of)) : std::move(of);
+    x.AddInPlace(o);
   }
 }
 
-void DistributedEngine::WgBlock(ShardVec& x, int64_t layer, int64_t b_local,
-                                int64_t T) {
-  // Gather this layer's weights to full matrices on every chip (charged as
-  // collectives on the virtual clock).
-  auto gather = [&](auto member, bool cols_replicated) {
-    ShardVec shards(static_cast<size_t>(n_));
-    for (int c = 0; c < n_; ++c)
-      shards[static_cast<size_t>(c)] =
-          member(shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)]);
-    if (YZ_ > 1 && !cols_replicated) shards = AllGather(*machine_, shards, kAxisYZ, 1);
-    if (X_ > 1) shards = AllGather(*machine_, shards, kAxisX, 0);
-    return shards;
+void DistributedEngine::WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
+                                    int64_t b_local, int64_t T) {
+  const int c = ctx.chip();
+  const ShardedLayerWeights& lw =
+      shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)];
+
+  // Gather this layer's weights to full matrices (charged as collectives on
+  // the virtual clock).
+  auto gather = [&](const Tensor& shard, bool cols_replicated) {
+    Tensor t = shard;
+    if (YZ_ > 1 && !cols_replicated)
+      t = ctx.AllGather(kAxisYZ, std::move(t), 1);
+    if (X_ > 1) t = ctx.AllGather(kAxisX, std::move(t), 0);
+    return t;
   };
-  auto gather_rows_over_yz_cols_over_x = [&](auto member) {
+  auto gather_rows_over_yz_cols_over_x = [&](const Tensor& shard) {
     // wo / wout store rows over yz and cols over x.
-    ShardVec shards(static_cast<size_t>(n_));
-    for (int c = 0; c < n_; ++c)
-      shards[static_cast<size_t>(c)] =
-          member(shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)]);
-    if (X_ > 1) shards = AllGather(*machine_, shards, kAxisX, 1);
-    if (YZ_ > 1) shards = AllGather(*machine_, shards, kAxisYZ, 0);
-    return shards;
+    Tensor t = shard;
+    if (X_ > 1) t = ctx.AllGather(kAxisX, std::move(t), 1);
+    if (YZ_ > 1) t = ctx.AllGather(kAxisYZ, std::move(t), 0);
+    return t;
   };
-  auto gather_gain = [&](auto member) {
-    ShardVec shards(static_cast<size_t>(n_));
-    for (int c = 0; c < n_; ++c)
-      shards[static_cast<size_t>(c)] =
-          member(shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)]);
-    if (X_ > 1) shards = AllGather(*machine_, shards, kAxisX, 0);
-    return shards;
+  auto gather_gain = [&](const Tensor& shard) {
+    Tensor t = shard;
+    if (X_ > 1) t = ctx.AllGather(kAxisX, std::move(t), 0);
+    return t;
   };
 
   const bool kv_replicated = config_.n_kv_heads() % YZ_ != 0;
-  ShardVec wq = gather([](const ShardedLayerWeights& l) { return l.wq; }, false);
-  ShardVec wk = gather([](const ShardedLayerWeights& l) { return l.wk; }, kv_replicated);
-  ShardVec wv = gather([](const ShardedLayerWeights& l) { return l.wv; }, kv_replicated);
-  ShardVec wo = gather_rows_over_yz_cols_over_x(
-      [](const ShardedLayerWeights& l) { return l.wo; });
-  ShardVec win = gather([](const ShardedLayerWeights& l) { return l.win; }, false);
-  ShardVec wgate;
-  if (config_.gated_ffn)
-    wgate = gather([](const ShardedLayerWeights& l) { return l.win_gate; }, false);
-  ShardVec wout = gather_rows_over_yz_cols_over_x(
-      [](const ShardedLayerWeights& l) { return l.wout; });
-  ShardVec ln = gather_gain([](const ShardedLayerWeights& l) { return l.ln_gain; });
-  ShardVec ln2;  // second pre-norm exists only in serial blocks
-  if (!config_.parallel_block)
-    ln2 = gather_gain([](const ShardedLayerWeights& l) { return l.ln2_gain; });
+  Tensor wq = gather(lw.wq, false);
+  Tensor wk = gather(lw.wk, kv_replicated);
+  Tensor wv = gather(lw.wv, kv_replicated);
+  Tensor wo = gather_rows_over_yz_cols_over_x(lw.wo);
+  Tensor win = gather(lw.win, false);
+  Tensor wgate;
+  if (config_.gated_ffn) wgate = gather(lw.win_gate, false);
+  Tensor wout = gather_rows_over_yz_cols_over_x(lw.wout);
+  Tensor ln = gather_gain(lw.ln_gain);
+  Tensor ln2;  // second pre-norm exists only in serial blocks
+  if (!config_.parallel_block) ln2 = gather_gain(lw.ln2_gain);
 
   const int64_t H = config_.n_heads, KV = config_.n_kv_heads(), dh = config_.d_head;
 
-  auto run_attn = [&](const ShardVec& y) {
-    ShardVec o(x.size());
-    for (int c = 0; c < n_; ++c) {
-      Tensor q = LocalMatMul(c, y[static_cast<size_t>(c)], wq[static_cast<size_t>(c)])
-                     .Reshape({b_local, T, H, dh});
-      Tensor k = LocalMatMul(c, y[static_cast<size_t>(c)], wk[static_cast<size_t>(c)])
-                     .Reshape({b_local, T, KV, dh});
-      Tensor v = LocalMatMul(c, y[static_cast<size_t>(c)], wv[static_cast<size_t>(c)])
-                     .Reshape({b_local, T, KV, dh});
-      cache_.Append(c, layer, k, v);
-      const Tensor& kc = cache_.K(c, layer);
-      Tensor attn = ScaledDotProductAttention(q, kc, cache_.V(c, layer), true);
-      ChargeAttention(c, kc, static_cast<double>(b_local * T), static_cast<double>(H));
-      o[static_cast<size_t>(c)] = LocalMatMul(
-          c, attn.Reshape({b_local * T, H * dh}), wo[static_cast<size_t>(c)]);
-    }
-    return o;
+  auto run_attn = [&](const Tensor& y) {
+    Tensor q = LocalMatMul(c, y, wq).Reshape({b_local, T, H, dh});
+    Tensor k = LocalMatMul(c, y, wk).Reshape({b_local, T, KV, dh});
+    Tensor v = LocalMatMul(c, y, wv).Reshape({b_local, T, KV, dh});
+    cache_.Append(c, layer, k, v);
+    const Tensor& kc = cache_.K(c, layer);
+    Tensor attn = ScaledDotProductAttention(q, kc, cache_.V(c, layer), true);
+    ChargeAttention(c, kc, static_cast<double>(b_local * T),
+                    static_cast<double>(H));
+    return LocalMatMul(c, attn.Reshape({b_local * T, H * dh}), wo);
   };
-  auto run_ffn = [&](const ShardVec& y) {
-    ShardVec o(x.size());
-    for (int c = 0; c < n_; ++c) {
-      Tensor h = config_.gated_ffn
-                     ? LocalMatMulSwishMulGate(c, y[static_cast<size_t>(c)],
-                                               win[static_cast<size_t>(c)],
-                                               wgate[static_cast<size_t>(c)])
-                     : LocalMatMulGelu(c, y[static_cast<size_t>(c)],
-                                       win[static_cast<size_t>(c)]);
-      o[static_cast<size_t>(c)] = LocalMatMul(c, h, wout[static_cast<size_t>(c)]);
-    }
-    return o;
-  };
-  auto norm = [&](const ShardVec& in, const ShardVec& gains) {
-    ShardVec y(in.size());
-    for (int c = 0; c < n_; ++c)
-      y[static_cast<size_t>(c)] =
-          LayerNorm(in[static_cast<size_t>(c)], gains[static_cast<size_t>(c)]);
-    return y;
+  auto run_ffn = [&](const Tensor& y) {
+    Tensor h = config_.gated_ffn ? LocalMatMulSwishMulGate(c, y, win, wgate)
+                                 : LocalMatMulGelu(c, y, win);
+    return LocalMatMul(c, h, wout);
   };
 
   if (config_.parallel_block) {
-    ShardVec y = norm(x, ln);
-    ShardVec oa = run_attn(y);
-    ShardVec of = run_ffn(y);
-    for (int c = 0; c < n_; ++c) {
-      x[static_cast<size_t>(c)].AddInPlace(oa[static_cast<size_t>(c)]);
-      x[static_cast<size_t>(c)].AddInPlace(of[static_cast<size_t>(c)]);
-    }
+    Tensor y = LayerNorm(x, ln);
+    Tensor oa = run_attn(y);
+    Tensor of = run_ffn(y);
+    x.AddInPlace(oa);
+    x.AddInPlace(of);
   } else {
-    ShardVec oa = run_attn(norm(x, ln));
-    for (int c = 0; c < n_; ++c) x[static_cast<size_t>(c)].AddInPlace(oa[static_cast<size_t>(c)]);
-    ShardVec of = run_ffn(norm(x, ln2));
-    for (int c = 0; c < n_; ++c) x[static_cast<size_t>(c)].AddInPlace(of[static_cast<size_t>(c)]);
+    Tensor oa = run_attn(LayerNorm(x, ln));
+    x.AddInPlace(oa);
+    Tensor of = run_ffn(LayerNorm(x, ln2));
+    x.AddInPlace(of);
   }
 }
 
@@ -451,67 +338,61 @@ Tensor DistributedEngine::Forward(const std::vector<int32_t>& tokens, int64_t B,
   TSI_CHECK_EQ(static_cast<int64_t>(tokens.size()) % B, 0);
   const int64_t T = static_cast<int64_t>(tokens.size()) / B;
   const int64_t E = config_.d_model;
-  const Torus3D& topo = machine_->topo();
 
   Tensor x_full = EmbeddingLookup(shards_[0].embedding, tokens);  // [B*T, E]
+  Tensor result;
 
   if (layout == FfnLayout::kWGXYZ && n_ > 1) {
     TSI_CHECK_EQ(B % n_, 0) << "weight-gathered execution shards the batch";
     const int64_t b_local = B / n_;
-    ShardVec x(static_cast<size_t>(n_));
-    Tensor x3 = x_full.Reshape({B, T, E});
-    for (int c = 0; c < n_; ++c) {
-      int r = topo.RankInGroup(c, kAxisXYZ);
-      x[static_cast<size_t>(c)] = x3.Chunk(0, n_, r).Reshape({b_local * T, E});
-    }
-    for (int64_t l = 0; l < config_.num_layers; ++l) WgBlock(x, l, b_local, T);
-    // Final norm + logit head, batch-locally; gather full logits.
-    ShardVec gain(static_cast<size_t>(n_));
-    for (int c = 0; c < n_; ++c)
-      gain[static_cast<size_t>(c)] = shards_[static_cast<size_t>(c)].final_ln_gain;
-    if (X_ > 1) gain = AllGather(*machine_, gain, kAxisX, 0);
-    ShardVec logits(static_cast<size_t>(n_));
-    for (int c = 0; c < n_; ++c) {
-      Tensor y = LayerNorm(x[static_cast<size_t>(c)], gain[static_cast<size_t>(c)]);
-      Tensor lg = LocalMatMul(c, y, shards_[static_cast<size_t>(c)].embedding.Transpose2D());
-      logits[static_cast<size_t>(c)] = lg.Reshape({b_local, T, config_.vocab_size});
-    }
-    logits = AllGather(*machine_, logits, kAxisXYZ, 0);
-    return logits[0];
+    const Tensor x3 = x_full.Reshape({B, T, E});
+    spmd_.Run([&](SpmdContext& ctx) {
+      const int c = ctx.chip();
+      const int r = ctx.topo().RankInGroup(c, kAxisXYZ);
+      Tensor x = x3.Chunk(0, n_, r).Reshape({b_local * T, E});
+      for (int64_t l = 0; l < config_.num_layers; ++l)
+        WgBlockChip(ctx, x, l, b_local, T);
+      // Final norm + logit head, batch-locally; gather full logits.
+      Tensor gain = shards_[static_cast<size_t>(c)].final_ln_gain;
+      if (X_ > 1) gain = ctx.AllGather(kAxisX, std::move(gain), 0);
+      Tensor y = LayerNorm(x, gain);
+      Tensor lg = LocalMatMul(
+          c, y, shards_[static_cast<size_t>(c)].embedding.Transpose2D());
+      Tensor logits = ctx.AllGather(
+          kAxisXYZ, lg.Reshape({b_local, T, config_.vocab_size}), 0);
+      if (c == 0) result = std::move(logits);
+    });
+    return result;
   }
 
-  // Weight-stationary path: activations sharded [B*T, E/X] over x.
-  ShardVec x(static_cast<size_t>(n_));
-  for (int c = 0; c < n_; ++c) {
-    int xr = topo.RankInGroup(c, kAxisX);
-    x[static_cast<size_t>(c)] = X_ > 1 ? x_full.Chunk(1, X_, xr) : x_full;
-  }
-  for (int64_t l = 0; l < config_.num_layers; ++l) WsBlock(x, l, B, T);
-
-  ShardVec y = DistLayerNorm(x, false, /*layer=*/-1);
-  ShardVec full = X_ > 1 ? AllGather(*machine_, y, kAxisX, 1) : std::move(y);
-  // Logit head: shard the [E, vocab] projection over the vocab dim across
-  // all chips and all-gather the logits (falls back to replicated compute
+  // Weight-stationary path: activations sharded [B*T, E/X] over x. The
+  // logit head shards the [E, vocab] projection over the vocab dim across
+  // all chips and all-gathers the logits (falls back to replicated compute
   // when the vocab does not divide).
   const int64_t V = config_.vocab_size;
-  Tensor embT = shards_[0].embedding.Transpose2D();
-  if (n_ > 1 && V % n_ == 0) {
-    ShardVec logits(static_cast<size_t>(n_));
-    for (int c = 0; c < n_; ++c) {
-      int r = topo.RankInGroup(c, kAxisXYZ);
-      logits[static_cast<size_t>(c)] =
-          LocalMatMul(c, full[static_cast<size_t>(c)], embT.Chunk(1, n_, r));
+  const Tensor embT = shards_[0].embedding.Transpose2D();
+  spmd_.Run([&](SpmdContext& ctx) {
+    const int c = ctx.chip();
+    const int xr = ctx.topo().RankInGroup(c, kAxisX);
+    Tensor x = X_ > 1 ? x_full.Chunk(1, X_, xr) : x_full;
+    for (int64_t l = 0; l < config_.num_layers; ++l) WsBlockChip(ctx, x, l, B, T);
+
+    Tensor y = DistLayerNormChip(ctx, x, false, /*layer=*/-1);
+    Tensor full = X_ > 1 ? ctx.AllGather(kAxisX, std::move(y), 1) : std::move(y);
+    if (n_ > 1 && V % n_ == 0) {
+      const int r = ctx.topo().RankInGroup(c, kAxisXYZ);
+      Tensor logits = LocalMatMul(c, full, embT.Chunk(1, n_, r));
+      logits = ctx.AllGather(kAxisXYZ, std::move(logits), /*dim=*/1);
+      if (c == 0) result = logits.Reshape({B, T, V});
+    } else if (c == 0) {
+      result = LocalMatMul(0, full, embT).Reshape({B, T, V});
+    } else {
+      machine_->ChargeComputeAndMemory(
+          c, 2.0 * (B * T) * E * V,
+          static_cast<double>(shards_[0].embedding.numel()) * weight_byte_width_);
     }
-    logits = AllGather(*machine_, logits, kAxisXYZ, /*dim=*/1);
-    return logits[0].Reshape({B, T, V});
-  }
-  Tensor logits = LocalMatMul(0, full[0], embT);
-  for (int c = 1; c < n_; ++c) {
-    machine_->ChargeComputeAndMemory(
-        c, 2.0 * (B * T) * E * V,
-        static_cast<double>(shards_[0].embedding.numel()) * weight_byte_width_);
-  }
-  return logits.Reshape({B, T, V});
+  });
+  return result;
 }
 
 Tensor DistributedEngine::Prefill(const std::vector<int32_t>& tokens, int64_t batch) {

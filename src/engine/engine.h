@@ -3,7 +3,11 @@
 // DistributedEngine executes the paper's partitioned transformer forward
 // pass on a SimMachine: every chip owns only its weight shards (E_x F_yz
 // storage, engine/sharding.h) and its slice of the KV cache, and cross-chip
-// data moves only through sim/collectives.h. Supported execution layouts:
+// data moves only through collectives. Each forward pass runs as one
+// parallel SPMD region (sim/spmd.h): one closure per chip, executing
+// concurrently and meeting at collective barrier points, with results,
+// virtual clocks, and traces bit-identical for any slot count. Supported
+// execution layouts:
 //
 //   * Weight-stationary (1D when mesh.x == 1, 2D otherwise, §3.2.1-§3.2.2):
 //     activations are sharded [tokens, E/X] over x and replicated over yz.
@@ -41,7 +45,7 @@
 #include "engine/sharding.h"
 #include "model/weights.h"
 #include "sim/machine.h"
-#include "sim/collectives.h"
+#include "sim/spmd.h"
 
 namespace tsi {
 
@@ -76,6 +80,9 @@ class DistributedEngine {
   int64_t context_length() const { return cache_.length(); }
   const EngineSpec& spec() const { return spec_; }
   SimMachine& machine() { return *machine_; }
+  // The engine's SPMD executor: every Forward runs as one per-chip region on
+  // it. Exposed so callers can pin the slot count (tests, benchmarks).
+  SpmdExecutor& spmd() { return spmd_; }
   const ModelConfig& config() const { return config_; }
   const ShardedKvCache& cache() const { return cache_; }
 
@@ -83,18 +90,23 @@ class DistributedEngine {
   Tensor Forward(const std::vector<int32_t>& tokens, int64_t batch,
                  FfnLayout layout);
 
-  // Weight-stationary block over activations sharded [B*T, E/X].
-  void WsBlock(ShardVec& x, int64_t layer, int64_t batch, int64_t t);
-  // Fully local block over batch-sharded activations with gathered weights.
-  void WgBlock(ShardVec& x, int64_t layer, int64_t batch_local, int64_t t);
+  // Per-chip block bodies, run inside an SpmdExecutor region: each touches
+  // only chip ctx.chip()'s weights/cache plus collective-delivered data.
+  // Weight-stationary block over this chip's activation shard [B*T, E/X].
+  void WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer, int64_t batch,
+                   int64_t t);
+  // Fully local block over the chip's batch shard with gathered weights.
+  void WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
+                   int64_t batch_local, int64_t t);
 
-  // Head- or batch-sharded attention from replicated-over-x q/k/v shards;
-  // returns [B*T, (H/YZ)*dh] shards. Inputs are [B*T, cols].
-  ShardVec Attention(const ShardVec& q, const ShardVec& k, const ShardVec& v,
-                     int64_t layer, int64_t batch, int64_t t);
+  // Head- or batch-sharded attention from replicated-over-x q/k/v; returns
+  // this chip's [B*T, (H/YZ)*dh] slice. Inputs are [B*T, cols].
+  Tensor AttentionChip(SpmdContext& ctx, Tensor q, Tensor k, Tensor v,
+                       int64_t layer, int64_t batch, int64_t t);
 
   // LayerNorm over the E dim when E is sharded over x (moment all-reduce).
-  ShardVec DistLayerNorm(const ShardVec& x, bool second_gain, int64_t layer);
+  Tensor DistLayerNormChip(SpmdContext& ctx, const Tensor& x,
+                           bool second_gain, int64_t layer);
 
   Tensor LocalMatMul(int chip, const Tensor& x, const Tensor& w);
   // Fused matmul+activation hot paths; charge exactly like the LocalMatMul
@@ -112,6 +124,7 @@ class DistributedEngine {
   ShardedKvCache cache_;
   double weight_byte_width_;  // 2 (bf16) or 1 (int8) for traffic charging
   int X_, YZ_, n_;
+  SpmdExecutor spmd_;
 };
 
 }  // namespace tsi

@@ -1,80 +1,19 @@
 #include "sim/collective_einsum.h"
 
-#include <algorithm>
-
+#include "sim/spmd.h"
 #include "util/logging.h"
 
 namespace tsi {
-namespace {
-
-template <typename Fn>
-void ForEachGroup(const Torus3D& topo, unsigned mask, Fn fn) {
-  std::vector<bool> seen(static_cast<size_t>(topo.num_chips()), false);
-  for (int c = 0; c < topo.num_chips(); ++c) {
-    if (seen[static_cast<size_t>(c)]) continue;
-    std::vector<int> group = topo.GroupOf(c, mask);
-    for (int g : group) seen[static_cast<size_t>(g)] = true;
-    fn(group);
-  }
-}
-
-// Charges the pipelined schedule of K compute chunks interleaved with K-1
-// ring steps to every group member, and logs the egress traffic.
-void ChargePipelined(SimMachine& m, const std::vector<int>& group,
-                     double total_flops, double total_weight_bytes,
-                     double step_bytes, const char* name) {
-  const int k = static_cast<int>(group.size());
-  const ChipSpec& chip = m.chip();
-  double t_chunk = std::max(chip.ComputeTime(total_flops / k),
-                            chip.MemoryTime(total_weight_bytes / k));
-  double t_step = m.comm_cost().hop_latency + step_bytes / chip.network_bw;
-
-  double t = t_chunk;  // first chunk has nothing to hide under
-  for (int s = 0; s < k - 1; ++s) t += std::max(t_chunk, t_step);
-
-  m.SyncClocks(group);
-  for (int c : group) {
-    m.BookWork(c, total_flops, total_weight_bytes);
-    m.ChargeNetwork(c, step_bytes * (k - 1));
-    m.AdvanceTimeTraced(c, t, name);
-  }
-}
-
-}  // namespace
 
 ShardVec MatMulReduceScatter(SimMachine& m, const ShardVec& x, const ShardVec& w,
                              unsigned mask, double weight_byte_width) {
   TSI_CHECK_EQ(static_cast<int>(x.size()), m.num_chips());
   TSI_CHECK_EQ(static_cast<int>(w.size()), m.num_chips());
   ShardVec out(x.size());
-  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
-    const int64_t k = static_cast<int64_t>(group.size());
-    // Functional result: full local matmul, group-wise sum, rank chunk.
-    std::vector<Tensor> partials;
-    partials.reserve(group.size());
-    for (int g : group) {
-      partials.push_back(MatMul(x[static_cast<size_t>(g)], w[static_cast<size_t>(g)]));
-    }
-    Tensor sum = partials[0];
-    for (size_t i = 1; i < partials.size(); ++i) sum.AddInPlace(partials[i]);
-
-    const Tensor& x0 = x[static_cast<size_t>(group[0])];
-    const Tensor& w0 = w[static_cast<size_t>(group[0])];
-    double flops = 2.0 * (x0.numel() / x0.dim(-1)) * w0.dim(0) * w0.dim(1);
-    double wbytes = static_cast<double>(w0.numel()) * weight_byte_width;
-    double chunk_bytes = k > 1 ? static_cast<double>(sum.numel()) / k *
-                                     m.bytes_per_element()
-                               : 0;
-    if (k > 1) {
-      ChargePipelined(m, group, flops, wbytes, chunk_bytes,
-                      "looped-matmul-rs");
-    } else {
-      m.ChargeComputeAndMemory(group[0], flops, wbytes, "matmul");
-    }
-    for (size_t r = 0; r < group.size(); ++r) {
-      out[static_cast<size_t>(group[r])] =
-          k > 1 ? sum.Chunk(1, k, static_cast<int64_t>(r)) : sum;
-    }
+  SpmdExecutor ex(&m);
+  ex.Run([&](SpmdContext& ctx) {
+    const size_t c = static_cast<size_t>(ctx.chip());
+    out[c] = ctx.MatMulReduceScatter(mask, x[c], w[c], weight_byte_width);
   });
   return out;
 }
@@ -82,30 +21,12 @@ ShardVec MatMulReduceScatter(SimMachine& m, const ShardVec& x, const ShardVec& w
 ShardVec AllGatherMatMul(SimMachine& m, const ShardVec& x, const ShardVec& w,
                          unsigned mask, double weight_byte_width) {
   TSI_CHECK_EQ(static_cast<int>(x.size()), m.num_chips());
+  TSI_CHECK_EQ(static_cast<int>(w.size()), m.num_chips());
   ShardVec out(x.size());
-  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
-    const int64_t k = static_cast<int64_t>(group.size());
-    std::vector<Tensor> parts;
-    parts.reserve(group.size());
-    for (int g : group) parts.push_back(x[static_cast<size_t>(g)]);
-    Tensor gathered = Tensor::Concat(0, parts);
-
-    const Tensor& w0 = w[static_cast<size_t>(group[0])];
-    double flops = 2.0 * gathered.dim(0) * w0.dim(0) * w0.dim(1);
-    double wbytes = static_cast<double>(w0.numel()) * weight_byte_width;
-    double chunk_bytes = k > 1 ? static_cast<double>(gathered.numel()) / k *
-                                     m.bytes_per_element()
-                               : 0;
-    if (k > 1) {
-      ChargePipelined(m, group, flops, wbytes, chunk_bytes, "ag-looped-matmul");
-    }
-    for (int g : group) {
-      Tensor y = MatMul(gathered, w[static_cast<size_t>(g)]);
-      if (k == 1) {
-        m.ChargeComputeAndMemory(g, flops, wbytes, "matmul");
-      }
-      out[static_cast<size_t>(g)] = std::move(y);
-    }
+  SpmdExecutor ex(&m);
+  ex.Run([&](SpmdContext& ctx) {
+    const size_t c = static_cast<size_t>(ctx.chip());
+    out[c] = ctx.AllGatherMatMul(mask, x[c], w[c], weight_byte_width);
   });
   return out;
 }

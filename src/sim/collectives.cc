@@ -1,42 +1,14 @@
 #include "sim/collectives.h"
 
+#include "sim/spmd.h"
 #include "util/logging.h"
 
 namespace tsi {
 namespace {
 
-// Runs `fn(group)` once per distinct group of the mask. Groups partition the
-// chip set; we visit each group via its lowest-id member.
-template <typename Fn>
-void ForEachGroup(const Torus3D& topo, unsigned mask, Fn fn) {
-  std::vector<bool> seen(static_cast<size_t>(topo.num_chips()), false);
-  for (int c = 0; c < topo.num_chips(); ++c) {
-    if (seen[static_cast<size_t>(c)]) continue;
-    std::vector<int> group = topo.GroupOf(c, mask);
-    for (int g : group) seen[static_cast<size_t>(g)] = true;
-    fn(group);
-  }
-}
-
 void CheckShardCount(const SimMachine& m, const ShardVec& in) {
   TSI_CHECK_EQ(static_cast<int>(in.size()), m.num_chips())
       << "one shard per chip required";
-}
-
-// Charges a collective whose per-chip butterfly volume is `bytes` (the D in
-// Appendix A.1) to every member of `group`.
-void ChargeCollective(SimMachine& m, const std::vector<int>& group, double bytes,
-                      const std::string& name) {
-  int k = static_cast<int>(group.size());
-  if (k <= 1) return;
-  m.SyncClocks(group);
-  CommCostModel cost = m.comm_cost();
-  double t = cost.AllGatherTime(bytes, k);  // same form for RS
-  double egress = bytes * (static_cast<double>(k) - 1.0) / k;
-  for (int c : group) {
-    m.AdvanceTimeTraced(c, t, name);
-    m.ChargeNetwork(c, egress);
-  }
 }
 
 }  // namespace
@@ -44,14 +16,10 @@ void ChargeCollective(SimMachine& m, const std::vector<int>& group, double bytes
 ShardVec AllGather(SimMachine& m, const ShardVec& in, unsigned mask, int64_t dim) {
   CheckShardCount(m, in);
   ShardVec out(in.size());
-  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
-    std::vector<Tensor> parts;
-    parts.reserve(group.size());
-    for (int g : group) parts.push_back(in[static_cast<size_t>(g)]);
-    Tensor gathered = Tensor::Concat(dim, parts);
-    double bytes = static_cast<double>(gathered.numel()) * m.bytes_per_element();
-    ChargeCollective(m, group, bytes, "all-gather(" + AxisName(mask) + ")");
-    for (int g : group) out[static_cast<size_t>(g)] = gathered;
+  SpmdExecutor ex(&m);
+  ex.Run([&](SpmdContext& ctx) {
+    out[static_cast<size_t>(ctx.chip())] =
+        ctx.AllGather(mask, in[static_cast<size_t>(ctx.chip())], dim);
   });
   return out;
 }
@@ -59,15 +27,10 @@ ShardVec AllGather(SimMachine& m, const ShardVec& in, unsigned mask, int64_t dim
 ShardVec ReduceScatter(SimMachine& m, const ShardVec& in, unsigned mask, int64_t dim) {
   CheckShardCount(m, in);
   ShardVec out(in.size());
-  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
-    Tensor sum = in[static_cast<size_t>(group[0])];
-    for (size_t i = 1; i < group.size(); ++i)
-      sum.AddInPlace(in[static_cast<size_t>(group[i])]);
-    double bytes = static_cast<double>(sum.numel()) * m.bytes_per_element();
-    ChargeCollective(m, group, bytes, "reduce-scatter(" + AxisName(mask) + ")");
-    int64_t k = static_cast<int64_t>(group.size());
-    for (size_t r = 0; r < group.size(); ++r)
-      out[static_cast<size_t>(group[r])] = sum.Chunk(dim, k, static_cast<int64_t>(r));
+  SpmdExecutor ex(&m);
+  ex.Run([&](SpmdContext& ctx) {
+    out[static_cast<size_t>(ctx.chip())] =
+        ctx.ReduceScatter(mask, in[static_cast<size_t>(ctx.chip())], dim);
   });
   return out;
 }
@@ -75,15 +38,10 @@ ShardVec ReduceScatter(SimMachine& m, const ShardVec& in, unsigned mask, int64_t
 ShardVec AllReduce(SimMachine& m, const ShardVec& in, unsigned mask) {
   CheckShardCount(m, in);
   ShardVec out(in.size());
-  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
-    Tensor sum = in[static_cast<size_t>(group[0])];
-    for (size_t i = 1; i < group.size(); ++i)
-      sum.AddInPlace(in[static_cast<size_t>(group[i])]);
-    // all-reduce = reduce-scatter + all-gather: charge twice.
-    double bytes = static_cast<double>(sum.numel()) * m.bytes_per_element();
-    ChargeCollective(m, group, bytes, "all-reduce(" + AxisName(mask) + ")");
-    ChargeCollective(m, group, bytes, "all-reduce(" + AxisName(mask) + ")");
-    for (int g : group) out[static_cast<size_t>(g)] = sum;
+  SpmdExecutor ex(&m);
+  ex.Run([&](SpmdContext& ctx) {
+    out[static_cast<size_t>(ctx.chip())] =
+        ctx.AllReduce(mask, in[static_cast<size_t>(ctx.chip())]);
   });
   return out;
 }
@@ -92,30 +50,10 @@ ShardVec AllToAll(SimMachine& m, const ShardVec& in, unsigned mask,
                   int64_t split_dim, int64_t concat_dim) {
   CheckShardCount(m, in);
   ShardVec out(in.size());
-  ForEachGroup(m.topo(), mask, [&](const std::vector<int>& group) {
-    int64_t k = static_cast<int64_t>(group.size());
-    double bytes = static_cast<double>(in[static_cast<size_t>(group[0])].numel()) *
-                   m.bytes_per_element();
-    // All-to-all uses direct pairwise paths, not a dependent ring: charge the
-    // bandwidth factor on the per-chip buffer plus a single hop latency.
-    if (group.size() > 1) {
-      m.SyncClocks(group);
-      CommCostModel cost = m.comm_cost();
-      double t = cost.AllToAllTime(bytes, static_cast<int>(group.size()));
-      double egress = bytes * (static_cast<double>(group.size()) - 1.0) /
-                      static_cast<double>(group.size());
-      for (int c : group) {
-        m.AdvanceTimeTraced(c, t, "all-to-all(" + AxisName(mask) + ")");
-        m.ChargeNetwork(c, egress);
-      }
-    }
-    for (size_t r = 0; r < group.size(); ++r) {
-      std::vector<Tensor> parts;
-      parts.reserve(group.size());
-      for (int g : group)
-        parts.push_back(in[static_cast<size_t>(g)].Chunk(split_dim, k, static_cast<int64_t>(r)));
-      out[static_cast<size_t>(group[r])] = Tensor::Concat(concat_dim, parts);
-    }
+  SpmdExecutor ex(&m);
+  ex.Run([&](SpmdContext& ctx) {
+    out[static_cast<size_t>(ctx.chip())] = ctx.AllToAll(
+        mask, in[static_cast<size_t>(ctx.chip())], split_dim, concat_dim);
   });
   return out;
 }

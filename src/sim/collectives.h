@@ -7,6 +7,12 @@
 // are deterministic and identical to what a rank-ordered MPI communicator
 // would produce.
 //
+// Execution is parallel: each function opens an SpmdExecutor region
+// (sim/spmd.h) and runs one closure per chip, so these wrappers must not be
+// called from inside another SPMD region -- use the SpmdContext collectives
+// there instead. Results, clocks, and traces are bit-identical to the old
+// serial chip-by-chip execution for any slot count.
+//
 // Timing: each collective first synchronizes the clocks of its group (entry
 // barrier), then advances every member by the Appendix-A bandwidth cost of
 // the operation, and charges per-chip egress traffic of D*(K-1)/K bytes.

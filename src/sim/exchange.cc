@@ -12,12 +12,12 @@ ExchangeHub::Channel& ExchangeHub::ChannelFor(const std::vector<int>& group) {
   return ch;
 }
 
-std::vector<std::shared_ptr<const Tensor>> ExchangeHub::Exchange(Channel& ch,
-                                                                 int rank,
-                                                                 Tensor t) {
+std::vector<ExchangeHub::Deposit> ExchangeHub::Exchange(Channel& ch, int rank,
+                                                        Tensor t, double time,
+                                                        SlotGate* gate) {
   const int k = ch.size_;
   TSI_CHECK(rank >= 0 && rank < k);
-  auto mine = std::make_shared<const Tensor>(std::move(t));
+  Deposit mine{std::make_shared<const Tensor>(std::move(t)), time};
   if (k == 1) return {std::move(mine)};
 
   std::unique_lock<std::mutex> lock(ch.m);
@@ -28,7 +28,9 @@ std::vector<std::shared_ptr<const Tensor>> ExchangeHub::Exchange(Channel& ch,
     // Last arrival publishes the round and wakes the group. `slots` is
     // cleared so the next epoch starts fresh; `result` stays valid until
     // the *next* round completes, by which time every waiter of this round
-    // has copied the (cheap) pointer vector under the lock.
+    // has copied the (cheap) deposit vector under the lock. The last
+    // arriver keeps its execution slot: it is the one member guaranteed to
+    // be runnable, which is what makes slot-gated execution deadlock-free.
     ch.result = std::move(ch.slots);
     ch.slots.clear();
     ch.arrived = 0;
@@ -36,8 +38,12 @@ std::vector<std::shared_ptr<const Tensor>> ExchangeHub::Exchange(Channel& ch,
     ch.cv.notify_all();
     return ch.result;
   }
+  if (gate) gate->Release();
   ch.cv.wait(lock, [&] { return ch.epoch != my_epoch; });
-  return ch.result;
+  std::vector<Deposit> result = ch.result;
+  lock.unlock();
+  if (gate) gate->Acquire();
+  return result;
 }
 
 }  // namespace tsi

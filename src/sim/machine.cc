@@ -12,6 +12,7 @@ SimMachine::SimMachine(Torus3D topo, ChipSpec chip)
   TSI_CHECK_GT(chip_.peak_flops, 0);
   TSI_CHECK_GT(chip_.hbm_bw, 0);
   TSI_CHECK_GT(chip_.network_bw, 0);
+  comm_cost_ = {chip_.network_bw, hop_latency_, /*exact=*/true};
 }
 
 void SimMachine::ChargeCompute(int chip, double flops, const char* trace_name) {
@@ -59,6 +60,12 @@ void SimMachine::BookWork(int chip, double flops, double hbm_bytes) {
   auto& c = counters_[static_cast<size_t>(chip)];
   c.flops += flops;
   c.hbm_bytes += hbm_bytes;
+}
+
+void SimMachine::SetTime(int chip, double t) {
+  auto& c = counters_[static_cast<size_t>(chip)];
+  TSI_CHECK_GE(t, c.time) << "collective entry barrier cannot rewind a clock";
+  c.time = t;
 }
 
 double SimMachine::SyncClocks(const std::vector<int>& chips) {

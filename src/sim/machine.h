@@ -2,15 +2,29 @@
 //
 // SimMachine models an accelerator pod: a 3D torus of chips, each with its
 // own virtual clock and traffic counters. Programs are written SPMD-style
-// but executed chip-by-chip in lockstep inside one process: chip-local
-// state lives in per-chip containers (std::vector indexed by chip id) and
-// cross-chip data movement happens exclusively through the collectives in
-// sim/collectives.h. This gives us
+// and executed in parallel lockstep inside one process: chip-local state
+// lives in per-chip containers, every chip runs the same program as its own
+// closure on an execution slot (sim/spmd.h), and cross-chip data movement
+// happens exclusively through collectives, which rendezvous at barrier
+// points (sim/exchange.h). This gives us
 //   * real distributed *algorithms* (every chip only touches its shard plus
 //     what a collective delivered), verifiable against a one-chip reference;
 //   * a virtual clock charging ChipSpec compute/memory time and Appendix-A
 //     communication time, so the simulator reproduces the analytical
-//     model's timings on the same workload.
+//     model's timings on the same workload;
+//   * wall-clock scaling with host cores, since the per-chip closures run
+//     genuinely concurrently (bench_sim_wallclock).
+//
+// Concurrency contract: every per-chip charging method (ChargeCompute,
+// ChargeMemory, ChargeComputeAndMemory, AdvanceTime*, ChargeNetwork,
+// BookWork) touches only that chip's ChipCounters entry, so concurrent
+// calls for *distinct* chips are race-free; the counters are cache-line
+// padded so they do not false-share. An attached Tracer is internally
+// synchronized. SyncClocks and the whole-machine aggregates (MaxTime,
+// TotalFlops, ...) read many chips' counters and must only run while no
+// chip closures are executing (i.e. outside an SpmdExecutor::Run region);
+// inside a region, clock synchronization happens through the collectives'
+// rendezvous, which carries each member's clock with its deposit.
 #pragma once
 
 #include <vector>
@@ -22,8 +36,9 @@
 
 namespace tsi {
 
-// Per-chip accounting, all monotonically increasing.
-struct ChipCounters {
+// Per-chip accounting, all monotonically increasing. Cache-line aligned so
+// chips charging concurrently never contend on a shared line.
+struct alignas(64) ChipCounters {
   double time = 0;           // virtual clock, seconds
   double flops = 0;          // compute charged
   double hbm_bytes = 0;      // memory traffic charged
@@ -46,11 +61,13 @@ class SimMachine {
 
   // Per-hop collective latency used by the virtual clock (alpha term).
   double hop_latency() const { return hop_latency_; }
-  void set_hop_latency(double s) { hop_latency_ = s; }
-
-  CommCostModel comm_cost() const {
-    return {chip_.network_bw, hop_latency_, /*exact=*/true};
+  void set_hop_latency(double s) {
+    hop_latency_ = s;
+    comm_cost_ = {chip_.network_bw, hop_latency_, /*exact=*/true};
   }
+
+  // Cached cost model; rebuilt only when set_hop_latency changes it.
+  const CommCostModel& comm_cost() const { return comm_cost_; }
 
   // --- Virtual clock ------------------------------------------------------
   // Charge `flops` of matmul work to `chip` at peak throughput.
@@ -69,14 +86,18 @@ class SimMachine {
   // Book flops/HBM traffic in the counters without advancing the clock
   // (used by fused ops that charge pipelined time separately).
   void BookWork(int chip, double flops, double hbm_bytes);
+  // Set the clock outright -- a collective's entry barrier, where `t` is the
+  // max of the group's deposited clocks (never below the chip's own clock).
+  void SetTime(int chip, double t);
 
   // Optional execution trace; `tracer` must outlive the machine (or be
-  // detached with nullptr).
+  // detached with nullptr). Attach/detach outside SPMD regions only.
   void AttachTracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() const { return tracer_; }
 
   // Synchronizes the clocks of `chips` to their max (a collective entry
-  // barrier) and returns the synchronized time.
+  // barrier) and returns the synchronized time. Serial phases only -- see
+  // the concurrency contract above.
   double SyncClocks(const std::vector<int>& chips);
 
   const ChipCounters& counters(int chip) const;
@@ -91,6 +112,7 @@ class SimMachine {
   ChipSpec chip_;
   double bytes_per_element_ = 2.0;  // bf16
   double hop_latency_ = 1e-6;
+  CommCostModel comm_cost_;
   Tracer* tracer_ = nullptr;
   std::vector<ChipCounters> counters_;
 };

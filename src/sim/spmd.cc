@@ -1,0 +1,294 @@
+#include "sim/spmd.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/transfer.h"
+#include "util/logging.h"
+#include "util/threadpool.h"
+
+namespace tsi {
+namespace {
+
+// Set while the current thread is executing a chip closure; guards against
+// nested regions (RunBlocking is non-reentrant, and a nested rendezvous
+// would deadlock the slots).
+thread_local bool tl_in_spmd_region = false;
+
+int DefaultSlots() {
+  if (const char* env = std::getenv("TSI_SPMD_SLOTS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return ThreadPool::Global().concurrency();
+}
+
+double MaxDepositTime(const std::vector<ExchangeHub::Deposit>& parts) {
+  double t = 0;
+  for (const auto& p : parts) t = std::max(t, p.time);
+  return t;
+}
+
+}  // namespace
+
+SpmdExecutor::SpmdExecutor(SimMachine* machine)
+    : machine_(machine),
+      slots_(DefaultSlots()),
+      group_cache_(static_cast<size_t>(machine->num_chips())) {
+  TSI_CHECK(machine != nullptr);
+}
+
+void SpmdExecutor::set_slots(int slots) {
+  slots_ = slots >= 1 ? slots : DefaultSlots();
+}
+
+SpmdExecutor::AxisGroup& SpmdExecutor::GroupFor(int chip, unsigned mask) {
+  TSI_CHECK(chip >= 0 && chip < machine_->num_chips());
+  TSI_CHECK(mask >= 1 && mask < 8);
+  std::unique_ptr<AxisGroup>& slot =
+      group_cache_[static_cast<size_t>(chip)][mask];
+  if (!slot) {
+    const Torus3D& topo = machine_->topo();
+    std::vector<int> group = topo.GroupOf(chip, mask);
+    auto g = std::make_unique<AxisGroup>();
+    g->rank = topo.RankInGroup(chip, mask);
+    g->size = static_cast<int>(group.size());
+    g->channel = &hub_.ChannelFor(group);
+    slot = std::move(g);
+  }
+  return *slot;
+}
+
+void SpmdExecutor::Run(const std::function<void(SpmdContext&)>& body) {
+  TSI_CHECK(!tl_in_spmd_region)
+      << "nested SPMD regions are not supported; inside a region use the "
+         "SpmdContext collectives, not the ShardVec wrappers";
+  const int n = machine_->num_chips();
+  if (n == 1) {
+    tl_in_spmd_region = true;
+    SpmdContext ctx(this, 0);
+    body(ctx);
+    tl_in_spmd_region = false;
+    return;
+  }
+  SlotGate gate(std::min(slots_, n));
+  gate_ = &gate;
+  ThreadPool::Global().RunBlocking(n, [&](int chip) {
+    tl_in_spmd_region = true;
+    gate.Acquire();
+    SpmdContext ctx(this, chip);
+    body(ctx);
+    gate.Release();
+    tl_in_spmd_region = false;
+  });
+  gate_ = nullptr;
+}
+
+std::vector<ExchangeHub::Deposit> SpmdContext::ExchangeTimed(
+    SpmdExecutor::AxisGroup& g, Tensor t) {
+  SimMachine& m = *ex_->machine_;
+  return ex_->hub_.Exchange(*g.channel, g.rank, std::move(t),
+                            m.counters(chip_).time, ex_->gate_);
+}
+
+void SpmdContext::Charge(const std::vector<ExchangeHub::Deposit>& parts,
+                         double seconds, double egress_bytes,
+                         const std::string& name) {
+  SimMachine& m = *ex_->machine_;
+  m.SetTime(chip_, MaxDepositTime(parts));
+  m.AdvanceTimeTraced(chip_, seconds, name);
+  m.ChargeNetwork(chip_, egress_bytes);
+}
+
+void SpmdContext::ChargePipelined(
+    const std::vector<ExchangeHub::Deposit>& parts, double total_flops,
+    double total_weight_bytes, double step_bytes, const char* name) {
+  SimMachine& m = *ex_->machine_;
+  const int k = static_cast<int>(parts.size());
+  const ChipSpec& chip = m.chip();
+  double t_chunk = std::max(chip.ComputeTime(total_flops / k),
+                            chip.MemoryTime(total_weight_bytes / k));
+  double t_step = m.comm_cost().hop_latency + step_bytes / chip.network_bw;
+  double t = t_chunk;  // first chunk has nothing to hide under
+  for (int s = 0; s < k - 1; ++s) t += std::max(t_chunk, t_step);
+  m.SetTime(chip_, MaxDepositTime(parts));
+  m.BookWork(chip_, total_flops, total_weight_bytes);
+  m.ChargeNetwork(chip_, step_bytes * (k - 1));
+  m.AdvanceTimeTraced(chip_, t, name);
+}
+
+Tensor SpmdContext::AllGather(unsigned mask, Tensor t, int64_t dim) {
+  SpmdExecutor::AxisGroup& g = ex_->GroupFor(chip_, mask);
+  if (g.size == 1) return t;
+  SimMachine& m = *ex_->machine_;
+  auto parts = ExchangeTimed(g, std::move(t));
+  Shape out_shape = parts[0].tensor->shape();
+  out_shape[static_cast<size_t>(dim)] = 0;
+  for (const auto& p : parts)
+    out_shape[static_cast<size_t>(dim)] += p.tensor->dim(dim);
+  Tensor out(out_shape);
+  Shape zero(out_shape.size(), 0);
+  Shape dst_off(out_shape.size(), 0);
+  for (const auto& p : parts) {
+    TransferBox(*p.tensor, zero, &out, dst_off, p.tensor->shape(),
+                /*add=*/false);
+    dst_off[static_cast<size_t>(dim)] += p.tensor->dim(dim);
+  }
+  double bytes = static_cast<double>(out.numel()) * m.bytes_per_element();
+  Charge(parts, m.comm_cost().AllGatherTime(bytes, g.size),
+         bytes * (static_cast<double>(g.size) - 1.0) / g.size,
+         "all-gather(" + AxisName(mask) + ")");
+  return out;
+}
+
+Tensor SpmdContext::ReduceScatter(unsigned mask, Tensor t, int64_t dim) {
+  SpmdExecutor::AxisGroup& g = ex_->GroupFor(chip_, mask);
+  if (g.size == 1) return t;
+  SimMachine& m = *ex_->machine_;
+  auto parts = ExchangeTimed(g, std::move(t));
+  const int64_t k = static_cast<int64_t>(parts.size());
+  // Sum only this rank's chunk, in group order -- elementwise the same
+  // additions as summing everything and then chunking (what the serial
+  // lockstep collective computes), at 1/k the work.
+  const Tensor& p0 = *parts[0].tensor;
+  TSI_CHECK_EQ(p0.dim(dim) % k, 0)
+      << "dim " << p0.dim(dim) << " not divisible into " << k << " chunks";
+  const int64_t len = p0.dim(dim) / k;
+  Shape box = p0.shape();
+  box[static_cast<size_t>(dim)] = len;
+  Shape src_off(box.size(), 0);
+  src_off[static_cast<size_t>(dim)] = static_cast<int64_t>(g.rank) * len;
+  Shape zero(box.size(), 0);
+  Tensor out(box);
+  TransferBox(p0, src_off, &out, zero, box, /*add=*/false);
+  for (int64_t i = 1; i < k; ++i)
+    TransferBox(*parts[static_cast<size_t>(i)].tensor, src_off, &out, zero,
+                box, /*add=*/true);
+  // Charged on the *full* per-chip buffer (the D of Appendix A.1).
+  double bytes = static_cast<double>(p0.numel()) * m.bytes_per_element();
+  Charge(parts, m.comm_cost().AllGatherTime(bytes, g.size),
+         bytes * (static_cast<double>(g.size) - 1.0) / g.size,
+         "reduce-scatter(" + AxisName(mask) + ")");
+  return out;
+}
+
+Tensor SpmdContext::AllReduce(unsigned mask, Tensor t) {
+  SpmdExecutor::AxisGroup& g = ex_->GroupFor(chip_, mask);
+  if (g.size == 1) return t;
+  SimMachine& m = *ex_->machine_;
+  auto parts = ExchangeTimed(g, std::move(t));
+  Tensor sum = *parts[0].tensor;
+  for (size_t i = 1; i < parts.size(); ++i) sum.AddInPlace(*parts[i].tensor);
+  // all-reduce = reduce-scatter + all-gather: charge twice.
+  double bytes = static_cast<double>(sum.numel()) * m.bytes_per_element();
+  double seconds = m.comm_cost().AllGatherTime(bytes, g.size);
+  double egress = bytes * (static_cast<double>(g.size) - 1.0) / g.size;
+  const std::string name = "all-reduce(" + AxisName(mask) + ")";
+  Charge(parts, seconds, egress, name);
+  m.AdvanceTimeTraced(chip_, seconds, name);
+  m.ChargeNetwork(chip_, egress);
+  return sum;
+}
+
+Tensor SpmdContext::AllToAll(unsigned mask, Tensor t, int64_t split_dim,
+                             int64_t concat_dim) {
+  SpmdExecutor::AxisGroup& g = ex_->GroupFor(chip_, mask);
+  if (g.size == 1) return t;
+  SimMachine& m = *ex_->machine_;
+  auto parts = ExchangeTimed(g, std::move(t));
+  const int64_t k = static_cast<int64_t>(parts.size());
+  const Tensor& p0 = *parts[0].tensor;
+  TSI_CHECK_EQ(p0.dim(split_dim) % k, 0);
+  const int64_t len = p0.dim(split_dim) / k;
+  Shape box = p0.shape();
+  box[static_cast<size_t>(split_dim)] = len;
+  Shape out_shape = box;
+  out_shape[static_cast<size_t>(concat_dim)] =
+      box[static_cast<size_t>(concat_dim)] * k;
+  Tensor out(out_shape);
+  Shape src_off(box.size(), 0);
+  src_off[static_cast<size_t>(split_dim)] = static_cast<int64_t>(g.rank) * len;
+  Shape dst_off(box.size(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    dst_off[static_cast<size_t>(concat_dim)] =
+        i * box[static_cast<size_t>(concat_dim)];
+    TransferBox(*parts[static_cast<size_t>(i)].tensor, src_off, &out, dst_off,
+                box, /*add=*/false);
+  }
+  // All-to-all uses direct pairwise paths, not a dependent ring: charge the
+  // bandwidth factor on the per-chip buffer plus a single hop latency.
+  double bytes = static_cast<double>(p0.numel()) * m.bytes_per_element();
+  Charge(parts, m.comm_cost().AllToAllTime(bytes, g.size),
+         bytes * (static_cast<double>(g.size) - 1.0) / g.size,
+         "all-to-all(" + AxisName(mask) + ")");
+  return out;
+}
+
+Tensor SpmdContext::MatMulReduceScatter(unsigned mask, const Tensor& x,
+                                        const Tensor& w,
+                                        double weight_byte_width) {
+  SpmdExecutor::AxisGroup& g = ex_->GroupFor(chip_, mask);
+  SimMachine& m = *ex_->machine_;
+  Tensor partial = MatMul(x, w);
+  double flops = 2.0 * (x.numel() / x.dim(-1)) * w.dim(0) * w.dim(1);
+  double wbytes = static_cast<double>(w.numel()) * weight_byte_width;
+  if (g.size == 1) {
+    m.ChargeComputeAndMemory(chip_, flops, wbytes, "matmul");
+    return partial;
+  }
+  auto parts = ExchangeTimed(g, std::move(partial));
+  const int64_t k = static_cast<int64_t>(parts.size());
+  const Tensor& p0 = *parts[0].tensor;
+  TSI_CHECK_EQ(p0.dim(1) % k, 0);
+  const int64_t len = p0.dim(1) / k;
+  Shape box = p0.shape();
+  box[1] = len;
+  Shape src_off(box.size(), 0);
+  src_off[1] = static_cast<int64_t>(g.rank) * len;
+  Shape zero(box.size(), 0);
+  Tensor out(box);
+  TransferBox(p0, src_off, &out, zero, box, /*add=*/false);
+  for (int64_t i = 1; i < k; ++i)
+    TransferBox(*parts[static_cast<size_t>(i)].tensor, src_off, &out, zero,
+                box, /*add=*/true);
+  double chunk_bytes =
+      static_cast<double>(p0.numel()) / static_cast<double>(k) *
+      m.bytes_per_element();
+  ChargePipelined(parts, flops, wbytes, chunk_bytes, "looped-matmul-rs");
+  return out;
+}
+
+Tensor SpmdContext::AllGatherMatMul(unsigned mask, const Tensor& x,
+                                    const Tensor& w,
+                                    double weight_byte_width) {
+  SpmdExecutor::AxisGroup& g = ex_->GroupFor(chip_, mask);
+  SimMachine& m = *ex_->machine_;
+  if (g.size == 1) {
+    double flops = 2.0 * static_cast<double>(x.dim(0)) * w.dim(0) * w.dim(1);
+    double wbytes = static_cast<double>(w.numel()) * weight_byte_width;
+    Tensor y = MatMul(x, w);
+    m.ChargeComputeAndMemory(chip_, flops, wbytes, "matmul");
+    return y;
+  }
+  auto parts = ExchangeTimed(g, x);
+  Shape out_shape = parts[0].tensor->shape();
+  out_shape[0] = 0;
+  for (const auto& p : parts) out_shape[0] += p.tensor->dim(0);
+  Tensor gathered(out_shape);
+  Shape zero(out_shape.size(), 0);
+  Shape dst_off(out_shape.size(), 0);
+  for (const auto& p : parts) {
+    TransferBox(*p.tensor, zero, &gathered, dst_off, p.tensor->shape(),
+                /*add=*/false);
+    dst_off[0] += p.tensor->dim(0);
+  }
+  double flops =
+      2.0 * static_cast<double>(gathered.dim(0)) * w.dim(0) * w.dim(1);
+  double wbytes = static_cast<double>(w.numel()) * weight_byte_width;
+  double chunk_bytes = static_cast<double>(gathered.numel()) /
+                       static_cast<double>(g.size) * m.bytes_per_element();
+  ChargePipelined(parts, flops, wbytes, chunk_bytes, "ag-looped-matmul");
+  return MatMul(gathered, w);
+}
+
+}  // namespace tsi

@@ -1,0 +1,132 @@
+// Parallel lockstep SPMD executor.
+//
+// SpmdExecutor runs one closure per simulated chip, concurrently, on the
+// process-wide thread pool's dedicated SPMD slots (util/threadpool.h). Each
+// closure receives an SpmdContext: its chip id plus *charged* collectives
+// whose data path is the rendezvous hub (sim/exchange.h) and whose virtual
+// clock / traffic accounting is identical to the serial lockstep formulas
+// in sim/collectives.cc. Collectives are the barrier points: a chip that
+// reaches one parks until its whole torus group has arrived, so program
+// order across chips is exactly the serial lockstep order as observed
+// through any collective.
+//
+// Determinism contract (asserted by tests/spmd_test.cc): a chip's output is
+// a pure function of its own shard and collective-delivered data; reductions
+// add in torus group order; a collective's entry barrier is the max over the
+// group's deposited clocks (order-independent). Therefore 1-slot and N-slot
+// runs produce bit-identical tensors, virtual clocks, counters, and traces.
+//
+// Slot sizing: by default one execution slot per thread-pool participant
+// (TSI_NUM_THREADS, else the hardware concurrency); TSI_SPMD_SLOTS overrides
+// it directly. A SlotGate bounds how many chip closures compute at once --
+// a parked chip (waiting in a rendezvous) does not hold a slot -- so a mesh
+// with more chips than cores neither deadlocks nor oversubscribes, and
+// slots=1 is an honest serialized baseline for the wall-clock benchmarks.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/exchange.h"
+#include "sim/machine.h"
+#include "tensor/tensor.h"
+
+namespace tsi {
+
+class SpmdContext;
+
+class SpmdExecutor {
+ public:
+  // `machine` must outlive the executor.
+  explicit SpmdExecutor(SimMachine* machine);
+
+  int slots() const { return slots_; }
+  // slots >= 1 forces a slot count; slots <= 0 restores the default
+  // (TSI_SPMD_SLOTS, else the thread pool's participant count).
+  void set_slots(int slots);
+
+  // Runs `body` once per chip, concurrently (bounded by slots()), and
+  // returns when every chip has finished. Bodies may only touch chip-local
+  // state plus what the context's collectives deliver. Regions must not
+  // nest: inside a body, use the SpmdContext collectives, never another
+  // Run (or the ShardVec wrappers in sim/collectives.h, which open their
+  // own region).
+  void Run(const std::function<void(SpmdContext&)>& body);
+
+  SimMachine& machine() const { return *machine_; }
+
+ private:
+  friend class SpmdContext;
+
+  // Resolved (rank, size, channel) for one (chip, axis-mask) pair; same
+  // caching scheme as ThreadedCollectives. Each entry is only touched by
+  // its chip's thread (RunBlocking's chip -> slot-thread mapping is fixed).
+  struct AxisGroup {
+    int rank = 0;
+    int size = 0;
+    ExchangeHub::Channel* channel = nullptr;
+  };
+
+  AxisGroup& GroupFor(int chip, unsigned mask);
+
+  SimMachine* machine_;
+  ExchangeHub hub_;
+  SlotGate* gate_ = nullptr;  // non-null only during Run
+  int slots_;
+  // Indexed [chip][mask]; axis masks are 3-bit combinations (1..7).
+  std::vector<std::array<std::unique_ptr<AxisGroup>, 8>> group_cache_;
+};
+
+// One chip's view of an executing SPMD region: identity plus charged
+// collectives. Semantics and charging match sim/collectives.h and
+// sim/collective_einsum.h exactly (same group order, same chunk assignment,
+// same float add order, same Appendix-A virtual-clock charges).
+class SpmdContext {
+ public:
+  int chip() const { return chip_; }
+  SimMachine& machine() const { return *ex_->machine_; }
+  const Torus3D& topo() const { return ex_->machine_->topo(); }
+
+  // out = Concat(dim, deposits in group order); replicated in group.
+  Tensor AllGather(unsigned mask, Tensor t, int64_t dim);
+  // Group-order sum, then this chip keeps its rank's chunk along `dim`.
+  Tensor ReduceScatter(unsigned mask, Tensor t, int64_t dim);
+  // Group-order sum, replicated; charged as RS + AG (twice).
+  Tensor AllReduce(unsigned mask, Tensor t);
+  // Reshards from `split_dim` to `concat_dim` within the group.
+  Tensor AllToAll(unsigned mask, Tensor t, int64_t split_dim,
+                  int64_t concat_dim);
+
+  // Fused y = ReduceScatter(mask, x @ w) over the output's last dim, charged
+  // with the §3.5 pipelined schedule (sim/collective_einsum.h).
+  Tensor MatMulReduceScatter(unsigned mask, const Tensor& x, const Tensor& w,
+                             double weight_byte_width = 2.0);
+  // Fused y = AllGather(mask, x) @ w over the row dim, pipelined charge.
+  Tensor AllGatherMatMul(unsigned mask, const Tensor& x, const Tensor& w,
+                         double weight_byte_width = 2.0);
+
+ private:
+  friend class SpmdExecutor;
+  SpmdContext(SpmdExecutor* ex, int chip) : ex_(ex), chip_(chip) {}
+
+  // Rendezvous with this chip's `mask` group, stamping the deposit with the
+  // chip's clock and releasing the execution slot while parked.
+  std::vector<ExchangeHub::Deposit> ExchangeTimed(SpmdExecutor::AxisGroup& g,
+                                                  Tensor t);
+  // Entry barrier + Appendix-A charge: clock jumps to the max deposited
+  // time, advances by `seconds` (traced as `name`), books `egress_bytes`.
+  void Charge(const std::vector<ExchangeHub::Deposit>& parts, double seconds,
+              double egress_bytes, const std::string& name);
+  // Entry barrier + pipelined fused-einsum charge (sim/collective_einsum.cc).
+  void ChargePipelined(const std::vector<ExchangeHub::Deposit>& parts,
+                       double total_flops, double total_weight_bytes,
+                       double step_bytes, const char* name);
+
+  SpmdExecutor* ex_;
+  int chip_;
+};
+
+}  // namespace tsi

@@ -1,68 +1,10 @@
 #include "sim/threaded.h"
 
-#include <cstring>
-
+#include "sim/transfer.h"
 #include "util/logging.h"
 #include "util/threadpool.h"
 
 namespace tsi {
-namespace {
-
-// Copies (or accumulates, when `add`) a box of `box` elements from `src` at
-// multi-index offset `src_off` into `dst` at `dst_off`. Shapes are row-major;
-// the last dim is contiguous in both tensors, so the inner loop runs over
-// box.back()-element rows (memcpy when copying). This one helper subsumes
-// the Chunk/Concat temporaries the collectives used to allocate: gather
-// places whole deposits, all-to-all places sub-chunks, reduce accumulates.
-void TransferBox(const Tensor& src, const Shape& src_off, Tensor* dst,
-                 const Shape& dst_off, const Shape& box, bool add) {
-  const int64_t rank = static_cast<int64_t>(box.size());
-  TSI_CHECK_EQ(src.rank(), rank);
-  TSI_CHECK_EQ(dst->rank(), rank);
-  // Row-major strides.
-  Shape sstr(static_cast<size_t>(rank)), dstr(static_cast<size_t>(rank));
-  int64_t ss = 1, ds = 1;
-  for (int64_t d = rank - 1; d >= 0; --d) {
-    sstr[static_cast<size_t>(d)] = ss;
-    dstr[static_cast<size_t>(d)] = ds;
-    ss *= src.dim(d);
-    ds *= dst->dim(d);
-  }
-  int64_t src_base = 0, dst_base = 0;
-  for (int64_t d = 0; d < rank; ++d) {
-    TSI_CHECK(src_off[static_cast<size_t>(d)] + box[static_cast<size_t>(d)] <=
-              src.dim(d));
-    TSI_CHECK(dst_off[static_cast<size_t>(d)] + box[static_cast<size_t>(d)] <=
-              dst->dim(d));
-    src_base += src_off[static_cast<size_t>(d)] * sstr[static_cast<size_t>(d)];
-    dst_base += dst_off[static_cast<size_t>(d)] * dstr[static_cast<size_t>(d)];
-  }
-  const int64_t run = box[static_cast<size_t>(rank - 1)];
-  const int64_t rows = NumElements(box) / (run == 0 ? 1 : run);
-  if (run == 0) return;
-  const float* sp = src.data();
-  float* dp = dst->data();
-  // Odometer over all dims but the last.
-  Shape idx(static_cast<size_t>(rank - 1), 0);
-  for (int64_t r = 0; r < rows; ++r) {
-    int64_t so = src_base, doff = dst_base;
-    for (int64_t d = 0; d < rank - 1; ++d) {
-      so += idx[static_cast<size_t>(d)] * sstr[static_cast<size_t>(d)];
-      doff += idx[static_cast<size_t>(d)] * dstr[static_cast<size_t>(d)];
-    }
-    if (add) {
-      for (int64_t j = 0; j < run; ++j) dp[doff + j] += sp[so + j];
-    } else {
-      std::memcpy(dp + doff, sp + so, static_cast<size_t>(run) * sizeof(float));
-    }
-    for (int64_t d = rank - 2; d >= 0; --d) {
-      if (++idx[static_cast<size_t>(d)] < box[static_cast<size_t>(d)]) break;
-      idx[static_cast<size_t>(d)] = 0;
-    }
-  }
-}
-
-}  // namespace
 
 ThreadedCollectives::ThreadedCollectives(Torus3D topo)
     : topo_(topo),
@@ -92,16 +34,17 @@ Tensor ThreadedCollectives::AllGather(int chip, unsigned mask, Tensor t,
   auto parts = hub_.Exchange(*cg.channel, cg.rank, std::move(t));
   // Assemble every deposit directly into one output (what Concat would
   // produce, without the per-part temporaries).
-  Shape out_shape = parts[0]->shape();
+  Shape out_shape = parts[0].tensor->shape();
   out_shape[static_cast<size_t>(dim)] = 0;
   for (const auto& p : parts)
-    out_shape[static_cast<size_t>(dim)] += p->dim(dim);
+    out_shape[static_cast<size_t>(dim)] += p.tensor->dim(dim);
   Tensor out(out_shape);
   Shape zero(out_shape.size(), 0);
   Shape dst_off(out_shape.size(), 0);
   for (const auto& p : parts) {
-    TransferBox(*p, zero, &out, dst_off, p->shape(), /*add=*/false);
-    dst_off[static_cast<size_t>(dim)] += p->dim(dim);
+    TransferBox(*p.tensor, zero, &out, dst_off, p.tensor->shape(),
+                /*add=*/false);
+    dst_off[static_cast<size_t>(dim)] += p.tensor->dim(dim);
   }
   return out;
 }
@@ -114,7 +57,7 @@ Tensor ThreadedCollectives::ReduceScatter(int chip, unsigned mask, Tensor t,
   const int64_t k = static_cast<int64_t>(parts.size());
   // Sum only this rank's chunk, in group order -- elementwise the same
   // additions as summing everything and then chunking, at 1/k the work.
-  const Tensor& p0 = *parts[0];
+  const Tensor& p0 = *parts[0].tensor;
   TSI_CHECK_EQ(p0.dim(dim) % k, 0)
       << "dim " << p0.dim(dim) << " not divisible into " << k << " chunks";
   const int64_t len = p0.dim(dim) / k;
@@ -126,8 +69,8 @@ Tensor ThreadedCollectives::ReduceScatter(int chip, unsigned mask, Tensor t,
   Tensor out(box);
   TransferBox(p0, src_off, &out, zero, box, /*add=*/false);
   for (int64_t i = 1; i < k; ++i)
-    TransferBox(*parts[static_cast<size_t>(i)], src_off, &out, zero, box,
-                /*add=*/true);
+    TransferBox(*parts[static_cast<size_t>(i)].tensor, src_off, &out, zero,
+                box, /*add=*/true);
   return out;
 }
 
@@ -135,8 +78,8 @@ Tensor ThreadedCollectives::AllReduce(int chip, unsigned mask, Tensor t) {
   CachedGroup& cg = GroupFor(chip, mask);
   if (cg.size == 1) return t;
   auto parts = hub_.Exchange(*cg.channel, cg.rank, std::move(t));
-  Tensor sum = *parts[0];
-  for (size_t i = 1; i < parts.size(); ++i) sum.AddInPlace(*parts[i]);
+  Tensor sum = *parts[0].tensor;
+  for (size_t i = 1; i < parts.size(); ++i) sum.AddInPlace(*parts[i].tensor);
   return sum;
 }
 
@@ -150,7 +93,7 @@ Tensor ThreadedCollectives::AllToAll(int chip, unsigned mask, Tensor t,
   // route only chunk `rank` of each peer. Data volume accounting for
   // all-to-all lives in the lockstep simulator's cost model. Each peer's
   // chunk is placed straight into the output (no Chunk/Concat temporaries).
-  const Tensor& p0 = *parts[0];
+  const Tensor& p0 = *parts[0].tensor;
   TSI_CHECK_EQ(p0.dim(split_dim) % k, 0);
   const int64_t len = p0.dim(split_dim) / k;
   Shape box = p0.shape();
@@ -165,8 +108,8 @@ Tensor ThreadedCollectives::AllToAll(int chip, unsigned mask, Tensor t,
   for (int64_t i = 0; i < k; ++i) {
     dst_off[static_cast<size_t>(concat_dim)] =
         i * box[static_cast<size_t>(concat_dim)];
-    TransferBox(*parts[static_cast<size_t>(i)], src_off, &out, dst_off, box,
-                /*add=*/false);
+    TransferBox(*parts[static_cast<size_t>(i)].tensor, src_off, &out, dst_off,
+                box, /*add=*/false);
   }
   return out;
 }

@@ -8,14 +8,32 @@
 namespace tsi {
 
 void Tracer::Record(int chip, std::string name, double start, double duration) {
-  events_.push_back({chip, std::move(name), start, duration});
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(chip) >= per_chip_.size())
+    per_chip_.resize(static_cast<size_t>(chip) + 1);
+  per_chip_[static_cast<size_t>(chip)].push_back(
+      {chip, std::move(name), start, duration});
 }
 
-void Tracer::Clear() { events_.clear(); }
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_chip_.clear();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> all;
+  size_t total = 0;
+  for (const auto& chip_events : per_chip_) total += chip_events.size();
+  all.reserve(total);
+  for (const auto& chip_events : per_chip_)
+    all.insert(all.end(), chip_events.begin(), chip_events.end());
+  return all;
+}
 
 std::map<std::string, double> Tracer::TotalsByName() const {
   std::map<std::string, double> totals;
-  for (const auto& e : events_) totals[e.name] += e.duration;
+  for (const auto& e : events()) totals[e.name] += e.duration;
   return totals;
 }
 
@@ -23,7 +41,7 @@ std::string Tracer::ToChromeTraceJson() const {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const auto& e : events_) {
+  for (const auto& e : events()) {
     if (!first) os << ",";
     first = false;
     os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"

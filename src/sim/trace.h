@@ -6,9 +6,15 @@
 // (chrome://tracing, Perfetto) with one row per chip -- the standard way to
 // eyeball where a partitioning layout spends its time -- and aggregates
 // per-category totals that tests and harnesses can assert on.
+//
+// Thread safety: Record may be called concurrently from per-chip SPMD
+// threads (sim/spmd.h). Events are buffered per chip and merged in a fixed
+// order (chip-major, insertion order within a chip), so the exported trace
+// is identical no matter how many execution slots recorded it.
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,7 +32,9 @@ class Tracer {
   void Record(int chip, std::string name, double start, double duration);
   void Clear();
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  // All events, chip-major and in per-chip insertion order -- a
+  // deterministic merge of the per-chip buffers.
+  std::vector<TraceEvent> events() const;
 
   // Total charged seconds per event name, across all chips.
   std::map<std::string, double> TotalsByName() const;
@@ -39,7 +47,8 @@ class Tracer {
   std::string Summary() const;
 
  private:
-  std::vector<TraceEvent> events_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<TraceEvent>> per_chip_;  // indexed by chip id
 };
 
 }  // namespace tsi

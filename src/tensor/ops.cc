@@ -92,6 +92,47 @@ Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps) {
   });
 }
 
+Tensor RowMoments(const Tensor& x) {
+  const int64_t n = x.dim(-1);
+  const int64_t rows = x.numel() / n;
+  Tensor out({rows, 2});
+  const float* d = x.data();
+  float* m = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = d + r * n;
+    double s = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double v = row[i];
+      s += v;
+      sq += v * v;
+    }
+    m[r * 2] = static_cast<float>(s);
+    m[r * 2 + 1] = static_cast<float>(sq);
+  }
+  return out;
+}
+
+Tensor NormalizeWithMoments(const Tensor& x, const Tensor& moments,
+                            const Tensor& gain, double denom, double eps) {
+  const int64_t n = x.dim(-1);
+  const int64_t rows = x.numel() / n;
+  TSI_CHECK_EQ(moments.numel(), rows * 2) << "one (sum, sumsq) pair per row";
+  TSI_CHECK_EQ(gain.numel(), n) << "norm gain size";
+  Tensor out = x;
+  float* d = out.data();
+  const float* m = moments.data();
+  const float* g = gain.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    float* row = d + r * n;
+    double mean = static_cast<double>(m[r * 2]) / denom;
+    double var = static_cast<double>(m[r * 2 + 1]) / denom - mean * mean;
+    double inv = 1.0 / std::sqrt(var + eps);
+    for (int64_t i = 0; i < n; ++i)
+      row[i] = static_cast<float>((row[i] - mean) * inv) * g[i];
+  }
+  return out;
+}
+
 // The pointwise activations delegate to the scalar kernels in scalar_ops.h,
 // which the fused matmul epilogues share -- fused and unfused paths are
 // bit-identical by construction.

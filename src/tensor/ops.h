@@ -21,6 +21,20 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gain, float eps = 1e-6f);
 // RMSNorm over the last dim with learned gain.
 Tensor RmsNorm(const Tensor& x, const Tensor& gain, float eps = 1e-6f);
 
+// Distributed-LayerNorm building blocks: when the normalized dim is sharded,
+// each chip computes its shard's raw moments, all-reduces them, and
+// normalizes locally. RowMoments returns [rows, 2] with (sum, sum-of-
+// squares) of each row, accumulated in double in index order -- the same
+// accumulation LayerNorm's fused stats pass performs, so sharded moment
+// sums differ from the fused kernel only by addition order.
+Tensor RowMoments(const Tensor& x);
+// Normalizes x ([..., cols], one shard of a `denom`-wide row) with the
+// reduced moments ([rows, 2], summed over the full row of `denom` elements)
+// and this shard's gain ([cols]): y = (x - mean) / sqrt(var + eps) * gain.
+Tensor NormalizeWithMoments(const Tensor& x, const Tensor& moments,
+                            const Tensor& gain, double denom,
+                            double eps = 1e-6);
+
 // SwiGLU-free pointwise activations.
 Tensor Swish(const Tensor& x);   // x * sigmoid(x)
 Tensor Swish2(const Tensor& x);  // base-2 sigmoid formulation

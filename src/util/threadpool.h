@@ -50,6 +50,9 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
+  // Participants in a ParallelFor (workers + the caller); also the default
+  // execution-slot count for SPMD regions (sim/spmd.h).
+  int concurrency() const { return num_workers() + 1; }
 
   // Runs body(begin, end) over a partition of [0, n). Ranges are claimed in
   // chunks of at least `grain` elements. Safe to call concurrently from

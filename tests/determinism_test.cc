@@ -148,7 +148,7 @@ TEST(ExchangeHubTest, SharesDepositsWithoutCopying) {
     deposited[static_cast<size_t>(chip)] = t.data();
     auto parts = hub.Exchange({0, 1}, chip, std::move(t));
     received[static_cast<size_t>(chip)] =
-        parts[static_cast<size_t>(chip)]->data();
+        parts[static_cast<size_t>(chip)].tensor->data();
   });
   // Both chips see the depositor's exact buffer: moved in, never copied.
   EXPECT_EQ(deposited[0], received[0]);
@@ -179,7 +179,7 @@ TEST(ExchangeHubStressTest, ManyGroupsRepeatedEpochs) {
         auto parts = hub.Exchange(ch, rank, Tensor::Full({3}, value(chip)));
         ASSERT_EQ(parts.size(), g.size());
         for (size_t i = 0; i < g.size(); ++i)
-          ASSERT_EQ((*parts[i])[0], value(g[i]))
+          ASSERT_EQ((*parts[i].tensor)[0], value(g[i]))
               << "epoch " << e << " chip " << chip << " member " << i;
       };
       deposit(ch_all, all);

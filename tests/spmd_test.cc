@@ -1,0 +1,186 @@
+// Parallel lockstep SPMD determinism: a full engine forward pass must be
+// bit-identical -- logits, per-chip counters, and trace event streams --
+// whether the chip closures run on 1 execution slot (honest serialized
+// baseline) or on many concurrently. Also covers the SlotGate invariants:
+// concurrency is bounded by the slot count, and a rendezvous between more
+// chips than slots does not deadlock (parked chips release their slot).
+#include "sim/spmd.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "engine/engine.h"
+#include "hw/chip.h"
+#include "model/reference.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t)
+    v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+::testing::AssertionResult BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return ::testing::AssertionFailure() << "shape";
+  if (std::memcmp(a.data(), b.data(),
+                  static_cast<size_t>(a.numel()) * sizeof(float)) != 0)
+    return ::testing::AssertionFailure() << "bytes differ";
+  return ::testing::AssertionSuccess();
+}
+
+struct RunResult {
+  Tensor prefill_logits;
+  Tensor decode_logits;
+  std::vector<ChipCounters> counters;
+  std::vector<TraceEvent> events;
+};
+
+// Runs prefill + one decode step on a 2x2x2 mesh with the given slot count
+// and returns everything observable: logits, per-chip counters, trace.
+RunResult RunWorkload(EngineSpec spec, int slots) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 42);
+  SimMachine machine(Torus3D(2, 2, 2), TpuV4());
+  Tracer tracer;
+  machine.AttachTracer(&tracer);
+  DistributedEngine engine(weights, &machine, spec);
+  engine.spmd().set_slots(slots);
+
+  const int64_t B = 8, L = 4;
+  RunResult r;
+  r.prefill_logits = engine.Prefill(RandomTokens(B * L, cfg.vocab_size, 7), B);
+  r.decode_logits = engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 8));
+  for (int c = 0; c < machine.num_chips(); ++c)
+    r.counters.push_back(machine.counters(c));
+  r.events = tracer.events();
+  return r;
+}
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
+  EXPECT_TRUE(BitIdentical(a.prefill_logits, b.prefill_logits))
+      << "prefill logits";
+  EXPECT_TRUE(BitIdentical(a.decode_logits, b.decode_logits))
+      << "decode logits";
+
+  ASSERT_EQ(a.counters.size(), b.counters.size());
+  for (size_t c = 0; c < a.counters.size(); ++c) {
+    EXPECT_EQ(a.counters[c].time, b.counters[c].time) << "chip " << c;
+    EXPECT_EQ(a.counters[c].flops, b.counters[c].flops) << "chip " << c;
+    EXPECT_EQ(a.counters[c].hbm_bytes, b.counters[c].hbm_bytes) << "chip " << c;
+    EXPECT_EQ(a.counters[c].network_bytes, b.counters[c].network_bytes)
+        << "chip " << c;
+  }
+
+  ASSERT_EQ(a.events.size(), b.events.size()) << "trace event count";
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].chip, b.events[i].chip) << "event " << i;
+    EXPECT_EQ(a.events[i].name, b.events[i].name) << "event " << i;
+    EXPECT_EQ(a.events[i].start, b.events[i].start) << "event " << i;
+    EXPECT_EQ(a.events[i].duration, b.events[i].duration) << "event " << i;
+  }
+}
+
+TEST(SpmdDeterminismTest, WeightStationaryHeadsSlotCountInvariant) {
+  EngineSpec spec;  // WS-2D prefill + decode, head-sharded attention
+  RunResult serial = RunWorkload(spec, 1);
+  for (int slots : {2, 8}) {
+    RunResult parallel = RunWorkload(spec, slots);
+    ExpectIdenticalRuns(serial, parallel);
+  }
+}
+
+TEST(SpmdDeterminismTest, WeightGatheredBatchSlotCountInvariant) {
+  // The other region shape: weight-gathered prefill + weight-stationary
+  // decode with batch-sharded attention (all-to-all resharding paths).
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWGXYZ;
+  spec.decode_ffn = FfnLayout::kWS2D;
+  spec.attn = AttnSharding::kBatch;
+  ExpectIdenticalRuns(RunWorkload(spec, 1), RunWorkload(spec, 8));
+}
+
+TEST(SpmdDeterminismTest, FusedCollectivesSlotCountInvariant) {
+  EngineSpec spec;
+  spec.fuse_collectives = true;  // pipelined MatMulReduceScatter charging
+  ExpectIdenticalRuns(RunWorkload(spec, 1), RunWorkload(spec, 8));
+}
+
+TEST(SpmdExecutorTest, SlotGateBoundsConcurrency) {
+  SimMachine machine(Torus3D(1, 4, 2), TpuV4());
+  SpmdExecutor ex(&machine);
+  ex.set_slots(2);
+  std::atomic<int> current{0}, peak{0};
+  ex.Run([&](SpmdContext& ctx) {
+    int now = current.fetch_add(1) + 1;
+    int prev = peak.load();
+    while (prev < now && !peak.compare_exchange_weak(prev, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    current.fetch_sub(1);
+    // Rendezvous of all 8 chips on 2 slots: parked chips must release
+    // their slot or this deadlocks.
+    Tensor sum = ctx.AllReduce(kAxisXYZ, Tensor::Full({1}, 1.0f));
+    EXPECT_EQ(sum[0], 8.0f) << "chip " << ctx.chip();
+  });
+  EXPECT_LE(peak.load(), 2) << "more closures computing than slots";
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(SpmdExecutorTest, SingleChipRunsInline) {
+  SimMachine machine(Torus3D(1, 1, 1), TpuV4());
+  SpmdExecutor ex(&machine);
+  int calls = 0;
+  ex.Run([&](SpmdContext& ctx) {
+    EXPECT_EQ(ctx.chip(), 0);
+    // Self-collectives are identity (and charge nothing for k == 1).
+    Tensor t = ctx.AllReduce(kAxisXYZ, Tensor::Full({3}, 2.0f));
+    EXPECT_EQ(t[1], 2.0f);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(machine.counters(0).network_bytes, 0.0);
+}
+
+TEST(SpmdExecutorTest, CollectiveChargesMatchSerialFormulas) {
+  // One all-gather over y on a 1x4x1 mesh: entry barrier to the max clock,
+  // AllGatherTime on the clock, (k-1)/k of the output bytes as egress.
+  SimMachine machine(Torus3D(1, 4, 1), TpuV4());
+  SpmdExecutor ex(&machine);
+  machine.AdvanceTime(2, 1e-3);  // stagger one clock; barrier takes the max
+  ex.Run([&](SpmdContext& ctx) {
+    Tensor part = Tensor::Full({4, 8}, static_cast<float>(ctx.chip()));
+    Tensor full = ctx.AllGather(kAxisY, std::move(part), 0);
+    EXPECT_EQ(full.dim(0), 16);
+    EXPECT_EQ(full[0], 0.0f);               // rank 0's rows first
+    EXPECT_EQ(full[15 * 8], 3.0f);          // rank 3's rows last
+  });
+  double out_bytes = 16 * 8 * machine.bytes_per_element();
+  double want_t = 1e-3 + machine.comm_cost().AllGatherTime(out_bytes, 4);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(machine.counters(c).time, want_t) << "chip " << c;
+    EXPECT_DOUBLE_EQ(machine.counters(c).network_bytes, out_bytes * 3 / 4)
+        << "chip " << c;
+  }
+}
+
+TEST(SimMachineTest, CommCostCacheFollowsHopLatency) {
+  SimMachine machine(Torus3D(1, 4, 1), TpuV4());
+  double t0 = machine.comm_cost().AllGatherTime(1 << 20, 4);
+  machine.set_hop_latency(5e-6);
+  double t1 = machine.comm_cost().AllGatherTime(1 << 20, 4);
+  EXPECT_DOUBLE_EQ(machine.comm_cost().hop_latency, 5e-6);
+  EXPECT_GT(t1, t0) << "cached cost model must rebuild on set_hop_latency";
+}
+
+}  // namespace
+}  // namespace tsi

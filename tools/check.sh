@@ -4,6 +4,7 @@
 #
 #   tools/check.sh            # both configs, all tests
 #   TSI_TSAN_TESTS='threadpool_test|determinism_test|threaded_test' tools/check.sh
+#   tools/check.sh bench      # additionally run bench_sim_wallclock -> BENCH_sim.json
 #
 # TSan halves throughput and multiplies memory, so TSI_TSAN_TESTS can narrow
 # the sanitized run to the concurrency-heavy tests; default is everything.
@@ -24,4 +25,18 @@ cmake --build "$repo/build-check-tsan" -j "$jobs"
 ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
       ${TSI_TSAN_TESTS:+-R "$TSI_TSAN_TESTS"}
 
-echo "OK: both configurations pass"
+# Re-run the concurrency-heavy tests with multi-slot SPMD execution forced
+# on: the default slot count is the host's core count, which can be 1 on a
+# small CI box -- that would serialize the very interleavings TSan is here
+# to check. 8 slots exercises concurrent charging, rendezvous, and tracing.
+echo "== ThreadSanitizer, 8 SPMD slots forced =="
+TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
+  ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
+        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test'
+
+if [[ "${1:-}" == "bench" ]]; then
+  echo "== SPMD wall-clock bench =="
+  (cd "$repo" && ./build-check/bench/bench_sim_wallclock)
+fi
+
+echo "OK: all configurations pass"
