@@ -1,0 +1,177 @@
+// Experiment E22 -- continuous batching vs collect-batch-then-run on PaLM
+// 540B, 64 chips (the Table 2 serving scale), over the analytical backend.
+//
+// Both policies run the SAME request stream (Poisson arrivals, 512-token
+// prompts, 64 generated tokens) on the SAME cost model and partitioning
+// (WS-2D FFN, batch-sharded attention, int8 weights -- the paper's decode
+// layout). The baseline groups requests into static batches of the frame
+// size and drains each batch completely before admitting the next; the
+// continuous runtime (src/serve) admits into freed KV slots every iteration
+// and interleaves chunked prefill with decode (§3.5). The sweep holds the
+// offered rate at fixed fractions of the continuous runtime's saturation
+// throughput (calibrated by an all-arrive-at-once run).
+//
+// Writes BENCH_serving.json (override with TSI_BENCH_JSON): one record per
+// (policy, offered rate) with completed-requests/virtual-second, token
+// throughput, p50/p99 end-to-end latency, p99 TTFT and mean queue wait. The
+// headline: at every offered load, continuous batching sustains >= the
+// baseline's throughput at a lower p99 -- the baseline's tail is dominated
+// by waiting for the previous batch to drain.
+#include "common.h"
+
+#include <cstdlib>
+
+#include "serve/analytic.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+struct RunRecord {
+  std::string policy;
+  double offered_rate;     // req/s of the arrival process
+  double load;             // fraction of calibrated saturation throughput
+  double throughput_rps;   // completed requests / virtual second
+  double throughput_tps;   // generated tokens / virtual second
+  double p50_latency, p99_latency, p99_ttft, mean_queue_wait;
+};
+
+RunRecord Summarize(const char* policy, double rate, double load,
+                    const ServeReport& report) {
+  RunRecord r;
+  r.policy = policy;
+  r.offered_rate = rate;
+  r.load = load;
+  r.throughput_rps = report.ThroughputRequestsPerSec();
+  r.throughput_tps = report.ThroughputTokensPerSec();
+  r.p50_latency = report.LatencySummaryStats().p50;
+  r.p99_latency = report.LatencySummaryStats().p99;
+  r.p99_ttft = report.TtftSummary().p99;
+  r.mean_queue_wait = report.QueueWaitSummary().mean;
+  return r;
+}
+
+}  // namespace
+}  // namespace tsi
+
+int main() {
+  using namespace tsi;
+  ModelConfig cfg = Palm540BPadded();
+  InferenceEstimator est(cfg, TpuV4());
+
+  AnalyticServeConfig scfg;
+  scfg.spec = PartitionSpec{DefaultMeshFor(64), FfnLayout::kWS2D,
+                            AttnSharding::kBatch, WeightFormat::kInt8};
+  scfg.num_slots = 64;
+
+  const int64_t kRequests = 256, kPromptLen = 512;
+  const int64_t kMinNew = 16, kMaxNew = 128;  // ragged output lengths
+  ServeOptions options;
+  // Whole-prompt chunks: the baseline prefills whole prompts too, so the
+  // comparison isolates the admission policy (chunking below the prompt
+  // length trades throughput for TTFT -- per-call overheads are paid per
+  // chunk; see docs/serving.md).
+  options.prefill_chunk = kPromptLen;
+  options.sampling.temperature = 0;
+
+  // Output lengths vary per request (uniform in [kMinNew, kMaxNew]): real
+  // decode lengths are ragged, and raggedness is exactly what the static
+  // baseline pays for -- every batch decodes to its longest member with the
+  // finished lanes riding along as padding.
+  auto vary_budgets = [&](std::vector<ServeRequest> reqs) {
+    Rng rng(/*seed=*/3);
+    for (auto& r : reqs)
+      r.max_new_tokens =
+          kMinNew + static_cast<int64_t>(
+                        rng.NextBelow(static_cast<uint64_t>(kMaxNew - kMinNew + 1)));
+    return reqs;
+  };
+
+  // Calibrate saturation: everything arrives at t=0, so throughput is pure
+  // service capacity with a full frame.
+  auto burst = vary_budgets(PoissonRequests(/*rate=*/1e9, kRequests, kPromptLen,
+                                            kMaxNew, cfg.vocab_size, /*seed=*/1));
+  AnalyticServeBackend sat_backend(&est, scfg);
+  const double saturation =
+      RunContinuousServing(sat_backend, burst, options)
+          .ThroughputRequestsPerSec();
+
+  PrintHeader("E22: continuous vs collect-batch-then-run, PaLM 540B, 64 chips");
+  std::printf("layout %s, %lld slots, %lld-token prompts, %lld-%lld new tokens\n"
+              "continuous saturation throughput: %.3f req/s\n\n",
+              scfg.spec.ToString().c_str(),
+              static_cast<long long>(scfg.num_slots),
+              static_cast<long long>(kPromptLen),
+              static_cast<long long>(kMinNew),
+              static_cast<long long>(kMaxNew), saturation);
+
+  Table t({"policy", "load", "offered (req/s)", "tput (req/s)", "tput (tok/s)",
+           "p50 latency", "p99 latency", "p99 TTFT", "mean queue wait"});
+  std::vector<RunRecord> records;
+  for (double load : {0.5, 0.8, 1.0, 1.2}) {
+    const double rate = load * saturation;
+    auto requests = vary_budgets(PoissonRequests(rate, kRequests, kPromptLen,
+                                                 kMaxNew, cfg.vocab_size,
+                                                 /*seed=*/2));
+    AnalyticServeBackend backend(&est, scfg);
+    ServeReport cont = RunContinuousServing(backend, requests, options);
+    ServeReport stat = RunStaticBatchServing(est, scfg, requests);
+    for (const auto& [policy, rep] :
+         {std::pair<const char*, const ServeReport*>{"continuous", &cont},
+          {"static-batch", &stat}}) {
+      RunRecord r = Summarize(policy, rate, load, *rep);
+      records.push_back(r);
+      t.AddRow({r.policy, FormatDouble(load, 1), FormatDouble(rate, 3),
+                FormatDouble(r.throughput_rps, 3),
+                FormatDouble(r.throughput_tps, 1),
+                FormatDouble(r.p50_latency, 2) + "s",
+                FormatDouble(r.p99_latency, 2) + "s",
+                FormatDouble(r.p99_ttft, 2) + "s",
+                FormatDouble(r.mean_queue_wait, 2) + "s"});
+    }
+  }
+  t.Print();
+
+  const char* path = "BENCH_serving.json";
+  if (const char* env = std::getenv("TSI_BENCH_JSON")) path = env;
+  if (std::FILE* f = std::fopen(path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"model\": \"%s\",\n  \"chips\": %d,\n"
+                 "  \"num_slots\": %lld,\n  \"requests\": %lld,\n"
+                 "  \"prompt_len\": %lld,\n  \"min_new_tokens\": %lld,\n"
+                 "  \"max_new_tokens\": %lld,\n"
+                 "  \"saturation_rps\": %.4f,\n  \"runs\": [\n",
+                 cfg.name.c_str(), scfg.spec.num_chips(),
+                 static_cast<long long>(scfg.num_slots),
+                 static_cast<long long>(kRequests),
+                 static_cast<long long>(kPromptLen),
+                 static_cast<long long>(kMinNew),
+                 static_cast<long long>(kMaxNew), saturation);
+    for (size_t i = 0; i < records.size(); ++i) {
+      const RunRecord& r = records[i];
+      std::fprintf(f,
+                   "    {\"policy\": \"%s\", \"load\": %.2f, "
+                   "\"offered_rps\": %.4f, \"throughput_rps\": %.4f, "
+                   "\"throughput_tps\": %.1f, \"p50_latency_s\": %.3f, "
+                   "\"p99_latency_s\": %.3f, \"p99_ttft_s\": %.3f, "
+                   "\"mean_queue_wait_s\": %.3f}%s\n",
+                   r.policy.c_str(), r.load, r.offered_rate, r.throughput_rps,
+                   r.throughput_tps, r.p50_latency, r.p99_latency, r.p99_ttft,
+                   r.mean_queue_wait, i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu records)\n", path, records.size());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+
+  std::printf(
+      "\nThe baseline admits nothing while a batch drains, so arrivals pile\n"
+      "up behind the slowest sequence of the previous batch: its p99 grows\n"
+      "with load while completed throughput stays capped. Continuous\n"
+      "batching refills freed slots every iteration and holds higher\n"
+      "throughput at lower p99 across the sweep.\n");
+  return 0;
+}

@@ -3,9 +3,12 @@
 // 1920-token cached conversation, then streams a 64-token reply.
 // Paper: "a total of 1.9 seconds".
 //
-// This example drives the analytical planner: it picks the best layout per
-// phase, prints the latency budget, and shows the decode-batch trick the
-// paper describes (batch-1 prefill feeding a batch-64 decode server).
+// Part 1 drives the analytical planner: best layout per phase, the latency
+// budget, and the decode-batch trick (batch-1 prefill feeding a batch-64
+// decode server). Part 2 runs the same interactive pattern through the
+// continuous-batching runtime (src/serve) on the functional sharded engine:
+// staggered chat turns admitted mid-flight, incremental prefill on top of
+// cached context, per-turn TTFT and time-per-output-token.
 //
 //   build/examples/chatbot_serving
 #include <cstdio>
@@ -13,6 +16,8 @@
 #include "core/memory.h"
 #include "core/planner.h"
 #include "hw/chip.h"
+#include "serve/runtime.h"
+#include "util/rng.h"
 #include "util/table.h"
 
 int main() {
@@ -66,5 +71,54 @@ int main() {
               FormatBytes(mem.kv_bytes_per_chip).c_str(),
               FormatBytes(mem.hbm_bytes).c_str(),
               mem.fits() ? "fits" : "DOES NOT FIT");
+
+  // Part 2: the same interactive pattern on the functional engine (tiny
+  // stand-in model -- the simulator executes every forward pass, so model
+  // scale is bounded by host memory; the 540B numbers above come from the
+  // analytic backend that shares this scheduler). Six chat turns arrive
+  // staggered, each a prompt prefilled in chunks plus a streamed reply;
+  // four KV slots force the last turns to queue for a freed slot.
+  ModelConfig tiny = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(tiny, 1);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  EngineSpec espec;
+  espec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(weights, &machine, espec);
+
+  ServeOptions options;
+  options.prefill_chunk = 8;
+  options.sampling.temperature = 0;  // greedy, deterministic replies
+  EngineServeBackend backend(&engine, /*num_slots=*/4, options);
+
+  std::vector<ServeRequest> turns;
+  Rng rng(5);
+  for (int64_t i = 0; i < 6; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = static_cast<double>(i) * 3e-6;
+    r.prompt.resize(12);
+    for (auto& tok : r.prompt)
+      tok = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(tiny.vocab_size)));
+    r.max_new_tokens = 8;
+    turns.push_back(std::move(r));
+  }
+  ServeReport report = RunContinuousServing(backend, turns, options);
+
+  std::printf("\nContinuous runtime on the functional engine (%s, 4 chips, "
+              "4 KV slots):\n", tiny.name.c_str());
+  Table ft({"turn", "queue wait", "TTFT", "latency", "s/token", "tokens"});
+  for (const auto& r : report.requests) {
+    std::string toks;
+    for (int32_t tok : r.tokens) toks += (toks.empty() ? "" : " ") + std::to_string(tok);
+    ft.AddRow({std::to_string(r.id), FormatMs(r.QueueWait()), FormatMs(r.Ttft()),
+               FormatMs(r.Latency()), FormatMs(r.TimePerOutputToken()), toks});
+  }
+  ft.Print();
+  std::printf("\n%lld turns, %lld tokens, %.1f us virtual makespan; replies are\n"
+              "bit-identical for any slot assignment, batch mix, or\n"
+              "TSI_SPMD_SLOTS (tests/serve_test.cc).\n",
+              static_cast<long long>(report.completed()),
+              static_cast<long long>(report.total_tokens()),
+              report.makespan * 1e6);
   return 0;
 }

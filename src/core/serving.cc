@@ -6,27 +6,21 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace tsi {
 
-double ServingStats::MeanLatency() const {
-  if (requests.empty()) return 0;
-  double s = 0;
-  for (const auto& r : requests) s += r.Latency();
-  return s / static_cast<double>(requests.size());
-}
-
-double ServingStats::PercentileLatency(double p) const {
-  if (requests.empty()) return 0;
+std::vector<double> ServingStats::Latencies() const {
   std::vector<double> lat;
   lat.reserve(requests.size());
   for (const auto& r : requests) lat.push_back(r.Latency());
-  std::sort(lat.begin(), lat.end());
-  double idx = p / 100.0 * (static_cast<double>(lat.size()) - 1.0);
-  size_t lo = static_cast<size_t>(idx);
-  size_t hi = std::min(lo + 1, lat.size() - 1);
-  double frac = idx - static_cast<double>(lo);
-  return lat[lo] * (1 - frac) + lat[hi] * frac;
+  return lat;
+}
+
+double ServingStats::MeanLatency() const { return Mean(Latencies()); }
+
+double ServingStats::PercentileLatency(double p) const {
+  return Percentile(Latencies(), p);
 }
 
 double ServingStats::ThroughputTokensPerSec(double tokens_per_request) const {

@@ -48,6 +48,8 @@ struct ServingStats {
   int64_t decode_bursts = 0;
 
   int64_t completed() const { return static_cast<int64_t>(requests.size()); }
+  std::vector<double> Latencies() const;  // per-request end-to-end latency
+  // Mean / percentile of Latencies() via the shared util/stats.h helpers.
   double MeanLatency() const;
   double PercentileLatency(double p) const;  // p in [0, 100]
   double ThroughputTokensPerSec(double tokens_per_request) const;

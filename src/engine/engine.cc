@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <cmath>
+#include <numeric>
 
 #include "model/attention.h"
 #include "tensor/ops.h"
@@ -75,12 +76,37 @@ Tensor DistributedEngine::LocalMatMulSwishMulGate(int chip, const Tensor& x,
   return MatMulSwishMulGate(x, w, w_gate);
 }
 
-void DistributedEngine::ChargeAttention(int chip, const Tensor& k_cache,
-                                        double q_rows, double heads) {
-  double kv_len = static_cast<double>(k_cache.dim(1));
-  double flops = 4.0 * q_rows * kv_len * heads * config_.d_head;
-  double kv_bytes = 2.0 * k_cache.numel() * machine_->bytes_per_element();
+template <typename SliceFn>
+Tensor DistributedEngine::SlotAttention(int chip, int64_t layer, const Tensor& q,
+                                        double heads, SliceFn gqa_slice) {
+  const auto& slots = cache_.step_slots(chip);
+  const int64_t T = q.dim(1);
+  double flops = 0, kv_bytes = 0;
+  std::vector<Tensor> outs;
+  outs.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const int64_t s = slots[i];
+    const bool scratch = s == ShardedKvCache::kScratchSlot;
+    Tensor qi = q.Slice(0, static_cast<int64_t>(i), 1);
+    Tensor kc = gqa_slice(scratch
+                              ? cache_.ScratchK(chip, layer, static_cast<int64_t>(i))
+                              : cache_.K(chip, layer, s));
+    Tensor vc = gqa_slice(scratch
+                              ? cache_.ScratchV(chip, layer, static_cast<int64_t>(i))
+                              : cache_.V(chip, layer, s));
+    // Per-lane flops/bytes are exact integers in double, so this sum equals
+    // the batched 4*B*T*len*heads*dh / 2*numel formulation bit-for-bit when
+    // every lane shares one length -- the virtual clock stays identical to
+    // the static-batch path.
+    flops += 4.0 * static_cast<double>(T) * static_cast<double>(kc.dim(1)) *
+             heads * static_cast<double>(config_.d_head);
+    kv_bytes += 2.0 * static_cast<double>(kc.numel()) * machine_->bytes_per_element();
+    outs.push_back(ScaledDotProductAttention(qi, kc, vc, /*causal=*/true));
+  }
   machine_->ChargeComputeAndMemory(chip, flops, kv_bytes, "attention");
+  // Per-lane SDPA is bit-identical to one batched call: the kernel streams
+  // each (batch, head) pair independently (model/attention.cc).
+  return outs.size() == 1 ? std::move(outs[0]) : Tensor::Concat(0, outs);
 }
 
 Tensor DistributedEngine::DistLayerNormChip(SpmdContext& ctx, const Tensor& x,
@@ -117,9 +143,8 @@ Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
 
   if (spec_.attn == AttnSharding::kHeads) {
     cache_.Append(c, layer, k4, v4);
-    Tensor kc = cache_.K(c, layer);
-    Tensor vc = cache_.V(c, layer);
-    if (kv_replicated && KV > 1) {
+    auto gqa_slice = [&](const Tensor& kc) {
+      if (!(kv_replicated && KV > 1)) return kc;
       // Grouped-query with replicated K/V heads: this chip's query chunk
       // [yzr*Hl, (yzr+1)*Hl) reads only its kv group(s); slice them so the
       // local head->kv mapping stays h*KV_local/H_local.
@@ -129,11 +154,10 @@ Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
       const int64_t g1 = (h0 + Hl - 1) / heads_per_group;
       TSI_CHECK(g0 == g1 || Hl % heads_per_group == 0)
           << "query-head chunk must align with kv groups";
-      kc = kc.Slice(2, g0, g1 - g0 + 1);
-      vc = vc.Slice(2, g0, g1 - g0 + 1);
-    }
-    ChargeAttention(c, kc, static_cast<double>(B * T), static_cast<double>(Hl));
-    Tensor attn = ScaledDotProductAttention(q4, kc, vc, /*causal=*/true);
+      return kc.Slice(2, g0, g1 - g0 + 1);
+    };
+    Tensor attn =
+        SlotAttention(c, layer, q4, static_cast<double>(Hl), gqa_slice);
     return attn.Reshape({B * T, Hl * dh});
   }
 
@@ -167,11 +191,8 @@ Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
     vb = ctx.AllToAll(kAxisYZ, slice_x(std::move(v4)), 0, 2);
   }
   cache_.Append(c, layer, kb, vb);
-  const Tensor& kcache = cache_.K(c, layer);
-  const Tensor& vcache = cache_.V(c, layer);
-  Tensor attn = ScaledDotProductAttention(qb, kcache, vcache, /*causal=*/true);
-  ChargeAttention(c, kcache, static_cast<double>(B / n_ * T),
-                  static_cast<double>(H));
+  Tensor attn = SlotAttention(c, layer, qb, static_cast<double>(H),
+                              [](const Tensor& t) { return t; });
   // Back to head sharding: all-to-all heads <- batch over yz, then gather
   // the x batch slices. attn is [B/n, T, H, dh].
   Tensor back = ctx.AllToAll(kAxisYZ, std::move(attn), /*split=*/2,
@@ -306,10 +327,8 @@ void DistributedEngine::WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
     Tensor k = LocalMatMul(c, y, wk).Reshape({b_local, T, KV, dh});
     Tensor v = LocalMatMul(c, y, wv).Reshape({b_local, T, KV, dh});
     cache_.Append(c, layer, k, v);
-    const Tensor& kc = cache_.K(c, layer);
-    Tensor attn = ScaledDotProductAttention(q, kc, cache_.V(c, layer), true);
-    ChargeAttention(c, kc, static_cast<double>(b_local * T),
-                    static_cast<double>(H));
+    Tensor attn = SlotAttention(c, layer, q, static_cast<double>(H),
+                                [](const Tensor& t) { return t; });
     return LocalMatMul(c, attn.Reshape({b_local * T, H * dh}), wo);
   };
   auto run_ffn = [&](const Tensor& y) {
@@ -333,11 +352,34 @@ void DistributedEngine::WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
 }
 
 Tensor DistributedEngine::Forward(const std::vector<int32_t>& tokens, int64_t B,
-                                  FfnLayout layout) {
+                                  FfnLayout layout,
+                                  const std::vector<int64_t>& slot_map) {
   TSI_CHECK_GT(B, 0);
+  TSI_CHECK_EQ(static_cast<int64_t>(slot_map.size()), B);
   TSI_CHECK_EQ(static_cast<int64_t>(tokens.size()) % B, 0);
   const int64_t T = static_cast<int64_t>(tokens.size()) / B;
   const int64_t E = config_.d_model;
+
+  // Declare this step's cache writes. Under kHeads every chip stores every
+  // lane's slot (its head subset); under kBatch lane i's full-kv rows land
+  // only on the chip with xyz-rank i/(B/n) -- the same x-major rank the WS
+  // all-to-all resharding and the WG batch chunking both produce, which is
+  // what lets mixed-layout phases share one cache.
+  std::vector<std::vector<int64_t>> targets(static_cast<size_t>(n_));
+  if (spec_.attn == AttnSharding::kHeads) {
+    for (auto& t : targets) t = slot_map;
+  } else {
+    TSI_CHECK_EQ(B % n_, 0) << "batch-sharded attention needs batch % chips == 0";
+    const int64_t b_local = B / n_;
+    for (int c = 0; c < n_; ++c) {
+      const auto r = static_cast<int64_t>(
+          machine_->topo().RankInGroup(c, kAxisXYZ));
+      targets[static_cast<size_t>(c)].assign(
+          slot_map.begin() + r * b_local,
+          slot_map.begin() + (r + 1) * b_local);
+    }
+  }
+  cache_.BeginStep(std::move(targets), T);
 
   Tensor x_full = EmbeddingLookup(shards_[0].embedding, tokens);  // [B*T, E]
   Tensor result;
@@ -362,6 +404,7 @@ Tensor DistributedEngine::Forward(const std::vector<int32_t>& tokens, int64_t B,
           kAxisXYZ, lg.Reshape({b_local, T, config_.vocab_size}), 0);
       if (c == 0) result = std::move(logits);
     });
+    cache_.CommitStep();
     return result;
   }
 
@@ -392,16 +435,45 @@ Tensor DistributedEngine::Forward(const std::vector<int32_t>& tokens, int64_t B,
           static_cast<double>(shards_[0].embedding.numel()) * weight_byte_width_);
     }
   });
+  cache_.CommitStep();
   return result;
 }
 
+namespace {
+std::vector<int64_t> IdentitySlots(int64_t batch) {
+  std::vector<int64_t> slots(static_cast<size_t>(batch));
+  std::iota(slots.begin(), slots.end(), 0);
+  return slots;
+}
+}  // namespace
+
 Tensor DistributedEngine::Prefill(const std::vector<int32_t>& tokens, int64_t batch) {
-  return Forward(tokens, batch, spec_.prefill_ffn);
+  return Forward(tokens, batch, spec_.prefill_ffn, IdentitySlots(batch));
 }
 
 Tensor DistributedEngine::DecodeStep(const std::vector<int32_t>& tokens) {
   TSI_CHECK_GT(cache_.length(), 0) << "decode requires a prefilled cache";
-  return Forward(tokens, static_cast<int64_t>(tokens.size()), spec_.decode_ffn);
+  const int64_t B = static_cast<int64_t>(tokens.size());
+  return Forward(tokens, B, spec_.decode_ffn, IdentitySlots(B));
+}
+
+Tensor DistributedEngine::PrefillSlots(const std::vector<int32_t>& tokens,
+                                       const std::vector<int64_t>& slot_map) {
+  return Forward(tokens, static_cast<int64_t>(slot_map.size()),
+                 spec_.prefill_ffn, slot_map);
+}
+
+Tensor DistributedEngine::DecodeSlots(const std::vector<int32_t>& tokens,
+                                      const std::vector<int64_t>& slot_map) {
+  TSI_CHECK_EQ(tokens.size(), slot_map.size()) << "decode is one token per lane";
+  for (int64_t s : slot_map) {
+    if (s != ShardedKvCache::kScratchSlot) {
+      TSI_CHECK_GT(cache_.slot_length(s), 0)
+          << "decode requires a prefilled slot (slot " << s << ")";
+    }
+  }
+  return Forward(tokens, static_cast<int64_t>(slot_map.size()),
+                 spec_.decode_ffn, slot_map);
 }
 
 }  // namespace tsi

@@ -71,11 +71,30 @@ class DistributedEngine {
                     EngineSpec spec);
 
   // Processes `batch` sequences of tokens.size()/batch tokens each,
-  // extending the KV cache; returns logits [batch, len, vocab].
+  // extending the KV cache; returns logits [batch, len, vocab]. Equivalent
+  // to PrefillSlots with the identity slot map [0, batch).
   Tensor Prefill(const std::vector<int32_t>& tokens, int64_t batch);
 
   // Extends every sequence by one token; returns logits [batch, 1, vocab].
   Tensor DecodeStep(const std::vector<int32_t>& tokens);
+
+  // --- Slot-mapped forwards (continuous batching, src/serve) --------------
+  // Same forward passes, but lane i of the batch reads/extends KV slot
+  // slot_map[i] instead of slot i. Lanes mapped to
+  // ShardedKvCache::kScratchSlot are padding: they flow through every
+  // collective (keeping shapes and virtual-clock charges independent of how
+  // many lanes are real) but their K/V is discarded. Each real slot attends
+  // over its own ragged context, so sequences at different positions can
+  // share one forward pass. Under kBatch sharding, slot s's cache lives on
+  // the chip with xyz-rank i/(B/n) for the lane i carrying it -- callers
+  // must keep a slot on one owner lane group across calls (the cache checks).
+  Tensor PrefillSlots(const std::vector<int32_t>& tokens,
+                      const std::vector<int64_t>& slot_map);
+  Tensor DecodeSlots(const std::vector<int32_t>& tokens,
+                     const std::vector<int64_t>& slot_map);
+  // Frees a slot's cache on every chip for reuse by a new request.
+  void ResetSlot(int64_t slot) { cache_.ResetSlot(slot); }
+  int64_t slot_length(int64_t slot) const { return cache_.slot_length(slot); }
 
   int64_t context_length() const { return cache_.length(); }
   const EngineSpec& spec() const { return spec_; }
@@ -88,7 +107,7 @@ class DistributedEngine {
 
  private:
   Tensor Forward(const std::vector<int32_t>& tokens, int64_t batch,
-                 FfnLayout layout);
+                 FfnLayout layout, const std::vector<int64_t>& slot_map);
 
   // Per-chip block bodies, run inside an SpmdExecutor region: each touches
   // only chip ctx.chip()'s weights/cache plus collective-delivered data.
@@ -114,8 +133,16 @@ class DistributedEngine {
   Tensor LocalMatMulGelu(int chip, const Tensor& x, const Tensor& w);
   Tensor LocalMatMulSwishMulGate(int chip, const Tensor& x, const Tensor& w,
                                  const Tensor& w_gate);
-  void ChargeAttention(int chip, const Tensor& k_cache, double q_rows,
-                       double heads);
+
+  // Runs SDPA per lane of `q` ([rows, T, heads, dh]) against each lane's
+  // cached slot (or scratch), accumulating the attention flop/byte charges
+  // into ONE ChargeComputeAndMemory call so the virtual clock matches the
+  // batched formulation exactly when all lanes share a length. `gqa_slice`
+  // slices the kv-head dim of the cached K/V for this chip's query chunk
+  // (kHeads grouped-query path); identity elsewhere.
+  template <typename SliceFn>
+  Tensor SlotAttention(int chip, int64_t layer, const Tensor& q, double heads,
+                       SliceFn gqa_slice);
 
   ModelConfig config_;
   EngineSpec spec_;

@@ -1,42 +1,215 @@
 #include "engine/kvcache.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace tsi {
 
 ShardedKvCache::ShardedKvCache(int num_chips, int64_t num_layers,
                                AttnSharding sharding)
-    : sharding_(sharding), num_layers_(num_layers) {
-  k_.assign(static_cast<size_t>(num_chips),
-            std::vector<Tensor>(static_cast<size_t>(num_layers)));
-  v_ = k_;
+    : sharding_(sharding), num_chips_(num_chips), num_layers_(num_layers) {
+  store_.assign(static_cast<size_t>(num_chips),
+                std::vector<LayerStore>(static_cast<size_t>(num_layers)));
+}
+
+int64_t ShardedKvCache::length() const {
+  int64_t mx = 0;
+  for (int64_t l : slot_len_) mx = std::max(mx, l);
+  return mx;
+}
+
+int64_t ShardedKvCache::slot_length(int64_t slot) const {
+  if (slot < 0 || slot >= num_slots()) return 0;
+  return slot_len_[static_cast<size_t>(slot)];
+}
+
+Tensor& ShardedKvCache::SlotRef(std::vector<Tensor>& store, int64_t slot) {
+  if (static_cast<int64_t>(store.size()) <= slot)
+    store.resize(static_cast<size_t>(slot) + 1);
+  return store[static_cast<size_t>(slot)];
+}
+
+void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
+                               int64_t t) {
+  TSI_CHECK(!step_open_) << "BeginStep with a step already open (missing CommitStep)";
+  TSI_CHECK_EQ(static_cast<int>(per_chip_slots.size()), num_chips_);
+  TSI_CHECK_GT(t, 0) << "step width must be positive";
+  for (int c = 0; c < num_chips_; ++c) {
+    for (int64_t slot : per_chip_slots[static_cast<size_t>(c)]) {
+      if (slot == kScratchSlot) continue;
+      TSI_CHECK_GE(slot, 0) << "slot ids are non-negative (or kScratchSlot)";
+      if (static_cast<int64_t>(slot_len_.size()) <= slot)
+        slot_len_.resize(static_cast<size_t>(slot) + 1, 0);
+      // A slot with committed context must already be resident on every chip
+      // that targets it: under kBatch a sequence's rows live on one owner
+      // chip, so a lane migrating to another chip would silently split the
+      // sequence across caches.
+      if (slot_len_[static_cast<size_t>(slot)] > 0) {
+        const auto& ks = store_[static_cast<size_t>(c)][0].k;
+        const bool resident = static_cast<int64_t>(ks.size()) > slot &&
+                              ks[static_cast<size_t>(slot)].numel() > 0;
+        TSI_CHECK(resident)
+            << "slot " << slot << " has cached context but is not resident on "
+            << "chip " << c << " (lane/owner mismatch)";
+      }
+    }
+    // Pre-size slot storage single-threaded so concurrent Appends never
+    // reallocate the per-layer vectors.
+    for (auto& layer : store_[static_cast<size_t>(c)]) {
+      int64_t max_slot = -1;
+      for (int64_t slot : per_chip_slots[static_cast<size_t>(c)])
+        max_slot = std::max(max_slot, slot);
+      if (max_slot >= 0) {
+        SlotRef(layer.k, max_slot);
+        SlotRef(layer.v, max_slot);
+      }
+      // Discard the previous step's padding lanes.
+      layer.k_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
+      layer.v_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
+    }
+  }
+  step_slots_ = std::move(per_chip_slots);
+  step_t_ = t;
+  appended_.assign(static_cast<size_t>(num_chips_),
+                   std::vector<bool>(static_cast<size_t>(num_layers_), false));
+  step_open_ = true;
 }
 
 void ShardedKvCache::Append(int chip, int64_t layer, const Tensor& k,
                             const Tensor& v) {
+  TSI_CHECK(step_open_) << "Append outside a BeginStep/CommitStep window";
+  TSI_CHECK(chip >= 0 && chip < num_chips_) << "chip out of range";
+  TSI_CHECK(layer >= 0 && layer < num_layers_) << "layer out of range";
   TSI_CHECK_EQ(k.rank(), 4);
-  TSI_CHECK(k.SameShape(v));
-  auto& ck = k_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
-  auto& cv = v_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
-  ck = ck.numel() == 0 ? k : Tensor::Concat(1, {ck, k});
-  cv = cv.numel() == 0 ? v : Tensor::Concat(1, {cv, v});
-  if (chip == static_cast<int>(k_.size()) - 1 && layer == num_layers_ - 1) {
-    length_ = ck.dim(1);
+  TSI_CHECK(k.SameShape(v)) << "K/V shape mismatch: " << ShapeToString(k.shape())
+                            << " vs " << ShapeToString(v.shape());
+  const auto& targets = step_slots_[static_cast<size_t>(chip)];
+  TSI_CHECK_EQ(k.dim(0), static_cast<int64_t>(targets.size()))
+      << "appended rows must match the slot targets declared for chip " << chip;
+  TSI_CHECK_EQ(k.dim(1), step_t_)
+      << "mismatched t: chip " << chip << " layer " << layer << " appended "
+      << k.dim(1) << " positions into a " << step_t_ << "-wide step";
+  // kv_heads_/d_head_ are fixed by CommitStep (single-threaded); Append runs
+  // concurrently across chips and must not write shared fields.
+  if (kv_heads_ >= 0) {
+    TSI_CHECK(k.dim(2) == kv_heads_ && k.dim(3) == d_head_)
+        << "kv/d_head shape drift: got [" << k.dim(2) << ", " << k.dim(3)
+        << "], cache holds [" << kv_heads_ << ", " << d_head_ << "]";
+  }
+  TSI_CHECK(!appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)])
+      << "double append for chip " << chip << " layer " << layer;
+  appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)] = true;
+
+  LayerStore& ls = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  for (size_t i = 0; i < targets.size(); ++i) {
+    Tensor krow = k.Slice(0, static_cast<int64_t>(i), 1);
+    Tensor vrow = v.Slice(0, static_cast<int64_t>(i), 1);
+    const int64_t slot = targets[i];
+    Tensor& dst_k = slot == kScratchSlot ? ls.k_scratch[i]
+                                         : ls.k[static_cast<size_t>(slot)];
+    Tensor& dst_v = slot == kScratchSlot ? ls.v_scratch[i]
+                                         : ls.v[static_cast<size_t>(slot)];
+    dst_k = dst_k.numel() == 0 ? std::move(krow) : Tensor::Concat(1, {dst_k, krow});
+    dst_v = dst_v.numel() == 0 ? std::move(vrow) : Tensor::Concat(1, {dst_v, vrow});
   }
 }
 
-const Tensor& ShardedKvCache::K(int chip, int64_t layer) const {
-  return k_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+void ShardedKvCache::CommitStep() {
+  TSI_CHECK(step_open_) << "CommitStep without BeginStep";
+  for (int c = 0; c < num_chips_; ++c) {
+    if (step_slots_[static_cast<size_t>(c)].empty()) continue;
+    for (int64_t l = 0; l < num_layers_; ++l) {
+      TSI_CHECK(appended_[static_cast<size_t>(c)][static_cast<size_t>(l)])
+          << "chip " << c << " layer " << l
+          << " never appended in this step (mismatched layer coverage)";
+      for (int64_t slot : step_slots_[static_cast<size_t>(c)]) {
+        if (slot == kScratchSlot) continue;
+        const Tensor& kc = store_[static_cast<size_t>(c)][static_cast<size_t>(l)]
+                               .k[static_cast<size_t>(slot)];
+        TSI_CHECK_EQ(kc.dim(1), slot_len_[static_cast<size_t>(slot)] + step_t_)
+            << "slot " << slot << " length diverged on chip " << c << " layer "
+            << l << " (mismatched t across chips/layers)";
+        // Fix the cache-wide kv geometry on the first committed step; Append
+        // validates against it from then on (it cannot write these fields --
+        // it runs concurrently across chips).
+        if (kv_heads_ < 0) {
+          kv_heads_ = kc.dim(2);
+          d_head_ = kc.dim(3);
+        }
+        TSI_CHECK(kc.dim(2) == kv_heads_ && kc.dim(3) == d_head_)
+            << "kv/d_head shape drift on chip " << c << " layer " << l
+            << ": got [" << kc.dim(2) << ", " << kc.dim(3) << "], cache holds ["
+            << kv_heads_ << ", " << d_head_ << "]";
+      }
+    }
+  }
+  // Advance lengths from storage rather than counting targets: under kHeads
+  // several chips target the same slot and must not double-advance it.
+  for (size_t s = 0; s < slot_len_.size(); ++s) {
+    for (int c = 0; c < num_chips_; ++c) {
+      const auto& ks = store_[static_cast<size_t>(c)][0].k;
+      if (s < ks.size() && ks[s].numel() > 0) {
+        slot_len_[s] = ks[s].dim(1);
+        break;
+      }
+    }
+  }
+  step_open_ = false;
+  step_slots_.clear();
+  appended_.clear();
 }
 
-const Tensor& ShardedKvCache::V(int chip, int64_t layer) const {
-  return v_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+const std::vector<int64_t>& ShardedKvCache::step_slots(int chip) const {
+  TSI_CHECK(step_open_) << "step_slots outside a step";
+  return step_slots_[static_cast<size_t>(chip)];
+}
+
+const Tensor& ShardedKvCache::K(int chip, int64_t layer, int64_t slot) const {
+  const Tensor& t = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+                        .k[static_cast<size_t>(slot)];
+  TSI_CHECK(t.numel() > 0) << "slot " << slot << " empty on chip " << chip;
+  return t;
+}
+
+const Tensor& ShardedKvCache::V(int chip, int64_t layer, int64_t slot) const {
+  const Tensor& t = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+                        .v[static_cast<size_t>(slot)];
+  TSI_CHECK(t.numel() > 0) << "slot " << slot << " empty on chip " << chip;
+  return t;
+}
+
+const Tensor& ShardedKvCache::ScratchK(int chip, int64_t layer,
+                                       int64_t lane) const {
+  return store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+      .k_scratch[static_cast<size_t>(lane)];
+}
+
+const Tensor& ShardedKvCache::ScratchV(int chip, int64_t layer,
+                                       int64_t lane) const {
+  return store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+      .v_scratch[static_cast<size_t>(lane)];
+}
+
+void ShardedKvCache::ResetSlot(int64_t slot) {
+  TSI_CHECK(!step_open_) << "ResetSlot mid-step";
+  if (slot < 0 || slot >= num_slots()) return;
+  for (auto& chip : store_) {
+    for (auto& layer : chip) {
+      if (static_cast<int64_t>(layer.k.size()) > slot) {
+        layer.k[static_cast<size_t>(slot)] = Tensor();
+        layer.v[static_cast<size_t>(slot)] = Tensor();
+      }
+    }
+  }
+  slot_len_[static_cast<size_t>(slot)] = 0;
 }
 
 double ShardedKvCache::TotalBytes(double bytes_per_element) const {
   double total = 0;
-  for (const auto& per_chip : k_)
-    for (const auto& t : per_chip) total += static_cast<double>(t.numel());
+  for (const auto& chip : store_)
+    for (const auto& layer : chip)
+      for (const auto& t : layer.k) total += static_cast<double>(t.numel());
   return 2.0 * total * bytes_per_element;  // K and V
 }
 

@@ -1,11 +1,35 @@
-// Per-chip KV caches for the distributed engine.
+// Per-chip, per-slot KV caches for the distributed engine.
 //
 // Layout depends on the attention sharding (§3.3):
-//   * kHeads: every chip caches [B, T, KVshard, dh] -- its head subset for
-//     multihead, or the full (replicated) single head for multiquery.
-//   * kBatch: every chip caches [B/n, T, KVall, dh] -- its batch subset with
-//     every kv head, the paper's optimized layout that divides KV memory
-//     traffic by n_chips.
+//   * kHeads: every chip caches every slot's head subset -- [t, KVshard, dh]
+//     per slot (its head chunk for multihead, or the full replicated single
+//     head for multiquery).
+//   * kBatch: every chip caches only the slots it owns, with every kv head
+//     -- the paper's optimized layout that divides KV memory traffic by
+//     n_chips. A slot's rows always live on one chip (its owner).
+//
+// The cache is *slot-based* (Ragged Paged Attention style, at slot
+// granularity): each sequence occupies one slot with its own ragged length,
+// slots are written independently (per-slot appends), can be reset on EOS
+// and reused for newly admitted requests. This is what lets a
+// continuous-batching serving runtime (src/serve) admit and retire requests
+// mid-flight, while the classic static-batch path is just the special case
+// where every forward pass targets slots [0, B).
+//
+// Write protocol (driven by DistributedEngine):
+//   BeginStep(per_chip_slots, t)   -- declare, per chip, the global slot id
+//                                     each appended row targets, and the
+//                                     common step width t;
+//   Append(chip, layer, k, v)      -- once per (chip, layer), rows matching
+//                                     the declared targets;
+//   CommitStep()                   -- validate every declared (chip, layer)
+//                                     appended exactly t positions to every
+//                                     target, then advance slot lengths.
+// Shape or step-width mismatches (including mismatched t across chips or
+// layers, which previously corrupted length() silently) die loudly inside
+// Append/CommitStep. Rows targeting kScratchSlot land in per-lane scratch
+// storage that is discarded at the next BeginStep -- they are the padding
+// lanes a fixed decode frame or a batch-divisibility constraint needs.
 #pragma once
 
 #include <vector>
@@ -17,29 +41,82 @@ namespace tsi {
 
 class ShardedKvCache {
  public:
+  // Rows mapped to this pseudo-slot are computed (padding lanes must flow
+  // through the same collectives) but their K/V land in per-lane scratch
+  // storage that the next BeginStep discards.
+  static constexpr int64_t kScratchSlot = -1;
+
   ShardedKvCache() = default;
   ShardedKvCache(int num_chips, int64_t num_layers, AttnSharding sharding);
 
   AttnSharding sharding() const { return sharding_; }
-  int64_t length() const { return length_; }
+  int64_t num_layers() const { return num_layers_; }
+  // Max context length over all slots; equals every slot's length on the
+  // static whole-batch path (all slots advance together).
+  int64_t length() const;
+  // Number of slot ids ever targeted (high-water mark).
+  int64_t num_slots() const { return static_cast<int64_t>(slot_len_.size()); }
+  // Committed context length of one slot; 0 for never-written slots.
+  int64_t slot_length(int64_t slot) const;
 
-  // Appends `k`/`v` of shape [b, t, kv, dh] for (chip, layer). Every chip
-  // must append the same t each step; length() advances when the last layer
-  // of the last chip has appended.
+  // --- Write protocol ------------------------------------------------------
+  // per_chip_slots[chip][i] is the global slot id (or kScratchSlot) that row
+  // i of chip `chip`'s appends targets this step; `t` is the step width every
+  // append must carry. Chips with an empty list append nothing. Called
+  // outside SPMD regions only (single-threaded).
+  void BeginStep(std::vector<std::vector<int64_t>> per_chip_slots, int64_t t);
+  // Appends `k`/`v` of shape [rows, t, kv, dh] for (chip, layer); rows must
+  // match the chip's declared targets. Safe to call concurrently for
+  // distinct chips (each touches only its own storage).
   void Append(int chip, int64_t layer, const Tensor& k, const Tensor& v);
+  // Validates the completed step (every declared (chip, layer) appended,
+  // every target slot grew by exactly t on every chip/layer that stores it)
+  // and advances the per-slot lengths. Called outside SPMD regions only.
+  void CommitStep();
 
-  const Tensor& K(int chip, int64_t layer) const;
-  const Tensor& V(int chip, int64_t layer) const;
+  // This step's declared targets for `chip` (valid between BeginStep and
+  // CommitStep; used by the engine's attention to map rows to slots).
+  const std::vector<int64_t>& step_slots(int chip) const;
 
-  // Total cached bytes across all chips at `bytes_per_element` width.
+  // --- Reads ---------------------------------------------------------------
+  // Per-slot K/V of shape [1, len, kv, dh]. The slot must hold data on this
+  // chip (always true under kHeads; only on the owner under kBatch).
+  const Tensor& K(int chip, int64_t layer, int64_t slot) const;
+  const Tensor& V(int chip, int64_t layer, int64_t slot) const;
+  // Scratch K/V for a padding lane of the in-flight step.
+  const Tensor& ScratchK(int chip, int64_t layer, int64_t lane) const;
+  const Tensor& ScratchV(int chip, int64_t layer, int64_t lane) const;
+
+  // Frees a slot's storage on every chip/layer so it can be reused by a new
+  // sequence (continuous batching's slot reuse on EOS). Not valid mid-step.
+  void ResetSlot(int64_t slot);
+
+  // Total cached bytes across all chips at `bytes_per_element` width
+  // (committed slot data; transient scratch excluded).
   double TotalBytes(double bytes_per_element) const;
 
  private:
+  struct LayerStore {
+    std::vector<Tensor> k, v;          // indexed by global slot id
+    std::vector<Tensor> k_scratch, v_scratch;  // indexed by lane
+  };
+
+  Tensor& SlotRef(std::vector<Tensor>& store, int64_t slot);
+
   AttnSharding sharding_ = AttnSharding::kHeads;
+  int num_chips_ = 0;
   int64_t num_layers_ = 0;
-  int64_t length_ = 0;
-  // [chip][layer]
-  std::vector<std::vector<Tensor>> k_, v_;
+  int64_t kv_heads_ = -1;  // fixed by the first committed step
+  int64_t d_head_ = -1;
+  // [chip][layer] -> per-slot tensors.
+  std::vector<std::vector<LayerStore>> store_;
+  std::vector<int64_t> slot_len_;  // committed length per global slot
+
+  // In-flight step state.
+  bool step_open_ = false;
+  int64_t step_t_ = 0;
+  std::vector<std::vector<int64_t>> step_slots_;
+  std::vector<std::vector<bool>> appended_;  // [chip][layer]
 };
 
 }  // namespace tsi

@@ -1,0 +1,63 @@
+// Analytical serving backends over the closed-form cost model.
+//
+// AnalyticServeBackend runs the SAME continuous-batching scheduler as the
+// functional EngineServeBackend, but charges virtual seconds from the
+// InferenceEstimator instead of executing tensors -- so the serving policy
+// can be evaluated at full model scale (Palm540B on 64 chips) where the
+// functional simulator could never hold the weights. Prefill chunks are
+// charged batch-1 (§4.4's low-latency prefill); decode steps are charged at
+// the full fixed frame (padding lanes run in real fixed-shape servers too)
+// at the longest resident context.
+//
+// RunStaticBatchServing is the baseline the paper's continuous runtime is
+// measured against: collect-batch-then-run. Requests are grouped in arrival
+// order; each group prefills batch-1 sequentially, then decodes to
+// completion as one static batch, and only then does the next group start.
+// Nothing is admitted mid-flight, so under load a request waits for the
+// whole previous batch to drain -- the queueing pathology continuous
+// batching removes (EXPERIMENTS.md, bench_serving).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/inference_cost.h"
+#include "core/layouts.h"
+#include "serve/scheduler.h"
+
+namespace tsi {
+
+struct AnalyticServeConfig {
+  PartitionSpec spec;      // one replica serves both phases
+  int64_t num_slots = 64;  // fixed decode frame (§4.4's decode batch)
+};
+
+class AnalyticServeBackend : public ServeBackend {
+ public:
+  // `estimator` must outlive the backend.
+  AnalyticServeBackend(const InferenceEstimator* estimator,
+                       AnalyticServeConfig config);
+
+  int64_t num_slots() const override { return config_.num_slots; }
+  double Now() const override { return now_; }
+  void AdvanceTo(double t) override;
+  int32_t Prefill(int64_t slot, int64_t request,
+                  const std::vector<int32_t>& tokens, bool last) override;
+  std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) override;
+  void Release(int64_t slot) override;
+
+ private:
+  const InferenceEstimator* est_;
+  AnalyticServeConfig config_;
+  double now_ = 0;
+  std::vector<double> context_;  // cached tokens per slot
+};
+
+// Collect-batch-then-run baseline on the same cost model (see file comment).
+// Request ids and arrival stamps come from `requests`; generated-token
+// counts follow each request's max_new_tokens (no EOS analytically).
+ServeReport RunStaticBatchServing(const InferenceEstimator& estimator,
+                                  const AnalyticServeConfig& config,
+                                  std::vector<ServeRequest> requests);
+
+}  // namespace tsi

@@ -1,0 +1,49 @@
+// Request admission queue for the continuous-batching runtime.
+//
+// Requests carry virtual-time arrival stamps (Poisson-generated or replayed
+// from a trace); the queue orders them by arrival and hands them to the
+// scheduler once the virtual clock reaches their stamp and a KV slot is
+// free. Queue wait (admission minus arrival) is the first component of a
+// request's latency budget.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace tsi {
+
+// One serving request: a prompt to prefill plus a generation budget.
+struct ServeRequest {
+  int64_t id = 0;
+  double arrival = 0;  // virtual seconds
+  std::vector<int32_t> prompt;
+  int64_t max_new_tokens = 16;
+};
+
+class RequestQueue {
+ public:
+  // Sorts by (arrival, id); ids must be unique, prompts non-empty.
+  explicit RequestQueue(std::vector<ServeRequest> requests);
+
+  bool empty() const { return pending_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(pending_.size()); }
+  // Whether the head request has arrived by virtual time `now`.
+  bool HasArrived(double now) const;
+  // Pops the head request (must have one).
+  ServeRequest Pop();
+  // Arrival stamp of the head request (must be non-empty).
+  double NextArrival() const;
+
+ private:
+  std::deque<ServeRequest> pending_;
+};
+
+// `count` requests with Poisson arrivals at `rate` req/s and i.i.d. random
+// prompts of `prompt_len` tokens from [0, vocab); deterministic in `seed`.
+std::vector<ServeRequest> PoissonRequests(double rate, int64_t count,
+                                          int64_t prompt_len,
+                                          int64_t max_new_tokens, int64_t vocab,
+                                          uint64_t seed);
+
+}  // namespace tsi

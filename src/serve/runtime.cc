@@ -1,0 +1,94 @@
+#include "serve/runtime.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+EngineServeBackend::EngineServeBackend(DistributedEngine* engine,
+                                       int64_t num_slots, ServeOptions options)
+    : engine_(engine), num_slots_(num_slots), options_(std::move(options)) {
+  TSI_CHECK(engine_ != nullptr);
+  TSI_CHECK_GT(num_slots_, 0);
+  TSI_CHECK_EQ(engine_->context_length(), 0) << "engine already has context";
+  if (engine_->spec().attn == AttnSharding::kBatch) {
+    TSI_CHECK_EQ(num_slots_ % engine_->machine().num_chips(), 0)
+        << "kBatch decode frame must divide over the chips";
+  }
+}
+
+double EngineServeBackend::Now() const { return engine_->machine().MaxTime(); }
+
+void EngineServeBackend::AdvanceTo(double t) {
+  SimMachine& m = engine_->machine();
+  for (int c = 0; c < m.num_chips(); ++c)
+    m.SetTime(c, std::max(t, m.counters(c).time));
+}
+
+Sampler& EngineServeBackend::SamplerFor(int64_t request) {
+  auto it = samplers_.find(request);
+  if (it == samplers_.end()) {
+    SamplerOptions so = options_.sampling;
+    so.seed = Rng::DeriveSeed(so.seed, static_cast<uint64_t>(request));
+    it = samplers_.emplace(request, Sampler(so)).first;
+  }
+  return it->second;
+}
+
+int32_t EngineServeBackend::Prefill(int64_t slot, int64_t request,
+                                    const std::vector<int32_t>& tokens,
+                                    bool last) {
+  TSI_CHECK(slot >= 0 && slot < num_slots_);
+  TSI_CHECK(!tokens.empty());
+  const auto T = static_cast<int64_t>(tokens.size());
+  const int n = engine_->machine().num_chips();
+
+  // kHeads caches are replicated over chips, so one real lane suffices.
+  // kBatch needs batch % chips == 0 AND the real lane on the chip that owns
+  // this slot in the decode frame (xyz-rank slot/(S/n)): run an n-lane group
+  // with n-1 scratch lanes.
+  std::vector<int64_t> slot_map;
+  int64_t lane = 0;
+  if (engine_->spec().attn == AttnSharding::kBatch) {
+    slot_map.assign(static_cast<size_t>(n), ShardedKvCache::kScratchSlot);
+    lane = slot / (num_slots_ / n);
+    slot_map[static_cast<size_t>(lane)] = slot;
+  } else {
+    slot_map.assign(1, slot);
+  }
+
+  std::vector<int32_t> frame(slot_map.size() * static_cast<size_t>(T), 0);
+  std::copy(tokens.begin(), tokens.end(),
+            frame.begin() + static_cast<size_t>(lane) * tokens.size());
+
+  Tensor logits = engine_->PrefillSlots(frame, slot_map);
+  if (!last) return -1;
+  const int64_t V = engine_->config().vocab_size;
+  const float* row = logits.data() + ((lane * T) + (T - 1)) * V;
+  return SamplerFor(request).Sample(row, V);
+}
+
+std::vector<int32_t> EngineServeBackend::Decode(
+    const std::vector<DecodeLane>& lanes) {
+  TSI_CHECK(!lanes.empty());
+  // Fixed frame: lane s carries slot s when occupied, scratch otherwise.
+  std::vector<int64_t> slot_map(static_cast<size_t>(num_slots_),
+                                ShardedKvCache::kScratchSlot);
+  std::vector<int32_t> frame(static_cast<size_t>(num_slots_), 0);
+  for (const DecodeLane& l : lanes) {
+    TSI_CHECK(l.slot >= 0 && l.slot < num_slots_);
+    slot_map[static_cast<size_t>(l.slot)] = l.slot;
+    frame[static_cast<size_t>(l.slot)] = l.token;
+  }
+  Tensor logits = engine_->DecodeSlots(frame, slot_map);
+  const int64_t V = engine_->config().vocab_size;
+  std::vector<int32_t> out;
+  out.reserve(lanes.size());
+  for (const DecodeLane& l : lanes)
+    out.push_back(
+        SamplerFor(l.request).Sample(logits.data() + l.slot * V, V));
+  return out;
+}
+
+}  // namespace tsi

@@ -1,0 +1,60 @@
+// Functional serving backend: the continuous-batching scheduler driving the
+// real sharded DistributedEngine on the SPMD simulator.
+//
+// The decode frame is FIXED at `num_slots` lanes: every decode step runs all
+// lanes through the full partitioned forward pass, with lanes that hold no
+// request mapped to ShardedKvCache::kScratchSlot (padding). Fixed frames are
+// what real static-shape serving systems compile, and here they buy two
+// things: every collective's shape -- and therefore the virtual clock's
+// charge per step -- is independent of occupancy, and under kBatch
+// sharding the frame keeps batch % chips == 0 by construction.
+//
+// Lane mapping is the identity (slot s rides lane s), so under kBatch
+// sharding slot s's KV lives on the chip with xyz-rank s/(S/n) -- and
+// prefill chunks, which run as n-lane padded groups of one real lane, place
+// that lane on the same owner rank. This is what lets a weight-gathered
+// prefill and a weight-stationary decode extend the same cache (§3.5).
+//
+// Determinism: the engine's kernels are row-independent and its per-slot
+// attention reads only the lane's own slot, so a request's sampled tokens
+// depend only on its prompt and its sampler stream -- not on which other
+// requests share the frame, which slot it landed in, or TSI_SPMD_SLOTS
+// (tests/serve_test.cc pins all three).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/sampler.h"
+#include "serve/scheduler.h"
+
+namespace tsi {
+
+class EngineServeBackend : public ServeBackend {
+ public:
+  // `engine` must be freshly constructed (empty cache) and outlive the
+  // backend. Under kBatch sharding `num_slots` must divide by the chip
+  // count (the fixed decode frame is batch-sharded).
+  EngineServeBackend(DistributedEngine* engine, int64_t num_slots,
+                     ServeOptions options);
+
+  int64_t num_slots() const override { return num_slots_; }
+  double Now() const override;
+  void AdvanceTo(double t) override;
+  int32_t Prefill(int64_t slot, int64_t request,
+                  const std::vector<int32_t>& tokens, bool last) override;
+  std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) override;
+  void Release(int64_t slot) override { engine_->ResetSlot(slot); }
+
+ private:
+  Sampler& SamplerFor(int64_t request);
+
+  DistributedEngine* engine_;
+  int64_t num_slots_;
+  ServeOptions options_;
+  std::map<int64_t, Sampler> samplers_;  // request id -> sampler stream
+};
+
+}  // namespace tsi

@@ -1,0 +1,159 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+#include "serve/slots.h"
+#include "util/logging.h"
+
+namespace tsi {
+
+int64_t ServeReport::total_tokens() const {
+  int64_t n = 0;
+  for (const auto& r : requests) n += static_cast<int64_t>(r.tokens.size());
+  return n;
+}
+
+double ServeReport::ThroughputRequestsPerSec() const {
+  return makespan > 0 ? static_cast<double>(completed()) / makespan : 0;
+}
+
+double ServeReport::ThroughputTokensPerSec() const {
+  return makespan > 0 ? static_cast<double>(total_tokens()) / makespan : 0;
+}
+
+namespace {
+template <typename Fn>
+LatencySummary SummarizeOver(const std::vector<RequestRecord>& requests, Fn fn) {
+  std::vector<double> values;
+  values.reserve(requests.size());
+  for (const auto& r : requests) values.push_back(fn(r));
+  return Summarize(values);
+}
+}  // namespace
+
+LatencySummary ServeReport::QueueWaitSummary() const {
+  return SummarizeOver(requests, [](const RequestRecord& r) { return r.QueueWait(); });
+}
+LatencySummary ServeReport::TtftSummary() const {
+  return SummarizeOver(requests, [](const RequestRecord& r) { return r.Ttft(); });
+}
+LatencySummary ServeReport::LatencySummaryStats() const {
+  return SummarizeOver(requests, [](const RequestRecord& r) { return r.Latency(); });
+}
+LatencySummary ServeReport::TimePerOutputTokenSummary() const {
+  return SummarizeOver(requests,
+                       [](const RequestRecord& r) { return r.TimePerOutputToken(); });
+}
+
+ServeReport RunContinuousServing(ServeBackend& backend,
+                                 std::vector<ServeRequest> requests,
+                                 const ServeOptions& options) {
+  TSI_CHECK_GT(options.prefill_chunk, 0);
+  RequestQueue queue(std::move(requests));
+  SlotAllocator slots(backend.num_slots());
+
+  struct Active {
+    ServeRequest req;
+    int64_t slot = -1;
+    RequestRecord rec;
+    int64_t prefilled = 0;    // prompt tokens already fed
+    bool decoding = false;    // prompt fully prefilled, first token emitted
+    int32_t last_token = 0;
+    bool done = false;
+  };
+  std::vector<Active> active;  // admission order
+  ServeReport report;
+
+  auto hits_budget = [&](const Active& a, int32_t token) {
+    return (options.eos_token && token == *options.eos_token) ||
+           static_cast<int64_t>(a.rec.tokens.size()) >= a.req.max_new_tokens;
+  };
+  auto retire = [&](Active& a) {
+    a.rec.finished = backend.Now();
+    backend.Release(a.slot);
+    slots.Release(a.slot);
+    report.requests.push_back(std::move(a.rec));
+    a.done = true;
+  };
+
+  while (!queue.empty() || !active.empty()) {
+    // 1. Admission: arrived requests claim free slots in arrival order.
+    while (slots.HasFree() && queue.HasArrived(backend.Now())) {
+      ServeRequest r = queue.Pop();
+      Active a;
+      a.slot = slots.Acquire();
+      a.rec.id = r.id;
+      a.rec.arrival = r.arrival;
+      a.rec.admitted = backend.Now();
+      a.req = std::move(r);
+      active.push_back(std::move(a));
+    }
+
+    bool worked = false;
+
+    // 2. One prefill chunk for every request still in prefill (oldest
+    //    first). Capping each request at one chunk bounds how long the
+    //    decode lanes stall behind a long prompt (§3.5); feeding ALL
+    //    prefilling requests keeps the decode frame from starving behind a
+    //    single-request prefill pipeline when slots turn over quickly.
+    for (auto& a : active) {
+      if (a.done || a.decoding) continue;
+      const auto len = static_cast<int64_t>(a.req.prompt.size());
+      const int64_t chunk = std::min(options.prefill_chunk, len - a.prefilled);
+      const bool last = a.prefilled + chunk == len;
+      std::vector<int32_t> piece(
+          a.req.prompt.begin() + a.prefilled,
+          a.req.prompt.begin() + a.prefilled + chunk);
+      const int32_t token = backend.Prefill(a.slot, a.req.id, piece, last);
+      a.prefilled += chunk;
+      ++report.prefill_chunks;
+      if (last) {
+        a.decoding = true;
+        a.rec.first_token = backend.Now();
+        a.rec.tokens.push_back(token);
+        a.last_token = token;
+        if (hits_budget(a, token)) retire(a);
+      }
+      worked = true;
+    }
+
+    // 3. One decode step across every decoding lane.
+    std::vector<ServeBackend::DecodeLane> lanes;
+    std::vector<size_t> lane_active;  // index into `active`
+    for (size_t i = 0; i < active.size(); ++i) {
+      const Active& a = active[i];
+      if (a.done || !a.decoding) continue;
+      lanes.push_back({a.slot, a.last_token, a.req.id});
+      lane_active.push_back(i);
+    }
+    if (!lanes.empty()) {
+      const std::vector<int32_t> next = backend.Decode(lanes);
+      TSI_CHECK_EQ(next.size(), lanes.size());
+      ++report.decode_steps;
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        Active& a = active[lane_active[i]];
+        a.rec.tokens.push_back(next[i]);
+        a.last_token = next[i];
+        if (hits_budget(a, next[i])) retire(a);
+      }
+      worked = true;
+    }
+
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [](const Active& a) { return a.done; }),
+                 active.end());
+
+    // 4. Idle: everything in flight is drained, so jump to the next arrival.
+    if (!worked && !queue.empty()) backend.AdvanceTo(queue.NextArrival());
+  }
+
+  std::sort(report.requests.begin(), report.requests.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.id < b.id;
+            });
+  for (const auto& r : report.requests)
+    report.makespan = std::max(report.makespan, r.finished);
+  return report;
+}
+
+}  // namespace tsi

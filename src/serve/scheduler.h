@@ -1,0 +1,119 @@
+// Continuous-batching scheduler (§3.5 incremental prefill, §4.4 mixed
+// batching) over an abstract serving backend.
+//
+// Policy, per iteration:
+//   1. admit every arrived request that fits a free KV slot (queue wait ends
+//      at admission);
+//   2. process ONE prefill chunk -- up to `prefill_chunk` prompt tokens --
+//      for EACH admitted request still in prefill, oldest first (§3.5's
+//      incremental processing: long prompts are fed in pieces so decode is
+//      never starved for more than one chunk per request, while newly
+//      admitted requests reach the decode frame without queueing behind one
+//      prompt at a time);
+//   3. run ONE decode step across every request that has finished its
+//      prefill, retiring sequences that hit EOS or their token budget and
+//      freeing their slots for reuse;
+//   4. if nothing was runnable, fast-forward the virtual clock to the next
+//      arrival.
+//
+// The same loop drives two backends: the functional DistributedEngine
+// (serve/runtime.h; real sharded forward passes on the SPMD simulator,
+// bit-deterministic tokens) and the analytical cost model (serve/analytic.h;
+// virtual seconds only, any model size). Determinism contract: with greedy
+// or per-request-seeded sampling, each request's token sequence depends only
+// on its own prompt -- not on scheduling, batch composition, slot id, or the
+// simulator's SPMD slot count (docs/serving.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "engine/sampler.h"
+#include "serve/queue.h"
+#include "util/stats.h"
+
+namespace tsi {
+
+struct ServeOptions {
+  // Max prompt tokens fed per scheduler iteration (§3.5). Prompts longer
+  // than this prefill over several iterations, interleaved with decode.
+  int64_t prefill_chunk = 32;
+  // Retire a sequence when it emits this token (kept, like generation.h).
+  std::optional<int32_t> eos_token;
+  // Per-request samplers are seeded DeriveSeed(sampling.seed, request id),
+  // so a request's draws do not depend on scheduling. temperature 0 (greedy)
+  // additionally matches the shared-sampler static Generate path bit-exactly.
+  SamplerOptions sampling;
+};
+
+// Per-request serving metrics (all stamps in virtual seconds).
+struct RequestRecord {
+  int64_t id = 0;
+  double arrival = 0;
+  double admitted = 0;     // got a KV slot
+  double first_token = 0;  // end of the prefill chunk that sampled token 1
+  double finished = 0;     // last token emitted
+  std::vector<int32_t> tokens;  // generated tokens (EOS included)
+
+  double QueueWait() const { return admitted - arrival; }
+  double Ttft() const { return first_token - arrival; }
+  double Latency() const { return finished - arrival; }
+  // Mean seconds per output token after the first.
+  double TimePerOutputToken() const {
+    return tokens.size() > 1
+               ? (finished - first_token) / static_cast<double>(tokens.size() - 1)
+               : 0;
+  }
+};
+
+struct ServeReport {
+  std::vector<RequestRecord> requests;  // sorted by request id
+  double makespan = 0;  // virtual time when the last request finished
+  int64_t prefill_chunks = 0;
+  int64_t decode_steps = 0;
+
+  int64_t completed() const { return static_cast<int64_t>(requests.size()); }
+  int64_t total_tokens() const;
+  double ThroughputRequestsPerSec() const;
+  double ThroughputTokensPerSec() const;
+  LatencySummary QueueWaitSummary() const;
+  LatencySummary TtftSummary() const;
+  LatencySummary LatencySummaryStats() const;  // end-to-end
+  LatencySummary TimePerOutputTokenSummary() const;
+};
+
+// What the scheduler needs from an execution substrate. One backend instance
+// serves one replica: prefill chunks and decode steps share its chips (and
+// its virtual clock), which is exactly the §3.5 interleaving being modelled.
+class ServeBackend {
+ public:
+  struct DecodeLane {
+    int64_t slot = 0;
+    int32_t token = 0;    // last emitted token, fed back in
+    int64_t request = 0;  // request id (selects the sampler stream)
+  };
+
+  virtual ~ServeBackend() = default;
+
+  virtual int64_t num_slots() const = 0;
+  virtual double Now() const = 0;
+  // Fast-forward an idle replica; never rewinds.
+  virtual void AdvanceTo(double t) = 0;
+  // Feed one chunk of request `request`'s prompt into `slot`'s KV cache.
+  // `last` marks the prompt's final chunk; returns the first sampled token
+  // then (undefined otherwise).
+  virtual int32_t Prefill(int64_t slot, int64_t request,
+                          const std::vector<int32_t>& tokens, bool last) = 0;
+  // One decode step advancing every lane by one token; returns the sampled
+  // tokens in lane order.
+  virtual std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) = 0;
+  // The request in `slot` retired; drop its per-slot state.
+  virtual void Release(int64_t slot) = 0;
+};
+
+ServeReport RunContinuousServing(ServeBackend& backend,
+                                 std::vector<ServeRequest> requests,
+                                 const ServeOptions& options);
+
+}  // namespace tsi

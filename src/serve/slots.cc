@@ -1,0 +1,35 @@
+#include "serve/slots.h"
+
+#include "util/logging.h"
+
+namespace tsi {
+
+SlotAllocator::SlotAllocator(int64_t num_slots) : free_(num_slots) {
+  TSI_CHECK_GT(num_slots, 0);
+  in_use_.assign(static_cast<size_t>(num_slots), false);
+}
+
+bool SlotAllocator::InUse(int64_t slot) const {
+  TSI_CHECK(slot >= 0 && slot < num_slots()) << "slot out of range";
+  return in_use_[static_cast<size_t>(slot)];
+}
+
+int64_t SlotAllocator::Acquire() {
+  for (size_t s = 0; s < in_use_.size(); ++s) {
+    if (!in_use_[s]) {
+      in_use_[s] = true;
+      --free_;
+      return static_cast<int64_t>(s);
+    }
+  }
+  TSI_CHECK(false) << "no free slot";
+  return -1;
+}
+
+void SlotAllocator::Release(int64_t slot) {
+  TSI_CHECK(InUse(slot)) << "releasing a free slot";
+  in_use_[static_cast<size_t>(slot)] = false;
+  ++free_;
+}
+
+}  // namespace tsi

@@ -1,0 +1,35 @@
+// KV-slot allocator for the continuous-batching runtime.
+//
+// The decode frame has a fixed number of slots (the KV cache's capacity on
+// the serving configuration); each in-flight request owns exactly one slot
+// from admission until its last token, after which the slot is released and
+// reused by the next admitted request. Acquire hands out the lowest free id
+// so slot assignment -- and with it the batch lane order, the kBatch cache
+// owner chip, and every downstream collective -- is a deterministic function
+// of the admission sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tsi {
+
+class SlotAllocator {
+ public:
+  explicit SlotAllocator(int64_t num_slots);
+
+  int64_t num_slots() const { return static_cast<int64_t>(in_use_.size()); }
+  int64_t num_free() const { return free_; }
+  bool HasFree() const { return free_ > 0; }
+  bool InUse(int64_t slot) const;
+
+  // Lowest free slot id; dies if none are free (callers gate on HasFree).
+  int64_t Acquire();
+  void Release(int64_t slot);
+
+ private:
+  std::vector<bool> in_use_;
+  int64_t free_ = 0;
+};
+
+}  // namespace tsi

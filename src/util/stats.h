@@ -1,0 +1,34 @@
+// Shared summary statistics for latency/throughput reporting.
+//
+// One implementation of mean/percentile used by every layer that reports
+// request latencies: the analytical serving simulator (core/serving.h), the
+// continuous-batching runtime (serve/scheduler.h), and the benches. The
+// percentile definition is the linear-interpolation one (NIST 7.2.5.2 /
+// numpy default): index p/100 * (n-1) into the sorted values, interpolating
+// between the surrounding order statistics.
+#pragma once
+
+#include <vector>
+
+namespace tsi {
+
+// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+// p-th percentile, p in [0, 100], linear interpolation between order
+// statistics; 0 for an empty vector. Takes a copy because it sorts.
+double Percentile(std::vector<double> values, double p);
+
+// The percentile set every serving report uses.
+struct LatencySummary {
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+// Computes the summary in one sort; zeros for an empty vector.
+LatencySummary Summarize(const std::vector<double>& values);
+
+}  // namespace tsi

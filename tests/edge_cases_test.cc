@@ -87,6 +87,75 @@ TEST(EdgeDeathTest, ShardingRequiresDivisibleDims) {
   EXPECT_DEATH(ShardWeights(w, Torus3D(1, 3, 1)), "divide");
 }
 
+// The KV cache's write protocol dies loudly on the inconsistencies that
+// previously corrupted length() silently (mismatched t across chips/layers,
+// partial layer coverage, stray appends).
+
+TEST(EdgeDeathTest, KvCacheRejectsAppendOutsideStep) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  Tensor kv({1, 2, 1, 4});
+  EXPECT_DEATH(cache.Append(0, 0, kv, kv), "outside a BeginStep");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsMismatchedT) {
+  ShardedKvCache cache(2, 1, AttnSharding::kBatch);
+  cache.BeginStep({{0}, {1}}, 2);
+  Tensor good({1, 2, 1, 4}), bad({1, 3, 1, 4});
+  cache.Append(0, 0, good, good);
+  EXPECT_DEATH(cache.Append(1, 0, bad, bad), "mismatched t");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsRowsNotMatchingTargets) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  cache.BeginStep({{0, 1}}, 1);  // two declared targets
+  Tensor one_row({1, 1, 1, 4});
+  EXPECT_DEATH(cache.Append(0, 0, one_row, one_row), "slot targets declared");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsDoubleAppend) {
+  ShardedKvCache cache(1, 2, AttnSharding::kHeads);
+  cache.BeginStep({{0}}, 1);
+  Tensor kv({1, 1, 1, 4});
+  cache.Append(0, 0, kv, kv);
+  EXPECT_DEATH(cache.Append(0, 0, kv, kv), "double append");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsMissingLayerCoverage) {
+  ShardedKvCache cache(1, 2, AttnSharding::kHeads);
+  cache.BeginStep({{0}}, 1);
+  Tensor kv({1, 1, 1, 4});
+  cache.Append(0, 0, kv, kv);  // layer 1 never appended
+  EXPECT_DEATH(cache.CommitStep(), "never appended");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsKvShapeDrift) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  Tensor kv({1, 1, 1, 4});
+  cache.BeginStep({{0}}, 1);
+  cache.Append(0, 0, kv, kv);
+  cache.CommitStep();
+  Tensor drifted({1, 1, 2, 4});  // kv heads changed mid-stream
+  cache.BeginStep({{0}}, 1);
+  EXPECT_DEATH(cache.Append(0, 0, drifted, drifted), "shape drift");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsResetMidStep) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  cache.BeginStep({{0}}, 1);
+  EXPECT_DEATH(cache.ResetSlot(0), "mid-step");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsNonResidentSlot) {
+  // kBatch: slot 0's context lives on chip 0; a later step cannot route the
+  // slot's rows to chip 1.
+  ShardedKvCache cache(2, 1, AttnSharding::kBatch);
+  Tensor kv({1, 1, 1, 4});
+  cache.BeginStep({{0}, {}}, 1);
+  cache.Append(0, 0, kv, kv);
+  cache.CommitStep();
+  EXPECT_DEATH(cache.BeginStep({{}, {0}}, 1), "not resident");
+}
+
 // --- Degenerate but legal ---------------------------------------------------
 
 TEST(EdgeCaseTest, SingleChipEngineIsJustTheModel) {

@@ -184,6 +184,48 @@ TEST(EngineTest, MultiplePrefillsAccumulateContext) {
   EXPECT_LT(MaxAbsDiff(got2, want2), 5e-3f);
 }
 
+TEST(EngineTest, IncrementalWeightGatheredPrefillThenStationaryDecode) {
+  // The serving mixture end to end (§3.5): a prompt prefilled in TWO
+  // weight-gathered chunks, then decoded weight-stationary on the same
+  // batch-sharded cache, must track the reference model throughout.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 11);
+  ReferenceModel reference(&weights);
+
+  const int64_t B = 8, L1 = 3, L2 = 2;
+  auto t1 = RandomTokens(B * L1, cfg.vocab_size, 12);
+  auto t2 = RandomTokens(B * L2, cfg.vocab_size, 13);
+  std::vector<int32_t> all;
+  for (int64_t b = 0; b < B; ++b) {
+    for (int64_t i = 0; i < L1; ++i) all.push_back(t1[static_cast<size_t>(b * L1 + i)]);
+    for (int64_t i = 0; i < L2; ++i) all.push_back(t2[static_cast<size_t>(b * L2 + i)]);
+  }
+  KvCache rc;
+  Tensor want = reference.Prefill(all, B, &rc);
+
+  SimMachine machine(Torus3D(2, 2, 2), TpuV4());
+  EngineSpec spec;
+  spec.prefill_ffn = FfnLayout::kWGXYZ;
+  spec.decode_ffn = FfnLayout::kWS2D;
+  spec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(weights, &machine, spec);
+  engine.Prefill(t1, B);
+  Tensor got2 = engine.Prefill(t2, B);
+  EXPECT_EQ(engine.context_length(), L1 + L2);
+  EXPECT_LT(MaxAbsDiff(got2, want.Slice(1, L1, L2)), 5e-3f)
+      << "chunked WG prefill diverges";
+
+  auto next = RandomTokens(B, cfg.vocab_size, 14);
+  for (int step = 0; step < 3; ++step) {
+    Tensor want_step = reference.DecodeStep(next, &rc);
+    Tensor got_step = engine.DecodeStep(next);
+    EXPECT_LT(MaxAbsDiff(got_step, want_step), 5e-3f)
+        << "WS decode after incremental WG prefill, step " << step;
+    next = RandomTokens(B, cfg.vocab_size, 15 + static_cast<uint64_t>(step));
+  }
+  EXPECT_EQ(engine.context_length(), L1 + L2 + 3);
+}
+
 TEST(EngineTest, TimingScalesWithContext) {
   // Decode steps at longer context charge more time (KV streaming).
   ModelConfig cfg = TinyTestModel();

@@ -1,0 +1,365 @@
+// Continuous-batching serving runtime (src/serve) on the functional engine:
+//   * per-request token sequences are bit-identical for SPMD slot counts 1
+//     and 8 (the executor determinism contract, surfaced end-to-end);
+//   * simultaneously-arriving requests match the same batch run through the
+//     static Generate API token-for-token (row independence + greedy);
+//   * staggered arrivals with slot reuse match each request generated in
+//     isolation (batch composition cannot leak between sequences);
+//   * the functional runtime and the analytical backend agree on the
+//     schedule's shape and, loosely, on its virtual duration.
+#include "serve/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/generation.h"
+#include "hw/chip.h"
+#include "serve/analytic.h"
+#include "serve/slots.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t)
+    v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+ServeOptions GreedyOptions(int64_t prefill_chunk) {
+  ServeOptions o;
+  o.prefill_chunk = prefill_chunk;
+  o.sampling.temperature = 0;  // greedy: matches Generate's shared sampler
+  return o;
+}
+
+struct ServeSetup {
+  Torus3D mesh;
+  EngineSpec spec;
+};
+
+ServeSetup BatchShardedSetup() {
+  ServeSetup s{Torus3D(2, 2, 1), {}};
+  s.spec.attn = AttnSharding::kBatch;
+  return s;
+}
+
+ServeSetup HeadShardedSetup() {
+  ServeSetup s{Torus3D(2, 2, 1), {}};
+  s.spec.attn = AttnSharding::kHeads;
+  return s;
+}
+
+ServeSetup MixedLayoutSetup() {
+  // Table 2's serving mixture: weight-gathered prefill, 2D weight-stationary
+  // decode, batch-sharded attention, one shared KV cache.
+  ServeSetup s{Torus3D(2, 2, 2), {}};
+  s.spec.prefill_ffn = FfnLayout::kWGXYZ;
+  s.spec.decode_ffn = FfnLayout::kWS2D;
+  s.spec.attn = AttnSharding::kBatch;
+  return s;
+}
+
+// Runs `requests` through the continuous runtime on a fresh engine.
+ServeReport RunOnFreshEngine(const ServeSetup& setup, const ModelWeights& weights,
+                             int64_t num_slots,
+                             const std::vector<ServeRequest>& requests,
+                             const ServeOptions& options, int spmd_slots = 0) {
+  SimMachine machine(setup.mesh, TpuV4());
+  DistributedEngine engine(weights, &machine, setup.spec);
+  if (spmd_slots > 0) engine.spmd().set_slots(spmd_slots);
+  EngineServeBackend backend(&engine, num_slots, options);
+  return RunContinuousServing(backend, requests, options);
+}
+
+TEST(ServeRuntimeTest, BitIdenticalAcrossSpmdSlotCounts) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 21);
+  const ServeSetup setup = BatchShardedSetup();
+  const ServeOptions options = GreedyOptions(/*prefill_chunk=*/3);
+
+  std::vector<ServeRequest> requests;
+  for (int64_t i = 0; i < 6; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = static_cast<double>(i) * 2e-6;  // lands mid-flight
+    r.prompt = RandomTokens(4 + i % 3, cfg.vocab_size, 100 + static_cast<uint64_t>(i));
+    r.max_new_tokens = 5;
+    requests.push_back(std::move(r));
+  }
+
+  ServeReport one = RunOnFreshEngine(setup, weights, 4, requests, options, 1);
+  ServeReport eight = RunOnFreshEngine(setup, weights, 4, requests, options, 8);
+
+  ASSERT_EQ(one.completed(), 6);
+  ASSERT_EQ(eight.completed(), 6);
+  EXPECT_EQ(one.decode_steps, eight.decode_steps);
+  EXPECT_EQ(one.prefill_chunks, eight.prefill_chunks);
+  for (size_t i = 0; i < 6; ++i) {
+    const RequestRecord& a = one.requests[i];
+    const RequestRecord& b = eight.requests[i];
+    EXPECT_EQ(a.tokens, b.tokens) << "request " << a.id;
+    // Virtual clocks, not just tokens, are part of the determinism contract.
+    EXPECT_EQ(a.admitted, b.admitted) << "request " << a.id;
+    EXPECT_EQ(a.first_token, b.first_token) << "request " << a.id;
+    EXPECT_EQ(a.finished, b.finished) << "request " << a.id;
+  }
+}
+
+TEST(ServeRuntimeTest, SimultaneousArrivalsMatchStaticGenerate) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 22);
+  const int64_t B = 4, L = 6, kMaxNew = 5;
+  const auto prompts = RandomTokens(B * L, cfg.vocab_size, 23);
+
+  for (const ServeSetup& setup : {BatchShardedSetup(), HeadShardedSetup()}) {
+    // Static batch through the existing Generate API.
+    SimMachine machine(setup.mesh, TpuV4());
+    DistributedEngine engine(weights, &machine, setup.spec);
+    GenerationOptions gen;
+    gen.max_new_tokens = kMaxNew;
+    gen.sampling.temperature = 0;
+    GenerationResult want = Generate(engine, prompts, B, gen);
+
+    // Same sequences as simultaneously-arriving requests through the
+    // continuous runtime (chunked prefill included).
+    std::vector<ServeRequest> requests;
+    for (int64_t b = 0; b < B; ++b) {
+      ServeRequest r;
+      r.id = b;
+      r.arrival = 0;
+      r.prompt.assign(prompts.begin() + b * L, prompts.begin() + (b + 1) * L);
+      r.max_new_tokens = kMaxNew;
+      requests.push_back(std::move(r));
+    }
+    ServeReport got = RunOnFreshEngine(setup, weights, B,
+                                       requests, GreedyOptions(4));
+    ASSERT_EQ(got.completed(), B);
+    for (int64_t b = 0; b < B; ++b)
+      EXPECT_EQ(got.requests[static_cast<size_t>(b)].tokens,
+                want.sequences[static_cast<size_t>(b)])
+          << "sequence " << b << " diverges from static batch, attn="
+          << ToString(setup.spec.attn);
+  }
+}
+
+TEST(ServeRuntimeTest, MixedLayoutServingMatchesStaticGenerate) {
+  // Weight-gathered chunked prefill + weight-stationary decode on one cache,
+  // driven by the runtime, still matches the static batch bit-for-bit.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 24);
+  const ServeSetup setup = MixedLayoutSetup();
+  const int64_t B = 8, L = 4, kMaxNew = 4;
+  const auto prompts = RandomTokens(B * L, cfg.vocab_size, 25);
+
+  SimMachine machine(setup.mesh, TpuV4());
+  DistributedEngine engine(weights, &machine, setup.spec);
+  GenerationOptions gen;
+  gen.max_new_tokens = kMaxNew;
+  gen.sampling.temperature = 0;
+  GenerationResult want = Generate(engine, prompts, B, gen);
+
+  std::vector<ServeRequest> requests;
+  for (int64_t b = 0; b < B; ++b) {
+    ServeRequest r;
+    r.id = b;
+    r.arrival = 0;
+    r.prompt.assign(prompts.begin() + b * L, prompts.begin() + (b + 1) * L);
+    r.max_new_tokens = kMaxNew;
+    requests.push_back(std::move(r));
+  }
+  ServeReport got =
+      RunOnFreshEngine(setup, weights, B, requests, GreedyOptions(2));
+  ASSERT_EQ(got.completed(), B);
+  for (int64_t b = 0; b < B; ++b)
+    EXPECT_EQ(got.requests[static_cast<size_t>(b)].tokens,
+              want.sequences[static_cast<size_t>(b)]);
+}
+
+TEST(ServeRuntimeTest, SlotReuseMatchesIsolatedGeneration) {
+  // 5 requests, 2 slots: later requests queue until an earlier one retires
+  // and its slot is reused. Batch composition changes step to step, yet each
+  // request's tokens equal a batch-1 run of just that prompt.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 26);
+  const ServeSetup setup = HeadShardedSetup();
+
+  std::vector<ServeRequest> requests;
+  const int64_t prompt_lens[] = {5, 3, 2, 4, 6};
+  const int64_t budgets[] = {4, 7, 3, 2, 5};
+  for (int64_t i = 0; i < 5; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = 0;
+    r.prompt = RandomTokens(prompt_lens[i], cfg.vocab_size,
+                            200 + static_cast<uint64_t>(i));
+    r.max_new_tokens = budgets[i];
+    requests.push_back(std::move(r));
+  }
+
+  ServeReport got =
+      RunOnFreshEngine(setup, weights, /*num_slots=*/2, requests, GreedyOptions(2));
+  ASSERT_EQ(got.completed(), 5);
+
+  for (const RequestRecord& rec : got.requests) {
+    const ServeRequest& req = requests[static_cast<size_t>(rec.id)];
+    SimMachine machine(setup.mesh, TpuV4());
+    DistributedEngine engine(weights, &machine, setup.spec);
+    GenerationOptions gen;
+    gen.max_new_tokens = req.max_new_tokens;
+    gen.sampling.temperature = 0;
+    GenerationResult want = Generate(engine, req.prompt, 1, gen);
+    EXPECT_EQ(rec.tokens, want.sequences[0]) << "request " << rec.id;
+  }
+
+  // With 2 slots and 5 simultaneous arrivals, requests 2+ must have queued.
+  EXPECT_EQ(got.requests[0].QueueWait(), 0.0);
+  EXPECT_EQ(got.requests[1].QueueWait(), 0.0);
+  for (size_t i = 2; i < 5; ++i)
+    EXPECT_GT(got.requests[i].QueueWait(), 0.0) << "request " << i;
+}
+
+TEST(ServeRuntimeTest, EosRetiresEarlyAndFreesSlot) {
+  // Force an EOS by scanning a batch-1 greedy run for its first token, then
+  // serve the same prompt with that token as EOS: the sequence must stop at
+  // the first occurrence and keep the EOS token (generation.h semantics).
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 27);
+  const ServeSetup setup = HeadShardedSetup();
+  ServeRequest r;
+  r.id = 0;
+  r.arrival = 0;
+  r.prompt = RandomTokens(4, cfg.vocab_size, 28);
+  r.max_new_tokens = 8;
+
+  ServeReport plain =
+      RunOnFreshEngine(setup, weights, 2, {r}, GreedyOptions(8));
+  ASSERT_EQ(plain.completed(), 1);
+  ASSERT_EQ(plain.requests[0].tokens.size(), 8u);
+  const int32_t eos = plain.requests[0].tokens[2];
+
+  ServeOptions options = GreedyOptions(8);
+  options.eos_token = eos;
+  ServeReport stopped = RunOnFreshEngine(setup, weights, 2, {r}, options);
+  ASSERT_EQ(stopped.completed(), 1);
+  const auto& tokens = stopped.requests[0].tokens;
+  ASSERT_LE(tokens.size(), 3u);
+  EXPECT_EQ(tokens.back(), eos);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) EXPECT_NE(tokens[i], eos);
+}
+
+TEST(ServeRuntimeTest, AnalyticBackendCrossChecksFunctionalRuntime) {
+  // The same scheduler on the analytical cost model must produce the same
+  // schedule shape (counts, token totals) and a virtual duration in the same
+  // ballpark as the functional engine when the estimator runs in ideal mode
+  // (bench_sim_vs_analytic quantifies the residual gap).
+  ModelConfig cfg = TinyTestModel();
+  cfg.name = "serve-xval";
+  cfg.num_layers = 4;
+  cfg.d_model = 128;
+  cfg.d_ff = 256;
+  cfg.n_heads = 16;
+  cfg.d_head = 16;
+  cfg.vocab_size = 128;
+  ModelWeights weights = ModelWeights::Random(cfg, 29);
+
+  const Torus3D mesh(2, 2, 2);
+  const int64_t S = 8, kMaxNew = 4;
+  std::vector<ServeRequest> requests;
+  for (int64_t i = 0; i < 8; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = 0;
+    r.prompt = RandomTokens(8, cfg.vocab_size, 300 + static_cast<uint64_t>(i));
+    r.max_new_tokens = kMaxNew;
+    requests.push_back(std::move(r));
+  }
+  const ServeOptions options = GreedyOptions(4);
+
+  SimMachine machine(mesh, TpuV4());
+  machine.set_hop_latency(0);
+  EngineSpec espec;
+  espec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(weights, &machine, espec);
+  EngineServeBackend functional(&engine, S, options);
+  ServeReport sim = RunContinuousServing(functional, requests, options);
+
+  SystemModel sys;
+  sys.matmul_peak_frac = 1.0;
+  sys.matmul_tau_tokens = 0;
+  sys.hbm_frac = 1.0;
+  sys.per_layer_overhead = 0;
+  sys.overlap_fraction = 0;
+  sys.hop_latency = 0;
+  sys.additive = false;
+  InferenceEstimator estimator(cfg, TpuV4(), sys);
+  AnalyticServeConfig acfg;
+  acfg.spec = PartitionSpec{mesh, FfnLayout::kWS2D, AttnSharding::kBatch,
+                            WeightFormat::kBf16};
+  acfg.num_slots = S;
+  AnalyticServeBackend analytic(&estimator, acfg);
+  ServeReport ana = RunContinuousServing(analytic, requests, options);
+
+  ASSERT_EQ(sim.completed(), ana.completed());
+  EXPECT_EQ(sim.total_tokens(), ana.total_tokens());
+  EXPECT_EQ(sim.prefill_chunks, ana.prefill_chunks);
+  ASSERT_GT(ana.makespan, 0.0);
+  ASSERT_GT(sim.makespan, 0.0);
+  const double ratio = sim.makespan / ana.makespan;
+  EXPECT_GT(ratio, 0.2) << "functional vs analytic drifted apart";
+  EXPECT_LT(ratio, 5.0) << "functional vs analytic drifted apart";
+}
+
+TEST(ServeQueueTest, OrdersByArrivalAndAdmits) {
+  std::vector<ServeRequest> rs(3);
+  rs[0] = {2, 3.0, {1}, 4};
+  rs[1] = {0, 1.0, {1}, 4};
+  rs[2] = {1, 2.0, {1}, 4};
+  RequestQueue q(std::move(rs));
+  EXPECT_EQ(q.size(), 3);
+  EXPECT_FALSE(q.HasArrived(0.5));
+  EXPECT_TRUE(q.HasArrived(1.0));
+  EXPECT_EQ(q.NextArrival(), 1.0);
+  EXPECT_EQ(q.Pop().id, 0);
+  EXPECT_EQ(q.Pop().id, 1);
+  EXPECT_EQ(q.Pop().id, 2);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ServeSlotsTest, LowestFreeFirstAndReuse) {
+  SlotAllocator slots(3);
+  EXPECT_EQ(slots.Acquire(), 0);
+  EXPECT_EQ(slots.Acquire(), 1);
+  EXPECT_EQ(slots.Acquire(), 2);
+  EXPECT_FALSE(slots.HasFree());
+  slots.Release(1);
+  EXPECT_TRUE(slots.HasFree());
+  EXPECT_FALSE(slots.InUse(1));
+  EXPECT_EQ(slots.Acquire(), 1);  // lowest free id, deterministically
+  EXPECT_DEATH(slots.Acquire(), "");  // none free
+  slots.Release(0);
+  EXPECT_DEATH(slots.Release(0), "");  // double release
+  EXPECT_EQ(slots.num_free(), 1);
+}
+
+TEST(ServeRequestsTest, PoissonRequestsAreDeterministic) {
+  auto a = PoissonRequests(10.0, 5, 7, 4, 64, 99);
+  auto b = PoissonRequests(10.0, 5, 7, 4, 64, 99);
+  ASSERT_EQ(a.size(), 5u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].prompt, b[i].prompt);
+    ASSERT_EQ(a[i].prompt.size(), 7u);
+    for (int32_t t : a[i].prompt) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 64);
+    }
+  }
+  for (size_t i = 1; i < a.size(); ++i)
+    EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+}
+
+}  // namespace
+}  // namespace tsi

@@ -139,18 +139,59 @@ INSTANTIATE_TEST_SUITE_P(Meshes, ShardingTest,
                          CaseName);
 
 TEST(ShardedKvCacheTest, AppendsAndTracksLength) {
+  // Batch-sharded: chip 0 owns slots {0, 1}, chip 1 owns slots {2, 3}.
   ShardedKvCache cache(2, 3, AttnSharding::kBatch);
   EXPECT_EQ(cache.length(), 0);
   Tensor kv({2, 4, 1, 8});
-  for (int chip = 0; chip < 2; ++chip)
-    for (int64_t layer = 0; layer < 3; ++layer) cache.Append(chip, layer, kv, kv);
+  auto step = [&](int64_t t, const Tensor& rows) {
+    cache.BeginStep({{0, 1}, {2, 3}}, t);
+    for (int chip = 0; chip < 2; ++chip)
+      for (int64_t layer = 0; layer < 3; ++layer)
+        cache.Append(chip, layer, rows, rows);
+    cache.CommitStep();
+  };
+  step(4, kv);
   EXPECT_EQ(cache.length(), 4);
-  for (int chip = 0; chip < 2; ++chip)
-    for (int64_t layer = 0; layer < 3; ++layer) cache.Append(chip, layer, kv, kv);
+  step(4, kv);
   EXPECT_EQ(cache.length(), 8);
-  EXPECT_EQ(cache.K(1, 2).dim(1), 8);
-  // 2 chips * 3 layers * K&V * 8 tokens * 1 head * 8 dh * 2 bytes.
+  EXPECT_EQ(cache.num_slots(), 4);
+  for (int64_t slot = 0; slot < 4; ++slot) EXPECT_EQ(cache.slot_length(slot), 8);
+  EXPECT_EQ(cache.K(1, 2, /*slot=*/3).dim(1), 8);
+  // 2 chips * 3 layers * K&V * 2 slots each * 8 tokens * 1 head * 8 dh * 2B.
   EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 2 * 3 * 2 * (2 * 8 * 1 * 8) * 2.0);
+
+  // Slots advance independently: decode only slot 1 (on its owner chip 0)
+  // while chip 1 contributes nothing this step.
+  Tensor one({1, 1, 1, 8});
+  cache.BeginStep({{1}, {}}, 1);
+  for (int64_t layer = 0; layer < 3; ++layer) cache.Append(0, layer, one, one);
+  cache.CommitStep();
+  EXPECT_EQ(cache.slot_length(1), 9);
+  EXPECT_EQ(cache.slot_length(0), 8);
+  EXPECT_EQ(cache.length(), 9);
+
+  // Free + reuse: the slot restarts from zero context.
+  cache.ResetSlot(1);
+  EXPECT_EQ(cache.slot_length(1), 0);
+  EXPECT_EQ(cache.length(), 8);
+  cache.BeginStep({{1}, {}}, 1);
+  for (int64_t layer = 0; layer < 3; ++layer) cache.Append(0, layer, one, one);
+  cache.CommitStep();
+  EXPECT_EQ(cache.slot_length(1), 1);
+}
+
+TEST(ShardedKvCacheTest, ScratchLanesAreDiscarded) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  Tensor rows({2, 3, 1, 4});
+  // Lane 0 targets slot 0; lane 1 is padding.
+  cache.BeginStep({{0, ShardedKvCache::kScratchSlot}}, 3);
+  cache.Append(0, 0, rows, rows);
+  EXPECT_EQ(cache.ScratchK(0, 0, /*lane=*/1).dim(1), 3);
+  cache.CommitStep();
+  EXPECT_EQ(cache.length(), 3);
+  EXPECT_EQ(cache.num_slots(), 1);
+  // Scratch is excluded from the committed footprint.
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 2 * (3 * 1 * 4) * 2.0);
 }
 
 }  // namespace

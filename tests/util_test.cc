@@ -1,9 +1,41 @@
 #include <gtest/gtest.h>
 
+#include "util/stats.h"
 #include "util/table.h"
 
 namespace tsi {
 namespace {
+
+TEST(StatsTest, MeanAndEmpty) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(StatsTest, PercentileInterpolatesOrderStatistics) {
+  // NIST / numpy-default definition: index p/100 * (n-1), interpolated.
+  const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 1.75);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, SummarizeMatchesPointQueries) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  LatencySummary s = Summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, Mean(v));
+  EXPECT_DOUBLE_EQ(s.p50, Percentile(v, 50));
+  EXPECT_DOUBLE_EQ(s.p95, Percentile(v, 95));
+  EXPECT_DOUBLE_EQ(s.p99, Percentile(v, 99));
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  LatencySummary empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+}
 
 TEST(TableTest, AlignsColumnsAndCountsRows) {
   Table t({"name", "value"});

@@ -32,11 +32,13 @@ ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
 echo "== ThreadSanitizer, 8 SPMD slots forced =="
 TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
   ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
-        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test'
+        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test'
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "== SPMD wall-clock bench =="
   (cd "$repo" && ./build-check/bench/bench_sim_wallclock)
+  echo "== Continuous-batching serving bench =="
+  (cd "$repo" && ./build-check/bench/bench_serving)
 fi
 
 echo "OK: all configurations pass"
