@@ -21,6 +21,7 @@
 
 #include <cstdlib>
 
+#include "obs/utilization.h"
 #include "serve/analytic.h"
 #include "util/rng.h"
 
@@ -34,6 +35,11 @@ struct RunRecord {
   double throughput_rps;   // completed requests / virtual second
   double throughput_tps;   // generated tokens / virtual second
   double p50_latency, p99_latency, p99_ttft, mean_queue_wait;
+  // Utilization fold (obs/utilization.h) over the backend's accumulated cost
+  // breakdown; only the continuous runs expose a backend to fold.
+  bool has_util = false;
+  double mfu = 0, busy_frac = 0, compute_frac = 0, memory_frac = 0,
+         comm_frac = 0;
 };
 
 RunRecord Summarize(const char* policy, double rate, double load,
@@ -106,7 +112,8 @@ int main() {
               static_cast<long long>(kMaxNew), saturation);
 
   Table t({"policy", "load", "offered (req/s)", "tput (req/s)", "tput (tok/s)",
-           "p50 latency", "p99 latency", "p99 TTFT", "mean queue wait"});
+           "p50 latency", "p99 latency", "p99 TTFT", "mean queue wait", "MFU",
+           "busy"});
   std::vector<RunRecord> records;
   for (double load : {0.5, 0.8, 1.0, 1.2}) {
     const double rate = load * saturation;
@@ -120,6 +127,20 @@ int main() {
          {std::pair<const char*, const ServeReport*>{"continuous", &cont},
           {"static-batch", &stat}}) {
       RunRecord r = Summarize(policy, rate, load, *rep);
+      if (rep == &cont) {
+        // Fold the backend's accumulated breakdown into paper metrics: MFU
+        // over the whole run (idle time between arrivals included) and the
+        // per-resource share of the makespan.
+        obs::AnalyticUtilization u = obs::FoldAnalyticCost(
+            backend.total_cost(), backend.busy_seconds(), rep->makespan, cfg,
+            est.chip(), scfg.spec.num_chips(), backend.processed_tokens());
+        r.has_util = true;
+        r.mfu = u.mfu;
+        r.busy_frac = u.busy;
+        r.compute_frac = u.compute_frac;
+        r.memory_frac = u.weight_memory_frac + u.kv_memory_frac;
+        r.comm_frac = u.comm_frac;
+      }
       records.push_back(r);
       t.AddRow({r.policy, FormatDouble(load, 1), FormatDouble(rate, 3),
                 FormatDouble(r.throughput_rps, 3),
@@ -127,7 +148,9 @@ int main() {
                 FormatDouble(r.p50_latency, 2) + "s",
                 FormatDouble(r.p99_latency, 2) + "s",
                 FormatDouble(r.p99_ttft, 2) + "s",
-                FormatDouble(r.mean_queue_wait, 2) + "s"});
+                FormatDouble(r.mean_queue_wait, 2) + "s",
+                r.has_util ? FormatPercent(r.mfu) : "-",
+                r.has_util ? FormatPercent(r.busy_frac) : "-"});
     }
   }
   t.Print();
@@ -154,10 +177,18 @@ int main() {
                    "\"offered_rps\": %.4f, \"throughput_rps\": %.4f, "
                    "\"throughput_tps\": %.1f, \"p50_latency_s\": %.3f, "
                    "\"p99_latency_s\": %.3f, \"p99_ttft_s\": %.3f, "
-                   "\"mean_queue_wait_s\": %.3f}%s\n",
+                   "\"mean_queue_wait_s\": %.3f",
                    r.policy.c_str(), r.load, r.offered_rate, r.throughput_rps,
                    r.throughput_tps, r.p50_latency, r.p99_latency, r.p99_ttft,
-                   r.mean_queue_wait, i + 1 < records.size() ? "," : "");
+                   r.mean_queue_wait);
+      if (r.has_util)
+        std::fprintf(f,
+                     ", \"mfu\": %.4f, \"busy_frac\": %.4f, "
+                     "\"compute_frac\": %.4f, \"memory_frac\": %.4f, "
+                     "\"comm_frac\": %.4f",
+                     r.mfu, r.busy_frac, r.compute_frac, r.memory_frac,
+                     r.comm_frac);
+      std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -12,7 +12,10 @@
 //
 // Writes BENCH_sim.json (override with TSI_BENCH_JSON): one record per
 // (mesh, slots) with wall-clock ms, speedup vs the 1-slot baseline, and
-// whether the logits matched the baseline bit-for-bit.
+// whether the logits matched the baseline bit-for-bit; plus one
+// virtual-time utilization record per mesh (MFU and busy fractions from a
+// traced run, obs/utilization.h) so the wall-clock numbers sit next to what
+// the simulated chips were doing.
 #include "common.h"
 
 #include <chrono>
@@ -22,6 +25,8 @@
 
 #include "engine/engine.h"
 #include "model/reference.h"
+#include "obs/utilization.h"
+#include "sim/trace.h"
 #include "util/rng.h"
 #include "util/threadpool.h"
 
@@ -91,6 +96,45 @@ struct Record {
   bool identical;
 };
 
+struct MeshUtilization {
+  std::string mesh;
+  int chips = 0;
+  double mfu = 0, compute_frac = 0, memory_frac = 0, comm_frac = 0,
+         fused_frac = 0, idle_frac = 0, link_utilization = 0;
+};
+
+// Re-runs the workload once with a Tracer attached (tracing adds host
+// overhead, so it stays out of the timed sweep; the virtual clock is
+// identical either way) and folds the trace into utilization + MFU.
+MeshUtilization MeasureUtilization(const ModelWeights& weights, Torus3D mesh,
+                                   int steps) {
+  SimMachine machine(mesh, TpuV4());
+  Tracer tracer;
+  machine.AttachTracer(&tracer);
+  EngineSpec spec;
+  DistributedEngine engine(weights, &machine, spec);
+
+  const ModelConfig& cfg = weights.config;
+  const int64_t B = 32, L = 8;
+  engine.Prefill(RandomTokens(B * L, cfg.vocab_size, 7), B);
+  for (int s = 0; s < steps; ++s)
+    engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 100 + static_cast<uint64_t>(s)));
+
+  obs::UtilizationReport report = obs::ComputeUtilization(machine, tracer);
+  MeshUtilization u;
+  u.mesh = std::to_string(mesh.x()) + "x" + std::to_string(mesh.y()) + "x" +
+           std::to_string(mesh.z());
+  u.chips = mesh.num_chips();
+  u.mfu = report.Mfu(cfg, static_cast<double>(B * L + steps * B));
+  u.compute_frac = report.busy_compute;
+  u.memory_frac = report.busy_memory;
+  u.comm_frac = report.busy_comm;
+  u.fused_frac = report.busy_fused;
+  u.idle_frac = report.idle;
+  u.link_utilization = report.link_utilization;
+  return u;
+}
+
 }  // namespace
 }  // namespace tsi
 
@@ -102,6 +146,7 @@ int main() {
   const unsigned cores = std::thread::hardware_concurrency();
 
   std::vector<Record> records;
+  std::vector<MeshUtilization> utilization;
   for (Torus3D mesh : {Torus3D(2, 2, 2), Torus3D(2, 4, 4)}) {
     const int n = mesh.num_chips();
     PrintHeader("SPMD wall-clock, " + std::to_string(mesh.x()) + "x" +
@@ -123,6 +168,17 @@ int main() {
                          n, slots, m.wall_ms, speedup, same});
     }
     t.Print();
+
+    MeshUtilization u = MeasureUtilization(weights, mesh, steps);
+    utilization.push_back(u);
+    std::printf("virtual-time utilization: MFU %s, compute %s, memory %s, "
+                "comm %s, idle %s, link %s\n",
+                FormatPercent(u.mfu).c_str(),
+                FormatPercent(u.compute_frac).c_str(),
+                FormatPercent(u.memory_frac).c_str(),
+                FormatPercent(u.comm_frac).c_str(),
+                FormatPercent(u.idle_frac).c_str(),
+                FormatPercent(u.link_utilization).c_str());
   }
 
   const char* path = "BENCH_sim.json";
@@ -139,6 +195,18 @@ int main() {
                    r.mesh.c_str(), r.chips, r.slots, r.wall_ms, r.speedup,
                    r.identical ? "true" : "false",
                    i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"utilization\": [\n");
+    for (size_t i = 0; i < utilization.size(); ++i) {
+      const MeshUtilization& u = utilization[i];
+      std::fprintf(f,
+                   "    {\"mesh\": \"%s\", \"chips\": %d, \"mfu\": %.4f, "
+                   "\"compute_frac\": %.4f, \"memory_frac\": %.4f, "
+                   "\"comm_frac\": %.4f, \"fused_frac\": %.4f, "
+                   "\"idle_frac\": %.4f, \"link_utilization\": %.4f}%s\n",
+                   u.mesh.c_str(), u.chips, u.mfu, u.compute_frac,
+                   u.memory_frac, u.comm_frac, u.fused_frac, u.idle_frac,
+                   u.link_utilization, i + 1 < utilization.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

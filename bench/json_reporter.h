@@ -22,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
+#include "util/logging.h"
+
 namespace tsi {
 
 inline std::string BenchJsonPath(const char* default_name) {
@@ -81,22 +84,25 @@ class JsonFileReporter : public benchmark::BenchmarkReporter {
   void Finalize() override {
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (!f) {
-      std::fprintf(stderr, "JsonFileReporter: cannot write %s\n", path_.c_str());
+      TSI_LOG(ERROR) << "JsonFileReporter: cannot write " << path_;
       return;
     }
     std::fprintf(f, "{\n  \"benchmarks\": [\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
+      // Benchmark names are caller-controlled; escape via the shared JSON
+      // utilities so a '"' in an op name cannot corrupt the document.
       std::fprintf(f,
-                   "    {\"op\": \"%s\", \"shape\": \"%s\", "
+                   "    {\"op\": %s, \"shape\": %s, "
                    "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
-                   r.op.c_str(), r.shape.c_str(), r.ns_per_iter, r.gflops,
+                   JsonEscape(r.op).c_str(), JsonEscape(r.shape).c_str(),
+                   r.ns_per_iter, r.gflops,
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
-    std::fprintf(stderr, "wrote %s (%zu records)\n", path_.c_str(),
-                 records_.size());
+    TSI_LOG(INFO) << "wrote " << path_ << " (" << records_.size()
+                  << " records)";
   }
 
  private:

@@ -104,6 +104,11 @@ class DistributedEngine {
   SpmdExecutor& spmd() { return spmd_; }
   const ModelConfig& config() const { return config_; }
   const ShardedKvCache& cache() const { return cache_; }
+  // Routes the cache's "kv/" metrics to an isolated registry (tests; the
+  // default sink is MetricsRegistry::Global()).
+  void set_metrics(obs::MetricsRegistry* metrics) {
+    cache_.set_metrics(metrics);
+  }
 
  private:
   Tensor Forward(const std::vector<int32_t>& tokens, int64_t batch,

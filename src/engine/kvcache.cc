@@ -3,8 +3,20 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tsi {
+
+void ShardedKvCache::UpdateOccupancyGauges() {
+  obs::MetricsRegistry& m = metrics_ ? *metrics_ : obs::MetricsRegistry::Global();
+  int64_t in_use = 0, committed = 0;
+  for (int64_t len : slot_len_) {
+    if (len > 0) ++in_use;
+    committed += len;
+  }
+  m.GetGauge("kv/slots_in_use")->Set(static_cast<double>(in_use));
+  m.GetGauge("kv/committed_tokens")->Set(static_cast<double>(committed));
+}
 
 ShardedKvCache::ShardedKvCache(int num_chips, int64_t num_layers,
                                AttnSharding sharding)
@@ -146,10 +158,12 @@ void ShardedKvCache::CommitStep() {
   }
   // Advance lengths from storage rather than counting targets: under kHeads
   // several chips target the same slot and must not double-advance it.
+  int64_t appended_tokens = 0;
   for (size_t s = 0; s < slot_len_.size(); ++s) {
     for (int c = 0; c < num_chips_; ++c) {
       const auto& ks = store_[static_cast<size_t>(c)][0].k;
       if (s < ks.size() && ks[s].numel() > 0) {
+        appended_tokens += ks[s].dim(1) - slot_len_[s];
         slot_len_[s] = ks[s].dim(1);
         break;
       }
@@ -158,6 +172,9 @@ void ShardedKvCache::CommitStep() {
   step_open_ = false;
   step_slots_.clear();
   appended_.clear();
+  obs::MetricsRegistry& m = metrics_ ? *metrics_ : obs::MetricsRegistry::Global();
+  m.GetCounter("kv/appended_tokens")->Add(appended_tokens);
+  UpdateOccupancyGauges();
 }
 
 const std::vector<int64_t>& ShardedKvCache::step_slots(int chip) const {
@@ -203,6 +220,7 @@ void ShardedKvCache::ResetSlot(int64_t slot) {
     }
   }
   slot_len_[static_cast<size_t>(slot)] = 0;
+  UpdateOccupancyGauges();
 }
 
 double ShardedKvCache::TotalBytes(double bytes_per_element) const {

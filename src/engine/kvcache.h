@@ -39,6 +39,10 @@
 
 namespace tsi {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class ShardedKvCache {
  public:
   // Rows mapped to this pseudo-slot are computed (padding lanes must flow
@@ -95,7 +99,13 @@ class ShardedKvCache {
   // (committed slot data; transient scratch excluded).
   double TotalBytes(double bytes_per_element) const;
 
+  // Sink for the "kv/" occupancy metrics (slots in use, committed tokens,
+  // appended tokens). Defaults to MetricsRegistry::Global(); tests plumb an
+  // isolated registry here via DistributedEngine::set_metrics.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
+  void UpdateOccupancyGauges();
   struct LayerStore {
     std::vector<Tensor> k, v;          // indexed by global slot id
     std::vector<Tensor> k_scratch, v_scratch;  // indexed by lane
@@ -111,6 +121,8 @@ class ShardedKvCache {
   // [chip][layer] -> per-slot tensors.
   std::vector<std::vector<LayerStore>> store_;
   std::vector<int64_t> slot_len_;  // committed length per global slot
+
+  obs::MetricsRegistry* metrics_ = nullptr;  // nullptr -> Global()
 
   // In-flight step state.
   bool step_open_ = false;

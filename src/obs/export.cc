@@ -1,0 +1,88 @@
+#include "obs/export.h"
+
+#include "obs/utilization.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace tsi::obs {
+
+void WriteObservability(std::ostream& os, const SimMachine& machine,
+                        const Tracer& tracer, const MetricsRegistry* metrics,
+                        bool include_host) {
+  UtilizationReport util = ComputeUtilization(machine, tracer);
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.Raw(tracer.TraceEventsJsonArray());
+  w.Key("tsi");
+  w.BeginObject();
+  w.Key("chip");
+  w.BeginObject();
+  w.Key("name");
+  w.String(machine.chip().name);
+  w.Key("peak_flops");
+  w.Double(machine.chip().peak_flops);
+  w.Key("hbm_bytes");
+  w.Double(machine.chip().hbm_bytes);
+  w.Key("hbm_bw");
+  w.Double(machine.chip().hbm_bw);
+  w.Key("network_bw");
+  w.Double(machine.chip().network_bw);
+  w.EndObject();
+  w.Key("num_chips");
+  w.Int(util.num_chips);
+  w.Key("elapsed_s");
+  w.Double(util.elapsed);
+  w.Key("total_flops");
+  w.Double(util.total_flops);
+  w.Key("total_hbm_bytes");
+  w.Double(util.total_hbm_bytes);
+  w.Key("total_network_bytes");
+  w.Double(util.total_network_bytes);
+  w.Key("utilization");
+  w.BeginObject();
+  w.Key("compute_frac");
+  w.Double(util.busy_compute);
+  w.Key("memory_frac");
+  w.Double(util.busy_memory);
+  w.Key("comm_frac");
+  w.Double(util.busy_comm);
+  w.Key("fused_frac");
+  w.Double(util.busy_fused);
+  w.Key("idle_frac");
+  w.Double(util.idle);
+  w.Key("link_utilization");
+  w.Double(util.link_utilization);
+  w.EndObject();
+  w.Key("per_chip");
+  w.BeginArray();
+  for (const ChipUtilization& u : util.chips) {
+    w.BeginObject();
+    w.Key("chip");
+    w.Int(u.chip);
+    w.Key("compute_frac");
+    w.Double(u.busy_compute);
+    w.Key("memory_frac");
+    w.Double(u.busy_memory);
+    w.Key("comm_frac");
+    w.Double(u.busy_comm);
+    w.Key("fused_frac");
+    w.Double(u.busy_fused);
+    w.Key("idle_frac");
+    w.Double(u.idle);
+    w.Key("link_utilization");
+    w.Double(u.link_utilization);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  if (metrics) {
+    w.Key("metrics");
+    w.Raw(metrics->ToJson(include_host));
+  }
+  w.EndObject();
+}
+
+}  // namespace tsi::obs

@@ -1,0 +1,39 @@
+// Combined observability export: one JSON document holding the Chrome trace,
+// the machine/utilization summary, and a metrics snapshot.
+//
+// The document is Perfetto-loadable directly (Perfetto reads the
+// "traceEvents" key and ignores the rest), while tools/trace_report and the
+// golden tests read the extra sections:
+//
+//   {
+//     "traceEvents": [...],          // chip rows (pid 0) + scheduler (pid 1)
+//     "tsi": {                        // machine + utilization summary
+//       "chip": {...}, "num_chips": n, "elapsed_s": ...,
+//       "utilization": {...}, "per_chip": [...]
+//     },
+//     "metrics": {...}                // MetricsRegistry::ToJson
+//   }
+//
+// Determinism: everything under "traceEvents"/"tsi" is a function of the
+// virtual-time execution only; "metrics" drops wall-clock ("host/") metrics
+// when include_host is false, making the whole document byte-identical
+// across SPMD slot counts.
+#pragma once
+
+#include <ostream>
+
+namespace tsi {
+class SimMachine;
+class Tracer;
+}  // namespace tsi
+
+namespace tsi::obs {
+
+class MetricsRegistry;
+
+// Writes the combined document. `metrics` may be null (section omitted).
+void WriteObservability(std::ostream& os, const SimMachine& machine,
+                        const Tracer& tracer, const MetricsRegistry* metrics,
+                        bool include_host = true);
+
+}  // namespace tsi::obs

@@ -1,0 +1,124 @@
+#include "obs/utilization.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/flops.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace tsi::obs {
+
+double UtilizationReport::Mfu(const ModelConfig& config, double tokens) const {
+  if (elapsed <= 0 || num_chips <= 0) return 0;
+  double ideal = MatmulFlopsPerToken(config) * tokens /
+                 (num_chips * chip.peak_flops);
+  return ideal / elapsed;
+}
+
+UtilizationReport ComputeUtilization(const SimMachine& machine,
+                                     const Tracer& tracer) {
+  UtilizationReport report;
+  report.num_chips = machine.num_chips();
+  report.chip = machine.chip();
+  report.elapsed = machine.MaxTime();
+  report.chips.resize(static_cast<size_t>(report.num_chips));
+  for (int c = 0; c < report.num_chips; ++c) {
+    ChipUtilization& u = report.chips[static_cast<size_t>(c)];
+    u.chip = c;
+    const ChipCounters& ctr = machine.counters(c);
+    report.total_flops += ctr.flops;
+    report.total_hbm_bytes += ctr.hbm_bytes;
+    report.total_network_bytes += ctr.network_bytes;
+    u.compute_seconds = machine.chip().ComputeTime(ctr.flops);
+    u.memory_seconds = machine.chip().MemoryTime(ctr.hbm_bytes);
+    if (report.elapsed > 0)
+      u.link_utilization = ctr.network_bytes /
+                           (report.elapsed * machine.chip().network_bw);
+  }
+  // Busy time per category comes from the trace spans, which tile each
+  // chip's clock exclusively.
+  for (const TraceEvent& e : tracer.events()) {
+    if (e.chip < 0 || e.chip >= report.num_chips) continue;
+    ChipUtilization& u = report.chips[static_cast<size_t>(e.chip)];
+    const char* cat = CategoryFor(e.name);
+    if (std::strcmp(cat, "compute") == 0)
+      u.busy_compute += e.duration;
+    else if (std::strcmp(cat, "memory") == 0)
+      u.busy_memory += e.duration;
+    else if (std::strcmp(cat, "fused") == 0)
+      u.busy_fused += e.duration;
+    else
+      u.busy_comm += e.duration;
+  }
+  for (ChipUtilization& u : report.chips) {
+    u.comm_seconds = u.busy_comm;
+    u.fused_seconds = u.busy_fused;
+    if (report.elapsed > 0) {
+      u.busy_compute /= report.elapsed;
+      u.busy_memory /= report.elapsed;
+      u.busy_comm /= report.elapsed;
+      u.busy_fused /= report.elapsed;
+      u.idle = std::max(
+          0.0, 1.0 - u.busy_compute - u.busy_memory - u.busy_comm -
+                   u.busy_fused);
+    } else {
+      u.idle = 1.0;
+    }
+    report.busy_compute += u.busy_compute;
+    report.busy_memory += u.busy_memory;
+    report.busy_comm += u.busy_comm;
+    report.busy_fused += u.busy_fused;
+    report.idle += u.idle;
+    report.link_utilization += u.link_utilization;
+  }
+  if (report.num_chips > 0) {
+    report.busy_compute /= report.num_chips;
+    report.busy_memory /= report.num_chips;
+    report.busy_comm /= report.num_chips;
+    report.busy_fused /= report.num_chips;
+    report.idle /= report.num_chips;
+    report.link_utilization /= report.num_chips;
+  }
+  return report;
+}
+
+std::string UtilizationReport::ToString() const {
+  Table table({"chip", "compute", "memory", "comm", "fused", "idle", "link"});
+  for (const ChipUtilization& u : chips) {
+    table.AddRow({std::to_string(u.chip), FormatPercent(u.busy_compute),
+                  FormatPercent(u.busy_memory), FormatPercent(u.busy_comm),
+                  FormatPercent(u.busy_fused), FormatPercent(u.idle),
+                  FormatPercent(u.link_utilization)});
+  }
+  table.AddRow({"mean", FormatPercent(busy_compute), FormatPercent(busy_memory),
+                FormatPercent(busy_comm), FormatPercent(busy_fused),
+                FormatPercent(idle), FormatPercent(link_utilization)});
+  std::string out = table.ToString();
+  out += "elapsed " + FormatDouble(elapsed * 1e3, 3) + "ms over " +
+         std::to_string(num_chips) + " chip(s)\n";
+  return out;
+}
+
+AnalyticUtilization FoldAnalyticCost(const CostBreakdown& cost,
+                                     double busy_seconds, double makespan,
+                                     const ModelConfig& config,
+                                     const ChipSpec& chip, int num_chips,
+                                     double tokens) {
+  AnalyticUtilization u;
+  if (makespan <= 0) return u;
+  u.busy = busy_seconds / makespan;
+  u.compute_frac = cost.compute / makespan;
+  u.weight_memory_frac = cost.weight_memory / makespan;
+  u.kv_memory_frac = cost.kv_memory / makespan;
+  u.comm_frac = cost.comm / makespan;
+  u.overhead_frac = cost.overhead / makespan;
+  if (num_chips > 0)
+    u.mfu = MatmulFlopsPerToken(config) * tokens /
+            (num_chips * chip.peak_flops) / makespan;
+  return u;
+}
+
+}  // namespace tsi::obs

@@ -1,0 +1,106 @@
+// Utilization reporting: fold a virtual-time trace into the paper's metrics.
+//
+// The functional simulator charges every matmul, HBM stream, and collective
+// as a traced span on some chip's virtual clock. This reporter turns those
+// spans plus the chip counters into the quantities the paper argues with
+// (§2, §4): per-chip busy fraction split compute / HBM / interconnect /
+// fused, MFU under the 2N rule, and link utilization. The same fold exists
+// for the analytic cost model (FoldAnalyticCost), which makes
+// core/inference_cost.h a live oracle for the simulator: on a config both
+// can run, the two reports must agree (tests/utilization_test.cc).
+//
+// Fraction semantics: trace spans tile each chip's timeline exclusively
+// (every charge advances the clock by exactly its span), so the per-category
+// busy fractions plus idle sum to 1 per chip. "fused" is pipelined
+// compute+comm (looped CollectiveEinsum) that belongs to neither pure
+// bucket.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "hw/chip.h"
+#include "model/config.h"
+
+namespace tsi {
+class SimMachine;
+class Tracer;
+}  // namespace tsi
+
+namespace tsi::obs {
+
+struct ChipUtilization {
+  int chip = 0;
+  // Exclusive fractions of the elapsed window; these four + idle == 1.
+  double busy_compute = 0;
+  double busy_memory = 0;
+  double busy_comm = 0;
+  double busy_fused = 0;
+  double idle = 0;
+  // Ideal seconds implied by the counters: flops / peak_flops and
+  // hbm_bytes / hbm_bw. On un-derated charging these match the traced
+  // compute/memory span totals (the cross-check the tests assert).
+  double compute_seconds = 0;
+  double memory_seconds = 0;
+  // Traced comm + fused span seconds.
+  double comm_seconds = 0;
+  double fused_seconds = 0;
+  // network egress / (elapsed * network_bw).
+  double link_utilization = 0;
+};
+
+struct UtilizationReport {
+  double elapsed = 0;  // machine MaxTime(): end-to-end virtual latency
+  int num_chips = 0;
+  ChipSpec chip;       // the spec utilizations are measured against
+  double total_flops = 0;
+  double total_hbm_bytes = 0;
+  double total_network_bytes = 0;
+  std::vector<ChipUtilization> chips;
+  // Means over chips (each chip weighs equally; SPMD keeps them symmetric).
+  double busy_compute = 0;
+  double busy_memory = 0;
+  double busy_comm = 0;
+  double busy_fused = 0;
+  double idle = 0;
+  double link_utilization = 0;
+
+  double BusyTotal() const {
+    return busy_compute + busy_memory + busy_comm + busy_fused;
+  }
+
+  // MFU under the paper's 2N rule: matmul FLOPs per token (projections +
+  // logit head; attention dot-products excluded) times tokens processed,
+  // over n * peak_flops * elapsed. Matches InferenceEstimator::FillMetrics.
+  double Mfu(const ModelConfig& config, double tokens) const;
+
+  // Human-readable per-chip table plus the aggregate line.
+  std::string ToString() const;
+};
+
+// Folds `machine`'s counters and `tracer`'s chip spans into a report.
+// `tracer` must be the one attached while the measured work ran.
+UtilizationReport ComputeUtilization(const SimMachine& machine,
+                                     const Tracer& tracer);
+
+// The same metrics folded from the analytic cost model's breakdown: a
+// serving run accumulates a CostBreakdown over `busy_seconds` of charged
+// phases inside a `makespan`-long window (the rest is idle).
+struct AnalyticUtilization {
+  double busy = 0;  // busy_seconds / makespan
+  double compute_frac = 0;  // fractions of makespan, like the trace fold
+  double weight_memory_frac = 0;
+  double kv_memory_frac = 0;
+  double comm_frac = 0;
+  double overhead_frac = 0;
+  double mfu = 0;
+};
+
+AnalyticUtilization FoldAnalyticCost(const CostBreakdown& cost,
+                                     double busy_seconds, double makespan,
+                                     const ModelConfig& config,
+                                     const ChipSpec& chip, int num_chips,
+                                     double tokens);
+
+}  // namespace tsi::obs

@@ -16,13 +16,20 @@ AnalyticServeBackend::AnalyticServeBackend(const InferenceEstimator* estimator,
 
 void AnalyticServeBackend::AdvanceTo(double t) { now_ = std::max(now_, t); }
 
+void AnalyticServeBackend::Accumulate(const PhaseResult& r, double tokens) {
+  now_ += r.seconds;
+  busy_seconds_ += r.seconds;
+  processed_tokens_ += tokens;
+  total_cost_ += r.breakdown;
+}
+
 int32_t AnalyticServeBackend::Prefill(int64_t slot, int64_t /*request*/,
                                       const std::vector<int32_t>& tokens,
                                       bool last) {
   TSI_CHECK(slot >= 0 && slot < config_.num_slots);
   const auto chunk = static_cast<double>(tokens.size());
   auto& ctx = context_[static_cast<size_t>(slot)];
-  now_ += est_->Prefill(config_.spec, /*batch=*/1, chunk, ctx).seconds;
+  Accumulate(est_->Prefill(config_.spec, /*batch=*/1, chunk, ctx), chunk);
   ctx += chunk;
   return last ? 1 : -1;  // token identity is meaningless analytically
 }
@@ -33,10 +40,11 @@ std::vector<int32_t> AnalyticServeBackend::Decode(
   double ctx = 0;
   for (const DecodeLane& l : lanes)
     ctx = std::max(ctx, context_[static_cast<size_t>(l.slot)]);
-  // Fixed frame: padding lanes step too, so the charge is the full frame's.
-  now_ += est_->DecodeStep(config_.spec,
-                           static_cast<double>(config_.num_slots), ctx)
-              .seconds;
+  // Fixed frame: padding lanes step too, so the charge is the full frame's;
+  // only the real lanes count as processed tokens.
+  Accumulate(est_->DecodeStep(config_.spec,
+                              static_cast<double>(config_.num_slots), ctx),
+             static_cast<double>(lanes.size()));
   for (const DecodeLane& l : lanes) context_[static_cast<size_t>(l.slot)] += 1;
   return std::vector<int32_t>(lanes.size(), 1);
 }

@@ -46,11 +46,28 @@ class AnalyticServeBackend : public ServeBackend {
   std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) override;
   void Release(int64_t slot) override;
 
+  // --- Cost accounting (accumulated since construction) -------------------
+  // Summed per-phase breakdown of every charged second, for folding a
+  // serving run into the paper's utilization/MFU metrics (bench_serving):
+  // busy_seconds() is the replica-busy part of the makespan (the rest is
+  // idle waiting for arrivals), and total_cost() splits it into
+  // compute / weight memory / KV memory / comm / overhead.
+  const CostBreakdown& total_cost() const { return total_cost_; }
+  double busy_seconds() const { return busy_seconds_; }
+  // Prompt tokens prefilled plus real (non-padding) decode lanes stepped --
+  // the token count an MFU numerator should use.
+  double processed_tokens() const { return processed_tokens_; }
+
  private:
+  void Accumulate(const PhaseResult& r, double tokens);
+
   const InferenceEstimator* est_;
   AnalyticServeConfig config_;
   double now_ = 0;
   std::vector<double> context_;  // cached tokens per slot
+  CostBreakdown total_cost_;
+  double busy_seconds_ = 0;
+  double processed_tokens_ = 0;
 };
 
 // Collect-batch-then-run baseline on the same cost model (see file comment).

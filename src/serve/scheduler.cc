@@ -1,9 +1,13 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <string>
 
 #include "serve/slots.h"
+#include "sim/trace.h"
+#include "util/json.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tsi {
 
@@ -52,6 +56,26 @@ ServeReport RunContinuousServing(ServeBackend& backend,
   RequestQueue queue(std::move(requests));
   SlotAllocator slots(backend.num_slots());
 
+  // Observability sinks. The scheduler loop is single-threaded, so timeline
+  // rows keep insertion order and the "serve/" metrics are deterministic
+  // functions of the workload (the golden tests rely on both).
+  Tracer* tracer = options.tracer;
+  obs::MetricsRegistry& metrics =
+      options.metrics ? *options.metrics : obs::MetricsRegistry::Global();
+  obs::Counter* m_admitted = metrics.GetCounter("serve/admitted");
+  obs::Counter* m_retired = metrics.GetCounter("serve/retired");
+  obs::Counter* m_prefill_chunks = metrics.GetCounter("serve/prefill_chunks");
+  obs::Counter* m_decode_steps = metrics.GetCounter("serve/decode_steps");
+  obs::Counter* m_idle_jumps = metrics.GetCounter("serve/idle_jumps");
+  obs::Gauge* m_queue_depth = metrics.GetGauge("serve/queue_depth");
+  obs::Gauge* m_active = metrics.GetGauge("serve/active");
+  obs::Histogram* m_chunk_tokens = metrics.GetHistogram(
+      "serve/prefill_chunk_tokens", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  obs::Histogram* m_decode_lanes = metrics.GetHistogram(
+      "serve/decode_lanes", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  obs::Histogram* m_queue_wait = metrics.GetHistogram(
+      "serve/queue_wait_s", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+
   struct Active {
     ServeRequest req;
     int64_t slot = -1;
@@ -72,6 +96,17 @@ ServeReport RunContinuousServing(ServeBackend& backend,
     a.rec.finished = backend.Now();
     backend.Release(a.slot);
     slots.Release(a.slot);
+    m_retired->Add(1);
+    if (tracer) {
+      tracer->RecordInstant(
+          "retire", a.rec.finished,
+          {{"request", std::to_string(a.rec.id)},
+           {"tokens", std::to_string(a.rec.tokens.size())}});
+      tracer->RecordLifecycle('e', "request", a.rec.id, a.rec.finished);
+    }
+    TSI_LOG(DEBUG) << "retire request " << a.rec.id << " after "
+                   << a.rec.tokens.size() << " tokens at t="
+                   << a.rec.finished;
     report.requests.push_back(std::move(a.rec));
     a.done = true;
   };
@@ -85,9 +120,27 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       a.rec.id = r.id;
       a.rec.arrival = r.arrival;
       a.rec.admitted = backend.Now();
+      m_admitted->Add(1);
+      m_queue_wait->Observe(a.rec.QueueWait());
+      if (tracer) {
+        // The request row opens at arrival so Perfetto shows queue wait as
+        // the gap between 'b' and the "admitted" instant.
+        tracer->RecordLifecycle('b', "request", a.rec.id, a.rec.arrival,
+                                {{"prompt_tokens",
+                                  std::to_string(r.prompt.size())}});
+        tracer->RecordLifecycle('n', "admitted", a.rec.id, a.rec.admitted);
+        tracer->RecordInstant(
+            "admit", a.rec.admitted,
+            {{"request", std::to_string(a.rec.id)},
+             {"queue_wait", FormatJsonDouble(a.rec.QueueWait())}});
+      }
+      TSI_LOG(DEBUG) << "admit request " << a.rec.id << " into slot " << a.slot
+                     << " at t=" << a.rec.admitted;
       a.req = std::move(r);
       active.push_back(std::move(a));
     }
+    m_queue_depth->Set(static_cast<double>(queue.size()));
+    m_active->Set(static_cast<double>(active.size()));
 
     bool worked = false;
 
@@ -104,14 +157,26 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       std::vector<int32_t> piece(
           a.req.prompt.begin() + a.prefilled,
           a.req.prompt.begin() + a.prefilled + chunk);
+      const double prefill_begin = backend.Now();
       const int32_t token = backend.Prefill(a.slot, a.req.id, piece, last);
       a.prefilled += chunk;
       ++report.prefill_chunks;
+      m_prefill_chunks->Add(1);
+      m_chunk_tokens->Observe(static_cast<double>(chunk));
+      if (tracer)
+        tracer->RecordScheduler(
+            "prefill", prefill_begin, backend.Now() - prefill_begin,
+            {{"request", std::to_string(a.req.id)},
+             {"tokens", std::to_string(chunk)},
+             {"last", last ? "true" : "false"}});
       if (last) {
         a.decoding = true;
         a.rec.first_token = backend.Now();
         a.rec.tokens.push_back(token);
         a.last_token = token;
+        if (tracer)
+          tracer->RecordLifecycle('n', "first_token", a.req.id,
+                                  a.rec.first_token);
         if (hits_budget(a, token)) retire(a);
       }
       worked = true;
@@ -127,9 +192,16 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       lane_active.push_back(i);
     }
     if (!lanes.empty()) {
+      const double decode_begin = backend.Now();
       const std::vector<int32_t> next = backend.Decode(lanes);
       TSI_CHECK_EQ(next.size(), lanes.size());
       ++report.decode_steps;
+      m_decode_steps->Add(1);
+      m_decode_lanes->Observe(static_cast<double>(lanes.size()));
+      if (tracer)
+        tracer->RecordScheduler(
+            "decode", decode_begin, backend.Now() - decode_begin,
+            {{"lanes", std::to_string(lanes.size())}});
       for (size_t i = 0; i < lanes.size(); ++i) {
         Active& a = active[lane_active[i]];
         a.rec.tokens.push_back(next[i]);
@@ -144,8 +216,14 @@ ServeReport RunContinuousServing(ServeBackend& backend,
                  active.end());
 
     // 4. Idle: everything in flight is drained, so jump to the next arrival.
-    if (!worked && !queue.empty()) backend.AdvanceTo(queue.NextArrival());
+    if (!worked && !queue.empty()) {
+      m_idle_jumps->Add(1);
+      if (tracer) tracer->RecordInstant("idle", backend.Now());
+      backend.AdvanceTo(queue.NextArrival());
+    }
   }
+  m_queue_depth->Set(0);
+  m_active->Set(0);
 
   std::sort(report.requests.begin(), report.requests.end(),
             [](const RequestRecord& a, const RequestRecord& b) {

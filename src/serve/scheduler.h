@@ -35,6 +35,12 @@
 
 namespace tsi {
 
+class Tracer;
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct ServeOptions {
   // Max prompt tokens fed per scheduler iteration (§3.5). Prompts longer
   // than this prefill over several iterations, interleaved with decode.
@@ -45,6 +51,13 @@ struct ServeOptions {
   // so a request's draws do not depend on scheduling. temperature 0 (greedy)
   // additionally matches the shared-sampler static Generate path bit-exactly.
   SamplerOptions sampling;
+  // Scheduler-timeline sink: per-iteration prefill/decode spans, admit/
+  // retire instants, and per-request lifecycle rows land here (pid 1 of the
+  // Chrome trace). Null disables timeline recording.
+  Tracer* tracer = nullptr;
+  // Sink for the "serve/" counters/gauges/histograms. Null means
+  // obs::MetricsRegistry::Global(); golden tests pass a fresh registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Per-request serving metrics (all stamps in virtual seconds).

@@ -1,8 +1,28 @@
 #include "sim/exchange.h"
 
+#include <chrono>
+
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tsi {
+
+namespace {
+// Host wall-clock rendezvous metrics ("host/" prefix: excluded from
+// deterministic exports). Pointers cached once; registry lock never touched
+// on the exchange hot path after first use.
+obs::Histogram* ParkHistogram() {
+  static obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram(
+      "host/exchange.park_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  return h;
+}
+obs::Counter* RoundsCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("host/exchange.rounds");
+  return c;
+}
+}  // namespace
 
 ExchangeHub::Channel& ExchangeHub::ChannelFor(const std::vector<int>& group) {
   TSI_CHECK(!group.empty());
@@ -36,10 +56,16 @@ std::vector<ExchangeHub::Deposit> ExchangeHub::Exchange(Channel& ch, int rank,
     ch.arrived = 0;
     ++ch.epoch;
     ch.cv.notify_all();
+    RoundsCounter()->Add(1);
     return ch.result;
   }
   if (gate) gate->Release();
+  auto park_begin = std::chrono::steady_clock::now();
   ch.cv.wait(lock, [&] { return ch.epoch != my_epoch; });
+  ParkHistogram()->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    park_begin)
+          .count());
   std::vector<Deposit> result = ch.result;
   lock.unlock();
   if (gate) gate->Acquire();

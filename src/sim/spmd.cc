@@ -1,10 +1,12 @@
 #include "sim/spmd.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "sim/transfer.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/threadpool.h"
 
 namespace tsi {
@@ -63,15 +65,36 @@ void SpmdExecutor::Run(const std::function<void(SpmdContext&)>& body) {
   TSI_CHECK(!tl_in_spmd_region)
       << "nested SPMD regions are not supported; inside a region use the "
          "SpmdContext collectives, not the ShardVec wrappers";
+  // Host wall-clock region metrics: how many SPMD regions ran, how long each
+  // took on this machine, and the slot budget in force.
+  static obs::Counter* regions =
+      obs::MetricsRegistry::Global().GetCounter("host/spmd.regions");
+  static obs::Histogram* region_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "host/spmd.region_seconds",
+          {1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0});
+  static obs::Gauge* slots_gauge =
+      obs::MetricsRegistry::Global().GetGauge("host/spmd.slots");
+  regions->Add(1);
+  auto region_begin = std::chrono::steady_clock::now();
+  auto observe_region = [&] {
+    region_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      region_begin)
+            .count());
+  };
   const int n = machine_->num_chips();
   if (n == 1) {
     tl_in_spmd_region = true;
     SpmdContext ctx(this, 0);
     body(ctx);
     tl_in_spmd_region = false;
+    slots_gauge->Set(1);
+    observe_region();
     return;
   }
   SlotGate gate(std::min(slots_, n));
+  slots_gauge->Set(std::min(slots_, n));
   gate_ = &gate;
   ThreadPool::Global().RunBlocking(n, [&](int chip) {
     tl_in_spmd_region = true;
@@ -82,6 +105,7 @@ void SpmdExecutor::Run(const std::function<void(SpmdContext&)>& body) {
     tl_in_spmd_region = false;
   });
   gate_ = nullptr;
+  observe_region();
 }
 
 std::vector<ExchangeHub::Deposit> SpmdContext::ExchangeTimed(

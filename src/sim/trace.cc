@@ -3,9 +3,18 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/table.h"
 
 namespace tsi {
+
+const char* CategoryFor(const std::string& name) {
+  if (name == "memory") return "memory";
+  if (name == "compute" || name == "matmul" || name == "attention")
+    return "compute";
+  if (name.find("looped") != std::string::npos) return "fused";
+  return "comm";
+}
 
 void Tracer::Record(int chip, std::string name, double start, double duration) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -15,9 +24,34 @@ void Tracer::Record(int chip, std::string name, double start, double duration) {
       {chip, std::move(name), start, duration});
 }
 
+void Tracer::RecordScheduler(
+    std::string name, double start, double duration,
+    std::vector<std::pair<std::string, std::string>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_.push_back({'X', std::move(name), "scheduler", start, duration, 0,
+                       std::move(args)});
+}
+
+void Tracer::RecordInstant(
+    std::string name, double ts,
+    std::vector<std::pair<std::string, std::string>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_.push_back(
+      {'i', std::move(name), "scheduler", ts, 0, 0, std::move(args)});
+}
+
+void Tracer::RecordLifecycle(
+    char ph, std::string name, long long request_id, double ts,
+    std::vector<std::pair<std::string, std::string>> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeline_.push_back(
+      {ph, std::move(name), "request", ts, 0, request_id, std::move(args)});
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   per_chip_.clear();
+  timeline_.clear();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -31,25 +65,136 @@ std::vector<TraceEvent> Tracer::events() const {
   return all;
 }
 
+std::vector<TimelineEvent> Tracer::timeline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timeline_;
+}
+
 std::map<std::string, double> Tracer::TotalsByName() const {
   std::map<std::string, double> totals;
   for (const auto& e : events()) totals[e.name] += e.duration;
   return totals;
 }
 
-std::string Tracer::ToChromeTraceJson() const {
-  std::ostringstream os;
-  os << "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& e : events()) {
-    if (!first) os << ",";
-    first = false;
-    os << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0,\"tid\":"
-       << e.chip << ",\"ts\":" << e.start * 1e6 << ",\"dur\":" << e.duration * 1e6
-       << "}";
+std::map<std::string, double> Tracer::TotalsByCategory() const {
+  std::map<std::string, double> totals;
+  for (const auto& e : events()) totals[CategoryFor(e.name)] += e.duration;
+  return totals;
+}
+
+namespace {
+
+void WriteArgs(
+    JsonWriter& w,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  if (args.empty()) return;
+  w.Key("args");
+  w.BeginObject();
+  for (const auto& [k, v] : args) {
+    w.Key(k);
+    w.String(v);
   }
-  os << "]}";
+  w.EndObject();
+}
+
+void WriteMetadata(JsonWriter& w, const std::string& what, int pid, int tid,
+                   bool thread, const std::string& label) {
+  w.BeginObject();
+  w.Key("name");
+  w.String(what);
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Int(pid);
+  if (thread) {
+    w.Key("tid");
+    w.Int(tid);
+  }
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String(label);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string Tracer::TraceEventsJsonArray() const {
+  std::vector<TraceEvent> chip_events = events();
+  std::vector<TimelineEvent> timeline_events = timeline();
+  int num_chips = 0;
+  for (const auto& e : chip_events) num_chips = std::max(num_chips, e.chip + 1);
+
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginArray();
+  // Metadata: name the rows so Perfetto shows "chip N" / "scheduler"
+  // instead of raw pid/tid integers.
+  WriteMetadata(w, "process_name", 0, 0, false, "simulated chips");
+  for (int chip = 0; chip < num_chips; ++chip)
+    WriteMetadata(w, "thread_name", 0, chip, true,
+                  "chip " + std::to_string(chip));
+  if (!timeline_events.empty()) {
+    WriteMetadata(w, "process_name", 1, 0, false, "serving scheduler");
+    WriteMetadata(w, "thread_name", 1, 0, true, "scheduler");
+  }
+  for (const auto& e : chip_events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("cat");
+    w.String(CategoryFor(e.name));
+    w.Key("ph");
+    w.String("X");
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.Int(e.chip);
+    w.Key("ts");
+    w.Raw(FormatJsonDouble(e.start * 1e6));
+    w.Key("dur");
+    w.Raw(FormatJsonDouble(e.duration * 1e6));
+    w.EndObject();
+  }
+  for (const auto& e : timeline_events) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("cat");
+    w.String(e.cat);
+    w.Key("ph");
+    w.String(std::string(1, e.ph));
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(0);
+    w.Key("ts");
+    w.Raw(FormatJsonDouble(e.ts * 1e6));
+    if (e.ph == 'X') {
+      w.Key("dur");
+      w.Raw(FormatJsonDouble(e.dur * 1e6));
+    }
+    if (e.ph == 'b' || e.ph == 'n' || e.ph == 'e') {
+      w.Key("id");
+      w.Int(e.id);
+    }
+    if (e.ph == 'i') {
+      w.Key("s");
+      w.String("t");  // instant scope: thread
+    }
+    WriteArgs(w, e.args);
+    w.EndObject();
+  }
+  w.EndArray();
   return os.str();
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":";
+  out += TraceEventsJsonArray();
+  out += "}";
+  return out;
 }
 
 std::string Tracer::Summary() const {

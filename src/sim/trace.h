@@ -1,21 +1,29 @@
-// Virtual-time execution traces.
+// Virtual-time execution traces, on two clocks.
 //
 // When a Tracer is attached to a SimMachine, every charged interval
 // (matmuls, HBM streams, collectives) is recorded against the chip's
-// virtual clock. The trace exports to the Chrome tracing JSON format
-// (chrome://tracing, Perfetto) with one row per chip -- the standard way to
-// eyeball where a partitioning layout spends its time -- and aggregates
-// per-category totals that tests and harnesses can assert on.
+// virtual clock. On top of those chip rows, the serving scheduler records a
+// second family of rows on the same virtual clock: per-iteration
+// admit/prefill/decode/retire spans and per-request lifecycle events, so one
+// Perfetto load shows a request's path from arrival down to chip-level
+// collectives. The trace exports to the Chrome tracing JSON format
+// (chrome://tracing, Perfetto): pid 0 holds one thread row per chip, pid 1
+// holds the scheduler timeline; per-category totals are aggregated for tests
+// and harnesses to assert on.
 //
 // Thread safety: Record may be called concurrently from per-chip SPMD
 // threads (sim/spmd.h). Events are buffered per chip and merged in a fixed
 // order (chip-major, insertion order within a chip), so the exported trace
-// is identical no matter how many execution slots recorded it.
+// is identical no matter how many execution slots recorded it. Timeline
+// events come from the single-threaded scheduler loop and keep insertion
+// order. All timestamps are virtual, so the exported JSON is byte-identical
+// across SPMD slot counts -- the golden tests depend on this.
 #pragma once
 
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tsi {
@@ -27,20 +35,63 @@ struct TraceEvent {
   double duration = 0;  // virtual seconds
 };
 
+// Coarse category for a chip-row event name, used as the Chrome "cat" field
+// and by the utilization reporter to split busy time.
+//   "compute" -- matmul/attention/generic compute charges
+//   "memory"  -- HBM streaming charges
+//   "fused"   -- pipelined compute+comm loops ("looped-matmul-rs", ...)
+//   "comm"    -- collectives and point-to-point transfers
+const char* CategoryFor(const std::string& name);
+
+// A scheduler-timeline or request-lifecycle event (Chrome phases: "X" span,
+// "i" instant, "b"/"n"/"e" async-nestable lifecycle keyed by id).
+struct TimelineEvent {
+  char ph = 'X';
+  std::string name;
+  std::string cat;  // "scheduler" or "request"
+  double ts = 0;    // virtual seconds
+  double dur = 0;   // virtual seconds (spans only)
+  long long id = 0; // async id (lifecycle events only)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
 class Tracer {
  public:
   void Record(int chip, std::string name, double start, double duration);
+
+  // Scheduler-row span ("prefill", "decode", ...), cat "scheduler".
+  void RecordScheduler(std::string name, double start, double duration,
+                       std::vector<std::pair<std::string, std::string>> args = {});
+  // Scheduler-row instant ("admit", "retire", "idle"), cat "scheduler".
+  void RecordInstant(std::string name, double ts,
+                     std::vector<std::pair<std::string, std::string>> args = {});
+  // Request-lifecycle event: ph 'b' (begin), 'n' (instant), 'e' (end),
+  // async-nested under id `request_id`, cat "request".
+  void RecordLifecycle(char ph, std::string name, long long request_id,
+                       double ts,
+                       std::vector<std::pair<std::string, std::string>> args = {});
+
   void Clear();
 
-  // All events, chip-major and in per-chip insertion order -- a
+  // All chip events, chip-major and in per-chip insertion order -- a
   // deterministic merge of the per-chip buffers.
   std::vector<TraceEvent> events() const;
+  // Scheduler/request timeline events in insertion order.
+  std::vector<TimelineEvent> timeline() const;
 
   // Total charged seconds per event name, across all chips.
   std::map<std::string, double> TotalsByName() const;
+  // Total charged seconds per category ("compute"/"memory"/"comm"/"fused"),
+  // across all chips.
+  std::map<std::string, double> TotalsByCategory() const;
 
-  // Chrome tracing "traceEvents" JSON; timestamps in virtual microseconds,
-  // one process, one thread row per chip.
+  // The Chrome "traceEvents" array (JSON array text, no enclosing object):
+  // metadata rows first (process/thread names), then chip spans (pid 0, one
+  // tid per chip), then scheduler timeline rows (pid 1). Timestamps in
+  // virtual microseconds, deterministically formatted.
+  std::string TraceEventsJsonArray() const;
+
+  // Full Chrome tracing document: {"traceEvents": [...]}.
   std::string ToChromeTraceJson() const;
 
   // Human-readable per-category breakdown table.
@@ -49,6 +100,7 @@ class Tracer {
  private:
   mutable std::mutex mu_;
   std::vector<std::vector<TraceEvent>> per_chip_;  // indexed by chip id
+  std::vector<TimelineEvent> timeline_;
 };
 
 }  // namespace tsi

@@ -1,0 +1,332 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tsi {
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
+std::string FormatJsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integers (the common case for counters and microsecond stamps) print
+  // without an exponent or decimal point as long as they are exact.
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v)
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_value_.empty()) {
+    if (has_value_.back()) os_ << ',';
+    has_value_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  has_value_.push_back(false);
+  os_ << '{';
+}
+
+void JsonWriter::EndObject() {
+  TSI_CHECK(!has_value_.empty());
+  has_value_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  has_value_.push_back(false);
+  os_ << '[';
+}
+
+void JsonWriter::EndArray() {
+  TSI_CHECK(!has_value_.empty());
+  has_value_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::Key(const std::string& k) {
+  TSI_CHECK(!has_value_.empty()) << "Key outside an object";
+  if (has_value_.back()) os_ << ',';
+  has_value_.back() = true;
+  os_ << JsonEscape(k) << ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& s) {
+  BeforeValue();
+  os_ << JsonEscape(s);
+}
+
+void JsonWriter::Double(double v) {
+  BeforeValue();
+  os_ << FormatJsonDouble(v);
+}
+
+void JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  os_ << v;
+}
+
+void JsonWriter::Bool(bool v) {
+  BeforeValue();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  os_ << json;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v && v->is_number() ? v->number : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v && v->is_string() ? v->string : fallback;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : s_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!Value(out)) return false;
+    SkipWs();
+    if (pos_ != s_.size()) return Fail("trailing characters after value");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_)
+      *error_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool Literal(const char* lit) {
+    size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return Fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    if (pos_ >= s_.size()) return Fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return Object(out);
+      case '[': return Array(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return String(&out->string);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = true;
+        return Literal("true");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->boolean = false;
+        return Literal("false");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null");
+      default: return Number(out);
+    }
+  }
+
+  bool Object(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"') return Fail("expected key");
+      if (!String(&key)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return Fail("expected ':'");
+      ++pos_;
+      SkipWs();
+      JsonValue v;
+      if (!Value(&v)) return false;
+      out->object.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail("unterminated object");
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool Array(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      if (!Value(&v)) return false;
+      out->array.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail("unterminated array");
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool String(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return Fail("dangling escape");
+        char e = s_[pos_ + 1];
+        pos_ += 2;
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Fail("short \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_ + static_cast<size_t>(i)];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our exporters; decode each half independently).
+            if (cp < 0x80) {
+              out->push_back(static_cast<char>(cp));
+            } else if (cp < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+            }
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+        continue;
+      }
+      out->push_back(c);
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return Fail("expected value");
+    char* end = nullptr;
+    std::string tok = s_.substr(start, pos_ - start);
+    out->type = JsonValue::Type::kNumber;
+    out->number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) return Fail("malformed number");
+    return true;
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  return Parser(text, error).Parse(out);
+}
+
+}  // namespace tsi

@@ -1,0 +1,96 @@
+// Shared JSON utilities: escaping, deterministic number formatting, a
+// streaming writer, and a small recursive-descent parser.
+//
+// Every exporter in the repo (sim/trace.cc's Chrome traces, the metrics
+// registry, bench/json_reporter.h, the serving benches) emits JSON by hand;
+// this header is the one implementation of the fiddly parts so they all
+// escape strings and format doubles identically. Determinism matters: the
+// observability golden tests assert byte-identical exports across SPMD slot
+// counts, so FormatJsonDouble must be a pure function of the double's bits
+// (shortest round-trip decimal, not locale- or precision-dependent).
+//
+// The parser (ParseJson) exists for tools/trace_report, which reads the
+// trace/metrics documents back; it handles the standard JSON grammar into a
+// JsonValue tree and reports the byte offset of the first error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsi {
+
+// Appends the JSON string-literal encoding of `s` (quotes included) to
+// `out`: ", \, control characters escaped; everything else verbatim.
+void AppendJsonEscaped(std::string* out, const std::string& s);
+std::string JsonEscape(const std::string& s);
+
+// Shortest decimal string that round-trips the double exactly ("%.15g" when
+// it round-trips, "%.17g" otherwise; integers without a trailing ".0").
+// NaN/Inf are not valid JSON and render as 0 (they never appear in healthy
+// exports; a 0 is greppable, an unparseable file is not).
+std::string FormatJsonDouble(double v);
+
+// Streaming writer for compact JSON with automatic comma placement. Usage:
+//   JsonWriter w(os);
+//   w.BeginObject(); w.Key("x"); w.Int(3); w.Key("xs");
+//   w.BeginArray(); w.Double(1.5); w.EndArray(); w.EndObject();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& k);
+  void String(const std::string& s);
+  void Double(double v);
+  void Int(int64_t v);
+  void Bool(bool v);
+  // Emits `json` verbatim as one value (caller guarantees validity).
+  void Raw(const std::string& json);
+
+ private:
+  void BeforeValue();
+
+  std::ostream& os_;
+  // One entry per open container: whether a value was already emitted.
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+// Parsed JSON value. Object keys keep insertion order (trace event fields
+// are order-sensitive for readability, and duplicate keys are invalid
+// anyway); lookup is linear, which is fine at trace-report scale.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Find + type coercion helpers with defaults.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key, const std::string& fallback) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and describes the
+// first error (with byte offset) in `*error`.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+}  // namespace tsi

@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -12,5 +14,65 @@ void CheckFailed(const char* file, int line, const char* cond,
   std::fflush(stderr);
   std::abort();
 }
+
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  std::string v;
+  for (const char* p = s; *p; ++p)
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning" || v == "2") return LogLevel::kWarn;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  std::fprintf(stderr, "TSI_LOG: unknown level '%s', using info\n", s);
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& ThresholdStorage() {
+  static std::atomic<int> threshold = [] {
+    const char* env = std::getenv("TSI_LOG");
+    return static_cast<int>(env ? ParseLevel(env) : LogLevel::kInfo);
+  }();
+  return threshold;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         ThresholdStorage().load(std::memory_order_relaxed);
+}
+
+void SetLogLevel(LogLevel level) {
+  ThresholdStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      ThresholdStorage().load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  // One fprintf per line so concurrent threads do not shear messages.
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level_), file_, line_,
+               ss_.str().c_str());
+}
+
+}  // namespace internal
 
 }  // namespace tsi

@@ -1,0 +1,174 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tsi::obs {
+
+namespace {
+// Stable per-thread stripe index; consecutive thread ids spread across
+// stripes without hashing the full thread::id each call.
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t stripe = next.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+}  // namespace
+
+Counter::Counter() = default;
+
+void Counter::Add(int64_t delta) {
+  cells_[ThreadStripe() % kStripes].v.fetch_add(delta,
+                                                std::memory_order_relaxed);
+}
+
+int64_t Counter::value() const {
+  int64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  TSI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be ascending";
+  shards_.reserve(kStripes);
+  for (int i = 0; i < kStripes; ++i)
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+}
+
+void Histogram::Observe(double v) {
+  // Inclusive upper bounds (Prometheus "le" convention): the first bound
+  // >= v names the bucket; past the last bound -> overflow bucket.
+  size_t bucket =
+      static_cast<size_t>(std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+                          bounds_.begin());
+  Shard& shard = *shards_[ThreadStripe() % kStripes];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(shard.sum, v);
+}
+
+Histogram::Snapshot Histogram::Take() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard->counts.size(); ++i)
+      snap.counts[i] += shard->counts[i].load(std::memory_order_relaxed);
+    snap.sum += shard->sum.load(std::memory_order_relaxed);
+  }
+  for (int64_t c : snap.counts) snap.count += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& c : shard->counts) c.store(0, std::memory_order_relaxed);
+    shard->sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    TSI_CHECK(!bounds.empty()) << "first registration of histogram '" << name
+                               << "' must supply bounds";
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (!bounds.empty()) {
+    TSI_CHECK(bounds == slot->bounds())
+        << "histogram '" << name << "' re-registered with different bounds";
+  }
+  return slot.get();
+}
+
+namespace {
+bool IsHostMetric(const std::string& name) {
+  return name.rfind("host/", 0) == 0;
+}
+}  // namespace
+
+std::string MetricsRegistry::ToJson(bool include_host) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, c] : counters_) {
+    if (!include_host && IsHostMetric(name)) continue;
+    w.Key(name);
+    w.Int(c->value());
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    if (!include_host && IsHostMetric(name)) continue;
+    w.Key(name);
+    w.Double(g->value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    if (!include_host && IsHostMetric(name)) continue;
+    Histogram::Snapshot snap = h->Take();
+    w.Key(name);
+    w.BeginObject();
+    w.Key("buckets");
+    w.BeginArray();
+    for (double b : snap.bounds) w.Double(b);
+    w.EndArray();
+    w.Key("counts");
+    w.BeginArray();
+    for (int64_t c : snap.counts) w.Int(c);
+    w.EndArray();
+    w.Key("count");
+    w.Int(snap.count);
+    w.Key("sum");
+    w.Double(snap.sum);
+    w.Key("mean");
+    w.Double(snap.Mean());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace tsi::obs

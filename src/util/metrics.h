@@ -1,0 +1,132 @@
+// Thread-safe metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Instruments both clocks of the system:
+//   - host wall-clock metrics (thread-pool occupancy, ExchangeHub park time,
+//     SPMD region rates) live under names prefixed "host/"; they depend on
+//     the machine the simulation runs on and are excluded from deterministic
+//     exports.
+//   - virtual-time / logical metrics (KV-cache slot occupancy, scheduler
+//     admissions, chunk sizes) are pure functions of the simulated workload
+//     and must be bit-identical across SPMD slot counts; the golden tests
+//     snapshot them with ToJson(/*include_host=*/false).
+//
+// Counters and histograms stripe their hot fields across cache lines so the
+// SPMD worker threads don't contend; Snapshot/ToJson fold the stripes. Gauges
+// are single atomics (set from one thread in practice).
+//
+// MetricsRegistry::Global() is the default sink; tests that need isolation
+// construct their own registry and plumb it via the component setters
+// (ServeOptions::metrics, ShardedKvCache::set_metrics, ...).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsi::obs {
+
+namespace internal {
+// Lock-free add for atomic<double> (pre-C++20 fetch_add is integral-only and
+// libstdc++ still lacks the double overload).
+inline void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace internal
+
+// Monotonic counter, striped to avoid cross-thread cache-line bouncing.
+class Counter {
+ public:
+  Counter();
+  void Add(int64_t delta = 1);
+  int64_t value() const;
+  void Reset();
+
+ private:
+  static constexpr int kStripes = 8;
+  struct alignas(64) Cell {
+    std::atomic<int64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) { internal::AtomicAddDouble(v_, delta); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket counts the rest. Bounds are set at registration
+// and immutable afterwards.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;   // upper bounds, ascending
+    std::vector<int64_t> counts;  // bounds.size() + 1 entries (last: overflow)
+    int64_t count = 0;
+    double sum = 0;
+    double Mean() const { return count > 0 ? sum / count : 0; }
+  };
+  Snapshot Take() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  static constexpr int kStripes = 4;
+  struct alignas(64) Shard {
+    std::vector<std::atomic<int64_t>> counts;
+    std::atomic<double> sum{0};
+    explicit Shard(size_t n) : counts(n) {}
+  };
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// Named metric registry. Get* registers on first use and returns a stable
+// pointer; the returned objects outlive the registry's map mutations, so hot
+// paths cache the pointer and never touch the registry lock again.
+class MetricsRegistry {
+ public:
+  // Process-wide default sink.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` applies on first registration; later calls must pass the same
+  // bounds (checked) or empty bounds to mean "whatever was registered".
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  // JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+  // names sorted; histograms expand to {buckets,counts,count,sum,mean}.
+  // include_host=false drops every metric whose name starts with "host/"
+  // (wall-clock-dependent, not deterministic across runs).
+  std::string ToJson(bool include_host = true) const;
+
+  // Zeroes all registered metrics (pointers stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tsi::obs

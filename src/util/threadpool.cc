@@ -5,8 +5,23 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tsi {
+
+namespace {
+// Host-side pool activity counters; cached pointers, registry touched once.
+obs::Counter* ParallelForCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("host/pool.parallel_for");
+  return c;
+}
+obs::Counter* RunBlockingCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("host/pool.run_blocking");
+  return c;
+}
+}  // namespace
 
 // One ParallelFor invocation. The iteration space starts as one contiguous
 // range per participant; a participant claims grain-sized chunks from the
@@ -105,6 +120,9 @@ ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(static_cast<size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w)
     workers_.emplace_back([this, w] { WorkerMain(w); });
+  obs::MetricsRegistry::Global()
+      .GetGauge("host/pool.workers")
+      ->Set(num_workers);
 }
 
 ThreadPool::~ThreadPool() {
@@ -163,6 +181,7 @@ void ThreadPool::WorkerMain(int) {
 void ThreadPool::ParallelFor(int64_t n, int64_t grain,
                              const std::function<void(int64_t, int64_t)>& body) {
   if (n <= 0) return;
+  ParallelForCounter()->Add(1);
   if (grain < 1) grain = 1;
   const int participants = num_workers() + 1;
   if (participants == 1 || n <= grain) {
@@ -209,6 +228,7 @@ void ThreadPool::ParallelFor(int64_t n, int64_t grain,
 
 void ThreadPool::RunBlocking(int n, const std::function<void(int)>& body) {
   TSI_CHECK_GE(n, 1);
+  RunBlockingCounter()->Add(1);
   if (n == 1) {
     body(0);
     return;

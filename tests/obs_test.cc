@@ -1,0 +1,289 @@
+// Observability foundations: the shared JSON utilities (escaping,
+// deterministic double formatting, writer/parser round trips), the metrics
+// registry (striped counters/histograms, host-metric filtering, reset), log
+// level gating, and the two-clock Tracer's Chrome JSON export (chip rows on
+// pid 0, scheduler/request rows on pid 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sim/trace.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+
+namespace tsi {
+namespace {
+
+// --- JSON ------------------------------------------------------------------
+
+TEST(JsonTest, FormatJsonDoubleIsDeterministicAndRoundTrips) {
+  EXPECT_EQ(FormatJsonDouble(0), "0");
+  EXPECT_EQ(FormatJsonDouble(1), "1");
+  EXPECT_EQ(FormatJsonDouble(-3), "-3");
+  EXPECT_EQ(FormatJsonDouble(0.5), "0.5");
+  EXPECT_EQ(FormatJsonDouble(1e15), "1e+15");
+  // NaN/Inf are not valid JSON; they render as 0 by contract.
+  EXPECT_EQ(FormatJsonDouble(std::numeric_limits<double>::quiet_NaN()), "0");
+  EXPECT_EQ(FormatJsonDouble(std::numeric_limits<double>::infinity()), "0");
+
+  // Round-trip: strtod(FormatJsonDouble(v)) == v bit-for-bit, including
+  // values that need 17 significant digits and subnormals (strtod, not
+  // std::stod, which throws out_of_range on subnormal results).
+  for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1.7976931348623157e308,
+                   5e-324, 123456789.123456789, -2.5e-7}) {
+    const std::string s = FormatJsonDouble(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    // Pure function of the bits: same value, same string.
+    EXPECT_EQ(FormatJsonDouble(v), s);
+  }
+}
+
+TEST(JsonTest, EscapeHandlesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonEscape("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonTest, WriterEmitsCompactJsonWithCommas) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("name");
+  w.String("all-reduce");
+  w.Key("n");
+  w.Int(3);
+  w.Key("xs");
+  w.BeginArray();
+  w.Double(1.5);
+  w.Double(-2);
+  w.Bool(true);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("raw");
+  w.Raw("[0]");
+  w.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"all-reduce\",\"n\":3,\"xs\":[1.5,-2,true],"
+            "\"nested\":{},\"raw\":[0]}");
+}
+
+TEST(JsonTest, ParserRoundTripsWriterOutput) {
+  const std::string text =
+      "{\"a\":1,\"b\":[true,false,null,\"x\\u0041\\n\"],\"c\":{\"d\":-2.5e3}}";
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(text, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.NumberOr("a", 0), 1);
+  const JsonValue* b = doc.Find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->array.size(), 4u);
+  EXPECT_EQ(b->array[0].type, JsonValue::Type::kBool);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_EQ(b->array[2].type, JsonValue::Type::kNull);
+  EXPECT_EQ(b->array[3].string, "xA\n");
+  const JsonValue* c = doc.Find("c");
+  ASSERT_TRUE(c != nullptr);
+  EXPECT_EQ(c->NumberOr("d", 0), -2500);
+}
+
+TEST(JsonTest, ParserReportsErrors) {
+  JsonValue doc;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\":}", &doc, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("[1,2", &doc, &error));
+  EXPECT_FALSE(ParseJson("", &doc, &error));
+  EXPECT_TRUE(ParseJson("  42 ", &doc, &error)) << error;
+  EXPECT_EQ(doc.number, 42);
+}
+
+// --- Metrics ---------------------------------------------------------------
+
+TEST(MetricsTest, CounterSumsAcrossThreads) {
+  obs::MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("test/ops");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([c] {
+      for (int i = 0; i < 1000; ++i) c->Add(1);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), 8000);
+  c->Reset();
+  EXPECT_EQ(c->value(), 0);
+}
+
+TEST(MetricsTest, HistogramBucketsAndOverflow) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h = reg.GetHistogram("test/sizes", {1.0, 4.0, 16.0});
+  // Re-registration with empty bounds returns the same histogram.
+  EXPECT_EQ(reg.GetHistogram("test/sizes", {}), h);
+  h->Observe(0.5);   // <= 1
+  h->Observe(1.0);   // <= 1 (bounds are inclusive upper bounds)
+  h->Observe(3.0);   // <= 4
+  h->Observe(100.0); // overflow
+  obs::Histogram::Snapshot s = h->Take();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 0);
+  EXPECT_EQ(s.counts[3], 1);
+  EXPECT_EQ(s.count, 4);
+  EXPECT_DOUBLE_EQ(s.sum, 104.5);
+  EXPECT_DOUBLE_EQ(s.Mean(), 104.5 / 4);
+}
+
+TEST(MetricsTest, ToJsonFiltersHostMetricsAndSortsNames) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("serve/admitted")->Add(3);
+  reg.GetCounter("host/pool.parallel_for")->Add(7);
+  reg.GetGauge("kv/slots_in_use")->Set(2);
+  reg.GetGauge("host/pool.workers")->Set(8);
+  reg.GetHistogram("serve/chunk", {2.0, 8.0})->Observe(4);
+  reg.GetHistogram("host/park", {1e-3})->Observe(0.5);
+
+  for (bool include_host : {true, false}) {
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(ParseJson(reg.ToJson(include_host), &doc, &error)) << error;
+    const JsonValue* counters = doc.Find("counters");
+    const JsonValue* gauges = doc.Find("gauges");
+    const JsonValue* hists = doc.Find("histograms");
+    ASSERT_TRUE(counters && gauges && hists);
+    EXPECT_EQ(counters->Find("host/pool.parallel_for") != nullptr, include_host);
+    EXPECT_EQ(gauges->Find("host/pool.workers") != nullptr, include_host);
+    EXPECT_EQ(hists->Find("host/park") != nullptr, include_host);
+    EXPECT_EQ(counters->NumberOr("serve/admitted", -1), 3);
+    EXPECT_EQ(gauges->NumberOr("kv/slots_in_use", -1), 2);
+    const JsonValue* chunk = hists->Find("serve/chunk");
+    ASSERT_TRUE(chunk != nullptr);
+    EXPECT_EQ(chunk->NumberOr("count", -1), 1);
+    EXPECT_EQ(chunk->NumberOr("mean", -1), 4);
+  }
+
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("serve/admitted")->value(), 0);
+  EXPECT_EQ(reg.GetGauge("kv/slots_in_use")->value(), 0);
+  EXPECT_EQ(reg.GetHistogram("serve/chunk", {})->Take().count, 0);
+}
+
+// --- Logging ---------------------------------------------------------------
+
+TEST(LoggingTest, LevelGatesMessages) {
+  const LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  // The statement after a disabled TSI_LOG must not evaluate its stream.
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return "x";
+  };
+  TSI_LOG(ERROR) << touch();
+  EXPECT_FALSE(evaluated);
+  SetLogLevel(saved);
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+TEST(TracerTest, CategoryForBucketsEventNames) {
+  EXPECT_STREQ(CategoryFor("matmul"), "compute");
+  EXPECT_STREQ(CategoryFor("attention"), "compute");
+  EXPECT_STREQ(CategoryFor("compute"), "compute");
+  EXPECT_STREQ(CategoryFor("memory"), "memory");
+  EXPECT_STREQ(CategoryFor("looped-matmul-rs"), "fused");
+  EXPECT_STREQ(CategoryFor("all-gather(yz)"), "comm");
+  EXPECT_STREQ(CategoryFor("all-reduce(x)"), "comm");
+}
+
+TEST(TracerTest, TwoClockExportHasChipAndSchedulerRows) {
+  Tracer tracer;
+  tracer.Record(0, "matmul", 0.0, 2e-6);
+  tracer.Record(1, "all-gather(yz)", 1e-6, 3e-6);
+  tracer.RecordLifecycle('b', "request", 42, 0.0,
+                         {{"prompt_tokens", "5"}});
+  tracer.RecordScheduler("prefill", 0.0, 4e-6, {{"request", "42"}});
+  tracer.RecordInstant("admit", 0.0, {{"request", "42"}});
+  tracer.RecordLifecycle('e', "request", 42, 5e-6);
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(tracer.ToChromeTraceJson(), &doc, &error)) << error;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+
+  int chip_spans = 0, scheduler_rows = 0, request_rows = 0, metadata = 0;
+  bool saw_instant_scope = false, saw_args = false;
+  for (const JsonValue& e : events->array) {
+    const std::string ph = e.StringOr("ph", "");
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    if (e.NumberOr("pid", -1) == 0 && ph == "X") {
+      ++chip_spans;
+      EXPECT_FALSE(e.StringOr("cat", "").empty());
+    } else if (e.StringOr("cat", "") == "scheduler") {
+      ++scheduler_rows;
+      if (ph == "i") saw_instant_scope = e.StringOr("s", "") == "t";
+      if (const JsonValue* args = e.Find("args"))
+        saw_args = saw_args || args->Find("request") != nullptr;
+    } else if (e.StringOr("cat", "") == "request") {
+      ++request_rows;
+      EXPECT_EQ(e.NumberOr("id", -1), 42);
+      EXPECT_EQ(e.NumberOr("pid", -1), 1);
+    }
+  }
+  EXPECT_EQ(chip_spans, 2);
+  EXPECT_EQ(scheduler_rows, 2);  // prefill span + admit instant
+  EXPECT_EQ(request_rows, 2);    // lifecycle b + e
+  EXPECT_GE(metadata, 4);        // process/thread names for both pids
+  EXPECT_TRUE(saw_instant_scope);
+  EXPECT_TRUE(saw_args);
+
+  // Timestamps are virtual microseconds.
+  bool found_matmul = false;
+  for (const JsonValue& e : events->array)
+    if (e.StringOr("name", "") == "matmul") {
+      found_matmul = true;
+      EXPECT_DOUBLE_EQ(e.NumberOr("dur", 0), 2.0);
+    }
+  EXPECT_TRUE(found_matmul);
+
+  std::map<std::string, double> by_cat = tracer.TotalsByCategory();
+  EXPECT_DOUBLE_EQ(by_cat["compute"], 2e-6);
+  EXPECT_DOUBLE_EQ(by_cat["comm"], 3e-6);
+
+  tracer.Clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_TRUE(tracer.timeline().empty());
+}
+
+TEST(TracerTest, ExportIsByteStableAcrossCalls) {
+  Tracer tracer;
+  tracer.Record(0, "matmul", 1.0 / 3.0, 0.1);
+  tracer.RecordScheduler("decode", 0.25, 0.125);
+  EXPECT_EQ(tracer.TraceEventsJsonArray(), tracer.TraceEventsJsonArray());
+  EXPECT_EQ(tracer.ToChromeTraceJson(),
+            "{\"traceEvents\":" + tracer.TraceEventsJsonArray() + "}");
+}
+
+}  // namespace
+}  // namespace tsi

@@ -11,10 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "engine/generation.h"
 #include "hw/chip.h"
+#include "obs/export.h"
 #include "serve/analytic.h"
 #include "serve/slots.h"
+#include "sim/trace.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace tsi {
@@ -106,6 +111,61 @@ TEST(ServeRuntimeTest, BitIdenticalAcrossSpmdSlotCounts) {
     EXPECT_EQ(a.first_token, b.first_token) << "request " << a.id;
     EXPECT_EQ(a.finished, b.finished) << "request " << a.id;
   }
+}
+
+// The observability golden test: a fully instrumented serving run -- trace
+// (chip rows AND scheduler/request rows), utilization summary, and the
+// deterministic metrics snapshot -- exports to the byte-identical JSON
+// document whether the chip closures ran on 1 SPMD slot or 8. Only "host/"
+// wall-clock metrics depend on the execution schedule, and
+// include_host=false drops them.
+TEST(ServeRuntimeTest, GoldenObservabilityExportAcrossSpmdSlotCounts) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 21);
+  const ServeSetup setup = BatchShardedSetup();
+
+  std::vector<ServeRequest> requests;
+  for (int64_t i = 0; i < 6; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = static_cast<double>(i) * 2e-6;
+    r.prompt = RandomTokens(4 + i % 3, cfg.vocab_size, 100 + static_cast<uint64_t>(i));
+    r.max_new_tokens = 5;
+    requests.push_back(std::move(r));
+  }
+
+  auto run = [&](int spmd_slots) {
+    SimMachine machine(setup.mesh, TpuV4());
+    Tracer tracer;
+    machine.AttachTracer(&tracer);
+    obs::MetricsRegistry metrics;
+    DistributedEngine engine(weights, &machine, setup.spec);
+    engine.set_metrics(&metrics);
+    engine.spmd().set_slots(spmd_slots);
+    ServeOptions options = GreedyOptions(/*prefill_chunk=*/3);
+    options.tracer = &tracer;
+    options.metrics = &metrics;
+    EngineServeBackend backend(&engine, /*num_slots=*/4, options);
+    RunContinuousServing(backend, requests, options);
+    std::ostringstream os;
+    obs::WriteObservability(os, machine, tracer, &metrics,
+                            /*include_host=*/false);
+    return os.str();
+  };
+
+  const std::string doc_one = run(1);
+  const std::string doc_eight = run(8);
+  EXPECT_EQ(doc_one, doc_eight);
+
+  // The document actually contains both clock families and the metrics --
+  // byte equality of an empty trace would be vacuous.
+  EXPECT_NE(doc_one.find("\"pid\":0"), std::string::npos) << "chip rows";
+  EXPECT_NE(doc_one.find("\"cat\":\"scheduler\""), std::string::npos);
+  EXPECT_NE(doc_one.find("\"cat\":\"request\""), std::string::npos);
+  EXPECT_NE(doc_one.find("\"serve/admitted\":6"), std::string::npos);
+  EXPECT_NE(doc_one.find("\"utilization\""), std::string::npos);
+  // ... and the wall-clock metrics are gone.
+  EXPECT_EQ(doc_one.find("host/"), std::string::npos);
 }
 
 TEST(ServeRuntimeTest, SimultaneousArrivalsMatchStaticGenerate) {

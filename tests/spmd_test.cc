@@ -43,6 +43,7 @@ struct RunResult {
   Tensor decode_logits;
   std::vector<ChipCounters> counters;
   std::vector<TraceEvent> events;
+  std::string trace_json;  // exported Chrome trace, byte-compared
 };
 
 // Runs prefill + one decode step on a 2x2x2 mesh with the given slot count
@@ -63,6 +64,7 @@ RunResult RunWorkload(EngineSpec spec, int slots) {
   for (int c = 0; c < machine.num_chips(); ++c)
     r.counters.push_back(machine.counters(c));
   r.events = tracer.events();
+  r.trace_json = tracer.ToChromeTraceJson();
   return r;
 }
 
@@ -88,6 +90,10 @@ void ExpectIdenticalRuns(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(a.events[i].start, b.events[i].start) << "event " << i;
     EXPECT_EQ(a.events[i].duration, b.events[i].duration) << "event " << i;
   }
+
+  // The exported Chrome JSON -- double formatting included -- is also part
+  // of the determinism contract (the observability golden tests build on it).
+  EXPECT_EQ(a.trace_json, b.trace_json) << "exported trace JSON";
 }
 
 TEST(SpmdDeterminismTest, WeightStationaryHeadsSlotCountInvariant) {

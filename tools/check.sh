@@ -5,6 +5,9 @@
 #   tools/check.sh            # both configs, all tests
 #   TSI_TSAN_TESTS='threadpool_test|determinism_test|threaded_test' tools/check.sh
 #   tools/check.sh bench      # additionally run bench_sim_wallclock -> BENCH_sim.json
+#   tools/check.sh obs        # additionally run the observability smoke check
+#                             # (trace_report --demo: serve, export, re-parse,
+#                             # validate utilization invariants)
 #
 # TSan halves throughput and multiplies memory, so TSI_TSAN_TESTS can narrow
 # the sanitized run to the concurrency-heavy tests; default is everything.
@@ -39,6 +42,14 @@ if [[ "${1:-}" == "bench" ]]; then
   (cd "$repo" && ./build-check/bench/bench_sim_wallclock)
   echo "== Continuous-batching serving bench =="
   (cd "$repo" && ./build-check/bench/bench_serving)
+fi
+
+if [[ "${1:-}" == "obs" ]]; then
+  # End-to-end observability smoke: run a traced continuous-serving demo,
+  # write the combined trace/utilization/metrics document, re-parse it, and
+  # validate the fraction invariants (exits non-zero on failure).
+  echo "== Observability smoke (trace_report --demo) =="
+  "$repo/build-check/tools/trace_report" --demo "$repo/build-check/obs_demo"
 fi
 
 echo "OK: all configurations pass"

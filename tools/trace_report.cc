@@ -1,0 +1,289 @@
+// Reads an observability JSON document (obs::WriteObservability, or a bare
+// Chrome trace from Tracer::ToChromeTraceJson) and prints a summary:
+// per-category chip-time totals, per-chip utilization with validation
+// (fractions must sum to <= 1), and request statistics reconstructed from
+// the scheduler's lifecycle rows. Exits non-zero if the file does not parse
+// or a utilization invariant fails, so CI can use it as a smoke check.
+//
+//   trace_report <doc.json>              parse + report + validate
+//   trace_report <doc.json> --perfetto out.json
+//                                        also re-emit a traceEvents-only
+//                                        document for chrome://tracing
+//   trace_report --demo <prefix>         run a small continuous-serving demo
+//                                        on the functional engine, write
+//                                        <prefix>_trace.json, then re-parse
+//                                        and validate it (tools/check.sh)
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hw/chip.h"
+#include "obs/export.h"
+#include "obs/utilization.h"
+#include "serve/runtime.h"
+#include "sim/machine.h"
+#include "sim/trace.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace tsi {
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+// Prints category totals + request stats from the traceEvents array; returns
+// false if a structural invariant fails.
+bool ReportTraceEvents(const JsonValue& events) {
+  std::map<std::string, double> cat_us;  // chip rows only
+  int chip_rows = 0, scheduler_rows = 0;
+  std::map<long long, std::pair<double, double>> requests;  // id -> (b, e) us
+  for (const JsonValue& e : events.array) {
+    const std::string ph = e.StringOr("ph", "");
+    const std::string cat = e.StringOr("cat", "");
+    if (ph == "M") continue;
+    if (e.NumberOr("pid", 0) == 0 && ph == "X") {
+      ++chip_rows;
+      cat_us[cat.empty() ? "uncategorized" : cat] += e.NumberOr("dur", 0);
+    } else if (cat == "scheduler") {
+      ++scheduler_rows;
+    } else if (cat == "request") {
+      const auto id = static_cast<long long>(e.NumberOr("id", -1));
+      if (ph == "b") requests[id].first = e.NumberOr("ts", 0);
+      if (ph == "e") requests[id].second = e.NumberOr("ts", 0);
+    }
+  }
+  std::printf("%d chip span(s), %d scheduler row(s), %zu request(s)\n",
+              chip_rows, scheduler_rows, requests.size());
+  if (!cat_us.empty()) {
+    Table table({"category", "chip-time"});
+    for (const auto& [cat, us] : cat_us)
+      table.AddRow({cat, FormatMs(us * 1e-6)});
+    std::printf("%s", table.ToString().c_str());
+  }
+  if (!requests.empty()) {
+    double total_latency = 0;
+    int finished = 0;
+    for (const auto& [id, be] : requests) {
+      if (be.second > 0) {
+        total_latency += (be.second - be.first) * 1e-6;
+        ++finished;
+      }
+    }
+    if (finished > 0)
+      std::printf("%d finished request(s), mean latency %s\n", finished,
+                  FormatMs(total_latency / finished).c_str());
+  }
+  return true;
+}
+
+// Validates and prints the "tsi" utilization section; returns false when a
+// fraction invariant fails.
+bool ReportUtilization(const JsonValue& tsi) {
+  const JsonValue* util = tsi.Find("utilization");
+  const JsonValue* per_chip = tsi.Find("per_chip");
+  if (!util) {
+    std::printf("no utilization section\n");
+    return true;
+  }
+  auto busy_of = [](const JsonValue& u) {
+    return u.NumberOr("compute_frac", 0) + u.NumberOr("memory_frac", 0) +
+           u.NumberOr("comm_frac", 0) + u.NumberOr("fused_frac", 0);
+  };
+  bool ok = true;
+  constexpr double kTol = 1e-9;
+  if (per_chip && per_chip->is_array()) {
+    Table table({"chip", "compute", "memory", "comm", "fused", "idle", "link"});
+    for (const JsonValue& u : per_chip->array) {
+      table.AddRow({FormatDouble(u.NumberOr("chip", -1), 0),
+                    FormatPercent(u.NumberOr("compute_frac", 0)),
+                    FormatPercent(u.NumberOr("memory_frac", 0)),
+                    FormatPercent(u.NumberOr("comm_frac", 0)),
+                    FormatPercent(u.NumberOr("fused_frac", 0)),
+                    FormatPercent(u.NumberOr("idle_frac", 0)),
+                    FormatPercent(u.NumberOr("link_utilization", 0))});
+      if (busy_of(u) > 1.0 + kTol) {
+        std::fprintf(stderr,
+                     "ERROR: chip %g busy fractions sum to %.6f > 1\n",
+                     u.NumberOr("chip", -1), busy_of(u));
+        ok = false;
+      }
+    }
+    std::printf("%s", table.ToString().c_str());
+  }
+  const double busy = busy_of(*util);
+  std::printf("mean busy %s (compute %s, memory %s, comm %s, fused %s), "
+              "idle %s, link %s\n",
+              FormatPercent(busy).c_str(),
+              FormatPercent(util->NumberOr("compute_frac", 0)).c_str(),
+              FormatPercent(util->NumberOr("memory_frac", 0)).c_str(),
+              FormatPercent(util->NumberOr("comm_frac", 0)).c_str(),
+              FormatPercent(util->NumberOr("fused_frac", 0)).c_str(),
+              FormatPercent(util->NumberOr("idle_frac", 0)).c_str(),
+              FormatPercent(util->NumberOr("link_utilization", 0)).c_str());
+  if (busy > 1.0 + kTol) {
+    std::fprintf(stderr, "ERROR: mean busy fractions sum to %.6f > 1\n", busy);
+    ok = false;
+  }
+  return ok;
+}
+
+int ReportFile(const std::string& path, const std::string& perfetto_out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "ERROR: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  JsonValue doc;
+  std::string error;
+  if (!ParseJson(text, &doc, &error)) {
+    std::fprintf(stderr, "ERROR: %s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (!events || !events->is_array()) {
+    std::fprintf(stderr, "ERROR: %s has no traceEvents array\n", path.c_str());
+    return 1;
+  }
+  std::printf("== %s ==\n", path.c_str());
+  bool ok = ReportTraceEvents(*events);
+  if (const JsonValue* tsi = doc.Find("tsi")) ok = ReportUtilization(*tsi) && ok;
+  if (const JsonValue* metrics = doc.Find("metrics")) {
+    const JsonValue* counters = metrics->Find("counters");
+    if (counters && counters->is_object()) {
+      std::printf("%zu counter(s):", counters->object.size());
+      for (const auto& [name, v] : counters->object)
+        std::printf(" %s=%g", name.c_str(), v.number);
+      std::printf("\n");
+    }
+  }
+  if (!perfetto_out.empty()) {
+    // Re-emit a traceEvents-only document (what chrome://tracing wants when
+    // the combined doc confuses older UIs).
+    std::ofstream os(perfetto_out, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", perfetto_out.c_str());
+      return 1;
+    }
+    const size_t begin = text.find("\"traceEvents\":");
+    TSI_CHECK(begin != std::string::npos);
+    // The array is the value after the key; find its matching bracket.
+    size_t i = text.find('[', begin);
+    int depth = 0;
+    size_t end = i;
+    bool in_string = false;
+    for (; end < text.size(); ++end) {
+      const char c = text[end];
+      if (in_string) {
+        if (c == '\\') ++end;
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      if (c == '[') ++depth;
+      if (c == ']' && --depth == 0) break;
+    }
+    os << "{\"traceEvents\":" << text.substr(i, end - i + 1) << "}";
+    TSI_LOG(INFO) << "wrote " << perfetto_out;
+  }
+  return ok ? 0 : 1;
+}
+
+// A small continuous-serving run on the functional engine, traced end to
+// end: the zero-config way to get a Perfetto-loadable trace with both chip
+// rows and scheduler/request rows (docs/observability.md).
+int RunDemo(const std::string& prefix) {
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 7);
+  SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+  Tracer tracer;
+  machine.AttachTracer(&tracer);
+  EngineSpec spec;
+  spec.attn = AttnSharding::kBatch;
+  DistributedEngine engine(weights, &machine, spec);
+
+  obs::MetricsRegistry metrics;
+  engine.set_metrics(&metrics);
+  ServeOptions options;
+  options.prefill_chunk = 3;
+  options.sampling.temperature = 0;
+  options.tracer = &tracer;
+  options.metrics = &metrics;
+
+  Rng rng(11);
+  std::vector<ServeRequest> requests;
+  for (int64_t i = 0; i < 6; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = static_cast<double>(i) * 2e-6;
+    r.prompt.resize(static_cast<size_t>(4 + i % 3));
+    for (auto& t : r.prompt)
+      t = static_cast<int32_t>(
+          rng.NextBelow(static_cast<uint64_t>(cfg.vocab_size)));
+    r.max_new_tokens = 4;
+    requests.push_back(std::move(r));
+  }
+  EngineServeBackend backend(&engine, /*num_slots=*/4, options);
+  ServeReport report = RunContinuousServing(backend, requests, options);
+  std::printf("demo: %lld request(s), %lld prefill chunk(s), "
+              "%lld decode step(s), makespan %s\n",
+              static_cast<long long>(report.completed()),
+              static_cast<long long>(report.prefill_chunks),
+              static_cast<long long>(report.decode_steps),
+              FormatMs(report.makespan).c_str());
+
+  const std::string path = prefix + "_trace.json";
+  {
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "ERROR: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    obs::WriteObservability(os, machine, tracer, &metrics,
+                            /*include_host=*/true);
+  }
+  TSI_LOG(INFO) << "wrote " << path;
+  return ReportFile(path, "");
+}
+
+int Main(int argc, char** argv) {
+  std::string file, perfetto_out, demo_prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--perfetto" && i + 1 < argc) {
+      perfetto_out = argv[++i];
+    } else if (arg == "--demo" && i + 1 < argc) {
+      demo_prefix = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      file = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_report <doc.json> [--perfetto out.json]\n"
+                   "       trace_report --demo <prefix>\n");
+      return 2;
+    }
+  }
+  if (!demo_prefix.empty()) return RunDemo(demo_prefix);
+  if (file.empty()) {
+    std::fprintf(stderr, "usage: trace_report <doc.json> | --demo <prefix>\n");
+    return 2;
+  }
+  return ReportFile(file, perfetto_out);
+}
+
+}  // namespace
+}  // namespace tsi
+
+int main(int argc, char** argv) { return tsi::Main(argc, argv); }
