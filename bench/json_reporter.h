@@ -22,15 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "micro_merge.h"  // BenchJsonPath, shared with the ablation benches
 #include "util/json.h"
 #include "util/logging.h"
 
 namespace tsi {
-
-inline std::string BenchJsonPath(const char* default_name) {
-  if (const char* env = std::getenv("TSI_BENCH_JSON")) return env;
-  return default_name;
-}
 
 // benchmark::RunSpecifiedBenchmarks refuses a file reporter unless
 // --benchmark_out is set; JsonFileReporter writes its own file in Finalize,
@@ -59,7 +55,7 @@ class JsonFileReporter : public benchmark::BenchmarkReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
-      Record rec;
+      MicroRecord rec;
       std::string name = run.benchmark_name();
       // "BM_MatMul/1024/4096/4096" -> op "BM_MatMul", shape "1024x4096x4096".
       // Modifier segments like "iterations:1" are not part of the shape.
@@ -82,39 +78,16 @@ class JsonFileReporter : public benchmark::BenchmarkReporter {
   }
 
   void Finalize() override {
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (!f) {
-      TSI_LOG(ERROR) << "JsonFileReporter: cannot write " << path_;
-      return;
-    }
-    std::fprintf(f, "{\n  \"benchmarks\": [\n");
-    for (size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
-      // Benchmark names are caller-controlled; escape via the shared JSON
-      // utilities so a '"' in an op name cannot corrupt the document.
-      std::fprintf(f,
-                   "    {\"op\": %s, \"shape\": %s, "
-                   "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
-                   JsonEscape(r.op).c_str(), JsonEscape(r.shape).c_str(),
-                   r.ns_per_iter, r.gflops,
-                   i + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    TSI_LOG(INFO) << "wrote " << path_ << " (" << records_.size()
-                  << " records)";
+    // Merge rather than overwrite: the engine-level ablation benches
+    // (bench_ablation_fusion, bench_ablation_act_quant) contribute records
+    // to the same document under different op names, and a micro-bench
+    // rerun must not erase them.
+    MergeIntoBenchJson(path_, records_);
   }
 
  private:
-  struct Record {
-    std::string op;
-    std::string shape;
-    double ns_per_iter = 0.0;
-    double gflops = 0.0;
-  };
-
   std::string path_;
-  std::vector<Record> records_;
+  std::vector<MicroRecord> records_;
 };
 
 }  // namespace tsi

@@ -1,0 +1,103 @@
+// Merge-by-key updates for BENCH_micro.json.
+//
+// The google-benchmark binaries (bench_micro_tensor) overwrite the document
+// wholesale via JsonFileReporter; the engine-level ablation benches
+// (bench_ablation_fusion, bench_ablation_act_quant) contribute a handful of
+// records each and must not clobber the kernel numbers. MergeIntoBenchJson
+// re-reads the existing document with util/json's parser, upserts records
+// keyed by (op, shape), and rewrites the file in JsonFileReporter's exact
+// format, so the perf trajectory accumulates across binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tsi {
+
+inline std::string BenchJsonPath(const char* default_name) {
+  if (const char* env = std::getenv("TSI_BENCH_JSON")) return env;
+  return default_name;
+}
+
+struct MicroRecord {
+  std::string op;
+  std::string shape;
+  double ns_per_iter = 0.0;
+  double gflops = 0.0;
+};
+
+inline std::vector<MicroRecord> ReadBenchJson(const std::string& path) {
+  std::vector<MicroRecord> recs;
+  std::ifstream in(path);
+  if (!in) return recs;  // first run: nothing to merge with
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue doc;
+  std::string err;
+  if (!ParseJson(ss.str(), &doc, &err)) {
+    TSI_LOG(ERROR) << "ReadBenchJson: " << path << " unparseable (" << err
+                   << "); treating as empty";
+    return recs;
+  }
+  const JsonValue* arr = doc.Find("benchmarks");
+  if (arr == nullptr || !arr->is_array()) return recs;
+  for (const JsonValue& v : arr->array) {
+    MicroRecord r;
+    r.op = v.StringOr("op", "");
+    r.shape = v.StringOr("shape", "");
+    r.ns_per_iter = v.NumberOr("ns_per_iter", 0.0);
+    r.gflops = v.NumberOr("gflops", 0.0);
+    if (!r.op.empty()) recs.push_back(std::move(r));
+  }
+  return recs;
+}
+
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<MicroRecord>& recs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    TSI_LOG(ERROR) << "WriteBenchJson: cannot write " << path;
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const MicroRecord& r = recs[i];
+    std::fprintf(f,
+                 "    {\"op\": %s, \"shape\": %s, "
+                 "\"ns_per_iter\": %.1f, \"gflops\": %.3f}%s\n",
+                 JsonEscape(r.op).c_str(), JsonEscape(r.shape).c_str(),
+                 r.ns_per_iter, r.gflops, i + 1 < recs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+// Upserts `updates` into the document at `path` keyed by (op, shape);
+// existing records keep their position, new ones append.
+inline void MergeIntoBenchJson(const std::string& path,
+                               const std::vector<MicroRecord>& updates) {
+  std::vector<MicroRecord> recs = ReadBenchJson(path);
+  for (const MicroRecord& u : updates) {
+    bool replaced = false;
+    for (MicroRecord& r : recs) {
+      if (r.op == u.op && r.shape == u.shape) {
+        r = u;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) recs.push_back(u);
+  }
+  WriteBenchJson(path, recs);
+  TSI_LOG(INFO) << "merged " << updates.size() << " records into " << path
+                << " (" << recs.size() << " total)";
+}
+
+}  // namespace tsi

@@ -21,10 +21,10 @@ double AttnShardDivisor(const ModelConfig& config, AttnSharding sharding,
 }
 
 double KvCacheBytesPerChip(const ModelConfig& config, AttnSharding sharding,
-                           int n_chips, double batch, double context) {
-  const double act = ActivationBytes();
+                           int n_chips, double batch, double context,
+                           double bytes_per_value) {
   const double per_layer_per_token_per_seq =
-      2.0 /*K and V*/ * config.n_kv_heads() * config.d_head * act;
+      2.0 /*K and V*/ * config.n_kv_heads() * config.d_head * bytes_per_value;
   const double total_per_chip_unsharded =
       batch * context * per_layer_per_token_per_seq * config.num_layers;
 

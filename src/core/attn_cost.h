@@ -23,8 +23,11 @@ double AttnShardDivisor(const ModelConfig& config, AttnSharding sharding,
                         int n_chips, double batch);
 
 // Per-chip KV-cache bytes for B sequences of `context` cached tokens.
+// `bytes_per_value` is the storage width of one cached K/V element --
+// ActivationBytes(spec.kv_format) for an int8-KV fast path.
 double KvCacheBytesPerChip(const ModelConfig& config, AttnSharding sharding,
-                           int n_chips, double batch, double context);
+                           int n_chips, double batch, double context,
+                           double bytes_per_value = ActivationBytes());
 
 // Total KV-cache bytes across the whole machine (batch * per-sequence).
 double KvCacheBytesTotal(const ModelConfig& config, double batch, double context);

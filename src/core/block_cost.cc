@@ -56,7 +56,9 @@ CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
   out.weight_memory = static_cast<double>(config.ParamsPerLayer()) * wb / n / hbm;
   // The attention step streams this layer's per-chip K/V cache once.
   const double kv_bytes =
-      KvCacheBytesPerChip(config, spec.attn, n, B, context) / config.num_layers;
+      KvCacheBytesPerChip(config, spec.attn, n, B, context,
+                          ActivationBytes(spec.kv_format)) /
+      config.num_layers;
   out.kv_memory = kv_bytes / hbm;
 
   // --- Communication -------------------------------------------------------

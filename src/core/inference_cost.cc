@@ -44,7 +44,8 @@ void InferenceEstimator::FillMetrics(const PartitionSpec& spec, double batch,
   r->weight_bytes_per_chip = static_cast<double>(MatmulParams(config_)) *
                              WeightBytes(spec.weight_format) / n;
   r->kv_bytes_per_chip =
-      KvCacheBytesPerChip(config_, spec.attn, n, batch, context);
+      KvCacheBytesPerChip(config_, spec.attn, n, batch, context,
+                          ActivationBytes(spec.kv_format));
   r->fits_memory = FitsMemory(spec, batch, context);
 }
 
@@ -87,7 +88,8 @@ PhaseResult InferenceEstimator::Generate(const PartitionSpec& spec, double batch
 double InferenceEstimator::MaxContextLength(const PartitionSpec& spec,
                                             double batch) const {
   double per_token =
-      KvCacheBytesPerChip(config_, spec.attn, spec.num_chips(), batch, 1.0);
+      KvCacheBytesPerChip(config_, spec.attn, spec.num_chips(), batch, 1.0,
+                          ActivationBytes(spec.kv_format));
   if (per_token <= 0) return 0;
   return sys_.kv_memory_reserve * chip_.hbm_bytes / per_token;
 }
@@ -97,7 +99,8 @@ bool InferenceEstimator::FitsMemory(const PartitionSpec& spec, double batch,
   const int n = spec.num_chips();
   double weights = static_cast<double>(MatmulParams(config_)) *
                    WeightBytes(spec.weight_format) / n;
-  double kv = KvCacheBytesPerChip(config_, spec.attn, n, batch, context);
+  double kv = KvCacheBytesPerChip(config_, spec.attn, n, batch, context,
+                                  ActivationBytes(spec.kv_format));
   // 5% allowance for activations and collective buffers.
   return weights + kv <= 0.95 * chip_.hbm_bytes;
 }

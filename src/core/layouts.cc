@@ -58,6 +58,7 @@ std::string PartitionSpec::ToString() const {
   os << tsi::ToString(ffn) << "/" << tsi::ToString(attn) << "/"
      << tsi::ToString(weight_format);
   if (activations == WeightFormat::kInt8) os << "+int8act";
+  if (kv_format == WeightFormat::kInt8) os << "+int8kv";
   os << " on " << mesh.ToString();
   return os.str();
 }

@@ -62,8 +62,11 @@ struct PartitionSpec {
   WeightFormat weight_format = WeightFormat::kBf16;
   // §3.6 future work: int8 activations halve weight-stationary activation
   // communication and double matmul throughput (int8 MACs run at 2x the
-  // bf16 rate on TPU-class hardware). KV cache stays bf16.
+  // bf16 rate on TPU-class hardware).
   WeightFormat activations = WeightFormat::kBf16;
+  // Int8 KV cache (engine: FastPathConfig precision=kInt8): halves the
+  // per-decode-step KV stream, the memory-bound term in long-context decode.
+  WeightFormat kv_format = WeightFormat::kBf16;
 
   int num_chips() const { return mesh.num_chips(); }
   std::string ToString() const;

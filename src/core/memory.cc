@@ -12,14 +12,16 @@ MemoryReport ChipMemoryReport(const ModelConfig& config, const PartitionSpec& sp
   r.weight_bytes_per_chip = static_cast<double>(MatmulParams(config)) *
                             WeightBytes(spec.weight_format) / spec.num_chips();
   r.kv_bytes_per_chip =
-      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, context);
+      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, context,
+                          ActivationBytes(spec.kv_format));
   return r;
 }
 
 double MaxContextForReserve(const ModelConfig& config, const PartitionSpec& spec,
                             const ChipSpec& chip, double batch, double reserve) {
   double per_token =
-      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, 1.0);
+      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, 1.0,
+                          ActivationBytes(spec.kv_format));
   if (per_token <= 0) return 0;
   return reserve * chip.hbm_bytes / per_token;
 }

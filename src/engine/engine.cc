@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "model/attention.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tsi {
 namespace {
@@ -47,7 +49,59 @@ DistributedEngine::DistributedEngine(const ModelWeights& weights,
   } else {
     shards_ = ShardWeights(weights, machine->topo());
   }
-  cache_ = ShardedKvCache(n_, config_.num_layers, spec_.attn);
+  cache_ = ShardedKvCache(n_, config_.num_layers, spec_.attn,
+                          spec_.fastpath.int8() ? WeightFormat::kInt8
+                                                : WeightFormat::kBf16);
+  // Plan the per-layout block fusion up front (engine/fastpath.h): the
+  // graphs encode where collectives bar fusion, so the per-chip block
+  // functions only consult plan flags.
+  auto plan_for = [&](FfnLayout layout) {
+    BlockGraph graph =
+        BuildBlockGraph(config_, layout, spec_.attn, X_, YZ_,
+                        spec_.fuse_collectives, spec_.fastpath.precision);
+    return FuseBlockGraph(&graph, spec_.fastpath);
+  };
+  prefill_plan_ = plan_for(spec_.prefill_ffn);
+  decode_plan_ = plan_for(spec_.decode_ffn);
+  active_plan_ = &decode_plan_;
+  if (spec_.fastpath.int8()) {
+    // Int8 weight shards for the end-to-end int8 matmuls; per-column scales
+    // are computed over each chip's shard (its rows of the full matrix).
+    qshards_.resize(shards_.size());
+    for (size_t cs = 0; cs < shards_.size(); ++cs) {
+      qshards_[cs].reserve(shards_[cs].layers.size());
+      for (const ShardedLayerWeights& lw : shards_[cs].layers) {
+        QuantizedLayerShard q;
+        q.wq = QuantizeInt8(lw.wq);
+        q.wk = QuantizeInt8(lw.wk);
+        q.wv = QuantizeInt8(lw.wv);
+        q.wo = QuantizeInt8(lw.wo);
+        q.win = QuantizeInt8(lw.win);
+        if (config_.gated_ffn) q.win_gate = QuantizeInt8(lw.win_gate);
+        q.wout = QuantizeInt8(lw.wout);
+        qshards_[cs].push_back(std::move(q));
+      }
+    }
+  }
+  if (spec_.fastpath.active()) {
+    obs::MetricsRegistry& m = obs::MetricsRegistry::Global();
+    fused_ops_ = m.GetCounter("fastpath/fused_ops");
+    fused_bytes_saved_ = m.GetCounter("fastpath/bytes_saved");
+  }
+}
+
+void DistributedEngine::set_metrics(obs::MetricsRegistry* metrics) {
+  cache_.set_metrics(metrics);
+  if (spec_.fastpath.active() && metrics != nullptr) {
+    fused_ops_ = metrics->GetCounter("fastpath/fused_ops");
+    fused_bytes_saved_ = metrics->GetCounter("fastpath/bytes_saved");
+  }
+}
+
+void DistributedEngine::NoteFusion(int64_t fused_kernels, double bytes_saved) {
+  if (fused_ops_ == nullptr) return;
+  if (fused_kernels > 0) fused_ops_->Add(fused_kernels);
+  if (bytes_saved > 0) fused_bytes_saved_->Add(static_cast<int64_t>(bytes_saved));
 }
 
 Tensor DistributedEngine::LocalMatMul(int chip, const Tensor& x, const Tensor& w) {
@@ -76,24 +130,124 @@ Tensor DistributedEngine::LocalMatMulSwishMulGate(int chip, const Tensor& x,
   return MatMulSwishMulGate(x, w, w_gate);
 }
 
-template <typename SliceFn>
+Tensor DistributedEngine::LocalMatMulNormA(int chip, const Tensor& x,
+                                           const RowNormTransform& nt,
+                                           const Tensor& w) {
+  double flops = 2.0 * (x.numel() / x.dim(-1)) * w.dim(0) * w.dim(1);
+  machine_->ChargeComputeAndMemory(
+      chip, flops, static_cast<double>(w.numel()) * weight_byte_width_);
+  NoteFusion(1, 0.0);  // the avoided normed tensor is counted once per site
+  return MatMulNormA(x, nt, w);
+}
+
+Tensor DistributedEngine::LocalMatMulNormAGelu(int chip, const Tensor& x,
+                                               const RowNormTransform& nt,
+                                               const Tensor& w) {
+  const double m = static_cast<double>(x.numel() / x.dim(-1));
+  double flops = 2.0 * m * w.dim(0) * w.dim(1);
+  machine_->ChargeComputeAndMemory(
+      chip, flops, static_cast<double>(w.numel()) * weight_byte_width_);
+  NoteFusion(1, 8.0 * m * static_cast<double>(w.dim(1)));  // pre-act hidden
+  return MatMulNormAGelu(x, nt, w);
+}
+
+Tensor DistributedEngine::LocalMatMulNormASwishMulGate(int chip,
+                                                       const Tensor& x,
+                                                       const RowNormTransform& nt,
+                                                       const Tensor& w,
+                                                       const Tensor& w_gate) {
+  const double m = static_cast<double>(x.numel() / x.dim(-1));
+  double flops = 4.0 * m * w.dim(0) * w.dim(1);
+  machine_->ChargeComputeAndMemory(
+      chip, flops,
+      static_cast<double>(w.numel() + w_gate.numel()) * weight_byte_width_);
+  NoteFusion(1, 16.0 * m * static_cast<double>(w.dim(1)));  // both hiddens
+  return MatMulNormASwishMulGate(x, nt, w, w_gate);
+}
+
+void DistributedEngine::LocalMatMulAccumulate(int chip, const Tensor& x,
+                                              const Tensor& w, Tensor* c) {
+  const double m = static_cast<double>(x.numel() / x.dim(-1));
+  double flops = 2.0 * m * w.dim(0) * w.dim(1);
+  machine_->ChargeComputeAndMemory(
+      chip, flops, static_cast<double>(w.numel()) * weight_byte_width_);
+  NoteFusion(1, 8.0 * m * static_cast<double>(w.dim(1)));  // matmul output
+  MatMulAccumulate(x, w, c);
+}
+
+Tensor DistributedEngine::LocalMatMulInt8(int chip,
+                                          const QuantizedActivations& x,
+                                          const QuantizedTensor& w) {
+  double flops = 2.0 * static_cast<double>(x.rows()) * w.rows() * w.cols();
+  machine_->ChargeComputeAndMemory(chip, flops,
+                                   static_cast<double>(w.ByteSize()));
+  return MatMulInt8(x, w);
+}
+
+void DistributedEngine::LocalMatMulInt8Accumulate(int chip,
+                                                  const QuantizedActivations& x,
+                                                  const QuantizedTensor& w,
+                                                  Tensor* c) {
+  double flops = 2.0 * static_cast<double>(x.rows()) * w.rows() * w.cols();
+  machine_->ChargeComputeAndMemory(chip, flops,
+                                   static_cast<double>(w.ByteSize()));
+  NoteFusion(1, 8.0 * static_cast<double>(x.rows() * w.cols()));
+  MatMulInt8Accumulate(x, w, c);
+}
+
+void DistributedEngine::AppendKv(int chip, int64_t layer, const Tensor& k4,
+                                 const Tensor& v4) {
+  if (cache_.format() == WeightFormat::kInt8) {
+    cache_.AppendQuantized(chip, layer, QuantizeKvInt8(k4), QuantizeKvInt8(v4));
+  } else {
+    cache_.Append(chip, layer, k4, v4);
+  }
+}
+
 Tensor DistributedEngine::SlotAttention(int chip, int64_t layer, const Tensor& q,
-                                        double heads, SliceFn gqa_slice) {
+                                        double heads, int64_t g0,
+                                        int64_t gcount) {
   const auto& slots = cache_.step_slots(chip);
   const int64_t T = q.dim(1);
+  const bool int8 = cache_.format() == WeightFormat::kInt8;
   double flops = 0, kv_bytes = 0;
   std::vector<Tensor> outs;
   outs.reserve(slots.size());
   for (size_t i = 0; i < slots.size(); ++i) {
     const int64_t s = slots[i];
     const bool scratch = s == ShardedKvCache::kScratchSlot;
-    Tensor qi = q.Slice(0, static_cast<int64_t>(i), 1);
-    Tensor kc = gqa_slice(scratch
-                              ? cache_.ScratchK(chip, layer, static_cast<int64_t>(i))
-                              : cache_.K(chip, layer, s));
-    Tensor vc = gqa_slice(scratch
-                              ? cache_.ScratchV(chip, layer, static_cast<int64_t>(i))
-                              : cache_.V(chip, layer, s));
+    const int64_t lane = static_cast<int64_t>(i);
+    Tensor qi = q.Slice(0, lane, 1);
+    if (int8) {
+      const QuantizedKv& kf =
+          scratch ? cache_.ScratchK8(chip, layer, lane) : cache_.K8(chip, layer, s);
+      const QuantizedKv& vf =
+          scratch ? cache_.ScratchV8(chip, layer, lane) : cache_.V8(chip, layer, s);
+      const bool slice = gcount >= 0 && gcount != kf.kv_heads();
+      QuantizedKv ks, vs;
+      if (slice) {
+        ks = SliceKvHeads(kf, g0, gcount);
+        vs = SliceKvHeads(vf, g0, gcount);
+      }
+      const QuantizedKv& kc = slice ? ks : kf;
+      const QuantizedKv& vc = slice ? vs : vf;
+      flops += 4.0 * static_cast<double>(T) * static_cast<double>(kc.t()) *
+               heads * static_cast<double>(config_.d_head);
+      // The §3.6/D.3 win: the decode-dominating KV stream is charged at its
+      // actual int8 footprint (1-byte values + per-vector scales).
+      kv_bytes += static_cast<double>(kc.ByteSize() + vc.ByteSize());
+      outs.push_back(
+          ScaledDotProductAttentionInt8Kv(qi, kc, vc, /*causal=*/true));
+      continue;
+    }
+    Tensor kc = scratch ? cache_.ScratchK(chip, layer, lane)
+                        : cache_.K(chip, layer, s);
+    Tensor vc = scratch ? cache_.ScratchV(chip, layer, lane)
+                        : cache_.V(chip, layer, s);
+    if (gcount >= 0 && gcount != kc.dim(2)) {
+      kc = kc.Slice(2, g0, gcount);
+      vc = vc.Slice(2, g0, gcount);
+    }
     // Per-lane flops/bytes are exact integers in double, so this sum equals
     // the batched 4*B*T*len*heads*dh / 2*numel formulation bit-for-bit when
     // every lane shares one length -- the virtual clock stays identical to
@@ -125,6 +279,44 @@ Tensor DistributedEngine::DistLayerNormChip(SpmdContext& ctx, const Tensor& x,
                               static_cast<double>(config_.d_model));
 }
 
+DistributedEngine::NormInput DistributedEngine::NormInputChip(
+    SpmdContext& ctx, const Tensor& x, bool second_gain, int64_t layer,
+    bool want_nt, bool want_y) {
+  const int c = ctx.chip();
+  const auto& shard = shards_[static_cast<size_t>(c)];
+  const Tensor& gain =
+      second_gain ? shard.layers[static_cast<size_t>(layer)].ln2_gain
+                  : shard.layers[static_cast<size_t>(layer)].ln_gain;
+  NormInput ni;
+  if (X_ == 1) {
+    if (want_nt) {
+      ni.nt = NormTransformFromRows(x, gain);
+      ni.has_nt = true;
+    }
+    if (want_y) {
+      ni.y = LayerNorm(x, gain);
+      ni.has_y = true;
+    }
+  } else {
+    // One moments all-reduce feeds both forms, so the collective schedule
+    // (and the virtual clock) is identical whichever consumers fused.
+    Tensor moments = ctx.AllReduce(kAxisX, RowMoments(x));
+    if (want_nt) {
+      ni.nt = NormTransformFromMoments(moments, gain,
+                                       static_cast<double>(config_.d_model));
+      ni.has_nt = true;
+    }
+    if (want_y) {
+      ni.y = NormalizeWithMoments(x, moments, gain,
+                                  static_cast<double>(config_.d_model));
+      ni.has_y = true;
+    }
+  }
+  // When every consumer fused the norm, the normed tensor never exists.
+  if (!ni.has_y) NoteFusion(0, 8.0 * static_cast<double>(x.numel()));
+  return ni;
+}
+
 Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
                                         Tensor v, int64_t layer, int64_t B,
                                         int64_t T) {
@@ -142,22 +334,22 @@ Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
   Tensor v4 = v.Reshape({B, T, KVl, dh});
 
   if (spec_.attn == AttnSharding::kHeads) {
-    cache_.Append(c, layer, k4, v4);
-    auto gqa_slice = [&](const Tensor& kc) {
-      if (!(kv_replicated && KV > 1)) return kc;
+    AppendKv(c, layer, k4, v4);
+    int64_t g0 = 0, gcount = -1;
+    if (kv_replicated && KV > 1) {
       // Grouped-query with replicated K/V heads: this chip's query chunk
       // [yzr*Hl, (yzr+1)*Hl) reads only its kv group(s); slice them so the
       // local head->kv mapping stays h*KV_local/H_local.
       const int64_t heads_per_group = H / KV;
       const int64_t h0 = static_cast<int64_t>(topo.RankInGroup(c, kAxisYZ)) * Hl;
-      const int64_t g0 = h0 / heads_per_group;
+      g0 = h0 / heads_per_group;
       const int64_t g1 = (h0 + Hl - 1) / heads_per_group;
       TSI_CHECK(g0 == g1 || Hl % heads_per_group == 0)
           << "query-head chunk must align with kv groups";
-      return kc.Slice(2, g0, g1 - g0 + 1);
-    };
+      gcount = g1 - g0 + 1;
+    }
     Tensor attn =
-        SlotAttention(c, layer, q4, static_cast<double>(Hl), gqa_slice);
+        SlotAttention(c, layer, q4, static_cast<double>(Hl), g0, gcount);
     return attn.Reshape({B * T, Hl * dh});
   }
 
@@ -190,9 +382,8 @@ Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
     kb = ctx.AllToAll(kAxisYZ, slice_x(std::move(k4)), 0, 2);
     vb = ctx.AllToAll(kAxisYZ, slice_x(std::move(v4)), 0, 2);
   }
-  cache_.Append(c, layer, kb, vb);
-  Tensor attn = SlotAttention(c, layer, qb, static_cast<double>(H),
-                              [](const Tensor& t) { return t; });
+  AppendKv(c, layer, kb, vb);
+  Tensor attn = SlotAttention(c, layer, qb, static_cast<double>(H));
   // Back to head sharding: all-to-all heads <- batch over yz, then gather
   // the x batch slices. attn is [B/n, T, H, dh].
   Tensor back = ctx.AllToAll(kAxisYZ, std::move(attn), /*split=*/2,
@@ -203,17 +394,33 @@ Tensor DistributedEngine::AttentionChip(SpmdContext& ctx, Tensor q, Tensor k,
 
 void DistributedEngine::WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
                                     int64_t B, int64_t T) {
+  const FusedPlan& plan = *active_plan_;
+  if (plan.int8) {
+    WsBlockChipInt8(ctx, x, layer, B, T);
+    return;
+  }
   const int c = ctx.chip();
   const bool gated = config_.gated_ffn;
   const ShardedLayerWeights& lw =
       shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)];
+  const bool nt_attn = plan.norm_into_attn;
+  const bool nt_ffn = plan.norm_into_ffn;
 
-  // Computes the attention branch from normed input `y`; returns the
-  // partial-sum-over-yz output projection.
-  auto attn_branch = [&](const Tensor& y) {
-    Tensor q = LocalMatMul(c, y, lw.wq);
-    Tensor k = LocalMatMul(c, y, lw.wk);
-    Tensor v = LocalMatMul(c, y, lw.wv);
+  // Projects the block input through `w`: with the norm applied on the
+  // matmul's A-pack when this site fused it, from the materialized normed
+  // tensor otherwise. The packed values are identical (tensor/matmul.cc),
+  // so the two forms mix freely and bit-identically.
+  auto proj = [&](const NormInput& ni, bool use_nt, const Tensor& w) {
+    return use_nt ? LocalMatMulNormA(c, x, ni.nt, w)
+                  : LocalMatMul(c, ni.y, w);
+  };
+
+  // Attention branch; with `accum` set, the output projection accumulates
+  // into *accum (c += attn @ wo) instead of materializing its partial sum.
+  auto attn_branch = [&](const NormInput& ni, Tensor* accum) {
+    Tensor q = proj(ni, nt_attn, lw.wq);
+    Tensor k = proj(ni, nt_attn, lw.wk);
+    Tensor v = proj(ni, nt_attn, lw.wv);
     if (X_ > 1) {
       q = ctx.AllReduce(kAxisX, std::move(q));
       k = ctx.AllReduce(kAxisX, std::move(k));
@@ -221,24 +428,29 @@ void DistributedEngine::WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
     }
     Tensor attn = AttentionChip(ctx, std::move(q), std::move(k), std::move(v),
                                 layer, B, T);
+    if (accum != nullptr) {
+      LocalMatMulAccumulate(c, attn, lw.wo, accum);
+      return Tensor();
+    }
     return LocalMatMul(c, attn, lw.wo);  // [B*T, E/X] partial over yz
   };
 
-  // Computes the FFN branch from normed input `y`; partial over yz.
-  auto ffn_branch = [&](const Tensor& y) {
+  // FFN branch; partial over yz.
+  auto ffn_branch = [&](const NormInput& ni, Tensor* accum) {
     Tensor h;
     if (X_ > 1) {
       Tensor h1, h2;
       if (spec_.fuse_collectives) {
         // §3.5 Looped CollectiveEinsum: the input projection and its
-        // reduce-scatter(x) execute as one pipelined op.
-        h1 = ctx.MatMulReduceScatter(kAxisX, y, lw.win, weight_byte_width_);
+        // reduce-scatter(x) execute as one pipelined op. It needs the
+        // materialized normed tensor (the plan never fuses this site).
+        h1 = ctx.MatMulReduceScatter(kAxisX, ni.y, lw.win, weight_byte_width_);
         if (gated)
-          h2 = ctx.MatMulReduceScatter(kAxisX, y, lw.win_gate,
+          h2 = ctx.MatMulReduceScatter(kAxisX, ni.y, lw.win_gate,
                                        weight_byte_width_);
       } else {
-        h1 = LocalMatMul(c, y, lw.win);
-        if (gated) h2 = LocalMatMul(c, y, lw.win_gate);
+        h1 = proj(ni, nt_ffn, lw.win);
+        if (gated) h2 = proj(ni, nt_ffn, lw.win_gate);
         // §3.5: reduce-scatter the partial sums into the hidden dim, apply
         // the nonlinearity on 1/X of the data, and all-gather once.
         h1 = ctx.ReduceScatter(kAxisX, std::move(h1), /*dim=*/1);
@@ -246,20 +458,35 @@ void DistributedEngine::WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
       }
       h = gated ? Swish2(h1).Mul(h2) : Gelu(h1);
       h = ctx.AllGather(kAxisX, std::move(h), 1);
+    } else if (nt_ffn) {
+      // Norm prologue + activation epilogue in one fused projection.
+      h = gated ? LocalMatMulNormASwishMulGate(c, x, ni.nt, lw.win,
+                                               lw.win_gate)
+                : LocalMatMulNormAGelu(c, x, ni.nt, lw.win);
     } else {
       // Unsharded hidden dim: the projection and nonlinearity fuse into one
       // kernel (bit-identical to the matmul + activation composition).
-      h = gated ? LocalMatMulSwishMulGate(c, y, lw.win, lw.win_gate)
-                : LocalMatMulGelu(c, y, lw.win);
+      h = gated ? LocalMatMulSwishMulGate(c, ni.y, lw.win, lw.win_gate)
+                : LocalMatMulGelu(c, ni.y, lw.win);
+    }
+    if (accum != nullptr) {
+      LocalMatMulAccumulate(c, h, lw.wout, accum);
+      return Tensor();
     }
     return LocalMatMul(c, h, lw.wout);  // [B*T, E/X] partial over yz
   };
 
   if (config_.parallel_block) {
-    Tensor y = DistLayerNormChip(ctx, x, /*second_gain=*/false, layer);
-    Tensor oa = attn_branch(y);
-    Tensor of = ffn_branch(y);
-    oa.AddInPlace(of);
+    NormInput ni = NormInputChip(ctx, x, /*second_gain=*/false, layer,
+                                 nt_attn || nt_ffn, !nt_attn || !nt_ffn);
+    Tensor oa = attn_branch(ni, nullptr);
+    if (plan.wout_accumulate) {
+      // §3.4 branch sum folded into wout's accumulate epilogue: oa += of.
+      ffn_branch(ni, &oa);
+    } else {
+      Tensor of = ffn_branch(ni, nullptr);
+      oa.AddInPlace(of);
+    }
     // §3.4: one shared all-reduce(yz) for the summed branch outputs.
     Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
     x.AddInPlace(o);
@@ -268,14 +495,147 @@ void DistributedEngine::WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
 
   // Serial: x += Attn(LN1(x)); x += FFN(LN2(x)) -- two all-reduces.
   {
-    Tensor oa = attn_branch(DistLayerNormChip(ctx, x, false, layer));
-    Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
-    x.AddInPlace(o);
+    NormInput ni = NormInputChip(ctx, x, false, layer, nt_attn, !nt_attn);
+    if (plan.wo_accumulate) {
+      // YZ == 1 by plan construction (a collective would bar the fusion);
+      // every read of x through ni precedes the accumulate.
+      attn_branch(ni, &x);
+    } else {
+      Tensor oa = attn_branch(ni, nullptr);
+      Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
+      x.AddInPlace(o);
+    }
   }
   {
-    Tensor of = ffn_branch(DistLayerNormChip(ctx, x, true, layer));
-    Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(of)) : std::move(of);
+    NormInput ni = NormInputChip(ctx, x, true, layer, nt_ffn, !nt_ffn);
+    if (plan.wout_accumulate) {
+      ffn_branch(ni, &x);
+    } else {
+      Tensor of = ffn_branch(ni, nullptr);
+      Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(of)) : std::move(of);
+      x.AddInPlace(o);
+    }
+  }
+}
+
+void DistributedEngine::WsBlockChipInt8(SpmdContext& ctx, Tensor& x,
+                                        int64_t layer, int64_t B, int64_t T) {
+  const FusedPlan& plan = *active_plan_;
+  const int c = ctx.chip();
+  const bool gated = config_.gated_ffn;
+  const ShardedLayerWeights& lw =
+      shards_[static_cast<size_t>(c)].layers[static_cast<size_t>(layer)];
+  const QuantizedLayerShard& qw =
+      qshards_[static_cast<size_t>(c)][static_cast<size_t>(layer)];
+
+  // Normed + int8-quantized block input: one fused pass over x when the
+  // plan fused the quantize into the norm, the two-step composition
+  // otherwise -- bit-identical either way (quant/int8.cc).
+  auto norm_quant = [&](bool second) {
+    if (plan.quantize_fused_norm) {
+      const Tensor& gain = second ? lw.ln2_gain : lw.ln_gain;
+      if (X_ == 1) {
+        NoteFusion(1, 8.0 * static_cast<double>(x.numel()));
+        return QuantizeNormedInt8(x, NormTransformFromRows(x, gain));
+      }
+      Tensor moments = ctx.AllReduce(kAxisX, RowMoments(x));
+      NoteFusion(1, 8.0 * static_cast<double>(x.numel()));
+      return QuantizeNormedInt8(
+          x, NormTransformFromMoments(moments, gain,
+                                      static_cast<double>(config_.d_model)));
+    }
+    return QuantizeActivationsInt8(DistLayerNormChip(ctx, x, second, layer));
+  };
+
+  auto attn_branch = [&](const QuantizedActivations& yq, Tensor* accum) {
+    Tensor q = LocalMatMulInt8(c, yq, qw.wq);
+    Tensor k = LocalMatMulInt8(c, yq, qw.wk);
+    Tensor v = LocalMatMulInt8(c, yq, qw.wv);
+    if (X_ > 1) {
+      q = ctx.AllReduce(kAxisX, std::move(q));
+      k = ctx.AllReduce(kAxisX, std::move(k));
+      v = ctx.AllReduce(kAxisX, std::move(v));
+    }
+    Tensor attn = AttentionChip(ctx, std::move(q), std::move(k), std::move(v),
+                                layer, B, T);
+    QuantizedActivations aq = QuantizeActivationsInt8(attn);
+    if (accum != nullptr) {
+      LocalMatMulInt8Accumulate(c, aq, qw.wo, accum);
+      return Tensor();
+    }
+    return LocalMatMulInt8(c, aq, qw.wo);
+  };
+
+  auto ffn_branch = [&](const QuantizedActivations& yq, Tensor* accum) {
+    QuantizedActivations hq;
+    if (X_ > 1) {
+      // The reduce-scatter/all-gather pair is a quantization barrier: the
+      // hidden activations cross chips in fp32 and requantize after.
+      Tensor h1 = LocalMatMulInt8(c, yq, qw.win);
+      Tensor h2;
+      if (gated) h2 = LocalMatMulInt8(c, yq, qw.win_gate);
+      h1 = ctx.ReduceScatter(kAxisX, std::move(h1), /*dim=*/1);
+      if (gated) h2 = ctx.ReduceScatter(kAxisX, std::move(h2), 1);
+      Tensor h = gated ? Swish2(h1).Mul(h2) : Gelu(h1);
+      h = ctx.AllGather(kAxisX, std::move(h), 1);
+      hq = QuantizeActivationsInt8(h);
+    } else {
+      Tensor h1 = LocalMatMulInt8(c, yq, qw.win);
+      if (gated) {
+        Tensor h2 = LocalMatMulInt8(c, yq, qw.win_gate);
+        if (plan.quantize_fused_act) {
+          NoteFusion(1, 8.0 * static_cast<double>(h1.numel()));
+          hq = QuantizeSwishGateInt8(h1, h2);
+        } else {
+          hq = QuantizeActivationsInt8(Swish2(h1).Mul(h2));
+        }
+      } else if (plan.quantize_fused_act) {
+        NoteFusion(1, 8.0 * static_cast<double>(h1.numel()));
+        hq = QuantizeGeluInt8(h1);
+      } else {
+        hq = QuantizeActivationsInt8(Gelu(h1));
+      }
+    }
+    if (accum != nullptr) {
+      LocalMatMulInt8Accumulate(c, hq, qw.wout, accum);
+      return Tensor();
+    }
+    return LocalMatMulInt8(c, hq, qw.wout);
+  };
+
+  if (config_.parallel_block) {
+    QuantizedActivations yq = norm_quant(false);
+    Tensor oa = attn_branch(yq, nullptr);
+    if (plan.wout_accumulate) {
+      ffn_branch(yq, &oa);
+    } else {
+      Tensor of = ffn_branch(yq, nullptr);
+      oa.AddInPlace(of);
+    }
+    Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
     x.AddInPlace(o);
+    return;
+  }
+
+  {
+    QuantizedActivations yq = norm_quant(false);
+    if (plan.wo_accumulate) {
+      attn_branch(yq, &x);  // YZ == 1 by plan construction
+    } else {
+      Tensor oa = attn_branch(yq, nullptr);
+      Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(oa)) : std::move(oa);
+      x.AddInPlace(o);
+    }
+  }
+  {
+    QuantizedActivations yq = norm_quant(true);
+    if (plan.wout_accumulate) {
+      ffn_branch(yq, &x);
+    } else {
+      Tensor of = ffn_branch(yq, nullptr);
+      Tensor o = YZ_ > 1 ? ctx.AllReduce(kAxisYZ, std::move(of)) : std::move(of);
+      x.AddInPlace(o);
+    }
   }
 }
 
@@ -321,14 +681,25 @@ void DistributedEngine::WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
   if (!config_.parallel_block) ln2 = gather_gain(lw.ln2_gain);
 
   const int64_t H = config_.n_heads, KV = config_.n_kv_heads(), dh = config_.d_head;
+  const FusedPlan& plan = *active_plan_;
+  const bool fused = plan.wo_accumulate;  // WG fuses all-or-nothing
 
+  // Projections through the gathered (full) matrices; KV appends go through
+  // AppendKv so an int8-precision cache narrows even on this fp32 path.
+  auto run_attn_fused = [&](const RowNormTransform& nt) {
+    Tensor q = LocalMatMulNormA(c, x, nt, wq).Reshape({b_local, T, H, dh});
+    Tensor k = LocalMatMulNormA(c, x, nt, wk).Reshape({b_local, T, KV, dh});
+    Tensor v = LocalMatMulNormA(c, x, nt, wv).Reshape({b_local, T, KV, dh});
+    AppendKv(c, layer, k, v);
+    return SlotAttention(c, layer, q, static_cast<double>(H))
+        .Reshape({b_local * T, H * dh});
+  };
   auto run_attn = [&](const Tensor& y) {
     Tensor q = LocalMatMul(c, y, wq).Reshape({b_local, T, H, dh});
     Tensor k = LocalMatMul(c, y, wk).Reshape({b_local, T, KV, dh});
     Tensor v = LocalMatMul(c, y, wv).Reshape({b_local, T, KV, dh});
-    cache_.Append(c, layer, k, v);
-    Tensor attn = SlotAttention(c, layer, q, static_cast<double>(H),
-                                [](const Tensor& t) { return t; });
+    AppendKv(c, layer, k, v);
+    Tensor attn = SlotAttention(c, layer, q, static_cast<double>(H));
     return LocalMatMul(c, attn.Reshape({b_local * T, H * dh}), wo);
   };
   auto run_ffn = [&](const Tensor& y) {
@@ -336,6 +707,38 @@ void DistributedEngine::WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
                                  : LocalMatMulGelu(c, y, win);
     return LocalMatMul(c, h, wout);
   };
+
+  if (fused) {
+    // Every read of x happens through a norm transform captured before the
+    // accumulates mutate x, so the fused path reproduces the unfused order
+    // x + attn_out + ffn_out exactly.
+    if (config_.parallel_block) {
+      RowNormTransform nt = NormTransformFromRows(x, ln);
+      NoteFusion(0, 8.0 * static_cast<double>(x.numel()));
+      Tensor attn = run_attn_fused(nt);
+      Tensor h = config_.gated_ffn
+                     ? LocalMatMulNormASwishMulGate(c, x, nt, win, wgate)
+                     : LocalMatMulNormAGelu(c, x, nt, win);
+      LocalMatMulAccumulate(c, attn, wo, &x);
+      LocalMatMulAccumulate(c, h, wout, &x);
+    } else {
+      {
+        RowNormTransform nt = NormTransformFromRows(x, ln);
+        NoteFusion(0, 8.0 * static_cast<double>(x.numel()));
+        Tensor attn = run_attn_fused(nt);
+        LocalMatMulAccumulate(c, attn, wo, &x);
+      }
+      {
+        RowNormTransform nt2 = NormTransformFromRows(x, ln2);
+        NoteFusion(0, 8.0 * static_cast<double>(x.numel()));
+        Tensor h = config_.gated_ffn
+                       ? LocalMatMulNormASwishMulGate(c, x, nt2, win, wgate)
+                       : LocalMatMulNormAGelu(c, x, nt2, win);
+        LocalMatMulAccumulate(c, h, wout, &x);
+      }
+    }
+    return;
+  }
 
   if (config_.parallel_block) {
     Tensor y = LayerNorm(x, ln);
@@ -359,6 +762,9 @@ Tensor DistributedEngine::Forward(const std::vector<int32_t>& tokens, int64_t B,
   TSI_CHECK_EQ(static_cast<int64_t>(tokens.size()) % B, 0);
   const int64_t T = static_cast<int64_t>(tokens.size()) / B;
   const int64_t E = config_.d_model;
+  // Single-threaded here (before spmd_.Run): select the fusion plan for the
+  // phase this layout executes.
+  active_plan_ = layout == spec_.decode_ffn ? &decode_plan_ : &prefill_plan_;
 
   // Declare this step's cache writes. Under kHeads every chip stores every
   // lane's slot (its head subset); under kBatch lane i's full-kv rows land

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/layouts.h"
+#include "engine/fastpath.h"
 #include "engine/kvcache.h"
 #include "engine/sharding.h"
 #include "model/weights.h"
@@ -48,6 +49,11 @@
 #include "sim/spmd.h"
 
 namespace tsi {
+
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
 
 struct EngineSpec {
   FfnLayout prefill_ffn = FfnLayout::kWS2D;
@@ -60,6 +66,12 @@ struct EngineSpec {
   // under chunked matmuls. Numerically identical (tests assert it); the
   // virtual clock charges the pipelined schedule instead of compute + comm.
   bool fuse_collectives = false;
+  // Decode fast path (engine/fastpath.h, docs/fastpath.md): operator fusion
+  // (fp32-bit-identical, memory-traffic only) and/or the end-to-end int8
+  // pipeline (int8 weight shards, dynamic int8 activations, int8 KV cache).
+  // Applies to both phases' weight-stationary block execution;
+  // weight-gathered blocks keep fp32 compute but share the int8 KV cache.
+  FastPathConfig fastpath;
 };
 
 class DistributedEngine {
@@ -104,11 +116,14 @@ class DistributedEngine {
   SpmdExecutor& spmd() { return spmd_; }
   const ModelConfig& config() const { return config_; }
   const ShardedKvCache& cache() const { return cache_; }
-  // Routes the cache's "kv/" metrics to an isolated registry (tests; the
-  // default sink is MetricsRegistry::Global()).
-  void set_metrics(obs::MetricsRegistry* metrics) {
-    cache_.set_metrics(metrics);
-  }
+  // The fusion plans the engine executes per phase layout (tests inspect
+  // them; ToString(plan) is human-readable).
+  const FusedPlan& prefill_plan() const { return prefill_plan_; }
+  const FusedPlan& decode_plan() const { return decode_plan_; }
+  // Routes the cache's "kv/" metrics and the engine's "fastpath/" counters
+  // to an isolated registry (tests; the default sink is
+  // MetricsRegistry::Global()).
+  void set_metrics(obs::MetricsRegistry* metrics);
 
  private:
   Tensor Forward(const std::vector<int32_t>& tokens, int64_t batch,
@@ -119,6 +134,10 @@ class DistributedEngine {
   // Weight-stationary block over this chip's activation shard [B*T, E/X].
   void WsBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer, int64_t batch,
                    int64_t t);
+  // Int8 twin of WsBlockChip: int8 weight shards, dynamic per-row int8
+  // activations, fp32 accumulation; fusion per the active plan.
+  void WsBlockChipInt8(SpmdContext& ctx, Tensor& x, int64_t layer,
+                       int64_t batch, int64_t t);
   // Fully local block over the chip's batch shard with gathered weights.
   void WgBlockChip(SpmdContext& ctx, Tensor& x, int64_t layer,
                    int64_t batch_local, int64_t t);
@@ -132,30 +151,85 @@ class DistributedEngine {
   Tensor DistLayerNormChip(SpmdContext& ctx, const Tensor& x,
                            bool second_gain, int64_t layer);
 
+  // One norm site's output, in whichever forms its consumers need: a
+  // pack-time transform (`nt`, for matmuls that fuse the norm) and/or the
+  // materialized normed tensor (`y`). Both derive from the same moments
+  // (one all-reduce when E is sharded over x), so mixing them per consumer
+  // is bit-identical to the unfused composition.
+  struct NormInput {
+    Tensor y;
+    RowNormTransform nt;
+    bool has_y = false;
+    bool has_nt = false;
+  };
+  NormInput NormInputChip(SpmdContext& ctx, const Tensor& x, bool second_gain,
+                          int64_t layer, bool want_nt, bool want_y);
+
+  // Appends this step's K/V rows in the cache's storage format (quantizing
+  // to int8 per (row, position, head) when the cache is int8).
+  void AppendKv(int chip, int64_t layer, const Tensor& k4, const Tensor& v4);
+
   Tensor LocalMatMul(int chip, const Tensor& x, const Tensor& w);
   // Fused matmul+activation hot paths; charge exactly like the LocalMatMul
   // calls they replace (flops/bytes are a function of shapes, not fusion).
   Tensor LocalMatMulGelu(int chip, const Tensor& x, const Tensor& w);
   Tensor LocalMatMulSwishMulGate(int chip, const Tensor& x, const Tensor& w,
                                  const Tensor& w_gate);
+  // Fused-prologue/epilogue variants (decode fast path); same charges as
+  // their unfused counterparts, plus fastpath metric accounting.
+  Tensor LocalMatMulNormA(int chip, const Tensor& x,
+                          const RowNormTransform& nt, const Tensor& w);
+  Tensor LocalMatMulNormAGelu(int chip, const Tensor& x,
+                              const RowNormTransform& nt, const Tensor& w);
+  Tensor LocalMatMulNormASwishMulGate(int chip, const Tensor& x,
+                                      const RowNormTransform& nt,
+                                      const Tensor& w, const Tensor& w_gate);
+  void LocalMatMulAccumulate(int chip, const Tensor& x, const Tensor& w,
+                             Tensor* c);
+  // Int8 matmuls charge the quantized weight footprint (the §3.6 byte win).
+  Tensor LocalMatMulInt8(int chip, const QuantizedActivations& x,
+                         const QuantizedTensor& w);
+  void LocalMatMulInt8Accumulate(int chip, const QuantizedActivations& x,
+                                 const QuantizedTensor& w, Tensor* c);
+  // Fastpath metric accounting: `fused_kernels` fused calls issued,
+  // `bytes_saved` = 8 bytes (fp32 write + read) per element of each fp32
+  // intermediate the fusion avoided materializing. No-op when the fast path
+  // is inactive; deterministic for any SPMD slot count (a pure function of
+  // the ops executed).
+  void NoteFusion(int64_t fused_kernels, double bytes_saved);
 
   // Runs SDPA per lane of `q` ([rows, T, heads, dh]) against each lane's
   // cached slot (or scratch), accumulating the attention flop/byte charges
   // into ONE ChargeComputeAndMemory call so the virtual clock matches the
-  // batched formulation exactly when all lanes share a length. `gqa_slice`
-  // slices the kv-head dim of the cached K/V for this chip's query chunk
-  // (kHeads grouped-query path); identity elsewhere.
-  template <typename SliceFn>
+  // batched formulation exactly when all lanes share a length. [g0, g0 +
+  // gcount) selects the kv-head slice of the cached K/V for this chip's
+  // query chunk (kHeads grouped-query path); gcount == -1 reads all heads.
+  // Dispatches on the cache format: int8 caches run the dequant-fused SDPA
+  // kernel and charge the actual int8 footprint.
   Tensor SlotAttention(int chip, int64_t layer, const Tensor& q, double heads,
-                       SliceFn gqa_slice);
+                       int64_t g0 = 0, int64_t gcount = -1);
 
   ModelConfig config_;
   EngineSpec spec_;
   SimMachine* machine_;
   std::vector<ChipWeights> shards_;
+  // Per-chip, per-layer int8 weight shards (fastpath int8 only; the
+  // embedding and logit head stay fp32).
+  struct QuantizedLayerShard {
+    QuantizedTensor wq, wk, wv, wo, win, win_gate, wout;
+  };
+  std::vector<std::vector<QuantizedLayerShard>> qshards_;
   ShardedKvCache cache_;
   double weight_byte_width_;  // 2 (bf16) or 1 (int8) for traffic charging
   int X_, YZ_, n_;
+  FusedPlan prefill_plan_, decode_plan_;
+  // Set (single-threaded) by Forward before entering the SPMD region.
+  const FusedPlan* active_plan_ = nullptr;
+  // Fastpath counters; created eagerly in the ctor (never from SPMD
+  // closures) and only when the fast path is active, so baseline metric
+  // exports carry no fastpath entries.
+  obs::Counter* fused_ops_ = nullptr;
+  obs::Counter* fused_bytes_saved_ = nullptr;
   SpmdExecutor spmd_;
 };
 

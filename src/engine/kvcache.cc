@@ -19,8 +19,11 @@ void ShardedKvCache::UpdateOccupancyGauges() {
 }
 
 ShardedKvCache::ShardedKvCache(int num_chips, int64_t num_layers,
-                               AttnSharding sharding)
-    : sharding_(sharding), num_chips_(num_chips), num_layers_(num_layers) {
+                               AttnSharding sharding, WeightFormat kv_format)
+    : sharding_(sharding),
+      format_(kv_format),
+      num_chips_(num_chips),
+      num_layers_(num_layers) {
   store_.assign(static_cast<size_t>(num_chips),
                 std::vector<LayerStore>(static_cast<size_t>(num_layers)));
 }
@@ -42,6 +45,47 @@ Tensor& ShardedKvCache::SlotRef(std::vector<Tensor>& store, int64_t slot) {
   return store[static_cast<size_t>(slot)];
 }
 
+QuantizedKv& ShardedKvCache::SlotRef8(std::vector<QuantizedKv>& store,
+                                      int64_t slot) {
+  if (static_cast<int64_t>(store.size()) <= slot)
+    store.resize(static_cast<size_t>(slot) + 1);
+  return store[static_cast<size_t>(slot)];
+}
+
+bool ShardedKvCache::SlotResident(int chip, int64_t slot) const {
+  const LayerStore& ls = store_[static_cast<size_t>(chip)][0];
+  if (format_ == WeightFormat::kInt8) {
+    return static_cast<int64_t>(ls.k8.size()) > slot &&
+           !ls.k8[static_cast<size_t>(slot)].empty();
+  }
+  return static_cast<int64_t>(ls.k.size()) > slot &&
+         ls.k[static_cast<size_t>(slot)].numel() > 0;
+}
+
+int64_t ShardedKvCache::SlotStoredLen(int chip, int64_t layer,
+                                      int64_t slot) const {
+  const LayerStore& ls =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  if (format_ == WeightFormat::kInt8)
+    return ls.k8[static_cast<size_t>(slot)].t();
+  return ls.k[static_cast<size_t>(slot)].dim(1);
+}
+
+void ShardedKvCache::SlotGeometry(int chip, int64_t layer, int64_t slot,
+                                  int64_t* kv, int64_t* dh) const {
+  const LayerStore& ls =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  if (format_ == WeightFormat::kInt8) {
+    const QuantizedKv& q = ls.k8[static_cast<size_t>(slot)];
+    *kv = q.kv_heads();
+    *dh = q.d_head();
+  } else {
+    const Tensor& t = ls.k[static_cast<size_t>(slot)];
+    *kv = t.dim(2);
+    *dh = t.dim(3);
+  }
+}
+
 void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
                                int64_t t) {
   TSI_CHECK(!step_open_) << "BeginStep with a step already open (missing CommitStep)";
@@ -58,10 +102,7 @@ void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
       // chip, so a lane migrating to another chip would silently split the
       // sequence across caches.
       if (slot_len_[static_cast<size_t>(slot)] > 0) {
-        const auto& ks = store_[static_cast<size_t>(c)][0].k;
-        const bool resident = static_cast<int64_t>(ks.size()) > slot &&
-                              ks[static_cast<size_t>(slot)].numel() > 0;
-        TSI_CHECK(resident)
+        TSI_CHECK(SlotResident(c, slot))
             << "slot " << slot << " has cached context but is not resident on "
             << "chip " << c << " (lane/owner mismatch)";
       }
@@ -73,12 +114,26 @@ void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
       for (int64_t slot : per_chip_slots[static_cast<size_t>(c)])
         max_slot = std::max(max_slot, slot);
       if (max_slot >= 0) {
-        SlotRef(layer.k, max_slot);
-        SlotRef(layer.v, max_slot);
+        if (format_ == WeightFormat::kInt8) {
+          SlotRef8(layer.k8, max_slot);
+          SlotRef8(layer.v8, max_slot);
+        } else {
+          SlotRef(layer.k, max_slot);
+          SlotRef(layer.v, max_slot);
+        }
       }
       // Discard the previous step's padding lanes.
-      layer.k_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
-      layer.v_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
+      if (format_ == WeightFormat::kInt8) {
+        layer.k8_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
+                                {});
+        layer.v8_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
+                                {});
+      } else {
+        layer.k_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
+                               {});
+        layer.v_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
+                               {});
+      }
     }
   }
   step_slots_ = std::move(per_chip_slots);
@@ -90,6 +145,9 @@ void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
 
 void ShardedKvCache::Append(int chip, int64_t layer, const Tensor& k,
                             const Tensor& v) {
+  TSI_CHECK(format_ == WeightFormat::kBf16)
+      << "mixed-precision append: fp32 Append into an int8 KV cache "
+      << "(use AppendQuantized)";
   TSI_CHECK(step_open_) << "Append outside a BeginStep/CommitStep window";
   TSI_CHECK(chip >= 0 && chip < num_chips_) << "chip out of range";
   TSI_CHECK(layer >= 0 && layer < num_layers_) << "layer out of range";
@@ -127,6 +185,58 @@ void ShardedKvCache::Append(int chip, int64_t layer, const Tensor& k,
   }
 }
 
+void ShardedKvCache::AppendQuantized(int chip, int64_t layer,
+                                     const QuantizedKv& k,
+                                     const QuantizedKv& v) {
+  TSI_CHECK(format_ == WeightFormat::kInt8)
+      << "mixed-precision append: AppendQuantized into an fp32 KV cache "
+      << "(use Append)";
+  TSI_CHECK(step_open_) << "Append outside a BeginStep/CommitStep window";
+  TSI_CHECK(chip >= 0 && chip < num_chips_) << "chip out of range";
+  TSI_CHECK(layer >= 0 && layer < num_layers_) << "layer out of range";
+  TSI_CHECK_EQ(static_cast<int64_t>(k.shape.size()), 4);
+  TSI_CHECK(k.shape == v.shape)
+      << "K/V shape mismatch: " << ShapeToString(k.shape) << " vs "
+      << ShapeToString(v.shape);
+  // One scale per (row, position, head) -- a mismatched scale vector would
+  // silently rescale every later read, so it dies here.
+  TSI_CHECK_EQ(static_cast<int64_t>(k.scales.size()),
+               k.rows() * k.t() * k.kv_heads())
+      << "mismatched scale count for the appended K block";
+  TSI_CHECK_EQ(static_cast<int64_t>(v.scales.size()),
+               v.rows() * v.t() * v.kv_heads())
+      << "mismatched scale count for the appended V block";
+  const auto& targets = step_slots_[static_cast<size_t>(chip)];
+  TSI_CHECK_EQ(k.rows(), static_cast<int64_t>(targets.size()))
+      << "appended rows must match the slot targets declared for chip " << chip;
+  TSI_CHECK_EQ(k.t(), step_t_)
+      << "mismatched t: chip " << chip << " layer " << layer << " appended "
+      << k.t() << " positions into a " << step_t_ << "-wide step";
+  if (kv_heads_ >= 0) {
+    TSI_CHECK(k.kv_heads() == kv_heads_ && k.d_head() == d_head_)
+        << "kv/d_head shape drift: got [" << k.kv_heads() << ", " << k.d_head()
+        << "], cache holds [" << kv_heads_ << ", " << d_head_ << "]";
+  }
+  TSI_CHECK(!appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)])
+      << "double append for chip " << chip << " layer " << layer;
+  appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)] = true;
+
+  LayerStore& ls = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  for (size_t i = 0; i < targets.size(); ++i) {
+    QuantizedKv krow = SliceKvRow(k, static_cast<int64_t>(i));
+    QuantizedKv vrow = SliceKvRow(v, static_cast<int64_t>(i));
+    const int64_t slot = targets[i];
+    QuantizedKv& dst_k = slot == kScratchSlot
+                             ? ls.k8_scratch[i]
+                             : ls.k8[static_cast<size_t>(slot)];
+    QuantizedKv& dst_v = slot == kScratchSlot
+                             ? ls.v8_scratch[i]
+                             : ls.v8[static_cast<size_t>(slot)];
+    dst_k = dst_k.empty() ? std::move(krow) : ConcatKvTime(dst_k, krow);
+    dst_v = dst_v.empty() ? std::move(vrow) : ConcatKvTime(dst_v, vrow);
+  }
+}
+
 void ShardedKvCache::CommitStep() {
   TSI_CHECK(step_open_) << "CommitStep without BeginStep";
   for (int c = 0; c < num_chips_; ++c) {
@@ -137,22 +247,23 @@ void ShardedKvCache::CommitStep() {
           << " never appended in this step (mismatched layer coverage)";
       for (int64_t slot : step_slots_[static_cast<size_t>(c)]) {
         if (slot == kScratchSlot) continue;
-        const Tensor& kc = store_[static_cast<size_t>(c)][static_cast<size_t>(l)]
-                               .k[static_cast<size_t>(slot)];
-        TSI_CHECK_EQ(kc.dim(1), slot_len_[static_cast<size_t>(slot)] + step_t_)
+        TSI_CHECK_EQ(SlotStoredLen(c, l, slot),
+                     slot_len_[static_cast<size_t>(slot)] + step_t_)
             << "slot " << slot << " length diverged on chip " << c << " layer "
             << l << " (mismatched t across chips/layers)";
         // Fix the cache-wide kv geometry on the first committed step; Append
         // validates against it from then on (it cannot write these fields --
         // it runs concurrently across chips).
+        int64_t kv = 0, dh = 0;
+        SlotGeometry(c, l, slot, &kv, &dh);
         if (kv_heads_ < 0) {
-          kv_heads_ = kc.dim(2);
-          d_head_ = kc.dim(3);
+          kv_heads_ = kv;
+          d_head_ = dh;
         }
-        TSI_CHECK(kc.dim(2) == kv_heads_ && kc.dim(3) == d_head_)
+        TSI_CHECK(kv == kv_heads_ && dh == d_head_)
             << "kv/d_head shape drift on chip " << c << " layer " << l
-            << ": got [" << kc.dim(2) << ", " << kc.dim(3) << "], cache holds ["
-            << kv_heads_ << ", " << d_head_ << "]";
+            << ": got [" << kv << ", " << dh << "], cache holds [" << kv_heads_
+            << ", " << d_head_ << "]";
       }
     }
   }
@@ -161,10 +272,10 @@ void ShardedKvCache::CommitStep() {
   int64_t appended_tokens = 0;
   for (size_t s = 0; s < slot_len_.size(); ++s) {
     for (int c = 0; c < num_chips_; ++c) {
-      const auto& ks = store_[static_cast<size_t>(c)][0].k;
-      if (s < ks.size() && ks[s].numel() > 0) {
-        appended_tokens += ks[s].dim(1) - slot_len_[s];
-        slot_len_[s] = ks[s].dim(1);
+      if (SlotResident(c, static_cast<int64_t>(s))) {
+        const int64_t len = SlotStoredLen(c, 0, static_cast<int64_t>(s));
+        appended_tokens += len - slot_len_[s];
+        slot_len_[s] = len;
         break;
       }
     }
@@ -208,6 +319,36 @@ const Tensor& ShardedKvCache::ScratchV(int chip, int64_t layer,
       .v_scratch[static_cast<size_t>(lane)];
 }
 
+const QuantizedKv& ShardedKvCache::K8(int chip, int64_t layer,
+                                      int64_t slot) const {
+  const QuantizedKv& q =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+          .k8[static_cast<size_t>(slot)];
+  TSI_CHECK(!q.empty()) << "slot " << slot << " empty on chip " << chip;
+  return q;
+}
+
+const QuantizedKv& ShardedKvCache::V8(int chip, int64_t layer,
+                                      int64_t slot) const {
+  const QuantizedKv& q =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+          .v8[static_cast<size_t>(slot)];
+  TSI_CHECK(!q.empty()) << "slot " << slot << " empty on chip " << chip;
+  return q;
+}
+
+const QuantizedKv& ShardedKvCache::ScratchK8(int chip, int64_t layer,
+                                             int64_t lane) const {
+  return store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+      .k8_scratch[static_cast<size_t>(lane)];
+}
+
+const QuantizedKv& ShardedKvCache::ScratchV8(int chip, int64_t layer,
+                                             int64_t lane) const {
+  return store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
+      .v8_scratch[static_cast<size_t>(lane)];
+}
+
 void ShardedKvCache::ResetSlot(int64_t slot) {
   TSI_CHECK(!step_open_) << "ResetSlot mid-step";
   if (slot < 0 || slot >= num_slots()) return;
@@ -217,6 +358,10 @@ void ShardedKvCache::ResetSlot(int64_t slot) {
         layer.k[static_cast<size_t>(slot)] = Tensor();
         layer.v[static_cast<size_t>(slot)] = Tensor();
       }
+      if (static_cast<int64_t>(layer.k8.size()) > slot) {
+        layer.k8[static_cast<size_t>(slot)] = QuantizedKv();
+        layer.v8[static_cast<size_t>(slot)] = QuantizedKv();
+      }
     }
   }
   slot_len_[static_cast<size_t>(slot)] = 0;
@@ -224,6 +369,16 @@ void ShardedKvCache::ResetSlot(int64_t slot) {
 }
 
 double ShardedKvCache::TotalBytes(double bytes_per_element) const {
+  if (format_ == WeightFormat::kInt8) {
+    // Int8 storage knows its own widths: 1-byte values plus fp32 scales.
+    double total = 0;
+    for (const auto& chip : store_)
+      for (const auto& layer : chip) {
+        for (const auto& q : layer.k8) total += static_cast<double>(q.ByteSize());
+        for (const auto& q : layer.v8) total += static_cast<double>(q.ByteSize());
+      }
+    return total;
+  }
   double total = 0;
   for (const auto& chip : store_)
     for (const auto& layer : chip)

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/layouts.h"
+#include "quant/int8.h"
 #include "tensor/tensor.h"
 
 namespace tsi {
@@ -51,9 +52,16 @@ class ShardedKvCache {
   static constexpr int64_t kScratchSlot = -1;
 
   ShardedKvCache() = default;
-  ShardedKvCache(int num_chips, int64_t num_layers, AttnSharding sharding);
+  // `kv_format` selects the storage precision: kBf16 stores fp32 tensors
+  // (charged at the machine's bytes/element), kInt8 stores QuantizedKv
+  // blocks with per-(position, head) scales (§3.6/D.3). The two formats are
+  // mutually exclusive per cache: Append on an int8 cache and
+  // AppendQuantized on an fp32 cache both die loudly (mixed precision).
+  ShardedKvCache(int num_chips, int64_t num_layers, AttnSharding sharding,
+                 WeightFormat kv_format = WeightFormat::kBf16);
 
   AttnSharding sharding() const { return sharding_; }
+  WeightFormat format() const { return format_; }
   int64_t num_layers() const { return num_layers_; }
   // Max context length over all slots; equals every slot's length on the
   // static whole-batch path (all slots advance together).
@@ -73,6 +81,11 @@ class ShardedKvCache {
   // match the chip's declared targets. Safe to call concurrently for
   // distinct chips (each touches only its own storage).
   void Append(int chip, int64_t layer, const Tensor& k, const Tensor& v);
+  // Int8 twin of Append for kInt8 caches: same validation (rows, t, shape
+  // drift, double append) plus a per-(row, position, head) scale-count check;
+  // mismatched scales or a precision mismatch with the cache die loudly.
+  void AppendQuantized(int chip, int64_t layer, const QuantizedKv& k,
+                       const QuantizedKv& v);
   // Validates the completed step (every declared (chip, layer) appended,
   // every target slot grew by exactly t on every chip/layer that stores it)
   // and advances the per-slot lengths. Called outside SPMD regions only.
@@ -90,13 +103,20 @@ class ShardedKvCache {
   // Scratch K/V for a padding lane of the in-flight step.
   const Tensor& ScratchK(int chip, int64_t layer, int64_t lane) const;
   const Tensor& ScratchV(int chip, int64_t layer, int64_t lane) const;
+  // Int8 readers (kInt8 caches only; dequant is folded into the SDPA kernel).
+  const QuantizedKv& K8(int chip, int64_t layer, int64_t slot) const;
+  const QuantizedKv& V8(int chip, int64_t layer, int64_t slot) const;
+  const QuantizedKv& ScratchK8(int chip, int64_t layer, int64_t lane) const;
+  const QuantizedKv& ScratchV8(int chip, int64_t layer, int64_t lane) const;
 
   // Frees a slot's storage on every chip/layer so it can be reused by a new
   // sequence (continuous batching's slot reuse on EOS). Not valid mid-step.
   void ResetSlot(int64_t slot);
 
-  // Total cached bytes across all chips at `bytes_per_element` width
-  // (committed slot data; transient scratch excluded).
+  // Total cached bytes across all chips (committed slot data; transient
+  // scratch excluded). fp32 caches are counted at `bytes_per_element` width;
+  // int8 caches report their actual footprint (1-byte values + fp32 scales)
+  // and ignore the parameter.
   double TotalBytes(double bytes_per_element) const;
 
   // Sink for the "kv/" occupancy metrics (slots in use, committed tokens,
@@ -107,13 +127,22 @@ class ShardedKvCache {
  private:
   void UpdateOccupancyGauges();
   struct LayerStore {
-    std::vector<Tensor> k, v;          // indexed by global slot id
+    std::vector<Tensor> k, v;          // indexed by global slot id (fp32)
     std::vector<Tensor> k_scratch, v_scratch;  // indexed by lane
+    std::vector<QuantizedKv> k8, v8;   // int8 twins (kInt8 caches)
+    std::vector<QuantizedKv> k8_scratch, v8_scratch;
   };
 
   Tensor& SlotRef(std::vector<Tensor>& store, int64_t slot);
+  QuantizedKv& SlotRef8(std::vector<QuantizedKv>& store, int64_t slot);
+  // Format-independent views used by the shared protocol validation.
+  bool SlotResident(int chip, int64_t slot) const;
+  int64_t SlotStoredLen(int chip, int64_t layer, int64_t slot) const;
+  void SlotGeometry(int chip, int64_t layer, int64_t slot, int64_t* kv,
+                    int64_t* dh) const;
 
   AttnSharding sharding_ = AttnSharding::kHeads;
+  WeightFormat format_ = WeightFormat::kBf16;
   int num_chips_ = 0;
   int64_t num_layers_ = 0;
   int64_t kv_heads_ = -1;  // fixed by the first committed step

@@ -88,4 +88,84 @@ Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
   return out;
 }
 
+// Int8-KV variant: the same streaming loop, with each K/V element expanded
+// to float(int8 * scale) at read time. That is exactly the value Dequantize
+// produces, so this is bit-identical to running the fp32 kernel on the
+// dequantized cache -- the fusion saves the fp32 materialization and the 4x
+// KV bytes, not arithmetic.
+Tensor ScaledDotProductAttentionInt8Kv(const Tensor& q, const QuantizedKv& k,
+                                       const QuantizedKv& v, bool causal) {
+  TSI_CHECK_EQ(q.rank(), 4);
+  const int64_t B = q.dim(0), Tq = q.dim(1), H = q.dim(2), dh = q.dim(3);
+  const int64_t Tkv = k.t(), KV = k.kv_heads();
+  TSI_CHECK_EQ(k.rows(), B);
+  TSI_CHECK_EQ(v.rows(), B);
+  TSI_CHECK_EQ(v.t(), Tkv);
+  TSI_CHECK_EQ(v.kv_heads(), KV);
+  TSI_CHECK_EQ(k.d_head(), dh);
+  TSI_CHECK_EQ(v.d_head(), dh);
+  TSI_CHECK_EQ(H % KV, 0) << "query heads must be a multiple of kv heads";
+  if (causal)
+    TSI_CHECK_LE(Tq, Tkv) << "queries cannot outnumber kv positions in causal mask";
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  const int64_t offset = Tkv - Tq;
+  Tensor out({B, Tq, H, dh});
+
+  const float* Q = q.data();
+  const int8_t* K8 = k.values.data();
+  const int8_t* V8 = v.values.data();
+  const float* Ks = k.scales.data();
+  const float* Vs = v.scales.data();
+  float* O = out.data();
+
+  ThreadPool::Global().ParallelFor(B * H, 1, [&](int64_t begin, int64_t end) {
+    thread_local std::vector<float> srow;
+    thread_local std::vector<double> orow;
+    srow.resize(static_cast<size_t>(Tkv));
+    orow.resize(static_cast<size_t>(dh));
+    for (int64_t bh = begin; bh < end; ++bh) {
+      const int64_t b = bh / H, h = bh % H;
+      const int64_t g = h * KV / H;
+      for (int64_t i = 0; i < Tq; ++i) {
+        const int64_t jmax = causal ? i + offset + 1 : Tkv;
+        const float* qrow = Q + ((b * Tq + i) * H + h) * dh;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const int64_t vec = (b * Tkv + j) * KV + g;
+          const int8_t* krow = K8 + vec * dh;
+          const float ks = Ks[vec];
+          double acc = 0.0;
+          for (int64_t d = 0; d < dh; ++d)
+            acc += static_cast<double>(qrow[d]) *
+                   static_cast<float>(krow[d] * ks);
+          srow[static_cast<size_t>(j)] = static_cast<float>(acc) * scale;
+        }
+        float mx = srow[0];
+        for (int64_t j = 1; j < jmax; ++j) mx = std::max(mx, srow[static_cast<size_t>(j)]);
+        double sum = 0.0;
+        for (int64_t j = 0; j < jmax; ++j) {
+          float e = std::exp2((srow[static_cast<size_t>(j)] - mx) * kLog2Ef);
+          srow[static_cast<size_t>(j)] = e;
+          sum += static_cast<double>(e);
+        }
+        const double inv = 1.0 / sum;
+        for (int64_t d = 0; d < dh; ++d) orow[static_cast<size_t>(d)] = 0.0;
+        for (int64_t j = 0; j < jmax; ++j) {
+          const double w = static_cast<float>(srow[static_cast<size_t>(j)] * inv);
+          const int64_t vec = (b * Tkv + j) * KV + g;
+          const int8_t* vrow = V8 + vec * dh;
+          const float vs = Vs[vec];
+          for (int64_t d = 0; d < dh; ++d)
+            orow[static_cast<size_t>(d)] +=
+                w * static_cast<double>(static_cast<float>(vrow[d] * vs));
+        }
+        float* outrow = O + ((b * Tq + i) * H + h) * dh;
+        for (int64_t d = 0; d < dh; ++d)
+          outrow[d] = static_cast<float>(orow[static_cast<size_t>(d)]);
+      }
+    }
+  });
+  return out;
+}
+
 }  // namespace tsi

@@ -3,6 +3,7 @@
 // sharded by heads, over a batch subset when sharded by batch, §3.3).
 #pragma once
 
+#include "quant/int8.h"
 #include "tensor/tensor.h"
 
 namespace tsi {
@@ -15,5 +16,14 @@ namespace tsi {
 // standard mask when the q block is the suffix of the kv block.
 Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
                                  const Tensor& v, bool causal);
+
+// Same attention over an int8 KV cache block (decode fast path, §3.6/D.3):
+// dequantization is folded into the score and value loops -- each int8
+// element is expanded to float(int8 * scale) as it is read, so the result is
+// bit-identical to ScaledDotProductAttention(q, Dequantize(k), Dequantize(v),
+// causal) without materializing the fp32 KV. The quantization error itself
+// is bounded by the per-(position, head) scale: |kv - dequant| <= scale/2.
+Tensor ScaledDotProductAttentionInt8Kv(const Tensor& q, const QuantizedKv& k,
+                                       const QuantizedKv& v, bool causal);
 
 }  // namespace tsi

@@ -67,6 +67,61 @@ Tensor Dequantize(const QuantizedActivations& q);
 
 // int8 x int8 -> fp32: result[i,j] = scale_x[i] * scale_w[j] *
 // sum_k xq[i,k] * wq[k,j], with int32 accumulation of the integer dot.
+// Blocked over column panels and pool-parallel; the integer dot is exact,
+// so results are independent of blocking and thread count. Safe for
+// k < ~130,000 (127*127*k must fit int32).
 Tensor MatMulInt8(const QuantizedActivations& x, const QuantizedTensor& w);
+
+// c += MatMulInt8(x, w), bit-identical to c->AddInPlace(MatMulInt8(x, w))
+// without materializing the product (residual fusion on the int8 path).
+void MatMulInt8Accumulate(const QuantizedActivations& x,
+                          const QuantizedTensor& w, Tensor* c);
+
+// --- Fused activation + quantization (decode fast path) --------------------
+// Each computes the fp32 op into a per-row scratch with the same scalar
+// kernels the unfused path uses, then quantizes that row -- bit-identical to
+// QuantizeActivationsInt8(<op>(...)) without materializing the fp32 tensor.
+
+// == QuantizeActivationsInt8(LayerNorm/NormalizeWithMoments output); the
+// transform (tensor/ops.h builders) selects which site is reproduced.
+QuantizedActivations QuantizeNormedInt8(const Tensor& x,
+                                        const RowNormTransform& norm);
+// == QuantizeActivationsInt8(Gelu(h))
+QuantizedActivations QuantizeGeluInt8(const Tensor& h);
+// == QuantizeActivationsInt8(Swish2(h).Mul(gate)): the gated-FFN activation.
+QuantizedActivations QuantizeSwishGateInt8(const Tensor& h,
+                                           const Tensor& gate);
+
+// --- Int8 KV cache payload (§3.6 / D.3) ------------------------------------
+// One slot's (or step's) K or V block [rows, t, kv_heads, d_head] with a
+// symmetric scale per (row, position, head): scale = max over d_head |v|/127
+// (1.0 for all-zero vectors). Dequant is folded into the SDPA kernel
+// (ScaledDotProductAttentionInt8Kv); these accessors exist for tests and for
+// cache bookkeeping.
+struct QuantizedKv {
+  Shape shape;                 // rank 4, [rows, t, kv_heads, d_head]
+  std::vector<int8_t> values;  // row-major
+  std::vector<float> scales;   // rows * t * kv_heads
+
+  int64_t rows() const { return shape[0]; }
+  int64_t t() const { return shape[1]; }
+  int64_t kv_heads() const { return shape[2]; }
+  int64_t d_head() const { return shape[3]; }
+  int64_t numel() const { return static_cast<int64_t>(values.size()); }
+  bool empty() const { return values.empty(); }
+  int64_t ByteSize() const {
+    return static_cast<int64_t>(values.size()) +
+           static_cast<int64_t>(scales.size()) * 4;
+  }
+};
+
+QuantizedKv QuantizeKvInt8(const Tensor& kv);
+Tensor Dequantize(const QuantizedKv& q);
+// Heads [h0, h0+count) of q (the GQA head-group slice).
+QuantizedKv SliceKvHeads(const QuantizedKv& q, int64_t h0, int64_t count);
+// Concatenation along the time dim; `a` may be empty (returns b).
+QuantizedKv ConcatKvTime(const QuantizedKv& a, const QuantizedKv& b);
+// Row `r` of q as a [1, t, kv_heads, d_head] block.
+QuantizedKv SliceKvRow(const QuantizedKv& q, int64_t r);
 
 }  // namespace tsi

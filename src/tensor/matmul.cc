@@ -66,12 +66,40 @@ constexpr i64 kKC = 512;
 constexpr i64 kFallbackMaxMuls = 1 << 15;
 
 enum class Epilogue {
-  kNone,       // C = float(acc)
-  kBias,       // C = float(acc) + bias[j]
-  kGelu,       // C = GeluScalar(float(acc))
-  kSwishGate,  // C = Swish2Scalar(gate_in[i,j]) * float(acc); C may alias
-               // gate_in (in-place second matmul of the gated FFN)
+  kNone,        // C = float(acc)
+  kBias,        // C = float(acc) + bias[j]
+  kGelu,        // C = GeluScalar(float(acc))
+  kBiasGelu,    // C = GeluScalar(float(acc) + bias[j])
+  kSwishGate,   // C = Swish2Scalar(gate_in[i,j]) * float(acc); C may alias
+                // gate_in (in-place second matmul of the gated FFN)
+  kAccumulate,  // C = C + float(acc): residual add fused into writeback.
+                // Reads each C element once, immediately before the store.
 };
+
+// A-operand row-norm transform (decode fast path): the kernel reads
+// float((A[i,j] - mean[i]) * inv[i]) * gain[j] instead of A[i,j]. Raw
+// pointer view of the public RowNormTransform, validated at the API layer.
+struct NormA {
+  const double* mean;
+  const double* inv;
+  const float* gain;
+};
+
+// Everything the 2-D kernels take besides A/B/C and the shape.
+struct KernelOpts {
+  Epilogue ep = Epilogue::kNone;
+  const float* bias = nullptr;
+  const float* gate = nullptr;
+  const NormA* norm = nullptr;
+};
+
+// The transformed A element; the float cast before the gain multiply matches
+// LayerNorm / NormalizeWithMoments' scalar sequence exactly (tensor/ops.cc).
+inline double NormedA(const NormA& na, const float* A, i64 k, i64 i, i64 kk) {
+  return static_cast<double>(
+      static_cast<float>((A[i * k + kk] - na.mean[i]) * na.inv[i]) *
+      na.gain[kk]);
+}
 
 // Applies the epilogue to one row of kNR-padded double accumulators.
 inline void WritebackRow(Epilogue ep, const double* src, float* c, i64 jw,
@@ -88,9 +116,16 @@ inline void WritebackRow(Epilogue ep, const double* src, float* c, i64 jw,
       for (i64 j = 0; j < jw; ++j)
         c[j] = GeluScalar(static_cast<float>(src[j]));
       break;
+    case Epilogue::kBiasGelu:
+      for (i64 j = 0; j < jw; ++j)
+        c[j] = GeluScalar(static_cast<float>(src[j]) + bias_row[j]);
+      break;
     case Epilogue::kSwishGate:
       for (i64 j = 0; j < jw; ++j)
         c[j] = Swish2Scalar(gate_row[j]) * static_cast<float>(src[j]);
+      break;
+    case Epilogue::kAccumulate:
+      for (i64 j = 0; j < jw; ++j) c[j] = c[j] + static_cast<float>(src[j]);
       break;
   }
 }
@@ -202,27 +237,27 @@ Scratch& LocalScratch() {
 // Simple i-k-j kernel for small problems (and the BatchMatMul fallback):
 // streams B rows instead of striding columns, same fma chain per element.
 void FallbackMatMul(const float* A, const float* B, float* C, i64 m, i64 k,
-                    i64 n, Epilogue ep, const float* bias, const float* gate) {
+                    i64 n, const KernelOpts& opts) {
   std::vector<double>& acc = LocalScratch().cacc;
   acc.resize(static_cast<size_t>(n));
   for (i64 i = 0; i < m; ++i) {
     std::fill(acc.begin(), acc.end(), 0.0);
     for (i64 kk = 0; kk < k; ++kk) {
-      double av = static_cast<double>(A[i * k + kk]);
+      double av = opts.norm ? NormedA(*opts.norm, A, k, i, kk)
+                            : static_cast<double>(A[i * k + kk]);
       const float* brow = B + kk * n;
       for (i64 j = 0; j < n; ++j)
         acc[static_cast<size_t>(j)] =
             std::fma(av, static_cast<double>(brow[j]), acc[static_cast<size_t>(j)]);
     }
-    WritebackRow(ep, acc.data(), C + i * n, n, bias,
-                 gate ? gate + i * n : nullptr);
+    WritebackRow(opts.ep, acc.data(), C + i * n, n, opts.bias,
+                 opts.gate ? opts.gate + i * n : nullptr);
   }
 }
 
 // Blocked kernel over the caller's scratch; see file comment for the scheme.
 void BlockedMatMul(ThreadPool& pool, const float* A, const float* B, float* C,
-                   i64 m, i64 k, i64 n, Epilogue ep, const float* bias,
-                   const float* gate) {
+                   i64 m, i64 k, i64 n, const KernelOpts& opts) {
   const i64 np = (n + kNR - 1) / kNR;  // B panels
   const i64 mt = (m + kMR - 1) / kMR;  // A row tiles
   Scratch& scratch = LocalScratch();
@@ -252,13 +287,17 @@ void BlockedMatMul(ThreadPool& pool, const float* A, const float* B, float* C,
     });
     // Pack A[:, k0:k0+kc] into double tiles [kk][kMR] (broadcast-friendly),
     // zero-padding ragged heights so the microkernel is always full-tile.
+    // The row-norm transform, if any, is applied here at pack time: the
+    // normalized operand is never materialized as a tensor.
     pool.ParallelFor(mt, 1, [&](i64 t_begin, i64 t_end) {
       for (i64 t = t_begin; t < t_end; ++t) {
         const i64 i0 = t * kMR, mr = std::min(kMR, m - i0);
         double* dst = Ap + t * kc * kMR;
         for (i64 kk = 0; kk < kc; ++kk) {
           for (i64 r = 0; r < mr; ++r)
-            dst[kk * kMR + r] = static_cast<double>(A[(i0 + r) * k + k0 + kk]);
+            dst[kk * kMR + r] =
+                opts.norm ? NormedA(*opts.norm, A, k, i0 + r, k0 + kk)
+                          : static_cast<double>(A[(i0 + r) * k + k0 + kk]);
           for (i64 r = mr; r < kMR; ++r) dst[kk * kMR + r] = 0.0;
         }
       }
@@ -282,27 +321,26 @@ void BlockedMatMul(ThreadPool& pool, const float* A, const float* B, float* C,
       const double* crow = Cacc + i * cstride;
       for (i64 p = 0; p < np; ++p) {
         const i64 j0 = p * kNR, jw = std::min(kNR, n - j0);
-        WritebackRow(ep, crow + p * kNR, C + i * n + j0, jw,
-                     bias ? bias + j0 : nullptr,
-                     gate ? gate + i * n + j0 : nullptr);
+        WritebackRow(opts.ep, crow + p * kNR, C + i * n + j0, jw,
+                     opts.bias ? opts.bias + j0 : nullptr,
+                     opts.gate ? opts.gate + i * n + j0 : nullptr);
       }
     }
   });
 }
 
 void MatMul2D(ThreadPool& pool, const float* A, const float* B, float* C,
-              i64 m, i64 k, i64 n, Epilogue ep, const float* bias,
-              const float* gate) {
+              i64 m, i64 k, i64 n, const KernelOpts& opts) {
   if (m * k * n <= kFallbackMaxMuls || n < kNR) {
-    FallbackMatMul(A, B, C, m, k, n, ep, bias, gate);
+    FallbackMatMul(A, B, C, m, k, n, opts);
   } else {
-    BlockedMatMul(pool, A, B, C, m, k, n, ep, bias, gate);
+    BlockedMatMul(pool, A, B, C, m, k, n, opts);
   }
 }
 
 // Shape plumbing shared by MatMul and the fused variants.
 Tensor MatMulImpl(ThreadPool& pool, const Tensor& a, const Tensor& b,
-                  Epilogue ep, const float* bias) {
+                  const KernelOpts& opts) {
   TSI_CHECK_EQ(b.rank(), 2);
   TSI_CHECK_GE(a.rank(), 2);
   int64_t k = a.dim(-1);
@@ -313,15 +351,25 @@ Tensor MatMulImpl(ThreadPool& pool, const Tensor& a, const Tensor& b,
   Shape out_shape(a.shape().begin(), a.shape().end() - 1);
   out_shape.push_back(n);
   Tensor out(out_shape);
-  MatMul2D(pool, a.data(), b.data(), out.data(), m, k, n, ep, bias,
-           /*gate=*/nullptr);
+  MatMul2D(pool, a.data(), b.data(), out.data(), m, k, n, opts);
   return out;
+}
+
+// Validated raw view of a RowNormTransform for an A of [m, k].
+NormA CheckedNormA(const RowNormTransform& norm, i64 m, i64 k) {
+  TSI_CHECK_EQ(static_cast<i64>(norm.mean.size()), m)
+      << "norm transform rows must match A rows";
+  TSI_CHECK_EQ(static_cast<i64>(norm.inv.size()), m);
+  TSI_CHECK(norm.gain != nullptr) << "norm transform requires a gain";
+  TSI_CHECK_EQ(norm.gain->numel(), k)
+      << "norm gain length must match the matmul inner dim";
+  return NormA{norm.mean.data(), norm.inv.data(), norm.gain->data()};
 }
 
 }  // namespace
 
 Tensor MatMul(ThreadPool& pool, const Tensor& a, const Tensor& b) {
-  return MatMulImpl(pool, a, b, Epilogue::kNone, nullptr);
+  return MatMulImpl(pool, a, b, KernelOpts{});
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -338,8 +386,7 @@ Tensor BatchMatMul(ThreadPool& pool, const Tensor& a, const Tensor& b) {
   Tensor out(Shape{batch, m, n});
   for (int64_t bb = 0; bb < batch; ++bb) {
     MatMul2D(pool, a.data() + bb * m * k, b.data() + bb * k * n,
-             out.data() + bb * m * n, m, k, n, Epilogue::kNone,
-             /*bias=*/nullptr, /*gate=*/nullptr);
+             out.data() + bb * m * n, m, k, n, KernelOpts{});
   }
   return out;
 }
@@ -351,25 +398,97 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
 Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
   TSI_CHECK_EQ(bias.rank(), 1);
   TSI_CHECK_EQ(bias.dim(0), b.dim(1));
-  return MatMulImpl(ThreadPool::Global(), a, b, Epilogue::kBias, bias.data());
+  KernelOpts opts;
+  opts.ep = Epilogue::kBias;
+  opts.bias = bias.data();
+  return MatMulImpl(ThreadPool::Global(), a, b, opts);
 }
 
 Tensor MatMulGelu(const Tensor& a, const Tensor& b) {
-  return MatMulImpl(ThreadPool::Global(), a, b, Epilogue::kGelu, nullptr);
+  KernelOpts opts;
+  opts.ep = Epilogue::kGelu;
+  return MatMulImpl(ThreadPool::Global(), a, b, opts);
 }
+
+Tensor MatMulBiasGelu(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  TSI_CHECK_EQ(bias.rank(), 1);
+  TSI_CHECK_EQ(bias.dim(0), b.dim(1));
+  KernelOpts opts;
+  opts.ep = Epilogue::kBiasGelu;
+  opts.bias = bias.data();
+  return MatMulImpl(ThreadPool::Global(), a, b, opts);
+}
+
+namespace {
+
+// Shared body of the gated-FFN fusion: h = a @ b, then in-place
+// h = Swish2(h) * (a @ b_gate); the second kernel reads each gate input
+// h[i,j] immediately before overwriting it.
+Tensor SwishMulGateImpl(const Tensor& a, const Tensor& b, const Tensor& b_gate,
+                        const NormA* norm) {
+  TSI_CHECK(b.SameShape(b_gate))
+      << ShapeToString(b.shape()) << " vs " << ShapeToString(b_gate.shape());
+  KernelOpts first;
+  first.norm = norm;
+  Tensor h = MatMulImpl(ThreadPool::Global(), a, b, first);
+  int64_t k = a.dim(-1);
+  KernelOpts second;
+  second.ep = Epilogue::kSwishGate;
+  second.gate = h.data();
+  second.norm = norm;
+  MatMul2D(ThreadPool::Global(), a.data(), b_gate.data(), h.data(),
+           a.numel() / k, k, b_gate.dim(1), second);
+  return h;
+}
+
+}  // namespace
 
 Tensor MatMulSwishMulGate(const Tensor& a, const Tensor& b,
                           const Tensor& b_gate) {
-  TSI_CHECK(b.SameShape(b_gate))
-      << ShapeToString(b.shape()) << " vs " << ShapeToString(b_gate.shape());
-  // h = a @ b, then in-place: h = Swish2(h) * (a @ b_gate). The second
-  // kernel reads the gate input h[i,j] immediately before overwriting it.
-  Tensor h = MatMulImpl(ThreadPool::Global(), a, b, Epilogue::kNone, nullptr);
+  return SwishMulGateImpl(a, b, b_gate, /*norm=*/nullptr);
+}
+
+Tensor MatMulNormA(const Tensor& a, const RowNormTransform& norm,
+                   const Tensor& b) {
   int64_t k = a.dim(-1);
-  MatMul2D(ThreadPool::Global(), a.data(), b_gate.data(), h.data(),
-           a.numel() / k, k, b_gate.dim(1), Epilogue::kSwishGate,
-           /*bias=*/nullptr, /*gate=*/h.data());
-  return h;
+  NormA na = CheckedNormA(norm, a.numel() / k, k);
+  KernelOpts opts;
+  opts.norm = &na;
+  return MatMulImpl(ThreadPool::Global(), a, b, opts);
+}
+
+Tensor MatMulNormAGelu(const Tensor& a, const RowNormTransform& norm,
+                       const Tensor& b) {
+  int64_t k = a.dim(-1);
+  NormA na = CheckedNormA(norm, a.numel() / k, k);
+  KernelOpts opts;
+  opts.ep = Epilogue::kGelu;
+  opts.norm = &na;
+  return MatMulImpl(ThreadPool::Global(), a, b, opts);
+}
+
+Tensor MatMulNormASwishMulGate(const Tensor& a, const RowNormTransform& norm,
+                               const Tensor& b, const Tensor& b_gate) {
+  int64_t k = a.dim(-1);
+  NormA na = CheckedNormA(norm, a.numel() / k, k);
+  return SwishMulGateImpl(a, b, b_gate, &na);
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c) {
+  TSI_CHECK(c != nullptr);
+  TSI_CHECK_EQ(b.rank(), 2);
+  TSI_CHECK_GE(a.rank(), 2);
+  int64_t k = a.dim(-1);
+  TSI_CHECK_EQ(k, b.dim(0)) << "matmul inner-dim mismatch";
+  int64_t n = b.dim(1);
+  int64_t m = a.numel() / k;
+  TSI_CHECK_EQ(c->numel(), m * n)
+      << "accumulate target must have the matmul output shape";
+  TSI_CHECK_EQ(c->dim(-1), n);
+  TSI_CHECK(a.data() != c->data()) << "A must not alias the accumulator";
+  KernelOpts opts;
+  opts.ep = Epilogue::kAccumulate;
+  MatMul2D(ThreadPool::Global(), a.data(), b.data(), c->data(), m, k, n, opts);
 }
 
 }  // namespace tsi

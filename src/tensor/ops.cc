@@ -133,6 +133,53 @@ Tensor NormalizeWithMoments(const Tensor& x, const Tensor& moments,
   return out;
 }
 
+RowNormTransform NormTransformFromRows(const Tensor& x, const Tensor& gain,
+                                       double eps) {
+  const int64_t n = x.dim(-1);
+  const int64_t rows = x.numel() / n;
+  TSI_CHECK_EQ(gain.numel(), n) << "norm gain size";
+  RowNormTransform t;
+  t.mean.resize(static_cast<size_t>(rows));
+  t.inv.resize(static_cast<size_t>(rows));
+  t.gain = &gain;
+  const float* d = x.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    // Same stats pass as LayerNorm: double (sum, sumsq) in index order.
+    const float* row = d + r * n;
+    double s = 0.0, sq = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double v = row[i];
+      s += v;
+      sq += v * v;
+    }
+    double mean = s / static_cast<double>(n);
+    double var = sq / static_cast<double>(n) - mean * mean;
+    t.mean[static_cast<size_t>(r)] = mean;
+    t.inv[static_cast<size_t>(r)] = 1.0 / std::sqrt(var + eps);
+  }
+  return t;
+}
+
+RowNormTransform NormTransformFromMoments(const Tensor& moments,
+                                          const Tensor& gain, double denom,
+                                          double eps) {
+  const int64_t rows = moments.numel() / 2;
+  TSI_CHECK_EQ(moments.numel(), rows * 2) << "one (sum, sumsq) pair per row";
+  RowNormTransform t;
+  t.mean.resize(static_cast<size_t>(rows));
+  t.inv.resize(static_cast<size_t>(rows));
+  t.gain = &gain;
+  const float* m = moments.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    // Same derivation as NormalizeWithMoments (float moments, double math).
+    double mean = static_cast<double>(m[r * 2]) / denom;
+    double var = static_cast<double>(m[r * 2 + 1]) / denom - mean * mean;
+    t.mean[static_cast<size_t>(r)] = mean;
+    t.inv[static_cast<size_t>(r)] = 1.0 / std::sqrt(var + eps);
+  }
+  return t;
+}
+
 // The pointwise activations delegate to the scalar kernels in scalar_ops.h,
 // which the fused matmul epilogues share -- fused and unfused paths are
 // bit-identical by construction.

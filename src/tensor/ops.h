@@ -35,6 +35,21 @@ Tensor NormalizeWithMoments(const Tensor& x, const Tensor& moments,
                             const Tensor& gain, double denom,
                             double eps = 1e-6);
 
+// Fast-path builders for the matmul A-operand norm fusion (RowNormTransform
+// in tensor.h). Each reproduces one of the two normalization sites above
+// exactly, so a MatMulNormA* call is bit-identical to materializing the
+// normalized tensor first:
+//   NormTransformFromRows(x, g)          ==/=> LayerNorm(x, g) reads
+//     (the default eps is LayerNorm's float 1e-6f promoted to double)
+//   NormTransformFromMoments(mom, g, d)  ==/=> NormalizeWithMoments reads
+// `gain` is captured by pointer and must outlive the transform.
+RowNormTransform NormTransformFromRows(
+    const Tensor& x, const Tensor& gain,
+    double eps = static_cast<double>(1e-6f));
+RowNormTransform NormTransformFromMoments(const Tensor& moments,
+                                          const Tensor& gain, double denom,
+                                          double eps = 1e-6);
+
 // SwiGLU-free pointwise activations.
 Tensor Swish(const Tensor& x);   // x * sigmoid(x)
 Tensor Swish2(const Tensor& x);  // base-2 sigmoid formulation

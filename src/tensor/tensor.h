@@ -112,10 +112,39 @@ Tensor BatchMatMul(ThreadPool& pool, const Tensor& a, const Tensor& b);
 // but skips the extra output traversal and temporary:
 //   MatMulBias(a, b, bias)       == AddBias(MatMul(a, b), bias)
 //   MatMulGelu(a, b)             == Gelu(MatMul(a, b))
+//   MatMulBiasGelu(a, b, bias)   == Gelu(AddBias(MatMul(a, b), bias))
 //   MatMulSwishMulGate(a, b, g)  == Swish2(MatMul(a, b)).Mul(MatMul(a, g))
 Tensor MatMulBias(const Tensor& a, const Tensor& b, const Tensor& bias);
 Tensor MatMulGelu(const Tensor& a, const Tensor& b);
+Tensor MatMulBiasGelu(const Tensor& a, const Tensor& b, const Tensor& bias);
 Tensor MatMulSwishMulGate(const Tensor& a, const Tensor& b,
                           const Tensor& b_gate);
+
+// --- Fused prologues / residual epilogues (decode fast path) ---------------
+// Per-row normalization folded into the A-operand reads of a matmul: the
+// kernel consumes  float((a[i,j] - mean[i]) * inv[i]) * gain[j]  instead of
+// a[i,j], replicating LayerNorm / NormalizeWithMoments' exact scalar
+// sequence (tensor/ops.cc), so MatMulNormA(x, nt, w) is bit-identical to
+// MatMul(<norm>(x, gain), w) without materializing the normalized tensor.
+// Build the params with NormTransformFromRows / NormTransformFromMoments
+// (tensor/ops.h). `gain` must stay alive for the duration of the call.
+struct RowNormTransform {
+  std::vector<double> mean;  // one per row of A
+  std::vector<double> inv;   // 1/sqrt(var + eps), one per row of A
+  const Tensor* gain = nullptr;  // per-column gain, length k
+};
+
+Tensor MatMulNormA(const Tensor& a, const RowNormTransform& norm,
+                   const Tensor& b);
+Tensor MatMulNormAGelu(const Tensor& a, const RowNormTransform& norm,
+                       const Tensor& b);
+Tensor MatMulNormASwishMulGate(const Tensor& a, const RowNormTransform& norm,
+                               const Tensor& b, const Tensor& b_gate);
+
+// Residual fusion: c += a @ b, bit-identical to c->AddInPlace(MatMul(a, b))
+// (IEEE float addition, same operand order) without materializing the
+// matmul output. `c` must have the matmul's output shape; `a` must not
+// alias `c`.
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor* c);
 
 }  // namespace tsi

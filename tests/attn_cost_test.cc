@@ -152,6 +152,29 @@ TEST(MemoryReportTest, Palm540Bbf16DoesNotFitOn16Chips) {
   EXPECT_TRUE(ChipMemoryReport(cfg, s32, TpuV4(), 1, 128).fits());
 }
 
+TEST(AttnCostTest, Int8KvFormatHalvesEstimatedCacheBytes) {
+  // The decode fast path's int8 KV cache, reflected in the analytic memory
+  // model: PartitionSpec::kv_format = kInt8 halves per-chip KV bytes and
+  // doubles the max context a given HBM reserve supports.
+  ModelConfig cfg = Palm540B();
+  PartitionSpec spec;
+  spec.mesh = Torus3D(2, 4, 4);
+  double bf16 = KvCacheBytesPerChip(cfg, spec.attn, spec.num_chips(), 64, 1024,
+                                    ActivationBytes(spec.kv_format));
+  spec.kv_format = WeightFormat::kInt8;
+  double int8 = KvCacheBytesPerChip(cfg, spec.attn, spec.num_chips(), 64, 1024,
+                                    ActivationBytes(spec.kv_format));
+  EXPECT_DOUBLE_EQ(int8, 0.5 * bf16);
+
+  MemoryReport r = ChipMemoryReport(cfg, spec, TpuV4(), 64, 1024);
+  EXPECT_DOUBLE_EQ(r.kv_bytes_per_chip, int8);
+  PartitionSpec bf16_spec = spec;
+  bf16_spec.kv_format = WeightFormat::kBf16;
+  EXPECT_DOUBLE_EQ(
+      MaxContextForReserve(cfg, spec, TpuV4(), 64, 0.3),
+      2.0 * MaxContextForReserve(cfg, bf16_spec, TpuV4(), 64, 0.3));
+}
+
 // §2.1: the multihead KV cache at B=512, L=2048 is ~3x the model's weights.
 TEST(AttnCostTest, KvCacheCanTripleModelSize) {
   ModelConfig mh = Palm540BMultihead();

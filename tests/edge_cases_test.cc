@@ -120,6 +120,38 @@ TEST(EdgeDeathTest, KvCacheRejectsDoubleAppend) {
   EXPECT_DEATH(cache.Append(0, 0, kv, kv), "double append");
 }
 
+TEST(EdgeDeathTest, KvCacheRejectsFp32AppendIntoInt8Cache) {
+  // An int8-format cache (decode fast path) only accepts AppendQuantized;
+  // silently widening one chip's block would corrupt the shared cache.
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kInt8);
+  cache.BeginStep({{0}}, 2);
+  Tensor kv({1, 2, 1, 4});
+  EXPECT_DEATH(cache.Append(0, 0, kv, kv), "mixed-precision append");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsQuantizedAppendIntoFp32Cache) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  cache.BeginStep({{0}}, 2);
+  Rng rng(3);
+  QuantizedKv q = QuantizeKvInt8(Tensor::Gaussian({1, 2, 1, 4}, rng));
+  EXPECT_DEATH(cache.AppendQuantized(0, 0, q, q), "mixed-precision append");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsMismatchedScaleCount) {
+  // A quantized block must carry exactly one scale per (row, position,
+  // head); a truncated scale vector would read out of bounds in SDPA.
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kInt8);
+  cache.BeginStep({{0}}, 2);
+  Rng rng(4);
+  QuantizedKv good = QuantizeKvInt8(Tensor::Gaussian({1, 2, 1, 4}, rng));
+  QuantizedKv bad = good;
+  bad.scales.pop_back();
+  EXPECT_DEATH(cache.AppendQuantized(0, 0, bad, good),
+               "mismatched scale count");
+  EXPECT_DEATH(cache.AppendQuantized(0, 0, good, bad),
+               "mismatched scale count");
+}
+
 TEST(EdgeDeathTest, KvCacheRejectsMissingLayerCoverage) {
   ShardedKvCache cache(1, 2, AttnSharding::kHeads);
   cache.BeginStep({{0}}, 1);

@@ -148,5 +148,63 @@ TEST(QuantTest, ZeroMatrixStaysZero) {
   EXPECT_EQ(back.MaxAbs(), 0.0f);
 }
 
+TEST(QuantTest, AllZeroColumnGetsUnitScaleAndRoundTripsExactly) {
+  // Degenerate per-column scale: a dead output channel must not divide by
+  // zero, must store scale 1.0, and must dequantize back to exact zeros
+  // while its neighbors keep the normal error bound.
+  Tensor w({3, 2}, {0.0f, 4.0f, 0.0f, -2.0f, 0.0f, 1.0f});
+  QuantizedTensor q = QuantizeInt8(w);
+  EXPECT_EQ(q.scales[0], 1.0f);
+  Tensor back = Dequantize(q);
+  for (int64_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(back[r * 2 + 0], 0.0f);
+    EXPECT_LE(std::fabs(back[r * 2 + 1] - w[r * 2 + 1]),
+              0.5f * q.scales[1] + 1e-7f);
+  }
+}
+
+TEST(QuantTest, SingleElementTensorRoundTrip) {
+  Tensor w({1, 1}, {-3.25f});
+  QuantizedTensor q = QuantizeInt8(w);
+  EXPECT_EQ(q.values[0], -127);
+  EXPECT_EQ(Dequantize(q)[0], w[0]) << "the column max itself is exact";
+  Tensor z({1, 1}, {0.0f});
+  EXPECT_EQ(Dequantize(QuantizeInt8(z))[0], 0.0f);
+}
+
+TEST(ActQuantTest, AllZeroRowGetsUnitScaleAndRoundTripsExactly) {
+  // Degenerate per-row scale on the activation side (a fully masked lane in
+  // a padded decode frame produces exactly this).
+  Tensor x({2, 3}, {0.0f, 0.0f, 0.0f, 5.0f, -5.0f, 2.5f});
+  QuantizedActivations q = QuantizeActivationsInt8(x);
+  EXPECT_EQ(q.scales[0], 1.0f);
+  Tensor back = Dequantize(q);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_EQ(back[c], 0.0f);
+  for (int64_t c = 0; c < 3; ++c)
+    EXPECT_LE(std::fabs(back[3 + c] - x[3 + c]), 0.5f * q.scales[1] + 1e-7f);
+}
+
+TEST(ActQuantTest, SingleElementActivationsRoundTrip) {
+  Tensor x({1, 1}, {0.75f});
+  QuantizedActivations q = QuantizeActivationsInt8(x);
+  EXPECT_EQ(q.values[0], 127);
+  EXPECT_EQ(Dequantize(q)[0], x[0]) << "the row max itself is exact";
+}
+
+TEST(ActQuantTest, RoundTripErrorBoundedByHalfRowScale) {
+  // Property: |x - dequant(quant(x))| <= scale_r / 2 elementwise, including
+  // rows whose max is tiny relative to the others.
+  Rng rng(77);
+  Tensor x = Tensor::Gaussian({16, 24}, rng);
+  for (int64_t c = 0; c < 24; ++c) x[5 * 24 + c] *= 1e-5f;  // one tiny row
+  QuantizedActivations q = QuantizeActivationsInt8(x);
+  Tensor back = Dequantize(q);
+  for (int64_t r = 0; r < 16; ++r)
+    for (int64_t c = 0; c < 24; ++c)
+      EXPECT_LE(std::fabs(x[r * 24 + c] - back[r * 24 + c]),
+                0.5f * q.scales[static_cast<size_t>(r)] + 1e-9f)
+          << "row " << r << " col " << c;
+}
+
 }  // namespace
 }  // namespace tsi

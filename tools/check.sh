@@ -8,6 +8,10 @@
 #   tools/check.sh obs        # additionally run the observability smoke check
 #                             # (trace_report --demo: serve, export, re-parse,
 #                             # validate utilization invariants)
+#   tools/check.sh fastpath   # additionally run the fused+int8 serving demo
+#                             # under TSan with 8 SPMD slots forced (the demo
+#                             # exits non-zero if fused fp32 diverges from
+#                             # the baseline's tokens)
 #
 # TSan halves throughput and multiplies memory, so TSI_TSAN_TESTS can narrow
 # the sanitized run to the concurrency-heavy tests; default is everything.
@@ -35,13 +39,22 @@ ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
 echo "== ThreadSanitizer, 8 SPMD slots forced =="
 TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
   ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
-        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test'
+        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|fastpath_test'
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "== SPMD wall-clock bench =="
   (cd "$repo" && ./build-check/bench/bench_sim_wallclock)
   echo "== Continuous-batching serving bench =="
   (cd "$repo" && ./build-check/bench/bench_serving)
+fi
+
+if [[ "${1:-}" == "fastpath" ]]; then
+  # Fused-kernel race check: the fused fp32 + end-to-end int8 serving demo
+  # (examples/fastpath_serving.cpp) under ThreadSanitizer with multi-slot
+  # SPMD execution forced on. The demo itself gates on the bit-exactness
+  # contract, so this catches both races and silent divergence.
+  echo "== Fast-path serving demo under TSan (8 SPMD slots) =="
+  TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 "$repo/build-check-tsan/examples/fastpath_serving"
 fi
 
 if [[ "${1:-}" == "obs" ]]; then
