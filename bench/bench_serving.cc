@@ -17,12 +17,23 @@
 // headline: at every offered load, continuous batching sustains >= the
 // baseline's throughput at a lower p99 -- the baseline's tail is dominated
 // by waiting for the previous batch to drain.
+//
+// Two paged-KV sections ride along (docs/kvcache.md):
+//   * slot_capacity -- paged vs contiguous max concurrent slots in the same
+//     30% KV reserve on the PaLM 540B shape: a contiguous allocator prices
+//     every slot at max_context, the paged pool at its actual occupancy;
+//   * shared_prefix -- the SAME workload (common system prompt) through the
+//     functional engine with prefix sharing off/on: scheduler-fed prefill
+//     tokens, cache-appended tokens, and peak KV page bytes all drop.
 #include "common.h"
 
 #include <cstdlib>
 
+#include "core/memory.h"
 #include "obs/utilization.h"
 #include "serve/analytic.h"
+#include "serve/runtime.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace tsi {
@@ -155,6 +166,110 @@ int main() {
   }
   t.Print();
 
+  // --- Paged vs contiguous slot capacity in the same KV reserve -----------
+  // Sequences occupy `context` tokens in expectation but a contiguous
+  // allocator must reserve kMaxContext per slot; the paged pool charges
+  // ceil(context / page) pages. Decode batch is capped by concurrent slots,
+  // so the ratio is a direct throughput headroom.
+  const double kMaxContext = 2048;
+  const int64_t kPage = 16;
+  struct CapRecord {
+    double context;
+    SlotCapacity cap;
+  };
+  std::vector<CapRecord> caps;
+  PrintHeader("Paged KV: max concurrent slots in the 30% KV reserve");
+  Table ct({"context", "max_context", "contiguous slots", "paged slots",
+            "ratio"});
+  for (double context : {256.0, 512.0, 1024.0}) {
+    CapRecord c{context,
+                MaxConcurrentSlots(cfg, scfg.spec, est.chip(), context,
+                                   kMaxContext, kPage)};
+    ct.AddRow({FormatDouble(context, 0), FormatDouble(kMaxContext, 0),
+               FormatDouble(c.cap.contiguous_slots, 0),
+               FormatDouble(c.cap.paged_slots, 0),
+               FormatDouble(c.cap.paged_slots / c.cap.contiguous_slots, 2) +
+                   "x"});
+    caps.push_back(c);
+  }
+  ct.Print();
+
+  // --- Shared-prefix workload on the functional engine --------------------
+  // 12 requests sharing a 128-token system prompt, served twice: prefix
+  // sharing off, then on (fork-at-admission against the registered prompt).
+  struct PrefixRun {
+    double prefill_tokens = 0;   // scheduler-fed prompt tokens
+    double appended_tokens = 0;  // KV positions physically written
+    double kv_bytes_peak = 0;    // peak page bytes across the run
+    double forks = 0, cow_splits = 0, prefix_hits = 0;
+  };
+  // 130 = 8 full pages + a 2-token boundary page, so every fork's first
+  // divergent append also exercises a COW split.
+  const int64_t kSysLen = 130, kTailLen = 8, kPrefixRequests = 12;
+  auto prefix_run = [&](bool share) {
+    ModelConfig tiny = TinyTestModel();
+    ModelWeights weights = ModelWeights::Random(tiny, 41);
+    Rng rng(42);
+    std::vector<int32_t> sys(static_cast<size_t>(kSysLen));
+    for (auto& v : sys)
+      v = static_cast<int32_t>(
+          rng.NextBelow(static_cast<uint64_t>(tiny.vocab_size)));
+    std::vector<ServeRequest> requests;
+    for (int64_t i = 0; i < kPrefixRequests; ++i) {
+      ServeRequest r;
+      r.id = i;
+      r.arrival = static_cast<double>(i) * 1e-6;
+      r.prompt = sys;
+      for (int64_t j = 0; j < kTailLen; ++j)
+        r.prompt.push_back(static_cast<int32_t>(
+            rng.NextBelow(static_cast<uint64_t>(tiny.vocab_size))));
+      r.max_new_tokens = 12;
+      requests.push_back(std::move(r));
+    }
+    SimMachine machine(Torus3D(2, 2, 1), TpuV4());
+    obs::MetricsRegistry metrics;
+    EngineSpec espec;
+    espec.attn = AttnSharding::kBatch;
+    espec.kv.page_size = kPage;
+    DistributedEngine engine(weights, &machine, espec);
+    engine.set_metrics(&metrics);
+    ServeOptions so;
+    so.prefill_chunk = 32;
+    so.sampling.temperature = 0;
+    so.share_prefixes = share;
+    so.metrics = &metrics;
+    EngineServeBackend backend(&engine, /*num_slots=*/8, so);
+    if (share) backend.RegisterSystemPrompt(sys);
+    RunContinuousServing(backend, requests, so);
+    PrefixRun out;
+    out.prefill_tokens = static_cast<double>(
+        metrics.GetCounter("serve/prefill_tokens")->value());
+    out.appended_tokens = static_cast<double>(
+        metrics.GetCounter("kv/appended_tokens")->value());
+    out.kv_bytes_peak = metrics.GetGauge("kv/pages_bytes_peak")->value();
+    out.forks = static_cast<double>(engine.cache().forks());
+    out.cow_splits = static_cast<double>(engine.cache().cow_splits());
+    if (share)
+      out.prefix_hits = static_cast<double>(
+          metrics.GetCounter("serve/prefix_hits")->value());
+    return out;
+  };
+  const PrefixRun pr_off = prefix_run(false);
+  const PrefixRun pr_on = prefix_run(true);
+  PrintHeader("Shared system prompt (functional engine, 130+8-token prompts)");
+  Table pt({"sharing", "prefill tokens", "kv appended tokens",
+            "kv peak bytes", "forks", "cow splits"});
+  pt.AddRow({"off", FormatDouble(pr_off.prefill_tokens, 0),
+             FormatDouble(pr_off.appended_tokens, 0),
+             FormatDouble(pr_off.kv_bytes_peak, 0),
+             FormatDouble(pr_off.forks, 0),
+             FormatDouble(pr_off.cow_splits, 0)});
+  pt.AddRow({"on", FormatDouble(pr_on.prefill_tokens, 0),
+             FormatDouble(pr_on.appended_tokens, 0),
+             FormatDouble(pr_on.kv_bytes_peak, 0),
+             FormatDouble(pr_on.forks, 0), FormatDouble(pr_on.cow_splits, 0)});
+  pt.Print();
+
   const char* path = "BENCH_serving.json";
   if (const char* env = std::getenv("TSI_BENCH_JSON")) path = env;
   if (std::FILE* f = std::fopen(path, "w")) {
@@ -190,7 +305,35 @@ int main() {
                      r.comm_frac);
       std::fprintf(f, "}%s\n", i + 1 < records.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n  \"slot_capacity\": [\n");
+    for (size_t i = 0; i < caps.size(); ++i) {
+      const CapRecord& c = caps[i];
+      std::fprintf(f,
+                   "    {\"context\": %.0f, \"max_context\": %.0f, "
+                   "\"page_size\": %lld, \"contiguous_slots\": %.0f, "
+                   "\"paged_slots\": %.0f, \"ratio\": %.3f}%s\n",
+                   c.context, kMaxContext, static_cast<long long>(kPage),
+                   c.cap.contiguous_slots, c.cap.paged_slots,
+                   c.cap.paged_slots / c.cap.contiguous_slots,
+                   i + 1 < caps.size() ? "," : "");
+    }
+    std::fprintf(
+        f,
+        "  ],\n  \"shared_prefix\": {\n"
+        "    \"requests\": %lld, \"system_prompt_tokens\": %lld, "
+        "\"tail_tokens\": %lld,\n"
+        "    \"off\": {\"prefill_tokens\": %.0f, \"kv_appended_tokens\": "
+        "%.0f, \"kv_pages_bytes_peak\": %.0f, \"forks\": %.0f, "
+        "\"cow_splits\": %.0f},\n"
+        "    \"on\": {\"prefill_tokens\": %.0f, \"kv_appended_tokens\": "
+        "%.0f, \"kv_pages_bytes_peak\": %.0f, \"forks\": %.0f, "
+        "\"cow_splits\": %.0f, \"prefix_hits\": %.0f}\n  }\n}\n",
+        static_cast<long long>(kPrefixRequests),
+        static_cast<long long>(kSysLen), static_cast<long long>(kTailLen),
+        pr_off.prefill_tokens, pr_off.appended_tokens, pr_off.kv_bytes_peak,
+        pr_off.forks, pr_off.cow_splits, pr_on.prefill_tokens,
+        pr_on.appended_tokens, pr_on.kv_bytes_peak, pr_on.forks,
+        pr_on.cow_splits, pr_on.prefix_hits);
     std::fclose(f);
     std::fprintf(stderr, "wrote %s (%zu records)\n", path, records.size());
   } else {

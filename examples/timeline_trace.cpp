@@ -14,7 +14,13 @@
 
 int main(int argc, char** argv) {
   using namespace tsi;
-  const char* out_path = argc > 1 ? argv[1] : "tsi_trace.json";
+  // Default lands next to the binary (CMake bakes in its build directory),
+  // not in whatever directory the demo happens to run from.
+#ifndef TSI_EXAMPLE_OUTPUT_DIR
+#define TSI_EXAMPLE_OUTPUT_DIR "."
+#endif
+  const char* out_path =
+      argc > 1 ? argv[1] : TSI_EXAMPLE_OUTPUT_DIR "/tsi_trace.json";
 
   ModelConfig config = TinyTestModel();
   config.num_layers = 4;

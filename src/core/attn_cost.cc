@@ -1,6 +1,7 @@
 #include "core/attn_cost.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace tsi {
 
@@ -41,6 +42,22 @@ double KvCacheBytesPerChip(const ModelConfig& config, AttnSharding sharding,
       return total_per_chip_unsharded / std::min<double>(n_chips, batch);
   }
   return total_per_chip_unsharded;
+}
+
+double KvCacheBytesPerChipPaged(const ModelConfig& config,
+                                AttnSharding sharding, int n_chips,
+                                double batch, double context,
+                                double bytes_per_value, int64_t page_size) {
+  if (page_size <= 0) {
+    return KvCacheBytesPerChip(config, sharding, n_chips, batch, context,
+                               bytes_per_value);
+  }
+  // Each sequence independently rounds its context up to whole pages; the
+  // sharding divisor is unchanged (pages shard exactly like tokens).
+  const double ps = static_cast<double>(page_size);
+  const double paged_context = std::ceil(context / ps) * ps;
+  return KvCacheBytesPerChip(config, sharding, n_chips, batch, paged_context,
+                             bytes_per_value);
 }
 
 double KvCacheBytesTotal(const ModelConfig& config, double batch, double context) {

@@ -29,6 +29,15 @@ double KvCacheBytesPerChip(const ModelConfig& config, AttnSharding sharding,
                            int n_chips, double batch, double context,
                            double bytes_per_value = ActivationBytes());
 
+// Paged twin of KvCacheBytesPerChip: capacity charged in whole pages of
+// `page_size` tokens per sequence (each sequence's last partial page counts
+// full -- the functional ShardedKvCache's allocation granularity).
+// page_size <= 0 models the contiguous reservation (identical numbers).
+double KvCacheBytesPerChipPaged(const ModelConfig& config,
+                                AttnSharding sharding, int n_chips,
+                                double batch, double context,
+                                double bytes_per_value, int64_t page_size);
+
 // Total KV-cache bytes across the whole machine (batch * per-sequence).
 double KvCacheBytesTotal(const ModelConfig& config, double batch, double context);
 

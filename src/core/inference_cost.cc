@@ -1,6 +1,7 @@
 #include "core/inference_cost.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/attn_cost.h"
 #include "core/flops.h"
@@ -43,9 +44,9 @@ void InferenceEstimator::FillMetrics(const PartitionSpec& spec, double batch,
   r->mfu = r->seconds > 0 ? ideal / r->seconds : 0;
   r->weight_bytes_per_chip = static_cast<double>(MatmulParams(config_)) *
                              WeightBytes(spec.weight_format) / n;
-  r->kv_bytes_per_chip =
-      KvCacheBytesPerChip(config_, spec.attn, n, batch, context,
-                          ActivationBytes(spec.kv_format));
+  r->kv_bytes_per_chip = KvCacheBytesPerChipPaged(
+      config_, spec.attn, n, batch, context, ActivationBytes(spec.kv_format),
+      spec.kv_page_size);
   r->fits_memory = FitsMemory(spec, batch, context);
 }
 
@@ -91,7 +92,10 @@ double InferenceEstimator::MaxContextLength(const PartitionSpec& spec,
       KvCacheBytesPerChip(config_, spec.attn, spec.num_chips(), batch, 1.0,
                           ActivationBytes(spec.kv_format));
   if (per_token <= 0) return 0;
-  return sys_.kv_memory_reserve * chip_.hbm_bytes / per_token;
+  const double context = sys_.kv_memory_reserve * chip_.hbm_bytes / per_token;
+  if (spec.kv_page_size <= 0) return context;
+  const double ps = static_cast<double>(spec.kv_page_size);
+  return std::floor(context / ps) * ps;
 }
 
 bool InferenceEstimator::FitsMemory(const PartitionSpec& spec, double batch,
@@ -99,8 +103,9 @@ bool InferenceEstimator::FitsMemory(const PartitionSpec& spec, double batch,
   const int n = spec.num_chips();
   double weights = static_cast<double>(MatmulParams(config_)) *
                    WeightBytes(spec.weight_format) / n;
-  double kv = KvCacheBytesPerChip(config_, spec.attn, n, batch, context,
-                                  ActivationBytes(spec.kv_format));
+  double kv = KvCacheBytesPerChipPaged(config_, spec.attn, n, batch, context,
+                                       ActivationBytes(spec.kv_format),
+                                       spec.kv_page_size);
   // 5% allowance for activations and collective buffers.
   return weights + kv <= 0.95 * chip_.hbm_bytes;
 }

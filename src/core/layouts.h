@@ -67,6 +67,11 @@ struct PartitionSpec {
   // Int8 KV cache (engine: FastPathConfig precision=kInt8): halves the
   // per-decode-step KV stream, the memory-bound term in long-context decode.
   WeightFormat kv_format = WeightFormat::kBf16;
+  // Paged KV allocation (engine: KvCacheConfig.page_size): KV *capacity* is
+  // charged in whole pages per sequence -- each sequence's last partial page
+  // counts full. 0 models the contiguous (token-granular) reservation.
+  // Streaming KV *traffic* is unaffected (only valid positions are read).
+  int64_t kv_page_size = 0;
 
   int num_chips() const { return mesh.num_chips(); }
   std::string ToString() const;

@@ -1,5 +1,7 @@
 #include "core/memory.h"
 
+#include <cmath>
+
 #include "core/attn_cost.h"
 #include "core/flops.h"
 
@@ -11,9 +13,9 @@ MemoryReport ChipMemoryReport(const ModelConfig& config, const PartitionSpec& sp
   r.hbm_bytes = chip.hbm_bytes;
   r.weight_bytes_per_chip = static_cast<double>(MatmulParams(config)) *
                             WeightBytes(spec.weight_format) / spec.num_chips();
-  r.kv_bytes_per_chip =
-      KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, context,
-                          ActivationBytes(spec.kv_format));
+  r.kv_bytes_per_chip = KvCacheBytesPerChipPaged(
+      config, spec.attn, spec.num_chips(), batch, context,
+      ActivationBytes(spec.kv_format), spec.kv_page_size);
   return r;
 }
 
@@ -23,7 +25,36 @@ double MaxContextForReserve(const ModelConfig& config, const PartitionSpec& spec
       KvCacheBytesPerChip(config, spec.attn, spec.num_chips(), batch, 1.0,
                           ActivationBytes(spec.kv_format));
   if (per_token <= 0) return 0;
-  return reserve * chip.hbm_bytes / per_token;
+  const double context = reserve * chip.hbm_bytes / per_token;
+  if (spec.kv_page_size <= 0) return context;
+  // Page-granular: the last page must fit whole, so round the answer down
+  // to a page boundary.
+  const double ps = static_cast<double>(spec.kv_page_size);
+  return std::floor(context / ps) * ps;
+}
+
+SlotCapacity MaxConcurrentSlots(const ModelConfig& config,
+                                const PartitionSpec& spec, const ChipSpec& chip,
+                                double context, double max_context,
+                                int64_t page_size, double reserve) {
+  SlotCapacity cap;
+  const int n = spec.num_chips();
+  const double bpv = ActivationBytes(spec.kv_format);
+  // Per-slot bytes at batch = n: every chip then holds exactly one
+  // sequence's shard under kBatch (and 1/min(n, kv) of each under kHeads),
+  // so dividing the per-chip figure by one sequence isolates a slot's cost.
+  cap.per_slot_bytes_contiguous =
+      KvCacheBytesPerChip(config, spec.attn, n, n, max_context, bpv) / n;
+  cap.per_slot_bytes_paged = KvCacheBytesPerChipPaged(
+                                 config, spec.attn, n, n, context, bpv,
+                                 page_size) /
+                             n;
+  const double budget = reserve * chip.hbm_bytes;
+  if (cap.per_slot_bytes_contiguous > 0)
+    cap.contiguous_slots = std::floor(budget / cap.per_slot_bytes_contiguous);
+  if (cap.per_slot_bytes_paged > 0)
+    cap.paged_slots = std::floor(budget / cap.per_slot_bytes_paged);
+  return cap;
 }
 
 }  // namespace tsi

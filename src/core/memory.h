@@ -28,4 +28,24 @@ double MaxContextForReserve(const ModelConfig& config, const PartitionSpec& spec
                             const ChipSpec& chip, double batch,
                             double reserve = 0.30);
 
+// How many concurrent sequences fit in the KV reserve, contrasting the two
+// allocation disciplines a serving system can run:
+//   * contiguous: every slot reserves `max_context` tokens up front (the
+//     pre-paging ShardedKvCache -- capacity priced at the worst case);
+//   * paged: a slot holds only ceil(context / page_size) pages (priced at
+//     its actual occupancy, fragmentation bounded by one page).
+// `context` is the expected occupancy per sequence, `max_context` the
+// reservation a contiguous allocator must make. Throughput follows directly:
+// decode batch size is capped by concurrent slots (§3.3, Appendix A).
+struct SlotCapacity {
+  double contiguous_slots = 0;
+  double paged_slots = 0;
+  double per_slot_bytes_contiguous = 0;
+  double per_slot_bytes_paged = 0;
+};
+SlotCapacity MaxConcurrentSlots(const ModelConfig& config,
+                                const PartitionSpec& spec, const ChipSpec& chip,
+                                double context, double max_context,
+                                int64_t page_size, double reserve = 0.30);
+
 }  // namespace tsi

@@ -51,7 +51,8 @@ DistributedEngine::DistributedEngine(const ModelWeights& weights,
   }
   cache_ = ShardedKvCache(n_, config_.num_layers, spec_.attn,
                           spec_.fastpath.int8() ? WeightFormat::kInt8
-                                                : WeightFormat::kBf16);
+                                                : WeightFormat::kBf16,
+                          spec_.kv);
   // Plan the per-layout block fusion up front (engine/fastpath.h): the
   // graphs encode where collectives bar fusion, so the per-chip block
   // functions only consult plan flags.
@@ -218,44 +219,91 @@ Tensor DistributedEngine::SlotAttention(int chip, int64_t layer, const Tensor& q
     const bool scratch = s == ShardedKvCache::kScratchSlot;
     const int64_t lane = static_cast<int64_t>(i);
     Tensor qi = q.Slice(0, lane, 1);
-    if (int8) {
-      const QuantizedKv& kf =
-          scratch ? cache_.ScratchK8(chip, layer, lane) : cache_.K8(chip, layer, s);
-      const QuantizedKv& vf =
-          scratch ? cache_.ScratchV8(chip, layer, lane) : cache_.V8(chip, layer, s);
-      const bool slice = gcount >= 0 && gcount != kf.kv_heads();
-      QuantizedKv ks, vs;
-      if (slice) {
-        ks = SliceKvHeads(kf, g0, gcount);
-        vs = SliceKvHeads(vf, g0, gcount);
+    if (scratch) {
+      // Padding lanes read their per-lane step scratch (one step's worth of
+      // K/V, never paged).
+      if (int8) {
+        const QuantizedKv& kf = cache_.ScratchK8(chip, layer, lane);
+        const QuantizedKv& vf = cache_.ScratchV8(chip, layer, lane);
+        const bool slice = gcount >= 0 && gcount != kf.kv_heads();
+        QuantizedKv ks, vs;
+        if (slice) {
+          ks = SliceKvHeads(kf, g0, gcount);
+          vs = SliceKvHeads(vf, g0, gcount);
+        }
+        const QuantizedKv& kc = slice ? ks : kf;
+        const QuantizedKv& vc = slice ? vs : vf;
+        flops += 4.0 * static_cast<double>(T) * static_cast<double>(kc.t()) *
+                 heads * static_cast<double>(config_.d_head);
+        kv_bytes += static_cast<double>(kc.ByteSize() + vc.ByteSize());
+        outs.push_back(
+            ScaledDotProductAttentionInt8Kv(qi, kc, vc, /*causal=*/true));
+        continue;
       }
-      const QuantizedKv& kc = slice ? ks : kf;
-      const QuantizedKv& vc = slice ? vs : vf;
-      flops += 4.0 * static_cast<double>(T) * static_cast<double>(kc.t()) *
+      Tensor kc = cache_.ScratchK(chip, layer, lane);
+      Tensor vc = cache_.ScratchV(chip, layer, lane);
+      if (gcount >= 0 && gcount != kc.dim(2)) {
+        kc = kc.Slice(2, g0, gcount);
+        vc = vc.Slice(2, g0, gcount);
+      }
+      flops += 4.0 * static_cast<double>(T) * static_cast<double>(kc.dim(1)) *
                heads * static_cast<double>(config_.d_head);
-      // The §3.6/D.3 win: the decode-dominating KV stream is charged at its
-      // actual int8 footprint (1-byte values + per-vector scales).
-      kv_bytes += static_cast<double>(kc.ByteSize() + vc.ByteSize());
-      outs.push_back(
-          ScaledDotProductAttentionInt8Kv(qi, kc, vc, /*causal=*/true));
+      kv_bytes +=
+          2.0 * static_cast<double>(kc.numel()) * machine_->bytes_per_element();
+      outs.push_back(ScaledDotProductAttention(qi, kc, vc, /*causal=*/true));
       continue;
     }
-    Tensor kc = scratch ? cache_.ScratchK(chip, layer, lane)
-                        : cache_.K(chip, layer, s);
-    Tensor vc = scratch ? cache_.ScratchV(chip, layer, lane)
-                        : cache_.V(chip, layer, s);
-    if (gcount >= 0 && gcount != kc.dim(2)) {
-      kc = kc.Slice(2, g0, gcount);
-      vc = vc.Slice(2, g0, gcount);
-    }
+    // Resident slot: read through the page table. Charges are computed from
+    // the read geometry, not a materialized tensor, so they are identical
+    // whether the kernel iterates pages (fast path) or a gathered block --
+    // and bit-for-bit equal to the pre-paging contiguous expressions.
+    const int64_t len = cache_.ReadLength(chip, s);
+    const int64_t stored = cache_.StoredKvHeads(chip);
+    const bool slice = gcount >= 0 && gcount != stored;
+    const int64_t sel = slice ? gcount : stored;
+    const int64_t off = slice ? g0 : 0;
+    const double dh = static_cast<double>(config_.d_head);
     // Per-lane flops/bytes are exact integers in double, so this sum equals
     // the batched 4*B*T*len*heads*dh / 2*numel formulation bit-for-bit when
     // every lane shares one length -- the virtual clock stays identical to
     // the static-batch path.
-    flops += 4.0 * static_cast<double>(T) * static_cast<double>(kc.dim(1)) *
-             heads * static_cast<double>(config_.d_head);
-    kv_bytes += 2.0 * static_cast<double>(kc.numel()) * machine_->bytes_per_element();
-    outs.push_back(ScaledDotProductAttention(qi, kc, vc, /*causal=*/true));
+    flops += 4.0 * static_cast<double>(T) * static_cast<double>(len) * heads * dh;
+    if (int8) {
+      // The §3.6/D.3 win: the decode-dominating KV stream is charged at its
+      // actual int8 footprint (1-byte values + per-vector scales).
+      kv_bytes += 2.0 * (static_cast<double>(len * sel) * dh +
+                         4.0 * static_cast<double>(len * sel));
+      if (spec_.kv.paged_kernel) {
+        outs.push_back(ScaledDotProductAttentionPagedInt8Kv(
+            qi, cache_.PageSpanK8(chip, layer, s, off, sel),
+            cache_.PageSpanV8(chip, layer, s, off, sel), /*causal=*/true));
+      } else {
+        QuantizedKv kc = cache_.K8(chip, layer, s);
+        QuantizedKv vc = cache_.V8(chip, layer, s);
+        if (slice) {
+          kc = SliceKvHeads(kc, g0, gcount);
+          vc = SliceKvHeads(vc, g0, gcount);
+        }
+        outs.push_back(
+            ScaledDotProductAttentionInt8Kv(qi, kc, vc, /*causal=*/true));
+      }
+      continue;
+    }
+    kv_bytes += 2.0 * (static_cast<double>(len * sel) * dh) *
+                machine_->bytes_per_element();
+    if (spec_.kv.paged_kernel) {
+      outs.push_back(ScaledDotProductAttentionPaged(
+          qi, cache_.PageSpanK(chip, layer, s, off, sel),
+          cache_.PageSpanV(chip, layer, s, off, sel), /*causal=*/true));
+    } else {
+      Tensor kc = cache_.K(chip, layer, s);
+      Tensor vc = cache_.V(chip, layer, s);
+      if (slice) {
+        kc = kc.Slice(2, g0, gcount);
+        vc = vc.Slice(2, g0, gcount);
+      }
+      outs.push_back(ScaledDotProductAttention(qi, kc, vc, /*causal=*/true));
+    }
   }
   machine_->ChargeComputeAndMemory(chip, flops, kv_bytes, "attention");
   // Per-lane SDPA is bit-identical to one batched call: the kernel streams

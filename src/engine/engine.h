@@ -72,6 +72,10 @@ struct EngineSpec {
   // Applies to both phases' weight-stationary block execution;
   // weight-gathered blocks keep fp32 compute but share the int8 KV cache.
   FastPathConfig fastpath;
+  // Paged KV cache knobs (engine/kvcache.h): allocation page size and
+  // whether SDPA iterates the page table directly or gathers first. Both
+  // settings are bit-identical to each other and to any other page size.
+  KvCacheConfig kv;
 };
 
 class DistributedEngine {
@@ -106,6 +110,13 @@ class DistributedEngine {
                      const std::vector<int64_t>& slot_map);
   // Frees a slot's cache on every chip for reuse by a new request.
   void ResetSlot(int64_t slot) { cache_.ResetSlot(slot); }
+  // Shares `parent`'s first `prefix_len` committed tokens with the empty
+  // slot `child` by refcounting KV pages (copy-on-write prefix sharing) --
+  // the child's prefill can skip those tokens entirely. See
+  // ShardedKvCache::ForkSlot for the residency/ownership rules.
+  void ForkSlot(int64_t parent, int64_t child, int64_t prefix_len) {
+    cache_.ForkSlot(parent, child, prefix_len);
+  }
   int64_t slot_length(int64_t slot) const { return cache_.slot_length(slot); }
 
   int64_t context_length() const { return cache_.length(); }

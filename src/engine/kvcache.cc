@@ -1,11 +1,17 @@
 #include "engine/kvcache.h"
 
 #include <algorithm>
+#include <cstring>
+#include <unordered_set>
 
 #include "util/logging.h"
 #include "util/metrics.h"
 
 namespace tsi {
+
+namespace {
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
 
 void ShardedKvCache::UpdateOccupancyGauges() {
   obs::MetricsRegistry& m = metrics_ ? *metrics_ : obs::MetricsRegistry::Global();
@@ -16,16 +22,29 @@ void ShardedKvCache::UpdateOccupancyGauges() {
   }
   m.GetGauge("kv/slots_in_use")->Set(static_cast<double>(in_use));
   m.GetGauge("kv/committed_tokens")->Set(static_cast<double>(committed));
+  const double pages = static_cast<double>(pages_in_use());
+  const double bytes = TotalBytes(2.0);
+  peak_pages_ = std::max(peak_pages_, pages);
+  peak_page_bytes_ = std::max(peak_page_bytes_, bytes);
+  m.GetGauge("kv/pages_in_use")->Set(pages);
+  m.GetGauge("kv/pages_shared")->Set(static_cast<double>(pages_shared()));
+  m.GetGauge("kv/pages_bytes")->Set(bytes);
+  m.GetGauge("kv/pages_peak")->Set(peak_pages_);
+  m.GetGauge("kv/pages_bytes_peak")->Set(peak_page_bytes_);
 }
 
 ShardedKvCache::ShardedKvCache(int num_chips, int64_t num_layers,
-                               AttnSharding sharding, WeightFormat kv_format)
+                               AttnSharding sharding, WeightFormat kv_format,
+                               KvCacheConfig config)
     : sharding_(sharding),
       format_(kv_format),
+      config_(config),
       num_chips_(num_chips),
       num_layers_(num_layers) {
+  TSI_CHECK_GT(config_.page_size, 0) << "page size must be positive";
   store_.assign(static_cast<size_t>(num_chips),
-                std::vector<LayerStore>(static_cast<size_t>(num_layers)));
+                std::vector<LayerPages>(static_cast<size_t>(num_layers)));
+  pool_.assign(static_cast<size_t>(num_chips), ChipPool{});
 }
 
 int64_t ShardedKvCache::length() const {
@@ -39,51 +58,96 @@ int64_t ShardedKvCache::slot_length(int64_t slot) const {
   return slot_len_[static_cast<size_t>(slot)];
 }
 
-Tensor& ShardedKvCache::SlotRef(std::vector<Tensor>& store, int64_t slot) {
-  if (static_cast<int64_t>(store.size()) <= slot)
-    store.resize(static_cast<size_t>(slot) + 1);
-  return store[static_cast<size_t>(slot)];
-}
-
-QuantizedKv& ShardedKvCache::SlotRef8(std::vector<QuantizedKv>& store,
-                                      int64_t slot) {
-  if (static_cast<int64_t>(store.size()) <= slot)
-    store.resize(static_cast<size_t>(slot) + 1);
-  return store[static_cast<size_t>(slot)];
-}
-
 bool ShardedKvCache::SlotResident(int chip, int64_t slot) const {
-  const LayerStore& ls = store_[static_cast<size_t>(chip)][0];
-  if (format_ == WeightFormat::kInt8) {
-    return static_cast<int64_t>(ls.k8.size()) > slot &&
-           !ls.k8[static_cast<size_t>(slot)].empty();
-  }
-  return static_cast<int64_t>(ls.k.size()) > slot &&
-         ls.k[static_cast<size_t>(slot)].numel() > 0;
+  const ChipPool& pool = pool_[static_cast<size_t>(chip)];
+  return static_cast<int64_t>(pool.tables.size()) > slot &&
+         !pool.tables[static_cast<size_t>(slot)].empty();
 }
 
-int64_t ShardedKvCache::SlotStoredLen(int chip, int64_t layer,
-                                      int64_t slot) const {
-  const LayerStore& ls =
-      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
-  if (format_ == WeightFormat::kInt8)
-    return ls.k8[static_cast<size_t>(slot)].t();
-  return ls.k[static_cast<size_t>(slot)].dim(1);
+bool ShardedKvCache::SlotTargeted(int chip, int64_t slot) const {
+  if (!step_open_) return false;
+  const auto& targets = step_slots_[static_cast<size_t>(chip)];
+  return std::find(targets.begin(), targets.end(), slot) != targets.end();
 }
 
-void ShardedKvCache::SlotGeometry(int chip, int64_t layer, int64_t slot,
-                                  int64_t* kv, int64_t* dh) const {
-  const LayerStore& ls =
-      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
-  if (format_ == WeightFormat::kInt8) {
-    const QuantizedKv& q = ls.k8[static_cast<size_t>(slot)];
-    *kv = q.kv_heads();
-    *dh = q.d_head();
-  } else {
-    const Tensor& t = ls.k[static_cast<size_t>(slot)];
-    *kv = t.dim(2);
-    *dh = t.dim(3);
+int64_t ShardedKvCache::ReadLength(int chip, int64_t slot) const {
+  int64_t len = slot_length(slot);
+  if (SlotTargeted(chip, slot)) len += step_t_;
+  return len;
+}
+
+void ShardedKvCache::ReadGeometry(int chip, int64_t* kv, int64_t* dh) const {
+  if (kv_heads_ >= 0) {
+    *kv = kv_heads_;
+    *dh = d_head_;
+    return;
   }
+  const ChipPool& pool = pool_[static_cast<size_t>(chip)];
+  TSI_CHECK_GE(pool.kv, 0) << "kv geometry unknown on chip " << chip
+                           << " (nothing appended yet)";
+  *kv = pool.kv;
+  *dh = pool.dh;
+}
+
+int64_t ShardedKvCache::StoredKvHeads(int chip) const {
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  return kv;
+}
+
+int32_t ShardedKvCache::AllocPage(int c) {
+  ChipPool& pool = pool_[static_cast<size_t>(c)];
+  if (!pool.free_pages.empty()) {
+    const int32_t id = pool.free_pages.back();
+    pool.free_pages.pop_back();
+    pool.refcount[static_cast<size_t>(id)] = 1;
+    return id;
+  }
+  pool.refcount.push_back(1);
+  return static_cast<int32_t>(pool.refcount.size()) - 1;
+}
+
+void ShardedKvCache::EnsureLayerCapacity(int c) {
+  const size_t cap = pool_[static_cast<size_t>(c)].refcount.size();
+  for (LayerPages& lp : store_[static_cast<size_t>(c)]) {
+    if (format_ == WeightFormat::kInt8) {
+      lp.k8.resize(cap);
+      lp.v8.resize(cap);
+      lp.k8s.resize(cap);
+      lp.v8s.resize(cap);
+    } else {
+      lp.k.resize(cap);
+      lp.v.resize(cap);
+    }
+  }
+}
+
+// Copy-on-write split of a shared page: the slot gets a private copy of the
+// boundary page (in every layer) before the step writes into it, and drops
+// its reference on the shared original. Single-threaded (BeginStep).
+void ShardedKvCache::CowSplitPage(int c, int64_t slot, size_t page_idx) {
+  ChipPool& pool = pool_[static_cast<size_t>(c)];
+  std::vector<int32_t>& table = pool.tables[static_cast<size_t>(slot)];
+  const int32_t old_id = table[page_idx];
+  TSI_CHECK_GT(pool.refcount[static_cast<size_t>(old_id)], 1);
+  const int32_t new_id = AllocPage(c);
+  EnsureLayerCapacity(c);
+  for (LayerPages& lp : store_[static_cast<size_t>(c)]) {
+    if (format_ == WeightFormat::kInt8) {
+      lp.k8[static_cast<size_t>(new_id)] = lp.k8[static_cast<size_t>(old_id)];
+      lp.v8[static_cast<size_t>(new_id)] = lp.v8[static_cast<size_t>(old_id)];
+      lp.k8s[static_cast<size_t>(new_id)] = lp.k8s[static_cast<size_t>(old_id)];
+      lp.v8s[static_cast<size_t>(new_id)] = lp.v8s[static_cast<size_t>(old_id)];
+    } else {
+      lp.k[static_cast<size_t>(new_id)] = lp.k[static_cast<size_t>(old_id)];
+      lp.v[static_cast<size_t>(new_id)] = lp.v[static_cast<size_t>(old_id)];
+    }
+  }
+  --pool.refcount[static_cast<size_t>(old_id)];
+  table[page_idx] = new_id;
+  ++cow_splits_;
+  obs::MetricsRegistry& m = metrics_ ? *metrics_ : obs::MetricsRegistry::Global();
+  m.GetCounter("kv/cow_splits")->Add(1);
 }
 
 void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
@@ -91,48 +155,57 @@ void ShardedKvCache::BeginStep(std::vector<std::vector<int64_t>> per_chip_slots,
   TSI_CHECK(!step_open_) << "BeginStep with a step already open (missing CommitStep)";
   TSI_CHECK_EQ(static_cast<int>(per_chip_slots.size()), num_chips_);
   TSI_CHECK_GT(t, 0) << "step width must be positive";
+  const int64_t ps = config_.page_size;
   for (int c = 0; c < num_chips_; ++c) {
+    ChipPool& pool = pool_[static_cast<size_t>(c)];
+    std::unordered_set<int64_t> seen;
     for (int64_t slot : per_chip_slots[static_cast<size_t>(c)]) {
       if (slot == kScratchSlot) continue;
       TSI_CHECK_GE(slot, 0) << "slot ids are non-negative (or kScratchSlot)";
+      TSI_CHECK(seen.insert(slot).second)
+          << "slot " << slot << " targeted by two lanes of chip " << c
+          << " in one step";
       if (static_cast<int64_t>(slot_len_.size()) <= slot)
         slot_len_.resize(static_cast<size_t>(slot) + 1, 0);
+      if (static_cast<int64_t>(pool.tables.size()) <= slot)
+        pool.tables.resize(static_cast<size_t>(slot) + 1);
+      const int64_t len = slot_len_[static_cast<size_t>(slot)];
       // A slot with committed context must already be resident on every chip
-      // that targets it: under kBatch a sequence's rows live on one owner
+      // that targets it: under kBatch a sequence's pages live on one owner
       // chip, so a lane migrating to another chip would silently split the
       // sequence across caches.
-      if (slot_len_[static_cast<size_t>(slot)] > 0) {
+      if (len > 0) {
         TSI_CHECK(SlotResident(c, slot))
             << "slot " << slot << " has cached context but is not resident on "
             << "chip " << c << " (lane/owner mismatch)";
       }
-    }
-    // Pre-size slot storage single-threaded so concurrent Appends never
-    // reallocate the per-layer vectors.
-    for (auto& layer : store_[static_cast<size_t>(c)]) {
-      int64_t max_slot = -1;
-      for (int64_t slot : per_chip_slots[static_cast<size_t>(c)])
-        max_slot = std::max(max_slot, slot);
-      if (max_slot >= 0) {
-        if (format_ == WeightFormat::kInt8) {
-          SlotRef8(layer.k8, max_slot);
-          SlotRef8(layer.v8, max_slot);
-        } else {
-          SlotRef(layer.k, max_slot);
-          SlotRef(layer.v, max_slot);
-        }
+      std::vector<int32_t>& table = pool.tables[static_cast<size_t>(slot)];
+      TSI_CHECK_EQ(static_cast<int64_t>(table.size()), CeilDiv(len, ps))
+          << "page table out of sync for slot " << slot << " on chip " << c;
+      // COW: this step writes into the boundary page starting at position
+      // `len`; if that page is shared with another slot (a forked prefix),
+      // split it now so the append cannot leak into the sibling.
+      if (len % ps != 0 &&
+          pool.refcount[static_cast<size_t>(table[static_cast<size_t>(
+              len / ps)])] > 1) {
+        CowSplitPage(c, slot, static_cast<size_t>(len / ps));
       }
+      // Allocate the rest of the step's pages (exclusive by construction).
+      const int64_t needed = CeilDiv(len + t, ps);
+      while (static_cast<int64_t>(table.size()) < needed)
+        table.push_back(AllocPage(c));
+    }
+    // Pre-size the per-layer page vectors single-threaded so concurrent
+    // Appends never reallocate them; buffers themselves stay chip-local.
+    EnsureLayerCapacity(c);
+    for (LayerPages& lp : store_[static_cast<size_t>(c)]) {
       // Discard the previous step's padding lanes.
       if (format_ == WeightFormat::kInt8) {
-        layer.k8_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
-                                {});
-        layer.v8_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
-                                {});
+        lp.k8_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
+        lp.v8_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
       } else {
-        layer.k_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
-                               {});
-        layer.v_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(),
-                               {});
+        lp.k_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
+        lp.v_scratch.assign(per_chip_slots[static_cast<size_t>(c)].size(), {});
       }
     }
   }
@@ -160,28 +233,58 @@ void ShardedKvCache::Append(int chip, int64_t layer, const Tensor& k,
   TSI_CHECK_EQ(k.dim(1), step_t_)
       << "mismatched t: chip " << chip << " layer " << layer << " appended "
       << k.dim(1) << " positions into a " << step_t_ << "-wide step";
+  const int64_t kv = k.dim(2), dh = k.dim(3);
   // kv_heads_/d_head_ are fixed by CommitStep (single-threaded); Append runs
-  // concurrently across chips and must not write shared fields.
+  // concurrently across chips and must not write shared fields -- each chip
+  // records its observed geometry chip-locally instead.
   if (kv_heads_ >= 0) {
-    TSI_CHECK(k.dim(2) == kv_heads_ && k.dim(3) == d_head_)
-        << "kv/d_head shape drift: got [" << k.dim(2) << ", " << k.dim(3)
+    TSI_CHECK(kv == kv_heads_ && dh == d_head_)
+        << "kv/d_head shape drift: got [" << kv << ", " << dh
         << "], cache holds [" << kv_heads_ << ", " << d_head_ << "]";
+  }
+  ChipPool& pool = pool_[static_cast<size_t>(chip)];
+  if (pool.kv >= 0) {
+    TSI_CHECK(kv == pool.kv && dh == pool.dh)
+        << "kv/d_head shape drift: got [" << kv << ", " << dh
+        << "], cache holds [" << pool.kv << ", " << pool.dh << "]";
+  } else {
+    pool.kv = kv;
+    pool.dh = dh;
   }
   TSI_CHECK(!appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)])
       << "double append for chip " << chip << " layer " << layer;
   appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)] = true;
 
-  LayerStore& ls = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  const int64_t ps = config_.page_size;
+  const int64_t row_elems = kv * dh;  // one position's block
+  const size_t page_elems = static_cast<size_t>(ps * row_elems);
+  LayerPages& lp = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
   for (size_t i = 0; i < targets.size(); ++i) {
-    Tensor krow = k.Slice(0, static_cast<int64_t>(i), 1);
-    Tensor vrow = v.Slice(0, static_cast<int64_t>(i), 1);
     const int64_t slot = targets[i];
-    Tensor& dst_k = slot == kScratchSlot ? ls.k_scratch[i]
-                                         : ls.k[static_cast<size_t>(slot)];
-    Tensor& dst_v = slot == kScratchSlot ? ls.v_scratch[i]
-                                         : ls.v[static_cast<size_t>(slot)];
-    dst_k = dst_k.numel() == 0 ? std::move(krow) : Tensor::Concat(1, {dst_k, krow});
-    dst_v = dst_v.numel() == 0 ? std::move(vrow) : Tensor::Concat(1, {dst_v, vrow});
+    if (slot == kScratchSlot) {
+      lp.k_scratch[i] = k.Slice(0, static_cast<int64_t>(i), 1);
+      lp.v_scratch[i] = v.Slice(0, static_cast<int64_t>(i), 1);
+      continue;
+    }
+    const int64_t len0 = slot_len_[static_cast<size_t>(slot)];
+    const std::vector<int32_t>& table = pool.tables[static_cast<size_t>(slot)];
+    for (int64_t tt = 0; tt < step_t_; ++tt) {
+      const int64_t pos = len0 + tt;
+      const auto page = static_cast<size_t>(table[static_cast<size_t>(pos / ps)]);
+      TSI_CHECK_EQ(pool.refcount[page], 1)
+          << "append into a shared page of slot " << slot
+          << " (COW split never committed)";
+      std::vector<float>& pk = lp.k[page];
+      std::vector<float>& pv = lp.v[page];
+      if (pk.empty()) pk.resize(page_elems, 0.0f);
+      if (pv.empty()) pv.resize(page_elems, 0.0f);
+      const int64_t src = ((static_cast<int64_t>(i) * step_t_) + tt) * row_elems;
+      const int64_t dst = (pos % ps) * row_elems;
+      std::memcpy(pk.data() + dst, k.data() + src,
+                  static_cast<size_t>(row_elems) * sizeof(float));
+      std::memcpy(pv.data() + dst, v.data() + src,
+                  static_cast<size_t>(row_elems) * sizeof(float));
+    }
   }
 }
 
@@ -212,28 +315,62 @@ void ShardedKvCache::AppendQuantized(int chip, int64_t layer,
   TSI_CHECK_EQ(k.t(), step_t_)
       << "mismatched t: chip " << chip << " layer " << layer << " appended "
       << k.t() << " positions into a " << step_t_ << "-wide step";
+  const int64_t kv = k.kv_heads(), dh = k.d_head();
   if (kv_heads_ >= 0) {
-    TSI_CHECK(k.kv_heads() == kv_heads_ && k.d_head() == d_head_)
-        << "kv/d_head shape drift: got [" << k.kv_heads() << ", " << k.d_head()
+    TSI_CHECK(kv == kv_heads_ && dh == d_head_)
+        << "kv/d_head shape drift: got [" << kv << ", " << dh
         << "], cache holds [" << kv_heads_ << ", " << d_head_ << "]";
+  }
+  ChipPool& pool = pool_[static_cast<size_t>(chip)];
+  if (pool.kv >= 0) {
+    TSI_CHECK(kv == pool.kv && dh == pool.dh)
+        << "kv/d_head shape drift: got [" << kv << ", " << dh
+        << "], cache holds [" << pool.kv << ", " << pool.dh << "]";
+  } else {
+    pool.kv = kv;
+    pool.dh = dh;
   }
   TSI_CHECK(!appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)])
       << "double append for chip " << chip << " layer " << layer;
   appended_[static_cast<size_t>(chip)][static_cast<size_t>(layer)] = true;
 
-  LayerStore& ls = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  const int64_t ps = config_.page_size;
+  const int64_t row_elems = kv * dh;
+  LayerPages& lp = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
   for (size_t i = 0; i < targets.size(); ++i) {
-    QuantizedKv krow = SliceKvRow(k, static_cast<int64_t>(i));
-    QuantizedKv vrow = SliceKvRow(v, static_cast<int64_t>(i));
     const int64_t slot = targets[i];
-    QuantizedKv& dst_k = slot == kScratchSlot
-                             ? ls.k8_scratch[i]
-                             : ls.k8[static_cast<size_t>(slot)];
-    QuantizedKv& dst_v = slot == kScratchSlot
-                             ? ls.v8_scratch[i]
-                             : ls.v8[static_cast<size_t>(slot)];
-    dst_k = dst_k.empty() ? std::move(krow) : ConcatKvTime(dst_k, krow);
-    dst_v = dst_v.empty() ? std::move(vrow) : ConcatKvTime(dst_v, vrow);
+    if (slot == kScratchSlot) {
+      lp.k8_scratch[i] = SliceKvRow(k, static_cast<int64_t>(i));
+      lp.v8_scratch[i] = SliceKvRow(v, static_cast<int64_t>(i));
+      continue;
+    }
+    const int64_t len0 = slot_len_[static_cast<size_t>(slot)];
+    const std::vector<int32_t>& table = pool.tables[static_cast<size_t>(slot)];
+    for (int64_t tt = 0; tt < step_t_; ++tt) {
+      const int64_t pos = len0 + tt;
+      const auto page = static_cast<size_t>(table[static_cast<size_t>(pos / ps)]);
+      TSI_CHECK_EQ(pool.refcount[page], 1)
+          << "append into a shared page of slot " << slot
+          << " (COW split never committed)";
+      std::vector<int8_t>& pk = lp.k8[page];
+      std::vector<int8_t>& pv = lp.v8[page];
+      std::vector<float>& pks = lp.k8s[page];
+      std::vector<float>& pvs = lp.v8s[page];
+      if (pk.empty()) pk.resize(static_cast<size_t>(ps * row_elems), 0);
+      if (pv.empty()) pv.resize(static_cast<size_t>(ps * row_elems), 0);
+      if (pks.empty()) pks.resize(static_cast<size_t>(ps * kv), 1.0f);
+      if (pvs.empty()) pvs.resize(static_cast<size_t>(ps * kv), 1.0f);
+      const int64_t src_vec = (static_cast<int64_t>(i) * step_t_ + tt) * kv;
+      const int64_t dst_vec = (pos % ps) * kv;
+      std::memcpy(pk.data() + dst_vec * dh, k.values.data() + src_vec * dh,
+                  static_cast<size_t>(row_elems));
+      std::memcpy(pv.data() + dst_vec * dh, v.values.data() + src_vec * dh,
+                  static_cast<size_t>(row_elems));
+      std::memcpy(pks.data() + dst_vec, k.scales.data() + src_vec,
+                  static_cast<size_t>(kv) * sizeof(float));
+      std::memcpy(pvs.data() + dst_vec, v.scales.data() + src_vec,
+                  static_cast<size_t>(kv) * sizeof(float));
+    }
   }
 }
 
@@ -245,39 +382,31 @@ void ShardedKvCache::CommitStep() {
       TSI_CHECK(appended_[static_cast<size_t>(c)][static_cast<size_t>(l)])
           << "chip " << c << " layer " << l
           << " never appended in this step (mismatched layer coverage)";
-      for (int64_t slot : step_slots_[static_cast<size_t>(c)]) {
-        if (slot == kScratchSlot) continue;
-        TSI_CHECK_EQ(SlotStoredLen(c, l, slot),
-                     slot_len_[static_cast<size_t>(slot)] + step_t_)
-            << "slot " << slot << " length diverged on chip " << c << " layer "
-            << l << " (mismatched t across chips/layers)";
-        // Fix the cache-wide kv geometry on the first committed step; Append
-        // validates against it from then on (it cannot write these fields --
-        // it runs concurrently across chips).
-        int64_t kv = 0, dh = 0;
-        SlotGeometry(c, l, slot, &kv, &dh);
-        if (kv_heads_ < 0) {
-          kv_heads_ = kv;
-          d_head_ = dh;
-        }
-        TSI_CHECK(kv == kv_heads_ && dh == d_head_)
-            << "kv/d_head shape drift on chip " << c << " layer " << l
-            << ": got [" << kv << ", " << dh << "], cache holds [" << kv_heads_
-            << ", " << d_head_ << "]";
+    }
+    // Fix the cache-wide kv geometry from each chip's observed appends on
+    // the first committed step; Append validates against it from then on
+    // (it cannot write these fields -- it runs concurrently across chips).
+    const ChipPool& pool = pool_[static_cast<size_t>(c)];
+    if (pool.kv >= 0) {
+      if (kv_heads_ < 0) {
+        kv_heads_ = pool.kv;
+        d_head_ = pool.dh;
       }
+      TSI_CHECK(pool.kv == kv_heads_ && pool.dh == d_head_)
+          << "kv/d_head shape drift on chip " << c << ": got [" << pool.kv
+          << ", " << pool.dh << "], cache holds [" << kv_heads_ << ", "
+          << d_head_ << "]";
     }
   }
-  // Advance lengths from storage rather than counting targets: under kHeads
-  // several chips target the same slot and must not double-advance it.
+  // Advance each targeted slot once: under kHeads several chips target the
+  // same slot and must not double-advance it.
+  std::unordered_set<int64_t> advanced;
   int64_t appended_tokens = 0;
-  for (size_t s = 0; s < slot_len_.size(); ++s) {
-    for (int c = 0; c < num_chips_; ++c) {
-      if (SlotResident(c, static_cast<int64_t>(s))) {
-        const int64_t len = SlotStoredLen(c, 0, static_cast<int64_t>(s));
-        appended_tokens += len - slot_len_[s];
-        slot_len_[s] = len;
-        break;
-      }
+  for (int c = 0; c < num_chips_; ++c) {
+    for (int64_t slot : step_slots_[static_cast<size_t>(c)]) {
+      if (slot == kScratchSlot || !advanced.insert(slot).second) continue;
+      slot_len_[static_cast<size_t>(slot)] += step_t_;
+      appended_tokens += step_t_;
     }
   }
   step_open_ = false;
@@ -293,18 +422,267 @@ const std::vector<int64_t>& ShardedKvCache::step_slots(int chip) const {
   return step_slots_[static_cast<size_t>(chip)];
 }
 
-const Tensor& ShardedKvCache::K(int chip, int64_t layer, int64_t slot) const {
-  const Tensor& t = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
-                        .k[static_cast<size_t>(slot)];
-  TSI_CHECK(t.numel() > 0) << "slot " << slot << " empty on chip " << chip;
-  return t;
+void ShardedKvCache::ForkSlot(int64_t parent, int64_t child,
+                              int64_t prefix_len) {
+  TSI_CHECK(!step_open_) << "ForkSlot mid-step";
+  TSI_CHECK(parent >= 0 && parent < num_slots() &&
+            slot_len_[static_cast<size_t>(parent)] > 0)
+      << "ForkSlot from a non-resident slot " << parent;
+  TSI_CHECK(prefix_len > 0 &&
+            prefix_len <= slot_len_[static_cast<size_t>(parent)])
+      << "fork prefix " << prefix_len << " exceeds slot " << parent
+      << "'s committed context " << slot_len_[static_cast<size_t>(parent)];
+  TSI_CHECK_GE(child, 0) << "slot ids are non-negative";
+  TSI_CHECK_NE(child, parent) << "cannot fork a slot onto itself";
+  if (static_cast<int64_t>(slot_len_.size()) <= child)
+    slot_len_.resize(static_cast<size_t>(child) + 1, 0);
+  TSI_CHECK_EQ(slot_len_[static_cast<size_t>(child)], 0)
+      << "ForkSlot into non-empty slot " << child << " (reset it first)";
+  const auto shared_pages =
+      static_cast<size_t>(CeilDiv(prefix_len, config_.page_size));
+  for (int c = 0; c < num_chips_; ++c) {
+    ChipPool& pool = pool_[static_cast<size_t>(c)];
+    if (!SlotResident(c, parent)) continue;
+    if (static_cast<int64_t>(pool.tables.size()) <= child)
+      pool.tables.resize(static_cast<size_t>(child) + 1);
+    TSI_CHECK(pool.tables[static_cast<size_t>(child)].empty())
+        << "ForkSlot into non-empty slot " << child << " (reset it first)";
+    const std::vector<int32_t>& src = pool.tables[static_cast<size_t>(parent)];
+    TSI_CHECK_GE(src.size(), shared_pages);
+    std::vector<int32_t>& dst = pool.tables[static_cast<size_t>(child)];
+    dst.assign(src.begin(), src.begin() + static_cast<int64_t>(shared_pages));
+    for (int32_t id : dst) ++pool.refcount[static_cast<size_t>(id)];
+  }
+  slot_len_[static_cast<size_t>(child)] = prefix_len;
+  ++forks_;
+  obs::MetricsRegistry& m = metrics_ ? *metrics_ : obs::MetricsRegistry::Global();
+  m.GetCounter("kv/forks")->Add(1);
+  UpdateOccupancyGauges();
 }
 
-const Tensor& ShardedKvCache::V(int chip, int64_t layer, int64_t slot) const {
-  const Tensor& t = store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
-                        .v[static_cast<size_t>(slot)];
-  TSI_CHECK(t.numel() > 0) << "slot " << slot << " empty on chip " << chip;
-  return t;
+Tensor ShardedKvCache::K(int chip, int64_t layer, int64_t slot) const {
+  TSI_CHECK(format_ == WeightFormat::kBf16) << "K on an int8 cache (use K8)";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const int64_t ps = config_.page_size, row_elems = kv * dh;
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  const std::vector<int32_t>& table =
+      pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)];
+  Tensor out({1, len, kv, dh});
+  float* dst = out.data();
+  for (int64_t pos = 0; pos < len;) {
+    const int64_t run = std::min(ps - pos % ps, len - pos);
+    const std::vector<float>& page =
+        lp.k[static_cast<size_t>(table[static_cast<size_t>(pos / ps)])];
+    TSI_CHECK(!page.empty()) << "page never written (read before append?)";
+    std::memcpy(dst + pos * row_elems, page.data() + (pos % ps) * row_elems,
+                static_cast<size_t>(run * row_elems) * sizeof(float));
+    pos += run;
+  }
+  return out;
+}
+
+Tensor ShardedKvCache::V(int chip, int64_t layer, int64_t slot) const {
+  TSI_CHECK(format_ == WeightFormat::kBf16) << "V on an int8 cache (use V8)";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const int64_t ps = config_.page_size, row_elems = kv * dh;
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  const std::vector<int32_t>& table =
+      pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)];
+  Tensor out({1, len, kv, dh});
+  float* dst = out.data();
+  for (int64_t pos = 0; pos < len;) {
+    const int64_t run = std::min(ps - pos % ps, len - pos);
+    const std::vector<float>& page =
+        lp.v[static_cast<size_t>(table[static_cast<size_t>(pos / ps)])];
+    TSI_CHECK(!page.empty()) << "page never written (read before append?)";
+    std::memcpy(dst + pos * row_elems, page.data() + (pos % ps) * row_elems,
+                static_cast<size_t>(run * row_elems) * sizeof(float));
+    pos += run;
+  }
+  return out;
+}
+
+namespace {
+
+QuantizedKv GatherInt8(const std::vector<std::vector<int8_t>>& values,
+                       const std::vector<std::vector<float>>& scales,
+                       const std::vector<int32_t>& table, int64_t len,
+                       int64_t ps, int64_t kv, int64_t dh) {
+  QuantizedKv out;
+  out.shape = {1, len, kv, dh};
+  out.values.resize(static_cast<size_t>(len * kv * dh));
+  out.scales.resize(static_cast<size_t>(len * kv));
+  for (int64_t pos = 0; pos < len;) {
+    const int64_t run = std::min(ps - pos % ps, len - pos);
+    const auto page = static_cast<size_t>(table[static_cast<size_t>(pos / ps)]);
+    TSI_CHECK(!values[page].empty()) << "page never written (read before append?)";
+    std::memcpy(out.values.data() + pos * kv * dh,
+                values[page].data() + (pos % ps) * kv * dh,
+                static_cast<size_t>(run * kv * dh));
+    std::memcpy(out.scales.data() + pos * kv,
+                scales[page].data() + (pos % ps) * kv,
+                static_cast<size_t>(run * kv) * sizeof(float));
+    pos += run;
+  }
+  return out;
+}
+
+}  // namespace
+
+QuantizedKv ShardedKvCache::K8(int chip, int64_t layer, int64_t slot) const {
+  TSI_CHECK(format_ == WeightFormat::kInt8) << "K8 on an fp32 cache (use K)";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  return GatherInt8(lp.k8, lp.k8s,
+                    pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)],
+                    len, config_.page_size, kv, dh);
+}
+
+QuantizedKv ShardedKvCache::V8(int chip, int64_t layer, int64_t slot) const {
+  TSI_CHECK(format_ == WeightFormat::kInt8) << "V8 on an fp32 cache (use V)";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  return GatherInt8(lp.v8, lp.v8s,
+                    pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)],
+                    len, config_.page_size, kv, dh);
+}
+
+PagedKvSpan ShardedKvCache::PageSpanK(int chip, int64_t layer, int64_t slot,
+                                      int64_t g0, int64_t gcount) const {
+  TSI_CHECK(format_ == WeightFormat::kBf16) << "PageSpanK on an int8 cache";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  const std::vector<int32_t>& table =
+      pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)];
+  PagedKvSpan span;
+  span.len = len;
+  span.page_size = config_.page_size;
+  span.kv_stride = kv;
+  span.head_offset = g0;
+  span.kv_heads = gcount < 0 ? kv : gcount;
+  span.d_head = dh;
+  const auto npages = static_cast<size_t>(CeilDiv(len, config_.page_size));
+  span.pages.reserve(npages);
+  for (size_t p = 0; p < npages; ++p) {
+    const std::vector<float>& page = lp.k[static_cast<size_t>(table[p])];
+    TSI_CHECK(!page.empty()) << "page never written (read before append?)";
+    span.pages.push_back(page.data());
+  }
+  return span;
+}
+
+PagedKvSpan ShardedKvCache::PageSpanV(int chip, int64_t layer, int64_t slot,
+                                      int64_t g0, int64_t gcount) const {
+  TSI_CHECK(format_ == WeightFormat::kBf16) << "PageSpanV on an int8 cache";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  const std::vector<int32_t>& table =
+      pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)];
+  PagedKvSpan span;
+  span.len = len;
+  span.page_size = config_.page_size;
+  span.kv_stride = kv;
+  span.head_offset = g0;
+  span.kv_heads = gcount < 0 ? kv : gcount;
+  span.d_head = dh;
+  const auto npages = static_cast<size_t>(CeilDiv(len, config_.page_size));
+  span.pages.reserve(npages);
+  for (size_t p = 0; p < npages; ++p) {
+    const std::vector<float>& page = lp.v[static_cast<size_t>(table[p])];
+    TSI_CHECK(!page.empty()) << "page never written (read before append?)";
+    span.pages.push_back(page.data());
+  }
+  return span;
+}
+
+namespace {
+
+PagedKvSpanInt8 SpanInt8(const std::vector<std::vector<int8_t>>& values,
+                         const std::vector<std::vector<float>>& scales,
+                         const std::vector<int32_t>& table, int64_t len,
+                         int64_t ps, int64_t kv, int64_t dh, int64_t g0,
+                         int64_t gcount) {
+  PagedKvSpanInt8 span;
+  span.len = len;
+  span.page_size = ps;
+  span.kv_stride = kv;
+  span.head_offset = g0;
+  span.kv_heads = gcount < 0 ? kv : gcount;
+  span.d_head = dh;
+  const auto npages = static_cast<size_t>((len + ps - 1) / ps);
+  span.pages.reserve(npages);
+  span.scale_pages.reserve(npages);
+  for (size_t p = 0; p < npages; ++p) {
+    const auto page = static_cast<size_t>(table[p]);
+    TSI_CHECK(!values[page].empty()) << "page never written (read before append?)";
+    span.pages.push_back(values[page].data());
+    span.scale_pages.push_back(scales[page].data());
+  }
+  return span;
+}
+
+}  // namespace
+
+PagedKvSpanInt8 ShardedKvCache::PageSpanK8(int chip, int64_t layer,
+                                           int64_t slot, int64_t g0,
+                                           int64_t gcount) const {
+  TSI_CHECK(format_ == WeightFormat::kInt8) << "PageSpanK8 on an fp32 cache";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  return SpanInt8(lp.k8, lp.k8s,
+                  pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)],
+                  len, config_.page_size, kv, dh, g0, gcount);
+}
+
+PagedKvSpanInt8 ShardedKvCache::PageSpanV8(int chip, int64_t layer,
+                                           int64_t slot, int64_t g0,
+                                           int64_t gcount) const {
+  TSI_CHECK(format_ == WeightFormat::kInt8) << "PageSpanV8 on an fp32 cache";
+  const int64_t len = ReadLength(chip, slot);
+  TSI_CHECK(len > 0 && SlotResident(chip, slot))
+      << "slot " << slot << " empty on chip " << chip;
+  int64_t kv = 0, dh = 0;
+  ReadGeometry(chip, &kv, &dh);
+  const LayerPages& lp =
+      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)];
+  return SpanInt8(lp.v8, lp.v8s,
+                  pool_[static_cast<size_t>(chip)].tables[static_cast<size_t>(slot)],
+                  len, config_.page_size, kv, dh, g0, gcount);
 }
 
 const Tensor& ShardedKvCache::ScratchK(int chip, int64_t layer,
@@ -317,24 +695,6 @@ const Tensor& ShardedKvCache::ScratchV(int chip, int64_t layer,
                                        int64_t lane) const {
   return store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
       .v_scratch[static_cast<size_t>(lane)];
-}
-
-const QuantizedKv& ShardedKvCache::K8(int chip, int64_t layer,
-                                      int64_t slot) const {
-  const QuantizedKv& q =
-      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
-          .k8[static_cast<size_t>(slot)];
-  TSI_CHECK(!q.empty()) << "slot " << slot << " empty on chip " << chip;
-  return q;
-}
-
-const QuantizedKv& ShardedKvCache::V8(int chip, int64_t layer,
-                                      int64_t slot) const {
-  const QuantizedKv& q =
-      store_[static_cast<size_t>(chip)][static_cast<size_t>(layer)]
-          .v8[static_cast<size_t>(slot)];
-  TSI_CHECK(!q.empty()) << "slot " << slot << " empty on chip " << chip;
-  return q;
 }
 
 const QuantizedKv& ShardedKvCache::ScratchK8(int chip, int64_t layer,
@@ -352,38 +712,62 @@ const QuantizedKv& ShardedKvCache::ScratchV8(int chip, int64_t layer,
 void ShardedKvCache::ResetSlot(int64_t slot) {
   TSI_CHECK(!step_open_) << "ResetSlot mid-step";
   if (slot < 0 || slot >= num_slots()) return;
-  for (auto& chip : store_) {
-    for (auto& layer : chip) {
-      if (static_cast<int64_t>(layer.k.size()) > slot) {
-        layer.k[static_cast<size_t>(slot)] = Tensor();
-        layer.v[static_cast<size_t>(slot)] = Tensor();
-      }
-      if (static_cast<int64_t>(layer.k8.size()) > slot) {
-        layer.k8[static_cast<size_t>(slot)] = QuantizedKv();
-        layer.v8[static_cast<size_t>(slot)] = QuantizedKv();
-      }
+  bool held_pages = false;
+  for (int c = 0; c < num_chips_; ++c) {
+    ChipPool& pool = pool_[static_cast<size_t>(c)];
+    if (static_cast<int64_t>(pool.tables.size()) <= slot) continue;
+    std::vector<int32_t>& table = pool.tables[static_cast<size_t>(slot)];
+    if (table.empty()) continue;
+    held_pages = true;
+    for (int32_t id : table) {
+      int32_t& rc = pool.refcount[static_cast<size_t>(id)];
+      TSI_CHECK_GT(rc, 0) << "page refcount underflow on chip " << c;
+      if (--rc == 0) pool.free_pages.push_back(id);
     }
+    table.clear();
   }
+  TSI_CHECK(held_pages || slot_len_[static_cast<size_t>(slot)] == 0)
+      << "slot " << slot << " has length but no pages (corrupt table)";
+  TSI_CHECK(held_pages)
+      << "page refcount underflow: double ResetSlot of slot " << slot
+      << " (it holds no pages)";
   slot_len_[static_cast<size_t>(slot)] = 0;
   UpdateOccupancyGauges();
 }
 
 double ShardedKvCache::TotalBytes(double bytes_per_element) const {
+  if (kv_heads_ < 0) return 0.0;
+  const double page_positions = static_cast<double>(config_.page_size);
+  const double kv = static_cast<double>(kv_heads_);
+  const double dh = static_cast<double>(d_head_);
+  double pages = 0;
+  for (const ChipPool& pool : pool_)
+    for (int32_t rc : pool.refcount)
+      if (rc > 0) pages += 1.0;
+  const double layers = static_cast<double>(num_layers_);
   if (format_ == WeightFormat::kInt8) {
-    // Int8 storage knows its own widths: 1-byte values plus fp32 scales.
-    double total = 0;
-    for (const auto& chip : store_)
-      for (const auto& layer : chip) {
-        for (const auto& q : layer.k8) total += static_cast<double>(q.ByteSize());
-        for (const auto& q : layer.v8) total += static_cast<double>(q.ByteSize());
-      }
-    return total;
+    // Int8 storage knows its own widths: 1-byte values plus fp32 scales,
+    // for K and V each.
+    return pages * layers * 2.0 * (page_positions * kv * dh +
+                                   4.0 * page_positions * kv);
   }
-  double total = 0;
-  for (const auto& chip : store_)
-    for (const auto& layer : chip)
-      for (const auto& t : layer.k) total += static_cast<double>(t.numel());
-  return 2.0 * total * bytes_per_element;  // K and V
+  return pages * layers * 2.0 * page_positions * kv * dh * bytes_per_element;
+}
+
+int64_t ShardedKvCache::pages_in_use() const {
+  int64_t n = 0;
+  for (const ChipPool& pool : pool_)
+    for (int32_t rc : pool.refcount)
+      if (rc > 0) ++n;
+  return n;
+}
+
+int64_t ShardedKvCache::pages_shared() const {
+  int64_t n = 0;
+  for (const ChipPool& pool : pool_)
+    for (int32_t rc : pool.refcount)
+      if (rc > 1) ++n;
+  return n;
 }
 
 }  // namespace tsi

@@ -1,40 +1,57 @@
-// Per-chip, per-slot KV caches for the distributed engine.
+// Paged per-chip KV cache for the distributed engine (Ragged Paged
+// Attention style, docs/kvcache.md).
 //
 // Layout depends on the attention sharding (§3.3):
-//   * kHeads: every chip caches every slot's head subset -- [t, KVshard, dh]
-//     per slot (its head chunk for multihead, or the full replicated single
-//     head for multiquery).
+//   * kHeads: every chip caches every slot's head subset -- pages of
+//     [page_size, KVshard, dh] per (chip, layer).
 //   * kBatch: every chip caches only the slots it owns, with every kv head
 //     -- the paper's optimized layout that divides KV memory traffic by
-//     n_chips. A slot's rows always live on one chip (its owner).
+//     n_chips. A slot's pages always live on one chip (its owner).
 //
-// The cache is *slot-based* (Ragged Paged Attention style, at slot
-// granularity): each sequence occupies one slot with its own ragged length,
-// slots are written independently (per-slot appends), can be reset on EOS
-// and reused for newly admitted requests. This is what lets a
-// continuous-batching serving runtime (src/serve) admit and retire requests
-// mid-flight, while the classic static-batch path is just the special case
-// where every forward pass targets slots [0, B).
+// Storage is a per-chip page pool: fixed-size pages of `page_size` token
+// positions (KvCacheConfig), allocated per (chip, layer) and indexed by a
+// per-slot page table that is shared across layers (one logical page id
+// covers the same position range in every layer). Pages are refcounted:
+// ForkSlot(parent, child, prefix_len) shares the pages of a committed
+// prefix between two slots (copy-on-write prefix sharing -- system prompts,
+// multi-turn history), and the first step that appends into a shared
+// boundary page first splits it (copies the page, drops the shared
+// reference). ResetSlot dereferences a slot's pages and returns exclusive
+// ones to the free list. Capacity is therefore page-granular: internal
+// fragmentation is bounded by one page per slot, and identical prefixes are
+// stored once (kv/pages_* gauges report in_use/shared/bytes; forks and COW
+// splits are counters).
 //
-// Write protocol (driven by DistributedEngine):
+// Write protocol (driven by DistributedEngine; unchanged from the ragged
+// cache):
 //   BeginStep(per_chip_slots, t)   -- declare, per chip, the global slot id
 //                                     each appended row targets, and the
-//                                     common step width t;
+//                                     common step width t. Allocates this
+//                                     step's pages and performs any pending
+//                                     COW splits, single-threaded, so
+//                                     concurrent Appends never reallocate.
 //   Append(chip, layer, k, v)      -- once per (chip, layer), rows matching
-//                                     the declared targets;
+//                                     the declared targets, written into
+//                                     the slot's pages (chip-local only).
 //   CommitStep()                   -- validate every declared (chip, layer)
 //                                     appended exactly t positions to every
 //                                     target, then advance slot lengths.
-// Shape or step-width mismatches (including mismatched t across chips or
-// layers, which previously corrupted length() silently) die loudly inside
-// Append/CommitStep. Rows targeting kScratchSlot land in per-lane scratch
-// storage that is discarded at the next BeginStep -- they are the padding
-// lanes a fixed decode frame or a batch-divisibility constraint needs.
+// Shape or step-width mismatches die loudly inside Append/CommitStep. Rows
+// targeting kScratchSlot land in per-lane scratch storage that is discarded
+// at the next BeginStep -- the padding lanes a fixed decode frame or a
+// batch-divisibility constraint needs.
+//
+// Reads: K/V (and K8/V8) gather a slot's pages into one contiguous
+// [1, len, kv, dh] block; PageSpanK/V (PageSpanK8/V8) expose the page table
+// directly for the paged SDPA kernels (model/attention.h), which iterate
+// positions in the same order and are bit-identical to the gathered path.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/layouts.h"
+#include "model/attention.h"
 #include "quant/int8.h"
 #include "tensor/tensor.h"
 
@@ -44,6 +61,15 @@ namespace obs {
 class MetricsRegistry;
 }  // namespace obs
 
+// Paged-cache knobs, carried on EngineSpec. `page_size` is the allocation
+// granularity in token positions; `paged_kernel` selects whether the
+// engine's SDPA iterates the page table directly (fast path) or gathers a
+// slot into a contiguous block first (both are bit-identical).
+struct KvCacheConfig {
+  int64_t page_size = 16;
+  bool paged_kernel = true;
+};
+
 class ShardedKvCache {
  public:
   // Rows mapped to this pseudo-slot are computed (padding lanes must flow
@@ -52,16 +78,19 @@ class ShardedKvCache {
   static constexpr int64_t kScratchSlot = -1;
 
   ShardedKvCache() = default;
-  // `kv_format` selects the storage precision: kBf16 stores fp32 tensors
-  // (charged at the machine's bytes/element), kInt8 stores QuantizedKv
-  // blocks with per-(position, head) scales (§3.6/D.3). The two formats are
+  // `kv_format` selects the storage precision: kBf16 stores fp32 pages
+  // (charged at the machine's bytes/element), kInt8 stores int8 pages with
+  // per-(position, head) fp32 scales (§3.6/D.3). The two formats are
   // mutually exclusive per cache: Append on an int8 cache and
   // AppendQuantized on an fp32 cache both die loudly (mixed precision).
   ShardedKvCache(int num_chips, int64_t num_layers, AttnSharding sharding,
-                 WeightFormat kv_format = WeightFormat::kBf16);
+                 WeightFormat kv_format = WeightFormat::kBf16,
+                 KvCacheConfig config = {});
 
   AttnSharding sharding() const { return sharding_; }
   WeightFormat format() const { return format_; }
+  const KvCacheConfig& config() const { return config_; }
+  int64_t page_size() const { return config_.page_size; }
   int64_t num_layers() const { return num_layers_; }
   // Max context length over all slots; equals every slot's length on the
   // static whole-batch path (all slots advance together).
@@ -75,81 +104,143 @@ class ShardedKvCache {
   // per_chip_slots[chip][i] is the global slot id (or kScratchSlot) that row
   // i of chip `chip`'s appends targets this step; `t` is the step width every
   // append must carry. Chips with an empty list append nothing. Called
-  // outside SPMD regions only (single-threaded).
+  // outside SPMD regions only (single-threaded): this is where the step's
+  // pages are allocated and shared boundary pages are COW-split.
   void BeginStep(std::vector<std::vector<int64_t>> per_chip_slots, int64_t t);
   // Appends `k`/`v` of shape [rows, t, kv, dh] for (chip, layer); rows must
   // match the chip's declared targets. Safe to call concurrently for
-  // distinct chips (each touches only its own storage).
+  // distinct chips (each touches only its own page pool).
   void Append(int chip, int64_t layer, const Tensor& k, const Tensor& v);
   // Int8 twin of Append for kInt8 caches: same validation (rows, t, shape
   // drift, double append) plus a per-(row, position, head) scale-count check;
   // mismatched scales or a precision mismatch with the cache die loudly.
   void AppendQuantized(int chip, int64_t layer, const QuantizedKv& k,
                        const QuantizedKv& v);
-  // Validates the completed step (every declared (chip, layer) appended,
-  // every target slot grew by exactly t on every chip/layer that stores it)
-  // and advances the per-slot lengths. Called outside SPMD regions only.
+  // Validates the completed step (every declared (chip, layer) appended
+  // exactly t positions to every target) and advances the per-slot lengths.
+  // Called outside SPMD regions only.
   void CommitStep();
 
   // This step's declared targets for `chip` (valid between BeginStep and
   // CommitStep; used by the engine's attention to map rows to slots).
   const std::vector<int64_t>& step_slots(int chip) const;
 
+  // --- Prefix sharing ------------------------------------------------------
+  // Shares the pages covering `parent`'s first `prefix_len` committed tokens
+  // with the (empty) slot `child` and sets the child's length to
+  // `prefix_len` -- the child continues from the shared prefix without
+  // re-appending it. Shared pages are copy-on-write: the first step that
+  // appends into the child's (or parent's) partial boundary page splits it.
+  // Dies mid-step, on a non-resident parent, on a prefix beyond the
+  // parent's committed length, and on a non-empty child. Under kBatch the
+  // child inherits the parent's owner chips -- later steps must keep the
+  // child's lane on that owner (BeginStep checks, as for any slot).
+  void ForkSlot(int64_t parent, int64_t child, int64_t prefix_len);
+
   // --- Reads ---------------------------------------------------------------
-  // Per-slot K/V of shape [1, len, kv, dh]. The slot must hold data on this
-  // chip (always true under kHeads; only on the owner under kBatch).
-  const Tensor& K(int chip, int64_t layer, int64_t slot) const;
-  const Tensor& V(int chip, int64_t layer, int64_t slot) const;
+  // A slot's K/V gathered from its pages into one contiguous block of shape
+  // [1, len, kv, dh]. `len` includes the open step's in-flight appends for
+  // slots targeted on `chip` (the engine's attention reads mid-step). The
+  // slot must hold data on this chip (always true under kHeads; only on the
+  // owner under kBatch).
+  Tensor K(int chip, int64_t layer, int64_t slot) const;
+  Tensor V(int chip, int64_t layer, int64_t slot) const;
+  // Page-table views of the same data for the paged SDPA kernels;
+  // [g0, g0 + gcount) selects a head slice (gcount == -1: every stored
+  // head). Borrow the pool's buffers: valid until the next BeginStep /
+  // ResetSlot / ForkSlot.
+  PagedKvSpan PageSpanK(int chip, int64_t layer, int64_t slot, int64_t g0 = 0,
+                        int64_t gcount = -1) const;
+  PagedKvSpan PageSpanV(int chip, int64_t layer, int64_t slot, int64_t g0 = 0,
+                        int64_t gcount = -1) const;
   // Scratch K/V for a padding lane of the in-flight step.
   const Tensor& ScratchK(int chip, int64_t layer, int64_t lane) const;
   const Tensor& ScratchV(int chip, int64_t layer, int64_t lane) const;
   // Int8 readers (kInt8 caches only; dequant is folded into the SDPA kernel).
-  const QuantizedKv& K8(int chip, int64_t layer, int64_t slot) const;
-  const QuantizedKv& V8(int chip, int64_t layer, int64_t slot) const;
+  QuantizedKv K8(int chip, int64_t layer, int64_t slot) const;
+  QuantizedKv V8(int chip, int64_t layer, int64_t slot) const;
+  PagedKvSpanInt8 PageSpanK8(int chip, int64_t layer, int64_t slot,
+                             int64_t g0 = 0, int64_t gcount = -1) const;
+  PagedKvSpanInt8 PageSpanV8(int chip, int64_t layer, int64_t slot,
+                             int64_t g0 = 0, int64_t gcount = -1) const;
   const QuantizedKv& ScratchK8(int chip, int64_t layer, int64_t lane) const;
   const QuantizedKv& ScratchV8(int chip, int64_t layer, int64_t lane) const;
 
-  // Frees a slot's storage on every chip/layer so it can be reused by a new
-  // sequence (continuous batching's slot reuse on EOS). Not valid mid-step.
+  // Readable context length of `slot` on `chip`: committed tokens, plus the
+  // open step's width when the slot is targeted on this chip.
+  int64_t ReadLength(int chip, int64_t slot) const;
+  // Physical kv-head count stored per position on this chip (fixed by the
+  // first append; identical on every chip that stores data).
+  int64_t StoredKvHeads(int chip) const;
+
+  // Dereferences a slot's pages on every chip (returning exclusive pages to
+  // the free list) so the slot can be reused by a new sequence. Not valid
+  // mid-step; dies on a double reset (page refcount underflow). Out-of-range
+  // ids are ignored (never-targeted slots hold nothing).
   void ResetSlot(int64_t slot);
 
-  // Total cached bytes across all chips (committed slot data; transient
-  // scratch excluded). fp32 caches are counted at `bytes_per_element` width;
-  // int8 caches report their actual footprint (1-byte values + fp32 scales)
-  // and ignore the parameter.
+  // Physical page bytes across all chips and layers (committed + this
+  // step's pages; shared pages counted once; transient scratch excluded).
+  // fp32 caches are counted at `bytes_per_element` width; int8 caches
+  // report their actual footprint (1-byte values + fp32 scales) and ignore
+  // the parameter. Page-granular: a slot's last partial page counts whole.
   double TotalBytes(double bytes_per_element) const;
 
+  // --- Pool statistics (page granularity; benches and tests) ---------------
+  int64_t pages_in_use() const;   // pages referenced by >= 1 slot, all chips
+  int64_t pages_shared() const;   // pages referenced by >= 2 slots
+  int64_t cow_splits() const { return cow_splits_; }
+  int64_t forks() const { return forks_; }
+
   // Sink for the "kv/" occupancy metrics (slots in use, committed tokens,
-  // appended tokens). Defaults to MetricsRegistry::Global(); tests plumb an
-  // isolated registry here via DistributedEngine::set_metrics.
+  // appended tokens, pages_*). Defaults to MetricsRegistry::Global(); tests
+  // plumb an isolated registry here via DistributedEngine::set_metrics.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
-  void UpdateOccupancyGauges();
-  struct LayerStore {
-    std::vector<Tensor> k, v;          // indexed by global slot id (fp32)
-    std::vector<Tensor> k_scratch, v_scratch;  // indexed by lane
-    std::vector<QuantizedKv> k8, v8;   // int8 twins (kInt8 caches)
+  // Per (chip, layer) page buffers, indexed by page id. fp32 pages are
+  // [page_size, kv, dh] floats; int8 pages add one fp32 scale per
+  // (position, head). Buffers are sized lazily by the owning chip's Append
+  // (the outer vectors are pre-sized by BeginStep, single-threaded).
+  struct LayerPages {
+    std::vector<std::vector<float>> k, v;        // fp32 values
+    std::vector<std::vector<int8_t>> k8, v8;     // int8 values
+    std::vector<std::vector<float>> k8s, v8s;    // int8 scales
+    std::vector<Tensor> k_scratch, v_scratch;    // per-lane step scratch
     std::vector<QuantizedKv> k8_scratch, v8_scratch;
   };
+  // Per-chip pool bookkeeping: page refcounts, the LIFO free list, and the
+  // per-slot page tables (shared by every layer of the chip).
+  struct ChipPool {
+    std::vector<int32_t> refcount;
+    std::vector<int32_t> free_pages;
+    std::vector<std::vector<int32_t>> tables;  // [slot] -> page ids
+    int64_t kv = -1, dh = -1;  // geometry observed by this chip's appends
+  };
 
-  Tensor& SlotRef(std::vector<Tensor>& store, int64_t slot);
-  QuantizedKv& SlotRef8(std::vector<QuantizedKv>& store, int64_t slot);
-  // Format-independent views used by the shared protocol validation.
+  int32_t AllocPage(int c);
+  void EnsureLayerCapacity(int c);
+  void CowSplitPage(int c, int64_t slot, size_t page_idx);
   bool SlotResident(int chip, int64_t slot) const;
-  int64_t SlotStoredLen(int chip, int64_t layer, int64_t slot) const;
-  void SlotGeometry(int chip, int64_t layer, int64_t slot, int64_t* kv,
-                    int64_t* dh) const;
+  bool SlotTargeted(int chip, int64_t slot) const;
+  // Geometry for reads on `chip`: committed cache-wide values, or the
+  // chip's in-flight observed values during the first step.
+  void ReadGeometry(int chip, int64_t* kv, int64_t* dh) const;
+  void UpdateOccupancyGauges();
 
   AttnSharding sharding_ = AttnSharding::kHeads;
   WeightFormat format_ = WeightFormat::kBf16;
+  KvCacheConfig config_;
   int num_chips_ = 0;
   int64_t num_layers_ = 0;
   int64_t kv_heads_ = -1;  // fixed by the first committed step
   int64_t d_head_ = -1;
-  // [chip][layer] -> per-slot tensors.
-  std::vector<std::vector<LayerStore>> store_;
+  std::vector<std::vector<LayerPages>> store_;  // [chip][layer]
+  std::vector<ChipPool> pool_;                  // [chip]
   std::vector<int64_t> slot_len_;  // committed length per global slot
+  int64_t cow_splits_ = 0;
+  int64_t forks_ = 0;
+  double peak_pages_ = 0, peak_page_bytes_ = 0;
 
   obs::MetricsRegistry* metrics_ = nullptr;  // nullptr -> Global()
 

@@ -3,6 +3,9 @@
 // sharded by heads, over a batch subset when sharded by batch, §3.3).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "quant/int8.h"
 #include "tensor/tensor.h"
 
@@ -25,5 +28,49 @@ Tensor ScaledDotProductAttention(const Tensor& q, const Tensor& k,
 // is bounded by the per-(position, head) scale: |kv - dequant| <= scale/2.
 Tensor ScaledDotProductAttentionInt8Kv(const Tensor& q, const QuantizedKv& k,
                                        const QuantizedKv& v, bool causal);
+
+// --- Paged KV views (Ragged Paged Attention style) -------------------------
+// One sequence's K or V stream through a page table: `pages[p]` points at a
+// [page_size, kv_stride, d_head] block, of which positions
+// [p*page_size, min((p+1)*page_size, len)) are valid. `kv_stride` is the
+// physical head count stored per position; [head_offset, head_offset +
+// kv_heads) is the slice visible to the kernel (the engine's grouped-query
+// head-group selection, normally the whole stride). The view borrows the
+// cache's page buffers -- it is valid only while no append/reset/fork runs.
+struct PagedKvSpan {
+  std::vector<const float*> pages;
+  int64_t len = 0;
+  int64_t page_size = 0;
+  int64_t kv_stride = 0;
+  int64_t head_offset = 0;
+  int64_t kv_heads = 0;
+  int64_t d_head = 0;
+};
+
+// Int8 twin: `pages[p]` holds [page_size, kv_stride, d_head] int8 values and
+// `scale_pages[p]` one fp32 scale per (position, physical head) of the page.
+struct PagedKvSpanInt8 {
+  std::vector<const int8_t*> pages;
+  std::vector<const float*> scale_pages;
+  int64_t len = 0;
+  int64_t page_size = 0;
+  int64_t kv_stride = 0;
+  int64_t head_offset = 0;
+  int64_t kv_heads = 0;
+  int64_t d_head = 0;
+};
+
+// Paged twins of the kernels above for a single sequence (q is [1, Tq, H,
+// dh]). The j-loop resolves each kv position through the page table but
+// visits positions in exactly the contiguous kernels' order with the same
+// per-element arithmetic, so the result is bit-identical to gathering the
+// pages into one [1, len, kv_heads, dh] block and calling the contiguous
+// kernel (tests/engine_test.cc pins this).
+Tensor ScaledDotProductAttentionPaged(const Tensor& q, const PagedKvSpan& k,
+                                      const PagedKvSpan& v, bool causal);
+Tensor ScaledDotProductAttentionPagedInt8Kv(const Tensor& q,
+                                            const PagedKvSpanInt8& k,
+                                            const PagedKvSpanInt8& v,
+                                            bool causal);
 
 }  // namespace tsi

@@ -53,6 +53,18 @@ void AnalyticServeBackend::Release(int64_t slot) {
   context_[static_cast<size_t>(slot)] = 0;
 }
 
+int64_t AnalyticServeBackend::AdoptPrefix(int64_t slot,
+                                          const ServeRequest& req) {
+  const int64_t p =
+      std::min(config_.shared_prefix_len,
+               static_cast<int64_t>(req.prompt.size()) - 1);
+  if (p <= 0) return 0;
+  // Forked pages are cached context: later prefill chunks and decode steps
+  // attend over them, but their own prefill was never charged.
+  context_[static_cast<size_t>(slot)] = static_cast<double>(p);
+  return p;
+}
+
 ServeReport RunStaticBatchServing(const InferenceEstimator& estimator,
                                   const AnalyticServeConfig& config,
                                   std::vector<ServeRequest> requests) {

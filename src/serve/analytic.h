@@ -30,6 +30,11 @@ namespace tsi {
 struct AnalyticServeConfig {
   PartitionSpec spec;      // one replica serves both phases
   int64_t num_slots = 64;  // fixed decode frame (§4.4's decode batch)
+  // With ServeOptions.share_prefixes: leading prompt tokens every request is
+  // assumed to share (a common system prompt). AdoptPrefix reports them as
+  // adopted, so their prefill compute is skipped and the slot starts with
+  // that much cached context -- the analytic twin of the paged COW fork.
+  int64_t shared_prefix_len = 0;
 };
 
 class AnalyticServeBackend : public ServeBackend {
@@ -45,6 +50,7 @@ class AnalyticServeBackend : public ServeBackend {
                   const std::vector<int32_t>& tokens, bool last) override;
   std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) override;
   void Release(int64_t slot) override;
+  int64_t AdoptPrefix(int64_t slot, const ServeRequest& req) override;
 
   // --- Cost accounting (accumulated since construction) -------------------
   // Summed per-phase breakdown of every charged second, for folding a

@@ -19,6 +19,11 @@ struct ServeRequest {
   double arrival = 0;  // virtual seconds
   std::vector<int32_t> prompt;
   int64_t max_new_tokens = 16;
+  // Multi-turn hint: id of an earlier request whose retained context this
+  // prompt extends (the prompt must repeat that conversation's tokens).
+  // With ServeOptions.share_prefixes the backend forks the parent's KV pages
+  // instead of re-prefilling the common prefix. -1: no parent.
+  int64_t parent = -1;
 };
 
 class RequestQueue {

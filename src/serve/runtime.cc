@@ -6,9 +6,22 @@
 
 namespace tsi {
 
+namespace {
+int64_t CommonPrefixLen(const std::vector<int32_t>& a,
+                        const std::vector<int32_t>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return static_cast<int64_t>(i);
+}
+}  // namespace
+
 EngineServeBackend::EngineServeBackend(DistributedEngine* engine,
                                        int64_t num_slots, ServeOptions options)
-    : engine_(engine), num_slots_(num_slots), options_(std::move(options)) {
+    : engine_(engine),
+      num_slots_(num_slots),
+      options_(std::move(options)),
+      next_pseudo_slot_(num_slots) {
   TSI_CHECK(engine_ != nullptr);
   TSI_CHECK_GT(num_slots_, 0);
   TSI_CHECK_EQ(engine_->context_length(), 0) << "engine already has context";
@@ -36,34 +49,60 @@ Sampler& EngineServeBackend::SamplerFor(int64_t request) {
   return it->second;
 }
 
-int32_t EngineServeBackend::Prefill(int64_t slot, int64_t request,
-                                    const std::vector<int32_t>& tokens,
-                                    bool last) {
-  TSI_CHECK(slot >= 0 && slot < num_slots_);
-  TSI_CHECK(!tokens.empty());
+int64_t EngineServeBackend::GroupOf(int64_t slot) const {
+  if (engine_->spec().attn != AttnSharding::kBatch) return 0;
+  const int n = engine_->machine().num_chips();
+  // Pseudo-slots inherit the group they were created for; decode-frame
+  // slots derive it from the identity lane mapping.
+  if (slot >= num_slots_) {
+    for (const auto& [key, s] : system_slots_)
+      if (s == slot) return key.second;
+    for (const PrefixEntry& e : retained_)
+      if (e.slot == slot) return e.group;
+    TSI_CHECK(false) << "unknown pseudo-slot " << slot;
+  }
+  return slot / (num_slots_ / n);
+}
+
+Tensor EngineServeBackend::PrefillIntoSlot(int64_t slot, int64_t group,
+                                           const std::vector<int32_t>& tokens) {
   const auto T = static_cast<int64_t>(tokens.size());
   const int n = engine_->machine().num_chips();
-
   // kHeads caches are replicated over chips, so one real lane suffices.
   // kBatch needs batch % chips == 0 AND the real lane on the chip that owns
-  // this slot in the decode frame (xyz-rank slot/(S/n)): run an n-lane group
+  // this slot in the decode frame (xyz-rank `group`): run an n-lane group
   // with n-1 scratch lanes.
   std::vector<int64_t> slot_map;
   int64_t lane = 0;
   if (engine_->spec().attn == AttnSharding::kBatch) {
     slot_map.assign(static_cast<size_t>(n), ShardedKvCache::kScratchSlot);
-    lane = slot / (num_slots_ / n);
+    lane = group;
     slot_map[static_cast<size_t>(lane)] = slot;
   } else {
     slot_map.assign(1, slot);
   }
-
   std::vector<int32_t> frame(slot_map.size() * static_cast<size_t>(T), 0);
   std::copy(tokens.begin(), tokens.end(),
             frame.begin() + static_cast<size_t>(lane) * tokens.size());
+  return engine_->PrefillSlots(frame, slot_map);
+}
 
-  Tensor logits = engine_->PrefillSlots(frame, slot_map);
+int32_t EngineServeBackend::Prefill(int64_t slot, int64_t request,
+                                    const std::vector<int32_t>& tokens,
+                                    bool last) {
+  TSI_CHECK(slot >= 0 && slot < num_slots_);
+  TSI_CHECK(!tokens.empty());
+  const int64_t group = GroupOf(slot);
+  Tensor logits = PrefillIntoSlot(slot, group, tokens);
+  if (options_.share_prefixes) {
+    auto& hist = slot_tokens_[slot];
+    hist.insert(hist.end(), tokens.begin(), tokens.end());
+    slot_request_[slot] = request;
+  }
   if (!last) return -1;
+  const auto T = static_cast<int64_t>(tokens.size());
+  const int64_t lane =
+      engine_->spec().attn == AttnSharding::kBatch ? group : 0;
   const int64_t V = engine_->config().vocab_size;
   const float* row = logits.data() + ((lane * T) + (T - 1)) * V;
   return SamplerFor(request).Sample(row, V);
@@ -82,6 +121,11 @@ std::vector<int32_t> EngineServeBackend::Decode(
     frame[static_cast<size_t>(l.slot)] = l.token;
   }
   Tensor logits = engine_->DecodeSlots(frame, slot_map);
+  if (options_.share_prefixes) {
+    // The fed-back token is what entered each slot's KV this step; the
+    // history must mirror the cached context exactly for LCP matching.
+    for (const DecodeLane& l : lanes) slot_tokens_[l.slot].push_back(l.token);
+  }
   const int64_t V = engine_->config().vocab_size;
   std::vector<int32_t> out;
   out.reserve(lanes.size());
@@ -89,6 +133,95 @@ std::vector<int32_t> EngineServeBackend::Decode(
     out.push_back(
         SamplerFor(l.request).Sample(logits.data() + l.slot * V, V));
   return out;
+}
+
+void EngineServeBackend::RegisterSystemPrompt(std::vector<int32_t> tokens) {
+  TSI_CHECK(!tokens.empty());
+  system_prompts_.push_back(std::move(tokens));
+}
+
+int64_t EngineServeBackend::EnsureSystemSlot(size_t idx, int64_t group) {
+  const auto key = std::make_pair(idx, group);
+  auto it = system_slots_.find(key);
+  if (it != system_slots_.end()) return it->second;
+  // One-time materialization: prefill the whole system prompt into a fresh
+  // pseudo-slot on this owner group. Every later request forks these pages;
+  // the prompt is computed and stored once per group, not once per request.
+  const int64_t slot = next_pseudo_slot_++;
+  PrefillIntoSlot(slot, group, system_prompts_[idx]);
+  system_slots_.emplace(key, slot);
+  TSI_LOG(DEBUG) << "materialized system prompt " << idx << " ("
+                 << system_prompts_[idx].size() << " tokens) in pseudo-slot "
+                 << slot << " for group " << group;
+  return slot;
+}
+
+int64_t EngineServeBackend::AdoptPrefix(int64_t slot, const ServeRequest& req) {
+  if (!options_.share_prefixes) return 0;
+  // At least one prompt token must go through Prefill: the first sampled
+  // token needs a forward pass over this slot.
+  const auto cap = static_cast<int64_t>(req.prompt.size()) - 1;
+  if (cap <= 0) return 0;
+  const int64_t group = GroupOf(slot);
+
+  // Multi-turn: the retained parent conversation wins over system prompts
+  // (it extends one of them anyway). Under kBatch the parent's pages live on
+  // one owner chip -- only a slot in the same group can fork them.
+  if (req.parent >= 0) {
+    for (const PrefixEntry& e : retained_) {
+      if (e.request != req.parent || e.group != group) continue;
+      const int64_t p = std::min(CommonPrefixLen(e.tokens, req.prompt), cap);
+      if (p <= 0) break;
+      engine_->ForkSlot(e.slot, slot, p);
+      slot_tokens_[slot].assign(req.prompt.begin(), req.prompt.begin() + p);
+      slot_request_[slot] = req.id;
+      return p;
+    }
+  }
+
+  // Best system prompt by longest common prefix.
+  size_t best = system_prompts_.size();
+  int64_t best_p = 0;
+  for (size_t i = 0; i < system_prompts_.size(); ++i) {
+    const int64_t p =
+        std::min(CommonPrefixLen(system_prompts_[i], req.prompt), cap);
+    if (p > best_p) {
+      best = i;
+      best_p = p;
+    }
+  }
+  if (best_p <= 0) return 0;
+  engine_->ForkSlot(EnsureSystemSlot(best, group), slot, best_p);
+  slot_tokens_[slot].assign(req.prompt.begin(), req.prompt.begin() + best_p);
+  slot_request_[slot] = req.id;
+  return best_p;
+}
+
+void EngineServeBackend::Release(int64_t slot) {
+  if (options_.share_prefixes && options_.retain_parents > 0) {
+    auto hist = slot_tokens_.find(slot);
+    auto reqit = slot_request_.find(slot);
+    if (hist != slot_tokens_.end() && reqit != slot_request_.end() &&
+        engine_->slot_length(slot) > 0) {
+      // Keep the retiring conversation's pages alive under a pseudo-slot so
+      // a follow-up turn (ServeRequest.parent) can fork them. The fork
+      // shares every full page -- no copying.
+      PrefixEntry e;
+      e.slot = next_pseudo_slot_++;
+      e.tokens = hist->second;
+      e.group = GroupOf(slot);
+      e.request = reqit->second;
+      engine_->ForkSlot(slot, e.slot, engine_->slot_length(slot));
+      retained_.push_back(std::move(e));
+      while (static_cast<int64_t>(retained_.size()) > options_.retain_parents) {
+        engine_->ResetSlot(retained_.front().slot);
+        retained_.pop_front();
+      }
+    }
+  }
+  slot_tokens_.erase(slot);
+  slot_request_.erase(slot);
+  engine_->ResetSlot(slot);
 }
 
 }  // namespace tsi

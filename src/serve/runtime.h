@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "engine/engine.h"
@@ -46,15 +48,52 @@ class EngineServeBackend : public ServeBackend {
   int32_t Prefill(int64_t slot, int64_t request,
                   const std::vector<int32_t>& tokens, bool last) override;
   std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) override;
-  void Release(int64_t slot) override { engine_->ResetSlot(slot); }
+  void Release(int64_t slot) override;
+
+  // --- KV prefix sharing (ServeOptions.share_prefixes) --------------------
+  // Registers a system prompt for prefix matching at admission. The prompt
+  // is prefilled once into a pseudo-slot (outside the decode frame, lazily,
+  // per kBatch owner group) and every request whose prompt starts with it
+  // forks those pages instead of re-prefilling them.
+  void RegisterSystemPrompt(std::vector<int32_t> tokens);
+  // Longest-common-prefix match against the registered system prompts and
+  // (for req.parent >= 0) the retained conversations; forks the best match
+  // into `slot` and returns the adopted token count.
+  int64_t AdoptPrefix(int64_t slot, const ServeRequest& req) override;
 
  private:
   Sampler& SamplerFor(int64_t request);
+  // kBatch: the owner group (xyz-rank) a slot's pages live on; kHeads: 0.
+  int64_t GroupOf(int64_t slot) const;
+  // Pseudo-slot holding system prompt `idx` for `group`, prefilled on
+  // first use.
+  int64_t EnsureSystemSlot(size_t idx, int64_t group);
+  // Runs one PrefillSlots call targeting `slot` on owner `group` (n-lane
+  // padded frame under kBatch, single lane under kHeads); returns logits.
+  Tensor PrefillIntoSlot(int64_t slot, int64_t group,
+                         const std::vector<int32_t>& tokens);
 
   DistributedEngine* engine_;
   int64_t num_slots_;
   ServeOptions options_;
   std::map<int64_t, Sampler> samplers_;  // request id -> sampler stream
+
+  // Prefix-sharing state. Pseudo-slot ids start at num_slots_ so they can
+  // never collide with decode-frame lanes.
+  std::vector<std::vector<int32_t>> system_prompts_;
+  std::map<std::pair<size_t, int64_t>, int64_t> system_slots_;
+  struct PrefixEntry {  // a retired conversation kept for multi-turn forks
+    int64_t slot = -1;  // pseudo-slot holding the pages
+    std::vector<int32_t> tokens;
+    int64_t group = 0;
+    int64_t request = -1;
+  };
+  std::deque<PrefixEntry> retained_;  // FIFO, capped at retain_parents
+  int64_t next_pseudo_slot_ = 0;
+  // Mirrors each slot's cached token sequence (prompt + fed-back decode
+  // tokens) -- what a follow-up turn's prompt is matched against.
+  std::map<int64_t, std::vector<int32_t>> slot_tokens_;
+  std::map<int64_t, int64_t> slot_request_;
 };
 
 }  // namespace tsi

@@ -75,6 +75,14 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       "serve/decode_lanes", {1, 2, 4, 8, 16, 32, 64, 128, 256});
   obs::Histogram* m_queue_wait = metrics.GetHistogram(
       "serve/queue_wait_s", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+  obs::Counter* m_prefill_tokens = metrics.GetCounter("serve/prefill_tokens");
+  // Prefix-sharing counters exist only when the feature is on, so baseline
+  // metric exports (and their golden tests) are unchanged.
+  obs::Counter* m_prefix_hits =
+      options.share_prefixes ? metrics.GetCounter("serve/prefix_hits") : nullptr;
+  obs::Counter* m_prefix_tokens =
+      options.share_prefixes ? metrics.GetCounter("serve/shared_prefix_tokens")
+                             : nullptr;
 
   struct Active {
     ServeRequest req;
@@ -137,6 +145,26 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       TSI_LOG(DEBUG) << "admit request " << a.rec.id << " into slot " << a.slot
                      << " at t=" << a.rec.admitted;
       a.req = std::move(r);
+      if (options.share_prefixes) {
+        // Fork-at-admission: prompt tokens covered by a shared KV prefix
+        // never enter chunked prefill (they are already cached pages).
+        a.prefilled = backend.AdoptPrefix(a.slot, a.req);
+        TSI_CHECK_GE(a.prefilled, 0);
+        TSI_CHECK_LT(a.prefilled, static_cast<int64_t>(a.req.prompt.size()))
+            << "AdoptPrefix must leave at least one prompt token to prefill";
+        a.rec.shared_prefix_tokens = a.prefilled;
+        if (a.prefilled > 0) {
+          m_prefix_hits->Add(1);
+          m_prefix_tokens->Add(a.prefilled);
+          if (tracer)
+            tracer->RecordInstant(
+                "prefix_fork", a.rec.admitted,
+                {{"request", std::to_string(a.rec.id)},
+                 {"tokens", std::to_string(a.prefilled)}});
+          TSI_LOG(DEBUG) << "request " << a.rec.id << " adopted " << a.prefilled
+                         << " prefix tokens into slot " << a.slot;
+        }
+      }
       active.push_back(std::move(a));
     }
     m_queue_depth->Set(static_cast<double>(queue.size()));
@@ -162,6 +190,7 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       a.prefilled += chunk;
       ++report.prefill_chunks;
       m_prefill_chunks->Add(1);
+      m_prefill_tokens->Add(chunk);
       m_chunk_tokens->Observe(static_cast<double>(chunk));
       if (tracer)
         tracer->RecordScheduler(

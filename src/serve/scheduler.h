@@ -58,6 +58,15 @@ struct ServeOptions {
   // Sink for the "serve/" counters/gauges/histograms. Null means
   // obs::MetricsRegistry::Global(); golden tests pass a fresh registry.
   obs::MetricsRegistry* metrics = nullptr;
+  // KV prefix sharing (paged cache, engine/kvcache.h). When set, admission
+  // offers each request to the backend's AdoptPrefix first: prompt tokens
+  // covered by a forked prefix (a registered system prompt, or the retained
+  // context of `ServeRequest.parent`) skip chunked prefill entirely -- both
+  // the compute and the duplicate KV bytes.
+  bool share_prefixes = false;
+  // With share_prefixes: how many retired conversations the backend keeps
+  // resident (FIFO) so follow-up turns can fork them. 0 keeps none.
+  int64_t retain_parents = 0;
 };
 
 // Per-request serving metrics (all stamps in virtual seconds).
@@ -68,6 +77,8 @@ struct RequestRecord {
   double first_token = 0;  // end of the prefill chunk that sampled token 1
   double finished = 0;     // last token emitted
   std::vector<int32_t> tokens;  // generated tokens (EOS included)
+  // Prompt tokens adopted from a shared KV prefix instead of prefilled.
+  int64_t shared_prefix_tokens = 0;
 
   double QueueWait() const { return admitted - arrival; }
   double Ttft() const { return first_token - arrival; }
@@ -123,6 +134,16 @@ class ServeBackend {
   virtual std::vector<int32_t> Decode(const std::vector<DecodeLane>& lanes) = 0;
   // The request in `slot` retired; drop its per-slot state.
   virtual void Release(int64_t slot) = 0;
+  // Prefix sharing hook (ServeOptions.share_prefixes): called at admission,
+  // before any Prefill for `slot`. Returns how many leading prompt tokens
+  // the backend satisfied by forking an existing KV prefix into `slot` --
+  // the scheduler skips them. Must leave at least one prompt token for
+  // Prefill (the sampled first token needs a forward pass). Default: none.
+  virtual int64_t AdoptPrefix(int64_t slot, const ServeRequest& req) {
+    (void)slot;
+    (void)req;
+    return 0;
+  }
 };
 
 ServeReport RunContinuousServing(ServeBackend& backend,

@@ -188,6 +188,78 @@ TEST(EdgeDeathTest, KvCacheRejectsNonResidentSlot) {
   EXPECT_DEATH(cache.BeginStep({{}, {0}}, 1), "not resident");
 }
 
+// --- Paged-cache failure modes (ForkSlot / refcount protocol) ---------------
+
+namespace {
+// One committed 6-token step into `slot` of a 1-chip, 1-layer fp32 cache
+// (page_size 4: the second page is partial, primed for COW).
+void CommitSixTokens(ShardedKvCache& cache, int64_t slot) {
+  Tensor kv({1, 6, 1, 4});
+  cache.BeginStep({{slot}}, 6);
+  cache.Append(0, 0, kv, kv);
+  cache.CommitStep();
+}
+}  // namespace
+
+TEST(EdgeDeathTest, KvCacheRejectsForkFromNonResidentSlot) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  // Nothing committed anywhere: there is no prefix to share.
+  EXPECT_DEATH(cache.ForkSlot(0, 1, 4), "non-resident");
+  CommitSixTokens(cache, 0);
+  cache.ResetSlot(0);  // freed again -> non-resident again
+  EXPECT_DEATH(cache.ForkSlot(0, 1, 4), "non-resident");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsForkMidStep) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  CommitSixTokens(cache, 0);
+  cache.BeginStep({{0}}, 1);
+  // Mid-step the boundary page is already allocated to this step's append;
+  // sharing it now would hand the child half-written data.
+  EXPECT_DEATH(cache.ForkSlot(0, 1, 4), "mid-step");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsForkBeyondCommittedPrefix) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  CommitSixTokens(cache, 0);
+  EXPECT_DEATH(cache.ForkSlot(0, 1, 7), "exceeds slot");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsForkIntoNonEmptySlot) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  CommitSixTokens(cache, 0);
+  CommitSixTokens(cache, 1);
+  EXPECT_DEATH(cache.ForkSlot(0, 1, 4), "non-empty");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsDoubleResetRefcountUnderflow) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  CommitSixTokens(cache, 0);
+  cache.ResetSlot(0);
+  // The slot's pages went back to the free list; dereferencing them again
+  // would underflow another sequence's refcounts.
+  EXPECT_DEATH(cache.ResetSlot(0), "refcount underflow");
+}
+
+TEST(EdgeDeathTest, KvCacheRejectsAppendIntoUncommittedCowSplit) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  CommitSixTokens(cache, 0);
+  cache.ForkSlot(0, 1, 6);
+  // The child's divergent step COW-splits the boundary page in BeginStep;
+  // abandoning that step (no CommitStep) leaves the cache poisoned -- the
+  // next BeginStep dies rather than appending into the half-committed split.
+  Tensor kv({1, 1, 1, 4});
+  cache.BeginStep({{1}}, 1);
+  cache.Append(0, 0, kv, kv);
+  EXPECT_DEATH(cache.BeginStep({{1}}, 1), "step already open");
+}
+
 // --- Degenerate but legal ---------------------------------------------------
 
 TEST(EdgeCaseTest, SingleChipEngineIsJustTheModel) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/attn_cost.h"
 #include "hw/chip.h"
 #include "model/reference.h"
 #include "util/metrics.h"
@@ -538,6 +539,159 @@ TEST(FastPathEngineTest, FusionCountersRecordActivity) {
   engine.DecodeStep(RandomTokens(B, cfg.vocab_size, 70));
   EXPECT_GT(metrics.GetCounter("fastpath/fused_ops")->value(), 0);
   EXPECT_GT(metrics.GetCounter("fastpath/bytes_saved")->value(), 0);
+}
+
+// --- Paged KV cache bit-identity guard (engine/kvcache.h) -------------------
+
+struct PagedCase {
+  int x, y, z;
+  AttnSharding attn;
+  int variant;
+  bool int8_;
+};
+
+class PagedKvIdentityTest : public ::testing::TestWithParam<PagedCase> {};
+
+TEST_P(PagedKvIdentityTest, PagedDecodeBitIdenticalToContiguous) {
+  // The paging contract: page size, paged-kernel vs gather, and SPMD slot
+  // count are all storage/scheduling choices -- logits and the virtual
+  // clock must not move by a single bit. A huge page (1024) reproduces the
+  // pre-paging contiguous layout; page size 4 forces multi-page tables with
+  // partial boundary pages (prefill length 5 is not a multiple of 4).
+  const PagedCase& p = GetParam();
+  ModelConfig cfg = ConfigForVariant(p.variant);
+  ModelWeights weights = ModelWeights::Random(cfg, 80);
+  const int64_t B = 8, L = 5;
+  auto prompt = RandomTokens(B * L, cfg.vocab_size, 81);
+  auto d1 = RandomTokens(B, cfg.vocab_size, 82);
+  auto d2 = RandomTokens(B, cfg.vocab_size, 83);
+
+  struct Run {
+    std::vector<Tensor> logits;
+    double time, hbm, net;
+  };
+  auto run = [&](KvCacheConfig kv, int spmd_slots) {
+    SimMachine machine(Torus3D(p.x, p.y, p.z), TpuV4());
+    EngineSpec spec;
+    spec.attn = p.attn;
+    if (p.int8_) spec.fastpath.precision = FastPathPrecision::kInt8;
+    spec.kv = kv;
+    DistributedEngine engine(weights, &machine, spec);
+    engine.spmd().set_slots(spmd_slots);
+    Run r;
+    r.logits.push_back(engine.Prefill(prompt, B));
+    r.logits.push_back(engine.DecodeStep(d1));
+    r.logits.push_back(engine.DecodeStep(d2));
+    r.time = machine.MaxTime();
+    r.hbm = r.net = 0;
+    for (int c = 0; c < machine.num_chips(); ++c) {
+      r.hbm += machine.counters(c).hbm_bytes;
+      r.net += machine.counters(c).network_bytes;
+    }
+    return r;
+  };
+
+  const Run base = run(KvCacheConfig{/*page_size=*/1024, /*paged_kernel=*/false},
+                       /*spmd_slots=*/1);
+  ASSERT_GT(base.time, 0.0);
+  for (int slots : {1, 8}) {
+    for (KvCacheConfig kv :
+         {KvCacheConfig{4, true}, KvCacheConfig{4, false},
+          KvCacheConfig{16, true}, KvCacheConfig{1024, false}}) {
+      const Run got = run(kv, slots);
+      for (size_t i = 0; i < base.logits.size(); ++i)
+        EXPECT_EQ(MaxAbsDiff(got.logits[i], base.logits[i]), 0.0f)
+            << "page_size " << kv.page_size << " kernel " << kv.paged_kernel
+            << " slots " << slots << " step " << i;
+      EXPECT_EQ(got.time, base.time) << "virtual clock moved";
+      EXPECT_EQ(got.hbm, base.hbm) << "HBM bytes moved";
+      EXPECT_EQ(got.net, base.net) << "network bytes moved";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, PagedKvIdentityTest,
+    ::testing::Values(PagedCase{2, 2, 1, kHeads, 0, false},
+                      PagedCase{2, 2, 1, kBatch, 0, false},
+                      PagedCase{2, 2, 1, kHeads, 2, false},  // GQA head slices
+                      PagedCase{2, 2, 1, kHeads, 0, true},
+                      PagedCase{2, 2, 1, kBatch, 0, true},
+                      PagedCase{1, 2, 2, kBatch, 2, true}),
+    [](const ::testing::TestParamInfo<PagedCase>& info) {
+      const auto& p = info.param;
+      std::string s = std::to_string(p.x) + "x" + std::to_string(p.y) + "x" +
+                      std::to_string(p.z);
+      s += p.attn == kBatch ? "_batch" : "_heads";
+      s += p.variant == 0 ? "_mqa" : (p.variant == 1 ? "_mha" : "_gqa");
+      s += p.int8_ ? "_int8" : "_fp32";
+      return s;
+    });
+
+TEST(EngineTest, ForkSlotSkipsRePrefillBitExactly) {
+  // COW prefix sharing end to end: prefill a prompt into slot 0, fork its
+  // committed prefix into slot 1, and decode both. The forked lane must
+  // produce bit-identical logits to a lane that re-prefilled the same
+  // prompt -- the pages really are the same bytes.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 84);
+  SimMachine machine(Torus3D(1, 2, 2), TpuV4());
+  EngineSpec spec;
+  spec.kv.page_size = 4;
+  DistributedEngine engine(weights, &machine, spec);
+  const int64_t L = 6;
+  auto prompt = RandomTokens(L, cfg.vocab_size, 85);
+
+  engine.PrefillSlots(prompt, {0});
+  engine.ForkSlot(/*parent=*/0, /*child=*/1, /*prefix_len=*/L);
+  EXPECT_EQ(engine.slot_length(1), L);
+  // The fork shares pages instead of re-storing them.
+  EXPECT_GT(engine.cache().pages_shared(), 0);
+
+  auto next = RandomTokens(2, cfg.vocab_size, 86);
+  Tensor both = engine.DecodeSlots({next[0], next[0]}, {0, 1});
+  // Identical context + identical token => identical logits on both lanes
+  // (the divergent append COW-split the shared boundary page first).
+  EXPECT_EQ(MaxAbsDiff(both.Slice(0, 0, 1), both.Slice(0, 1, 1)), 0.0f);
+  EXPECT_GT(engine.cache().cow_splits(), 0);
+  // Feed different tokens, then the same token again: the contexts have
+  // diverged, so the lanes must no longer agree -- each slot really owns a
+  // private copy of the boundary page.
+  engine.DecodeSlots({next[0], next[1]}, {0, 1});
+  Tensor after = engine.DecodeSlots({next[0], next[0]}, {0, 1});
+  EXPECT_GT(MaxAbsDiff(after.Slice(0, 0, 1), after.Slice(0, 1, 1)), 0.0f);
+}
+
+TEST(EngineTest, PagedKvBytesMatchAnalyticModel) {
+  // The analytic memory model and the functional cache must agree EXACTLY on
+  // page-granular KV bytes: B sequences of L tokens at page size 4 round to
+  // whole pages per sequence, under both shardings.
+  ModelConfig cfg = TinyTestModelMultihead();  // 8 kv heads: kHeads shards
+  ModelWeights weights = ModelWeights::Random(cfg, 87);
+  const int64_t B = 4, L = 6, PS = 4;  // 6 tokens -> 2 pages of 4
+  auto tokens = RandomTokens(B * L, cfg.vocab_size, 88);
+
+  for (AttnSharding attn : {AttnSharding::kHeads, AttnSharding::kBatch}) {
+    SimMachine machine(Torus3D(1, 2, 1), TpuV4());
+    EngineSpec spec;
+    spec.attn = attn;
+    spec.kv.page_size = PS;
+    DistributedEngine engine(weights, &machine, spec);
+    engine.Prefill(tokens, B);
+
+    const double bpe = machine.bytes_per_element();
+    const int n = machine.num_chips();
+    const double analytic = n * KvCacheBytesPerChipPaged(
+                                    cfg, attn, n, static_cast<double>(B),
+                                    static_cast<double>(L), bpe, PS);
+    EXPECT_EQ(engine.cache().TotalBytes(bpe), analytic)
+        << (attn == AttnSharding::kBatch ? "kBatch" : "kHeads");
+    // The rounding is real: the page-granular charge exceeds the
+    // token-granular one (6 tokens occupy 8 positions of capacity).
+    EXPECT_GT(analytic,
+              n * KvCacheBytesPerChip(cfg, attn, n, static_cast<double>(B),
+                                      static_cast<double>(L), bpe));
+  }
 }
 
 TEST(EngineTest, DecodeWithoutPrefillIsRejected) {

@@ -451,6 +451,115 @@ TEST(ServeRuntimeTest, AnalyticBackendCrossChecksFunctionalRuntime) {
   EXPECT_LT(ratio, 5.0) << "functional vs analytic drifted apart";
 }
 
+TEST(ServeRuntimeTest, SharedSystemPromptForkSkipsPrefillBitExactly) {
+  // Fork-at-admission: every prompt starts with a registered system prompt.
+  // With share_prefixes the backend forks the cached pages instead of
+  // re-prefilling them -- the sampled tokens must be bit-identical to the
+  // non-shared run, while the scheduler feeds strictly fewer prefill chunks.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 31);
+  const ServeSetup setup = BatchShardedSetup();  // exercises owner groups
+  const std::vector<int32_t> sys = RandomTokens(8, cfg.vocab_size, 500);
+
+  std::vector<ServeRequest> requests;
+  for (int64_t i = 0; i < 6; ++i) {
+    ServeRequest r;
+    r.id = i;
+    r.arrival = static_cast<double>(i) * 2e-6;
+    r.prompt = sys;
+    const auto tail =
+        RandomTokens(3, cfg.vocab_size, 510 + static_cast<uint64_t>(i));
+    r.prompt.insert(r.prompt.end(), tail.begin(), tail.end());
+    r.max_new_tokens = 4;
+    requests.push_back(std::move(r));
+  }
+
+  auto run = [&](bool share) {
+    SimMachine machine(setup.mesh, TpuV4());
+    EngineSpec spec = setup.spec;
+    spec.kv.page_size = 4;  // 8-token system prompt = 2 full shared pages
+    DistributedEngine engine(weights, &machine, spec);
+    ServeOptions options = GreedyOptions(/*prefill_chunk=*/3);
+    options.share_prefixes = share;
+    EngineServeBackend backend(&engine, /*num_slots=*/4, options);
+    if (share) backend.RegisterSystemPrompt(sys);
+    ServeReport report = RunContinuousServing(backend, requests, options);
+    return std::make_pair(std::move(report), engine.cache().forks());
+  };
+
+  auto [base, base_forks] = run(false);
+  auto [shared, shared_forks] = run(true);
+  ASSERT_EQ(base.completed(), 6);
+  ASSERT_EQ(shared.completed(), 6);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(base.requests[i].tokens, shared.requests[i].tokens)
+        << "request " << i;
+    EXPECT_EQ(base.requests[i].shared_prefix_tokens, 0);
+    EXPECT_EQ(shared.requests[i].shared_prefix_tokens, 8) << "request " << i;
+  }
+  // 8 of 11 prompt tokens per request never entered chunked prefill.
+  EXPECT_LT(shared.prefill_chunks, base.prefill_chunks);
+  EXPECT_EQ(base_forks, 0);
+  EXPECT_EQ(shared_forks, 6);
+}
+
+TEST(ServeRuntimeTest, MultiTurnParentForkMatchesFromScratch) {
+  // Turn 2 extends turn 1's conversation (prompt repeats turn 1's prompt and
+  // generated tokens). With retain_parents the retired context is kept under
+  // a pseudo-slot and forked at turn 2's admission; the follow-up's tokens
+  // must equal the from-scratch (no sharing) run.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 33);
+  const ServeSetup setup = HeadShardedSetup();
+  const auto prompt1 = RandomTokens(5, cfg.vocab_size, 600);
+  const int64_t kTurn1New = 4;
+
+  // Learn turn 1's greedy tokens to build a consistent turn-2 prompt.
+  ServeRequest turn1;
+  turn1.id = 0;
+  turn1.prompt = prompt1;
+  turn1.max_new_tokens = kTurn1New;
+  ServeReport alone =
+      RunOnFreshEngine(setup, weights, /*num_slots=*/1, {turn1}, GreedyOptions(4));
+  ASSERT_EQ(alone.completed(), 1);
+  const std::vector<int32_t>& turn1_tokens = alone.requests[0].tokens;
+  ASSERT_EQ(turn1_tokens.size(), static_cast<size_t>(kTurn1New));
+
+  ServeRequest turn2;
+  turn2.id = 1;
+  turn2.parent = 0;
+  turn2.prompt = prompt1;
+  turn2.prompt.insert(turn2.prompt.end(), turn1_tokens.begin(),
+                      turn1_tokens.end());
+  const auto follow_up = RandomTokens(3, cfg.vocab_size, 601);
+  turn2.prompt.insert(turn2.prompt.end(), follow_up.begin(), follow_up.end());
+  turn2.max_new_tokens = 5;
+
+  auto run = [&](bool share) {
+    ServeOptions options = GreedyOptions(/*prefill_chunk=*/4);
+    options.share_prefixes = share;
+    options.retain_parents = share ? 1 : 0;
+    ServeSetup s = setup;
+    s.spec.kv.page_size = 4;
+    // One slot: turn 2 admits only after turn 1 retires (and is retained).
+    return RunOnFreshEngine(s, weights, /*num_slots=*/1, {turn1, turn2},
+                            options);
+  };
+
+  ServeReport base = run(false);
+  ServeReport shared = run(true);
+  ASSERT_EQ(base.completed(), 2);
+  ASSERT_EQ(shared.completed(), 2);
+  EXPECT_EQ(base.requests[1].tokens, shared.requests[1].tokens);
+  // The retained history is turn 1's prompt plus its fed-back tokens (the
+  // final emitted token never re-entered the KV), so the fork covers
+  // |prompt1| + kTurn1New - 1 of turn 2's prompt.
+  EXPECT_EQ(shared.requests[1].shared_prefix_tokens,
+            static_cast<int64_t>(prompt1.size()) + kTurn1New - 1);
+  EXPECT_EQ(base.requests[1].shared_prefix_tokens, 0);
+  EXPECT_LT(shared.prefill_chunks, base.prefill_chunks);
+}
+
 TEST(ServeQueueTest, OrdersByArrivalAndAdmits) {
   std::vector<ServeRequest> rs(3);
   rs[0] = {2, 3.0, {1}, 4};

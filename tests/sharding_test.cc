@@ -140,7 +140,9 @@ INSTANTIATE_TEST_SUITE_P(Meshes, ShardingTest,
 
 TEST(ShardedKvCacheTest, AppendsAndTracksLength) {
   // Batch-sharded: chip 0 owns slots {0, 1}, chip 1 owns slots {2, 3}.
-  ShardedKvCache cache(2, 3, AttnSharding::kBatch);
+  // page_size 4 so 8 committed tokens fill pages exactly (no fragmentation).
+  ShardedKvCache cache(2, 3, AttnSharding::kBatch, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
   EXPECT_EQ(cache.length(), 0);
   Tensor kv({2, 4, 1, 8});
   auto step = [&](int64_t t, const Tensor& rows) {
@@ -157,8 +159,11 @@ TEST(ShardedKvCacheTest, AppendsAndTracksLength) {
   EXPECT_EQ(cache.num_slots(), 4);
   for (int64_t slot = 0; slot < 4; ++slot) EXPECT_EQ(cache.slot_length(slot), 8);
   EXPECT_EQ(cache.K(1, 2, /*slot=*/3).dim(1), 8);
-  // 2 chips * 3 layers * K&V * 2 slots each * 8 tokens * 1 head * 8 dh * 2B.
-  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 2 * 3 * 2 * (2 * 8 * 1 * 8) * 2.0);
+  // Page-granular bytes: 4 slots x 2 full pages, each page 3 layers * K&V *
+  // 4 positions * 1 head * 8 dh * 2B. Equals the token-granular footprint
+  // here because every slot's length is a multiple of the page size.
+  EXPECT_EQ(cache.pages_in_use(), 4 * 2);
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 8 * 3 * 2 * (4 * 1 * 8) * 2.0);
 
   // Slots advance independently: decode only slot 1 (on its owner chip 0)
   // while chip 1 contributes nothing this step.
@@ -181,7 +186,8 @@ TEST(ShardedKvCacheTest, AppendsAndTracksLength) {
 }
 
 TEST(ShardedKvCacheTest, ScratchLanesAreDiscarded) {
-  ShardedKvCache cache(1, 1, AttnSharding::kHeads);
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
   Tensor rows({2, 3, 1, 4});
   // Lane 0 targets slot 0; lane 1 is padding.
   cache.BeginStep({{0, ShardedKvCache::kScratchSlot}}, 3);
@@ -190,8 +196,131 @@ TEST(ShardedKvCacheTest, ScratchLanesAreDiscarded) {
   cache.CommitStep();
   EXPECT_EQ(cache.length(), 3);
   EXPECT_EQ(cache.num_slots(), 1);
-  // Scratch is excluded from the committed footprint.
-  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 2 * (3 * 1 * 4) * 2.0);
+  // Scratch is excluded from the committed footprint; the 3 committed
+  // positions occupy one whole page (internal fragmentation is bounded by
+  // one page per slot).
+  EXPECT_EQ(cache.pages_in_use(), 1);
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 1 * 2 * (4 * 1 * 4) * 2.0);
+}
+
+namespace {
+// [1, t, 1, dh] block whose element at (position tt, dim d) is
+// base + tt + d/100 -- distinguishable across steps for content checks.
+Tensor MarkedRows(int64_t t, int64_t dh, float base) {
+  Tensor rows({1, t, 1, dh});
+  for (int64_t tt = 0; tt < t; ++tt)
+    for (int64_t d = 0; d < dh; ++d)
+      rows.data()[tt * dh + d] = base + static_cast<float>(tt) +
+                                 static_cast<float>(d) / 100.0f;
+  return rows;
+}
+
+void AppendToSlot(ShardedKvCache& cache, int64_t slot, const Tensor& rows) {
+  cache.BeginStep({{slot}}, rows.dim(1));
+  for (int64_t l = 0; l < cache.num_layers(); ++l) cache.Append(0, l, rows, rows);
+  cache.CommitStep();
+}
+}  // namespace
+
+TEST(ShardedKvCacheTest, ForkSlotSharesCommittedPrefixPages) {
+  ShardedKvCache cache(1, 2, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  AppendToSlot(cache, 0, MarkedRows(8, 8, 1000.0f));  // 2 full pages
+  EXPECT_EQ(cache.pages_in_use(), 2);
+
+  // The fork stores nothing new: both slots read the same 2 pages.
+  cache.ForkSlot(/*parent=*/0, /*child=*/1, /*prefix_len=*/8);
+  EXPECT_EQ(cache.slot_length(1), 8);
+  EXPECT_EQ(cache.pages_in_use(), 2);
+  EXPECT_EQ(cache.pages_shared(), 2);
+  EXPECT_EQ(cache.forks(), 1);
+  Tensor parent_k = cache.K(0, 1, 0), child_k = cache.K(0, 1, 1);
+  ASSERT_EQ(parent_k.numel(), child_k.numel());
+  for (int64_t i = 0; i < parent_k.numel(); ++i)
+    ASSERT_EQ(parent_k.data()[i], child_k.data()[i]);
+
+  // The child diverges on a page boundary: a fresh page, no COW split.
+  AppendToSlot(cache, 1, MarkedRows(1, 8, 2000.0f));
+  EXPECT_EQ(cache.pages_in_use(), 3);
+  EXPECT_EQ(cache.cow_splits(), 0);
+
+  // Releasing the parent keeps the shared prefix alive for the child.
+  cache.ResetSlot(0);
+  EXPECT_EQ(cache.pages_in_use(), 3);
+  EXPECT_EQ(cache.pages_shared(), 0);
+  EXPECT_EQ(cache.K(0, 0, 1).dim(1), 9);
+}
+
+TEST(ShardedKvCacheTest, CowSplitsSharedBoundaryPageOnDivergence) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  AppendToSlot(cache, 0, MarkedRows(6, 8, 1000.0f));  // page 1 is partial
+  cache.ForkSlot(0, 1, 6);
+  EXPECT_EQ(cache.pages_in_use(), 2);
+
+  // The child's first divergent append lands in the shared partial page:
+  // BeginStep splits it first, so the parent's copy is untouched.
+  AppendToSlot(cache, 1, MarkedRows(2, 8, 2000.0f));
+  EXPECT_EQ(cache.cow_splits(), 1);
+  EXPECT_EQ(cache.pages_in_use(), 3);
+  EXPECT_EQ(cache.pages_shared(), 1);  // page 0 still shared
+
+  Tensor parent_k = cache.K(0, 0, 0), child_k = cache.K(0, 0, 1);
+  EXPECT_EQ(parent_k.dim(1), 6);
+  EXPECT_EQ(child_k.dim(1), 8);
+  // Shared prefix identical; the child's appended positions are its own.
+  for (int64_t i = 0; i < 6 * 8; ++i)
+    ASSERT_EQ(parent_k.data()[i], child_k.data()[i]);
+  EXPECT_EQ(child_k.data()[6 * 8], 2000.0f);
+
+  // The parent now appends into its (exclusive again) boundary page without
+  // another split, and the child does not see it.
+  AppendToSlot(cache, 0, MarkedRows(1, 8, 3000.0f));
+  EXPECT_EQ(cache.cow_splits(), 1);
+  EXPECT_EQ(cache.K(0, 0, 1).data()[6 * 8], 2000.0f);
+  EXPECT_EQ(cache.K(0, 0, 0).data()[6 * 8], 3000.0f);
+}
+
+TEST(ShardedKvCacheTest, ResetSlotReclaimsPagesThroughFreeList) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kBf16,
+                       KvCacheConfig{/*page_size=*/4});
+  AppendToSlot(cache, 0, MarkedRows(8, 8, 1000.0f));
+  const double two_pages = cache.TotalBytes(2.0);
+  EXPECT_EQ(cache.pages_in_use(), 2);
+  cache.ResetSlot(0);
+  EXPECT_EQ(cache.pages_in_use(), 0);
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 0.0);
+  // A new sequence reuses the freed pages: the pool does not grow.
+  AppendToSlot(cache, 1, MarkedRows(8, 8, 2000.0f));
+  EXPECT_EQ(cache.pages_in_use(), 2);
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), two_pages);
+  EXPECT_EQ(cache.K(0, 0, 1).data()[0], 2000.0f);
+}
+
+TEST(ShardedKvCacheTest, Int8ForkAndCowMatchFp32Semantics) {
+  ShardedKvCache cache(1, 1, AttnSharding::kHeads, WeightFormat::kInt8,
+                       KvCacheConfig{/*page_size=*/4});
+  auto append8 = [&](int64_t slot, int64_t t, float base) {
+    Tensor rows = MarkedRows(t, 8, base);
+    cache.BeginStep({{slot}}, t);
+    cache.AppendQuantized(0, 0, QuantizeKvInt8(rows), QuantizeKvInt8(rows));
+    cache.CommitStep();
+  };
+  append8(0, 6, 1.0f);
+  cache.ForkSlot(0, 1, 6);
+  EXPECT_EQ(cache.pages_in_use(), 2);
+  append8(1, 1, 2.0f);
+  EXPECT_EQ(cache.cow_splits(), 1);
+  // Prefixes agree (values and scales); divergent tails are independent.
+  QuantizedKv pk = cache.K8(0, 0, 0), ck = cache.K8(0, 0, 1);
+  EXPECT_EQ(pk.t(), 6);
+  EXPECT_EQ(ck.t(), 7);
+  for (int64_t i = 0; i < 6 * 8; ++i)
+    ASSERT_EQ(pk.values[static_cast<size_t>(i)], ck.values[static_cast<size_t>(i)]);
+  for (int64_t i = 0; i < 6; ++i)
+    ASSERT_EQ(pk.scales[static_cast<size_t>(i)], ck.scales[static_cast<size_t>(i)]);
+  // Int8 bytes are page-granular too: values + fp32 scales for 3 pages.
+  EXPECT_DOUBLE_EQ(cache.TotalBytes(2.0), 3 * 2.0 * (4 * 1 * 8 + 4.0 * 4 * 1));
 }
 
 }  // namespace

@@ -12,6 +12,11 @@
 #                             # under TSan with 8 SPMD slots forced (the demo
 #                             # exits non-zero if fused fp32 diverges from
 #                             # the baseline's tokens)
+#   tools/check.sh paged      # additionally re-run the paged-KV suites (page
+#                             # pool, COW forks, prefix-sharing serving) under
+#                             # TSan with 8 SPMD slots forced -- concurrent
+#                             # Appends into one page pool are the race
+#                             # surface the paged cache added
 #
 # TSan halves throughput and multiplies memory, so TSI_TSAN_TESTS can narrow
 # the sanitized run to the concurrency-heavy tests; default is everything.
@@ -39,7 +44,7 @@ ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
 echo "== ThreadSanitizer, 8 SPMD slots forced =="
 TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
   ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
-        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|fastpath_test'
+        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|fastpath_test|sharding_test'
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "== SPMD wall-clock bench =="
@@ -55,6 +60,18 @@ if [[ "${1:-}" == "fastpath" ]]; then
   # contract, so this catches both races and silent divergence.
   echo "== Fast-path serving demo under TSan (8 SPMD slots) =="
   TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 "$repo/build-check-tsan/examples/fastpath_serving"
+fi
+
+if [[ "${1:-}" == "paged" ]]; then
+  # Paged-KV race check: BeginStep allocates pages and COW-splits shared
+  # boundary pages single-threaded, then Appends write distinct chips'
+  # pools concurrently. 8 forced SPMD slots exercise exactly that overlap
+  # across the page-pool unit tests, the engine's paged/contiguous identity
+  # suite, and the prefix-sharing serving runtime.
+  echo "== Paged KV cache under TSan (8 SPMD slots) =="
+  TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
+    ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
+          -R 'sharding_test|engine_test|serve_test|edge_cases_test'
 fi
 
 if [[ "${1:-}" == "obs" ]]; then
