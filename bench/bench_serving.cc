@@ -25,16 +25,29 @@
 //   * shared_prefix -- the SAME workload (common system prompt) through the
 //     functional engine with prefix sharing off/on: scheduler-fed prefill
 //     tokens, cache-appended tokens, and peak KV page bytes all drop.
+// A disaggregation sweep rides along (E24, docs/serving.md): the same
+// RAG-heavy workload (an interactive stream plus concurrent long-context
+// prefills) served colocated vs. split into prefill/decode pools with KV
+// migration over the inter-pool link (serve/disagg.h). The headline: the
+// disaggregated decode pool's p99 inter-token latency beats colocated, whose
+// decode lanes stall behind every RAG prefill chunk. `--disagg` runs only
+// this sweep (the tools/check.sh disagg mode) and writes it standalone to
+// BENCH_serving_disagg.json; the full run embeds the same records in the
+// "disagg" section of BENCH_serving.json.
 #include "common.h"
 
 #include <cstdlib>
+#include <cstring>
+#include <sstream>
 
 #include "core/memory.h"
 #include "obs/utilization.h"
 #include "serve/analytic.h"
+#include "serve/disagg.h"
 #include "serve/runtime.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace tsi {
 namespace {
@@ -71,8 +84,12 @@ RunRecord Summarize(const char* policy, double rate, double load,
 }  // namespace
 }  // namespace tsi
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tsi;
+  bool disagg_only = false;  // tools/check.sh disagg mode: just the E24 sweep
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--disagg") == 0) disagg_only = true;
+
   ModelConfig cfg = Palm540BPadded();
   InferenceEstimator est(cfg, TpuV4());
 
@@ -83,6 +100,24 @@ int main() {
 
   const int64_t kRequests = 256, kPromptLen = 512;
   const int64_t kMinNew = 16, kMaxNew = 128;  // ragged output lengths
+  const double kMaxContext = 2048;
+  const int64_t kPage = 16;
+  const int64_t kSysLen = 130, kTailLen = 8, kPrefixRequests = 12;
+  struct CapRecord {
+    double context;
+    SlotCapacity cap;
+  };
+  struct PrefixRun {
+    double prefill_tokens = 0;   // scheduler-fed prompt tokens
+    double appended_tokens = 0;  // KV positions physically written
+    double kv_bytes_peak = 0;    // peak page bytes across the run
+    double forks = 0, cow_splits = 0, prefix_hits = 0;
+  };
+  std::vector<RunRecord> records;
+  std::vector<CapRecord> caps;
+  PrefixRun pr_off, pr_on;
+  double saturation = 0;
+
   ServeOptions options;
   // Whole-prompt chunks: the baseline prefills whole prompts too, so the
   // comparison isolates the admission policy (chunking below the prompt
@@ -104,108 +139,11 @@ int main() {
     return reqs;
   };
 
-  // Calibrate saturation: everything arrives at t=0, so throughput is pure
-  // service capacity with a full frame.
-  auto burst = vary_budgets(PoissonRequests(/*rate=*/1e9, kRequests, kPromptLen,
-                                            kMaxNew, cfg.vocab_size, /*seed=*/1));
-  AnalyticServeBackend sat_backend(&est, scfg);
-  const double saturation =
-      RunContinuousServing(sat_backend, burst, options)
-          .ThroughputRequestsPerSec();
-
-  PrintHeader("E22: continuous vs collect-batch-then-run, PaLM 540B, 64 chips");
-  std::printf("layout %s, %lld slots, %lld-token prompts, %lld-%lld new tokens\n"
-              "continuous saturation throughput: %.3f req/s\n\n",
-              scfg.spec.ToString().c_str(),
-              static_cast<long long>(scfg.num_slots),
-              static_cast<long long>(kPromptLen),
-              static_cast<long long>(kMinNew),
-              static_cast<long long>(kMaxNew), saturation);
-
-  Table t({"policy", "load", "offered (req/s)", "tput (req/s)", "tput (tok/s)",
-           "p50 latency", "p99 latency", "p99 TTFT", "mean queue wait", "MFU",
-           "busy"});
-  std::vector<RunRecord> records;
-  for (double load : {0.5, 0.8, 1.0, 1.2}) {
-    const double rate = load * saturation;
-    auto requests = vary_budgets(PoissonRequests(rate, kRequests, kPromptLen,
-                                                 kMaxNew, cfg.vocab_size,
-                                                 /*seed=*/2));
-    AnalyticServeBackend backend(&est, scfg);
-    ServeReport cont = RunContinuousServing(backend, requests, options);
-    ServeReport stat = RunStaticBatchServing(est, scfg, requests);
-    for (const auto& [policy, rep] :
-         {std::pair<const char*, const ServeReport*>{"continuous", &cont},
-          {"static-batch", &stat}}) {
-      RunRecord r = Summarize(policy, rate, load, *rep);
-      if (rep == &cont) {
-        // Fold the backend's accumulated breakdown into paper metrics: MFU
-        // over the whole run (idle time between arrivals included) and the
-        // per-resource share of the makespan.
-        obs::AnalyticUtilization u = obs::FoldAnalyticCost(
-            backend.total_cost(), backend.busy_seconds(), rep->makespan, cfg,
-            est.chip(), scfg.spec.num_chips(), backend.processed_tokens());
-        r.has_util = true;
-        r.mfu = u.mfu;
-        r.busy_frac = u.busy;
-        r.compute_frac = u.compute_frac;
-        r.memory_frac = u.weight_memory_frac + u.kv_memory_frac;
-        r.comm_frac = u.comm_frac;
-      }
-      records.push_back(r);
-      t.AddRow({r.policy, FormatDouble(load, 1), FormatDouble(rate, 3),
-                FormatDouble(r.throughput_rps, 3),
-                FormatDouble(r.throughput_tps, 1),
-                FormatDouble(r.p50_latency, 2) + "s",
-                FormatDouble(r.p99_latency, 2) + "s",
-                FormatDouble(r.p99_ttft, 2) + "s",
-                FormatDouble(r.mean_queue_wait, 2) + "s",
-                r.has_util ? FormatPercent(r.mfu) : "-",
-                r.has_util ? FormatPercent(r.busy_frac) : "-"});
-    }
-  }
-  t.Print();
-
-  // --- Paged vs contiguous slot capacity in the same KV reserve -----------
-  // Sequences occupy `context` tokens in expectation but a contiguous
-  // allocator must reserve kMaxContext per slot; the paged pool charges
-  // ceil(context / page) pages. Decode batch is capped by concurrent slots,
-  // so the ratio is a direct throughput headroom.
-  const double kMaxContext = 2048;
-  const int64_t kPage = 16;
-  struct CapRecord {
-    double context;
-    SlotCapacity cap;
-  };
-  std::vector<CapRecord> caps;
-  PrintHeader("Paged KV: max concurrent slots in the 30% KV reserve");
-  Table ct({"context", "max_context", "contiguous slots", "paged slots",
-            "ratio"});
-  for (double context : {256.0, 512.0, 1024.0}) {
-    CapRecord c{context,
-                MaxConcurrentSlots(cfg, scfg.spec, est.chip(), context,
-                                   kMaxContext, kPage)};
-    ct.AddRow({FormatDouble(context, 0), FormatDouble(kMaxContext, 0),
-               FormatDouble(c.cap.contiguous_slots, 0),
-               FormatDouble(c.cap.paged_slots, 0),
-               FormatDouble(c.cap.paged_slots / c.cap.contiguous_slots, 2) +
-                   "x"});
-    caps.push_back(c);
-  }
-  ct.Print();
-
   // --- Shared-prefix workload on the functional engine --------------------
   // 12 requests sharing a 128-token system prompt, served twice: prefix
   // sharing off, then on (fork-at-admission against the registered prompt).
-  struct PrefixRun {
-    double prefill_tokens = 0;   // scheduler-fed prompt tokens
-    double appended_tokens = 0;  // KV positions physically written
-    double kv_bytes_peak = 0;    // peak page bytes across the run
-    double forks = 0, cow_splits = 0, prefix_hits = 0;
-  };
   // 130 = 8 full pages + a 2-token boundary page, so every fork's first
   // divergent append also exercises a COW split.
-  const int64_t kSysLen = 130, kTailLen = 8, kPrefixRequests = 12;
   auto prefix_run = [&](bool share) {
     ModelConfig tiny = TinyTestModel();
     ModelWeights weights = ModelWeights::Random(tiny, 41);
@@ -254,24 +192,297 @@ int main() {
           metrics.GetCounter("serve/prefix_hits")->value());
     return out;
   };
-  const PrefixRun pr_off = prefix_run(false);
-  const PrefixRun pr_on = prefix_run(true);
-  PrintHeader("Shared system prompt (functional engine, 130+8-token prompts)");
-  Table pt({"sharing", "prefill tokens", "kv appended tokens",
-            "kv peak bytes", "forks", "cow splits"});
-  pt.AddRow({"off", FormatDouble(pr_off.prefill_tokens, 0),
-             FormatDouble(pr_off.appended_tokens, 0),
-             FormatDouble(pr_off.kv_bytes_peak, 0),
-             FormatDouble(pr_off.forks, 0),
-             FormatDouble(pr_off.cow_splits, 0)});
-  pt.AddRow({"on", FormatDouble(pr_on.prefill_tokens, 0),
-             FormatDouble(pr_on.appended_tokens, 0),
-             FormatDouble(pr_on.kv_bytes_peak, 0),
-             FormatDouble(pr_on.forks, 0), FormatDouble(pr_on.cow_splits, 0)});
-  pt.Print();
+  if (!disagg_only) {
+    // Calibrate saturation: everything arrives at t=0, so throughput is pure
+    // service capacity with a full frame.
+    auto burst = vary_budgets(PoissonRequests(/*rate=*/1e9, kRequests,
+                                              kPromptLen, kMaxNew,
+                                              cfg.vocab_size, /*seed=*/1));
+    AnalyticServeBackend sat_backend(&est, scfg);
+    saturation = RunContinuousServing(sat_backend, burst, options)
+                     .ThroughputRequestsPerSec();
 
-  const char* path = "BENCH_serving.json";
+    PrintHeader(
+        "E22: continuous vs collect-batch-then-run, PaLM 540B, 64 chips");
+    std::printf(
+        "layout %s, %lld slots, %lld-token prompts, %lld-%lld new tokens\n"
+        "continuous saturation throughput: %.3f req/s\n\n",
+        scfg.spec.ToString().c_str(), static_cast<long long>(scfg.num_slots),
+        static_cast<long long>(kPromptLen), static_cast<long long>(kMinNew),
+        static_cast<long long>(kMaxNew), saturation);
+
+    Table t({"policy", "load", "offered (req/s)", "tput (req/s)",
+             "tput (tok/s)", "p50 latency", "p99 latency", "p99 TTFT",
+             "mean queue wait", "MFU", "busy"});
+    for (double load : {0.5, 0.8, 1.0, 1.2}) {
+      const double rate = load * saturation;
+      auto requests = vary_budgets(PoissonRequests(rate, kRequests, kPromptLen,
+                                                   kMaxNew, cfg.vocab_size,
+                                                   /*seed=*/2));
+      AnalyticServeBackend backend(&est, scfg);
+      ServeReport cont = RunContinuousServing(backend, requests, options);
+      ServeReport stat = RunStaticBatchServing(est, scfg, requests);
+      for (const auto& [policy, rep] :
+           {std::pair<const char*, const ServeReport*>{"continuous", &cont},
+            {"static-batch", &stat}}) {
+        RunRecord r = Summarize(policy, rate, load, *rep);
+        if (rep == &cont) {
+          // Fold the backend's accumulated breakdown into paper metrics: MFU
+          // over the whole run (idle time between arrivals included) and the
+          // per-resource share of the makespan.
+          obs::AnalyticUtilization u = obs::FoldAnalyticCost(
+              backend.total_cost(), backend.busy_seconds(), rep->makespan, cfg,
+              est.chip(), scfg.spec.num_chips(), backend.processed_tokens());
+          r.has_util = true;
+          r.mfu = u.mfu;
+          r.busy_frac = u.busy;
+          r.compute_frac = u.compute_frac;
+          r.memory_frac = u.weight_memory_frac + u.kv_memory_frac;
+          r.comm_frac = u.comm_frac;
+        }
+        records.push_back(r);
+        t.AddRow({r.policy, FormatDouble(load, 1), FormatDouble(rate, 3),
+                  FormatDouble(r.throughput_rps, 3),
+                  FormatDouble(r.throughput_tps, 1),
+                  FormatDouble(r.p50_latency, 2) + "s",
+                  FormatDouble(r.p99_latency, 2) + "s",
+                  FormatDouble(r.p99_ttft, 2) + "s",
+                  FormatDouble(r.mean_queue_wait, 2) + "s",
+                  r.has_util ? FormatPercent(r.mfu) : "-",
+                  r.has_util ? FormatPercent(r.busy_frac) : "-"});
+      }
+    }
+    t.Print();
+
+    // --- Paged vs contiguous slot capacity in the same KV reserve ---------
+    // Sequences occupy `context` tokens in expectation but a contiguous
+    // allocator must reserve kMaxContext per slot; the paged pool charges
+    // ceil(context / page) pages. Decode batch is capped by concurrent
+    // slots, so the ratio is a direct throughput headroom.
+    PrintHeader("Paged KV: max concurrent slots in the 30% KV reserve");
+    Table ct({"context", "max_context", "contiguous slots", "paged slots",
+              "ratio"});
+    for (double context : {256.0, 512.0, 1024.0}) {
+      CapRecord c{context,
+                  MaxConcurrentSlots(cfg, scfg.spec, est.chip(), context,
+                                     kMaxContext, kPage)};
+      ct.AddRow({FormatDouble(context, 0), FormatDouble(kMaxContext, 0),
+                 FormatDouble(c.cap.contiguous_slots, 0),
+                 FormatDouble(c.cap.paged_slots, 0),
+                 FormatDouble(c.cap.paged_slots / c.cap.contiguous_slots, 2) +
+                     "x"});
+      caps.push_back(c);
+    }
+    ct.Print();
+
+    pr_off = prefix_run(false);
+    pr_on = prefix_run(true);
+    PrintHeader(
+        "Shared system prompt (functional engine, 130+8-token prompts)");
+    Table pt({"sharing", "prefill tokens", "kv appended tokens",
+              "kv peak bytes", "forks", "cow splits"});
+    pt.AddRow({"off", FormatDouble(pr_off.prefill_tokens, 0),
+               FormatDouble(pr_off.appended_tokens, 0),
+               FormatDouble(pr_off.kv_bytes_peak, 0),
+               FormatDouble(pr_off.forks, 0),
+               FormatDouble(pr_off.cow_splits, 0)});
+    pt.AddRow({"on", FormatDouble(pr_on.prefill_tokens, 0),
+               FormatDouble(pr_on.appended_tokens, 0),
+               FormatDouble(pr_on.kv_bytes_peak, 0),
+               FormatDouble(pr_on.forks, 0),
+               FormatDouble(pr_on.cow_splits, 0)});
+    pt.Print();
+  }
+
+  // --- E24: disaggregated prefill/decode pools under RAG prefill ----------
+  // An interactive stream (short prompts, long decodes) with long-context
+  // RAG prefills landing on top. Colocated, every scheduler iteration runs
+  // the RAG prefill chunk before the decode step, so the interactive
+  // inter-token latency inherits the chunk time; disaggregated, the decode
+  // pool never executes a prefill and only the KV migration (overlapped,
+  // off-chip on the link) crosses the seam.
+  struct DisaggRecord {
+    std::string config;
+    int prefill_chips = 0, decode_chips = 0;
+    double tpot_p50 = 0, tpot_p99 = 0;  // interactive inter-token latency
+    double rag_ttft_p99 = 0;
+    double migrations = 0, migrated_gb = 0, link_busy_s = 0;
+    double prefill_busy = 0, decode_busy = 0;  // busy frac of pool makespan
+    double makespan = 0;
+  };
+  std::vector<DisaggRecord> drecords;
+  const int64_t kInteractive = 48, kIPrompt = 128, kINew = 64;
+  const int64_t kRag = 6, kRagPrompt = 4096, kRagNew = 16;
+  ServeOptions dopt;
+  dopt.prefill_chunk = 256;  // chunked prefill (§3.5) in both arms
+  dopt.sampling.temperature = 0;
+
+  auto pool_spec = [&](int chips, FfnLayout ffn) {
+    PartitionSpec s{DefaultMeshFor(chips), ffn, AttnSharding::kBatch,
+                    WeightFormat::kInt8};
+    s.kv_page_size = kPage;
+    return s;
+  };
+
+  // Calibrate the interactive stream against the colocated frame, then
+  // offer 60% of saturation so queueing stays bounded while the RAG
+  // prefills land on top.
+  AnalyticServeConfig dcal;
+  dcal.spec = pool_spec(64, FfnLayout::kWS2D);
+  dcal.num_slots = 64;
+  auto dburst = PoissonRequests(1e9, kInteractive, kIPrompt, kINew,
+                                cfg.vocab_size, /*seed=*/11);
+  AnalyticServeBackend dcal_backend(&est, dcal);
+  const double dsat = RunContinuousServing(dcal_backend, dburst, dopt)
+                          .ThroughputRequestsPerSec();
+  const double drate = 0.6 * dsat;
+
+  std::vector<ServeRequest> dreqs = PoissonRequests(
+      drate, kInteractive, kIPrompt, kINew, cfg.vocab_size, /*seed=*/12);
+  {
+    // RAG prefills spread across the interactive span.
+    const double span = std::max(dreqs.back().arrival, 1e-9);
+    auto rag = PoissonRequests(static_cast<double>(kRag) / span, kRag,
+                               kRagPrompt, kRagNew, cfg.vocab_size,
+                               /*seed=*/13);
+    for (auto& r : rag) {
+      r.id += kInteractive;
+      dreqs.push_back(std::move(r));
+    }
+  }
+
+  auto run_disagg = [&](const char* name, int prefill_chips,
+                        int decode_chips) {
+    DisaggConfig dc;
+    dc.enabled = prefill_chips > 0;
+    dc.colocated_spec = pool_spec(64, FfnLayout::kWS2D);
+    dc.colocated_slots = 64;
+    if (dc.enabled) {
+      // Both pools weight-stationary: the analytic backend charges prefill
+      // chunks at batch 1 (§4.4's low-latency prefill), where the
+      // weight-gathered layouts lose their amortization and 2D-WS wins
+      // (bench_layouts) -- a real system would flip the prefill pool to
+      // weight-gathered only at large prefill batch.
+      dc.prefill_spec = pool_spec(prefill_chips, FfnLayout::kWS2D);
+      dc.decode_spec = pool_spec(decode_chips, FfnLayout::kWS2D);
+      dc.prefill_slots = 4;
+      dc.decode_slots = 64;
+      dc.link.network_bw = est.chip().network_bw;
+    }
+    AnalyticDisaggRun run = RunAnalyticDisaggServing(est, dc, dreqs, dopt);
+    DisaggRecord r;
+    r.config = name;
+    r.prefill_chips = prefill_chips;
+    r.decode_chips = decode_chips;
+    std::vector<double> tpot, rag_ttft;
+    for (const RequestRecord& rec : run.report.serve.requests) {
+      if (rec.id < kInteractive)
+        tpot.push_back(rec.TimePerOutputToken());
+      else
+        rag_ttft.push_back(rec.Ttft());
+    }
+    const LatencySummary ts = Summarize(tpot);
+    r.tpot_p50 = ts.p50;
+    r.tpot_p99 = ts.p99;
+    r.rag_ttft_p99 = Summarize(rag_ttft).p99;
+    r.migrations = static_cast<double>(run.report.migrations);
+    r.migrated_gb = run.report.migrated_bytes / 1e9;
+    r.link_busy_s = run.report.link_busy_seconds;
+    r.makespan = run.report.serve.makespan;
+    if (dc.enabled)
+      r.prefill_busy = run.prefill_busy_seconds /
+                       std::max(run.report.prefill_makespan, 1e-12);
+    r.decode_busy = run.decode_busy_seconds /
+                    std::max(run.report.decode_makespan, 1e-12);
+    drecords.push_back(r);
+  };
+  run_disagg("colocated-64", 0, 64);
+  run_disagg("disagg-16p+48d", 16, 48);
+  run_disagg("disagg-32p+32d", 32, 32);
+
+  PrintHeader("E24: disaggregated pools vs colocated under RAG prefill");
+  std::printf(
+      "interactive: %lld reqs, %lld-token prompts, %lld new tokens at "
+      "%.3f req/s\nRAG: %lld reqs, %lld-token prompts, %lld new tokens; "
+      "prefill chunk %lld\n\n",
+      static_cast<long long>(kInteractive), static_cast<long long>(kIPrompt),
+      static_cast<long long>(kINew), drate, static_cast<long long>(kRag),
+      static_cast<long long>(kRagPrompt), static_cast<long long>(kRagNew),
+      static_cast<long long>(dopt.prefill_chunk));
+  Table dt({"config", "chips p+d", "TPOT p50", "TPOT p99", "RAG TTFT p99",
+            "migrations", "migrated GB", "link busy", "prefill busy",
+            "decode busy"});
+  for (const DisaggRecord& r : drecords)
+    dt.AddRow({r.config,
+               FormatDouble(r.prefill_chips, 0) + "+" +
+                   FormatDouble(r.decode_chips, 0),
+               FormatDouble(r.tpot_p50 * 1e3, 2) + "ms",
+               FormatDouble(r.tpot_p99 * 1e3, 2) + "ms",
+               FormatDouble(r.rag_ttft_p99, 2) + "s",
+               FormatDouble(r.migrations, 0),
+               FormatDouble(r.migrated_gb, 2),
+               FormatDouble(r.link_busy_s, 3) + "s",
+               r.prefill_chips > 0 ? FormatPercent(r.prefill_busy) : "-",
+               FormatPercent(r.decode_busy)});
+  dt.Print();
+
+  // The E24 section of BENCH_serving.json (also the whole document in
+  // --disagg mode).
+  auto write_disagg = [&](std::FILE* f) {
+    std::fprintf(f,
+                 "  \"disagg\": {\n"
+                 "    \"interactive_requests\": %lld, "
+                 "\"interactive_prompt_len\": %lld, "
+                 "\"interactive_new_tokens\": %lld,\n"
+                 "    \"rag_requests\": %lld, \"rag_prompt_len\": %lld, "
+                 "\"rag_new_tokens\": %lld,\n"
+                 "    \"offered_rps\": %.4f, \"prefill_chunk\": %lld, "
+                 "\"page_size\": %lld,\n    \"runs\": [\n",
+                 static_cast<long long>(kInteractive),
+                 static_cast<long long>(kIPrompt),
+                 static_cast<long long>(kINew), static_cast<long long>(kRag),
+                 static_cast<long long>(kRagPrompt),
+                 static_cast<long long>(kRagNew), drate,
+                 static_cast<long long>(dopt.prefill_chunk),
+                 static_cast<long long>(kPage));
+    for (size_t i = 0; i < drecords.size(); ++i) {
+      const DisaggRecord& r = drecords[i];
+      std::fprintf(f,
+                   "      {\"config\": \"%s\", \"prefill_chips\": %d, "
+                   "\"decode_chips\": %d, \"tpot_p50_s\": %.6f, "
+                   "\"tpot_p99_s\": %.6f, \"rag_ttft_p99_s\": %.4f, "
+                   "\"migrations\": %.0f, \"migrated_bytes\": %.0f, "
+                   "\"link_busy_s\": %.6f, \"prefill_busy_frac\": %.4f, "
+                   "\"decode_busy_frac\": %.4f, \"makespan_s\": %.4f}%s\n",
+                   r.config.c_str(), r.prefill_chips, r.decode_chips,
+                   r.tpot_p50, r.tpot_p99, r.rag_ttft_p99, r.migrations,
+                   r.migrated_gb * 1e9, r.link_busy_s, r.prefill_busy,
+                   r.decode_busy, r.makespan,
+                   i + 1 < drecords.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n  }");
+  };
+
+  // The disagg-only sweep gets its own file so a quick `--disagg` refresh
+  // cannot clobber the tracked full document with a partial one.
+  const char* path = disagg_only ? "BENCH_serving_disagg.json"
+                                 : "BENCH_serving.json";
   if (const char* env = std::getenv("TSI_BENCH_JSON")) path = env;
+  if (disagg_only) {
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fprintf(f, "{\n  \"model\": \"%s\",\n  \"chips\": 64,\n",
+                   cfg.name.c_str());
+      write_disagg(f);
+      std::fprintf(f, "\n}\n");
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s (%zu disagg records)\n", path,
+                   drecords.size());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    return 0;
+  }
   if (std::FILE* f = std::fopen(path, "w")) {
     std::fprintf(f,
                  "{\n  \"model\": \"%s\",\n  \"chips\": %d,\n"
@@ -327,13 +538,15 @@ int main() {
         "\"cow_splits\": %.0f},\n"
         "    \"on\": {\"prefill_tokens\": %.0f, \"kv_appended_tokens\": "
         "%.0f, \"kv_pages_bytes_peak\": %.0f, \"forks\": %.0f, "
-        "\"cow_splits\": %.0f, \"prefix_hits\": %.0f}\n  }\n}\n",
+        "\"cow_splits\": %.0f, \"prefix_hits\": %.0f}\n  },\n",
         static_cast<long long>(kPrefixRequests),
         static_cast<long long>(kSysLen), static_cast<long long>(kTailLen),
         pr_off.prefill_tokens, pr_off.appended_tokens, pr_off.kv_bytes_peak,
         pr_off.forks, pr_off.cow_splits, pr_on.prefill_tokens,
         pr_on.appended_tokens, pr_on.kv_bytes_peak, pr_on.forks,
         pr_on.cow_splits, pr_on.prefix_hits);
+    write_disagg(f);
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::fprintf(stderr, "wrote %s (%zu records)\n", path, records.size());
   } else {
@@ -346,6 +559,8 @@ int main() {
       "up behind the slowest sequence of the previous batch: its p99 grows\n"
       "with load while completed throughput stays capped. Continuous\n"
       "batching refills freed slots every iteration and holds higher\n"
-      "throughput at lower p99 across the sweep.\n");
+      "throughput at lower p99 across the sweep. Disaggregated, the\n"
+      "interactive stream's p99 inter-token latency no longer inherits the\n"
+      "RAG prefill chunks -- only the KV migration crosses the pool seam.\n");
   return 0;
 }

@@ -1,0 +1,25 @@
+#include "core/migration.h"
+
+#include "util/logging.h"
+
+namespace tsi {
+
+KvMigrationCost EstimateKvMigration(const ModelConfig& config, int64_t context,
+                                    double bytes_per_element,
+                                    int64_t page_size,
+                                    const CommCostModel& link) {
+  TSI_CHECK_GT(context, 0) << "migrating an empty KV state";
+  TSI_CHECK_GT(link.network_bw, 0) << "migration link needs bandwidth";
+  const int64_t padded =
+      page_size > 0 ? (context + page_size - 1) / page_size * page_size
+                    : context;
+  KvMigrationCost r;
+  r.bytes = 2.0 * static_cast<double>(config.num_layers) *
+            static_cast<double>(padded) *
+            static_cast<double>(config.n_kv_heads()) *
+            static_cast<double>(config.d_head) * bytes_per_element;
+  r.seconds = link.hop_latency + r.bytes / link.network_bw;
+  return r;
+}
+
+}  // namespace tsi

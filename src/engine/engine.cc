@@ -1,6 +1,7 @@
 #include "engine/engine.h"
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 #include <utility>
 
@@ -928,6 +929,118 @@ Tensor DistributedEngine::DecodeSlots(const std::vector<int32_t>& tokens,
   }
   return Forward(tokens, static_cast<int64_t>(slot_map.size()),
                  spec_.decode_ffn, slot_map);
+}
+
+SlotPages DistributedEngine::ExportSlot(int64_t slot) const {
+  TSI_CHECK_GT(cache_.slot_length(slot), 0)
+      << "ExportSlot of empty slot " << slot;
+  if (spec_.attn == AttnSharding::kBatch) {
+    // A kBatch slot's pages live with every kv head on one owner chip.
+    for (int c = 0; c < n_; ++c)
+      if (cache_.SlotResidentOn(c, slot)) return cache_.ExtractSlotPages(c, slot);
+    TSI_CHECK(false) << "slot " << slot << " resident on no chip";
+  }
+  // kHeads: chips along x hold identical copies, so read the x-rank-0
+  // chips; the yz ranks chunk the heads in rank order (engine.cc's
+  // AttentionChip appends RankInGroup(c, kAxisYZ)'s chunk), except when kv
+  // heads do not divide over yz -- then every chip replicates the full set.
+  std::vector<int> by_yz(static_cast<size_t>(YZ_), -1);
+  for (int c = 0; c < n_; ++c)
+    if (machine_->topo().RankInGroup(c, kAxisX) == 0)
+      by_yz[static_cast<size_t>(machine_->topo().RankInGroup(c, kAxisYZ))] = c;
+  SlotPages first = cache_.ExtractSlotPages(by_yz[0], slot);
+  const int64_t KV = config_.n_kv_heads();
+  if (first.kv_heads == KV) return first;  // replicated, or YZ == 1
+  const int64_t chunk = KV / YZ_, dh = first.d_head, len = first.len;
+  TSI_CHECK_EQ(first.kv_heads, chunk);
+  std::vector<SlotPages> parts;
+  parts.reserve(static_cast<size_t>(YZ_));
+  parts.push_back(std::move(first));
+  for (int r = 1; r < YZ_; ++r)
+    parts.push_back(cache_.ExtractSlotPages(by_yz[static_cast<size_t>(r)], slot));
+  SlotPages out;
+  out.len = len;
+  out.kv_heads = KV;
+  out.d_head = dh;
+  out.k.reserve(static_cast<size_t>(config_.num_layers));
+  out.v.reserve(static_cast<size_t>(config_.num_layers));
+  for (int64_t l = 0; l < config_.num_layers; ++l) {
+    Tensor k({1, len, KV, dh}), v({1, len, KV, dh});
+    for (int r = 0; r < YZ_; ++r) {
+      const SlotPages& p = parts[static_cast<size_t>(r)];
+      TSI_CHECK(p.len == len && p.kv_heads == chunk && p.d_head == dh)
+          << "inconsistent head chunks across yz ranks for slot " << slot;
+      const float* ks = p.k[static_cast<size_t>(l)].data();
+      const float* vs = p.v[static_cast<size_t>(l)].data();
+      for (int64_t pos = 0; pos < len; ++pos) {
+        std::memcpy(k.data() + (pos * KV + r * chunk) * dh,
+                    ks + pos * chunk * dh,
+                    static_cast<size_t>(chunk * dh) * sizeof(float));
+        std::memcpy(v.data() + (pos * KV + r * chunk) * dh,
+                    vs + pos * chunk * dh,
+                    static_cast<size_t>(chunk * dh) * sizeof(float));
+      }
+    }
+    out.k.push_back(std::move(k));
+    out.v.push_back(std::move(v));
+  }
+  return out;
+}
+
+void DistributedEngine::ImportSlot(int64_t slot, const SlotPages& state,
+                                   int64_t owner_group) {
+  TSI_CHECK_EQ(state.kv_heads, config_.n_kv_heads())
+      << "ImportSlot expects full-head state (ExportSlot's wire format)";
+  TSI_CHECK_EQ(state.d_head, config_.d_head);
+  TSI_CHECK_EQ(static_cast<int64_t>(state.k.size()), config_.num_layers);
+  if (spec_.attn == AttnSharding::kBatch) {
+    TSI_CHECK(owner_group >= 0 && owner_group < n_)
+        << "kBatch import needs the owner lane group";
+    for (int c = 0; c < n_; ++c) {
+      if (machine_->topo().RankInGroup(c, kAxisXYZ) != owner_group) continue;
+      cache_.AdoptSlotPages(c, slot, state);
+      return;
+    }
+    TSI_CHECK(false) << "no chip with xyz-rank " << owner_group;
+  }
+  const int64_t KV = config_.n_kv_heads();
+  const bool replicated = YZ_ == 1 || KV % YZ_ != 0;
+  if (replicated) {
+    for (int c = 0; c < n_; ++c) cache_.AdoptSlotPages(c, slot, state);
+    return;
+  }
+  // Slice the full head set into the yz chunks this layout stores, then
+  // hand every chip its rank's chunk (identical across x -- kHeads
+  // replicates KV along the x axis).
+  const int64_t chunk = KV / YZ_, dh = state.d_head, len = state.len;
+  std::vector<SlotPages> chunks(static_cast<size_t>(YZ_));
+  for (int r = 0; r < YZ_; ++r) {
+    SlotPages& p = chunks[static_cast<size_t>(r)];
+    p.len = len;
+    p.kv_heads = chunk;
+    p.d_head = dh;
+    p.k.reserve(static_cast<size_t>(config_.num_layers));
+    p.v.reserve(static_cast<size_t>(config_.num_layers));
+    for (int64_t l = 0; l < config_.num_layers; ++l) {
+      Tensor k({1, len, chunk, dh}), v({1, len, chunk, dh});
+      const float* ks = state.k[static_cast<size_t>(l)].data();
+      const float* vs = state.v[static_cast<size_t>(l)].data();
+      for (int64_t pos = 0; pos < len; ++pos) {
+        std::memcpy(k.data() + pos * chunk * dh,
+                    ks + (pos * KV + r * chunk) * dh,
+                    static_cast<size_t>(chunk * dh) * sizeof(float));
+        std::memcpy(v.data() + pos * chunk * dh,
+                    vs + (pos * KV + r * chunk) * dh,
+                    static_cast<size_t>(chunk * dh) * sizeof(float));
+      }
+      p.k.push_back(std::move(k));
+      p.v.push_back(std::move(v));
+    }
+  }
+  for (int c = 0; c < n_; ++c) {
+    const int r = machine_->topo().RankInGroup(c, kAxisYZ);
+    cache_.AdoptSlotPages(c, slot, chunks[static_cast<size_t>(r)]);
+  }
 }
 
 }  // namespace tsi

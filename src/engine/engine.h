@@ -119,6 +119,26 @@ class DistributedEngine {
   }
   int64_t slot_length(int64_t slot) const { return cache_.slot_length(slot); }
 
+  // --- KV migration between engines (serve/disagg.h) ----------------------
+  // Assembles `slot`'s cached K/V with EVERY kv head per position -- the
+  // layout-independent wire format a different pool can adopt. Under kHeads
+  // the yz ranks' head chunks are concatenated in rank order (read off the
+  // x-rank-0 chips; the x replicas are identical); under kBatch the owner
+  // chip already holds full heads. Dies on an empty slot, on an int8 KV
+  // cache, and on a slot with COW-shared pages (see
+  // ShardedKvCache::ExtractSlotPages). Pure data movement: the virtual
+  // clock is NOT advanced -- the caller (the migrator) charges the
+  // interconnect.
+  SlotPages ExportSlot(int64_t slot) const;
+  // Adopts exported full-head state into the empty `slot`, re-sharded for
+  // THIS engine's attention layout: each kHeads chip stores its yz-rank's
+  // head chunk (or the full set when kv heads do not divide over yz);
+  // under kBatch the chip with xyz-rank `owner_group` -- the rank whose
+  // decode lane will carry the slot -- stores everything. No clock charges
+  // (see ExportSlot).
+  void ImportSlot(int64_t slot, const SlotPages& state,
+                  int64_t owner_group = 0);
+
   int64_t context_length() const { return cache_.length(); }
   const EngineSpec& spec() const { return spec_; }
   SimMachine& machine() { return *machine_; }

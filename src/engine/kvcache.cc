@@ -735,6 +735,117 @@ void ShardedKvCache::ResetSlot(int64_t slot) {
   UpdateOccupancyGauges();
 }
 
+SlotPages ShardedKvCache::ExtractSlotPages(int chip, int64_t slot) const {
+  TSI_CHECK(!step_open_) << "ExtractSlotPages mid-step";
+  TSI_CHECK(format_ == WeightFormat::kBf16)
+      << "ExtractSlotPages on an int8 cache (int8 KV migration unsupported)";
+  TSI_CHECK(chip >= 0 && chip < num_chips_) << "chip out of range";
+  TSI_CHECK(slot >= 0 && slot < num_slots() && SlotResident(chip, slot) &&
+            slot_len_[static_cast<size_t>(slot)] > 0)
+      << "ExtractSlotPages of slot " << slot << " not resident on chip "
+      << chip;
+  const ChipPool& pool = pool_[static_cast<size_t>(chip)];
+  for (int32_t id : pool.tables[static_cast<size_t>(slot)]) {
+    TSI_CHECK_EQ(pool.refcount[static_cast<size_t>(id)], 1)
+        << "ExtractSlotPages of slot " << slot << " on chip " << chip
+        << " with shared pages: migrating a forked prefix would detach it "
+        << "from its COW siblings";
+  }
+  SlotPages out;
+  out.len = slot_len_[static_cast<size_t>(slot)];
+  ReadGeometry(chip, &out.kv_heads, &out.d_head);
+  out.k.reserve(static_cast<size_t>(num_layers_));
+  out.v.reserve(static_cast<size_t>(num_layers_));
+  for (int64_t l = 0; l < num_layers_; ++l) {
+    out.k.push_back(K(chip, l, slot));
+    out.v.push_back(V(chip, l, slot));
+  }
+  return out;
+}
+
+void ShardedKvCache::AdoptSlotPages(int chip, int64_t slot,
+                                    const SlotPages& pages) {
+  TSI_CHECK(!step_open_) << "AdoptSlotPages mid-step";
+  TSI_CHECK(format_ == WeightFormat::kBf16)
+      << "AdoptSlotPages on an int8 cache (int8 KV migration unsupported)";
+  TSI_CHECK(chip >= 0 && chip < num_chips_) << "chip out of range";
+  TSI_CHECK_GE(slot, 0) << "slot ids are non-negative";
+  TSI_CHECK_GT(pages.len, 0) << "AdoptSlotPages with no positions";
+  TSI_CHECK(pages.kv_heads > 0 && pages.d_head > 0)
+      << "AdoptSlotPages with unset geometry";
+  TSI_CHECK_EQ(static_cast<int64_t>(pages.k.size()), num_layers_)
+      << "layer count mismatch in adopted pages";
+  TSI_CHECK_EQ(static_cast<int64_t>(pages.v.size()), num_layers_)
+      << "layer count mismatch in adopted pages";
+  for (int64_t l = 0; l < num_layers_; ++l) {
+    const Tensor& k = pages.k[static_cast<size_t>(l)];
+    TSI_CHECK(k.rank() == 4 && k.dim(0) == 1 && k.dim(1) == pages.len &&
+              k.dim(2) == pages.kv_heads && k.dim(3) == pages.d_head)
+        << "adopted K block shape " << ShapeToString(k.shape())
+        << " does not match [1, " << pages.len << ", " << pages.kv_heads
+        << ", " << pages.d_head << "]";
+    TSI_CHECK(k.SameShape(pages.v[static_cast<size_t>(l)]))
+        << "adopted K/V shape mismatch at layer " << l;
+  }
+  // Geometry is normally fixed by the first CommitStep; an adopt into a
+  // fresh cache fixes it the same way, and any later append validates
+  // against it.
+  if (kv_heads_ >= 0) {
+    TSI_CHECK(pages.kv_heads == kv_heads_ && pages.d_head == d_head_)
+        << "kv/d_head drift in adopted pages: got [" << pages.kv_heads << ", "
+        << pages.d_head << "], cache holds [" << kv_heads_ << ", " << d_head_
+        << "]";
+  } else {
+    kv_heads_ = pages.kv_heads;
+    d_head_ = pages.d_head;
+  }
+  ChipPool& pool = pool_[static_cast<size_t>(chip)];
+  if (pool.kv < 0) {
+    pool.kv = pages.kv_heads;
+    pool.dh = pages.d_head;
+  }
+  if (static_cast<int64_t>(slot_len_.size()) <= slot)
+    slot_len_.resize(static_cast<size_t>(slot) + 1, 0);
+  if (static_cast<int64_t>(pool.tables.size()) <= slot)
+    pool.tables.resize(static_cast<size_t>(slot) + 1);
+  TSI_CHECK(pool.tables[static_cast<size_t>(slot)].empty())
+      << "AdoptSlotPages into slot " << slot << " already resident on chip "
+      << chip << " (reset it first)";
+  const int64_t len0 = slot_len_[static_cast<size_t>(slot)];
+  TSI_CHECK(len0 == 0 || len0 == pages.len)
+      << "AdoptSlotPages length mismatch: slot " << slot << " committed at "
+      << len0 << " by an earlier chip, adopting " << pages.len;
+
+  const int64_t ps = config_.page_size;
+  const int64_t row_elems = pages.kv_heads * pages.d_head;
+  const size_t page_elems = static_cast<size_t>(ps * row_elems);
+  std::vector<int32_t>& table = pool.tables[static_cast<size_t>(slot)];
+  const int64_t needed = CeilDiv(pages.len, ps);
+  while (static_cast<int64_t>(table.size()) < needed)
+    table.push_back(AllocPage(chip));
+  EnsureLayerCapacity(chip);
+  for (int64_t l = 0; l < num_layers_; ++l) {
+    LayerPages& lp = store_[static_cast<size_t>(chip)][static_cast<size_t>(l)];
+    const float* ks = pages.k[static_cast<size_t>(l)].data();
+    const float* vs = pages.v[static_cast<size_t>(l)].data();
+    for (int64_t pos = 0; pos < pages.len;) {
+      const int64_t run = std::min(ps - pos % ps, pages.len - pos);
+      const auto page = static_cast<size_t>(table[static_cast<size_t>(pos / ps)]);
+      std::vector<float>& pk = lp.k[page];
+      std::vector<float>& pv = lp.v[page];
+      if (pk.empty()) pk.resize(page_elems, 0.0f);
+      if (pv.empty()) pv.resize(page_elems, 0.0f);
+      std::memcpy(pk.data() + (pos % ps) * row_elems, ks + pos * row_elems,
+                  static_cast<size_t>(run * row_elems) * sizeof(float));
+      std::memcpy(pv.data() + (pos % ps) * row_elems, vs + pos * row_elems,
+                  static_cast<size_t>(run * row_elems) * sizeof(float));
+      pos += run;
+    }
+  }
+  slot_len_[static_cast<size_t>(slot)] = pages.len;
+  UpdateOccupancyGauges();
+}
+
 double ShardedKvCache::TotalBytes(double bytes_per_element) const {
   if (kv_heads_ < 0) return 0.0;
   const double page_positions = static_cast<double>(config_.page_size);

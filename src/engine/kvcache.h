@@ -70,6 +70,19 @@ struct KvCacheConfig {
   bool paged_kernel = true;
 };
 
+// One slot's cached K/V lifted out of a chip's page pool (KV migration
+// between disaggregated pools, serve/disagg.h): contiguous per-layer blocks
+// plus the geometry needed to adopt them into another cache. The head dim
+// is whatever the source chip stored -- a kHeads chip's yz chunk, a kBatch
+// owner's full head set; DistributedEngine::ExportSlot assembles chunks
+// into full heads before the state crosses pools.
+struct SlotPages {
+  int64_t len = 0;       // committed token positions
+  int64_t kv_heads = 0;  // stored heads per position
+  int64_t d_head = 0;
+  std::vector<Tensor> k, v;  // [layer] -> [1, len, kv_heads, d_head]
+};
+
 class ShardedKvCache {
  public:
   // Rows mapped to this pseudo-slot are computed (padding lanes must flow
@@ -178,6 +191,28 @@ class ShardedKvCache {
   // mid-step; dies on a double reset (page refcount underflow). Out-of-range
   // ids are ignored (never-targeted slots hold nothing).
   void ResetSlot(int64_t slot);
+
+  // --- Page export / import (KV migration, serve/disagg.h) -----------------
+  // Whether `slot` holds pages on `chip`: every storing chip under kHeads,
+  // only the owner under kBatch.
+  bool SlotResidentOn(int chip, int64_t slot) const {
+    return SlotResident(chip, slot);
+  }
+  // Lifts `slot`'s committed pages off `chip` into contiguous per-layer
+  // blocks (the migration wire format). Dies mid-step, on an int8 cache
+  // (int8 KV migration is unsupported), on a slot not resident on this chip,
+  // and on a slot any of whose pages is shared (refcount > 1): shipping a
+  // COW prefix would detach it from its fork siblings -- callers must not
+  // migrate forked slots.
+  SlotPages ExtractSlotPages(int chip, int64_t slot) const;
+  // Writes extracted blocks into fresh pages of `slot` on `chip`. The slot
+  // must be empty on this chip; the blocks' geometry must match the cache's
+  // committed geometry (or fixes it, exactly as a first CommitStep would,
+  // when the cache is untouched). Multi-chip layouts adopt chip by chip:
+  // the first call sets the slot's committed length, later calls must carry
+  // the same length. Dies mid-step, on an int8 cache, and on any geometry,
+  // shape, or length mismatch.
+  void AdoptSlotPages(int chip, int64_t slot, const SlotPages& pages);
 
   // Physical page bytes across all chips and layers (committed + this
   // step's pages; shared pages counted once; transient scratch excluded).

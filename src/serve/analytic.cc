@@ -53,6 +53,12 @@ void AnalyticServeBackend::Release(int64_t slot) {
   context_[static_cast<size_t>(slot)] = 0;
 }
 
+void AnalyticServeBackend::SetSlotContext(int64_t slot, double tokens) {
+  TSI_CHECK(slot >= 0 && slot < config_.num_slots);
+  TSI_CHECK_GE(tokens, 0);
+  context_[static_cast<size_t>(slot)] = tokens;
+}
+
 int64_t AnalyticServeBackend::AdoptPrefix(int64_t slot,
                                           const ServeRequest& req) {
   const int64_t p =

@@ -52,6 +52,12 @@ class AnalyticServeBackend : public ServeBackend {
   void Release(int64_t slot) override;
   int64_t AdoptPrefix(int64_t slot, const ServeRequest& req) override;
 
+  // Disaggregation hook (serve/disagg.h): a migrated request's KV arrives
+  // with `tokens` of cached context -- the analytic twin of the functional
+  // engine's ImportSlot. Later decode steps attend over that context even
+  // though this backend never charged its prefill (the prefill pool did).
+  void SetSlotContext(int64_t slot, double tokens);
+
   // --- Cost accounting (accumulated since construction) -------------------
   // Summed per-phase breakdown of every charged second, for folding a
   // serving run into the paper's utilization/MFU metrics (bench_serving):

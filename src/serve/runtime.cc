@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/metrics.h"
 
 namespace tsi {
 
@@ -168,13 +169,18 @@ int64_t EngineServeBackend::AdoptPrefix(int64_t slot, const ServeRequest& req) {
   // (it extends one of them anyway). Under kBatch the parent's pages live on
   // one owner chip -- only a slot in the same group can fork them.
   if (req.parent >= 0) {
-    for (const PrefixEntry& e : retained_) {
-      if (e.request != req.parent || e.group != group) continue;
-      const int64_t p = std::min(CommonPrefixLen(e.tokens, req.prompt), cap);
+    for (auto it = retained_.begin(); it != retained_.end(); ++it) {
+      if (it->request != req.parent || it->group != group) continue;
+      const int64_t p = std::min(CommonPrefixLen(it->tokens, req.prompt), cap);
       if (p <= 0) break;
-      engine_->ForkSlot(e.slot, slot, p);
+      engine_->ForkSlot(it->slot, slot, p);
       slot_tokens_[slot].assign(req.prompt.begin(), req.prompt.begin() + p);
       slot_request_[slot] = req.id;
+      // LRU touch: a parent that still spawns turns is hot -- move it to
+      // the back so page pressure evicts a colder conversation instead.
+      PrefixEntry hot = std::move(*it);
+      retained_.erase(it);
+      retained_.push_back(std::move(hot));
       return p;
     }
   }
@@ -213,15 +219,43 @@ void EngineServeBackend::Release(int64_t slot) {
       e.request = reqit->second;
       engine_->ForkSlot(slot, e.slot, engine_->slot_length(slot));
       retained_.push_back(std::move(e));
-      while (static_cast<int64_t>(retained_.size()) > options_.retain_parents) {
-        engine_->ResetSlot(retained_.front().slot);
-        retained_.pop_front();
-      }
+      EnforceRetention();
     }
   }
   slot_tokens_.erase(slot);
   slot_request_.erase(slot);
   engine_->ResetSlot(slot);
+}
+
+void EngineServeBackend::EnforceRetention() {
+  const int64_t ps = std::max<int64_t>(engine_->spec().kv.page_size, 1);
+  auto pages = [&](const PrefixEntry& e) {
+    return (static_cast<int64_t>(e.tokens.size()) + ps - 1) / ps;
+  };
+  int64_t total = 0;
+  for (const PrefixEntry& e : retained_) total += pages(e);
+  int64_t evicted = 0;
+  while (!retained_.empty() &&
+         (static_cast<int64_t>(retained_.size()) > options_.retain_parents ||
+          (options_.retain_page_budget > 0 &&
+           total > options_.retain_page_budget))) {
+    total -= pages(retained_.front());
+    TSI_LOG(DEBUG) << "evict retained parent request "
+                   << retained_.front().request << " (pseudo-slot "
+                   << retained_.front().slot << ", "
+                   << retained_.front().tokens.size() << " tokens)";
+    engine_->ResetSlot(retained_.front().slot);
+    retained_.pop_front();
+    ++evicted;
+  }
+  // Created lazily so runs that never evict keep their metric exports
+  // unchanged (the golden obs tests enumerate every registered series).
+  if (evicted > 0) {
+    obs::MetricsRegistry& m = options_.metrics
+                                  ? *options_.metrics
+                                  : obs::MetricsRegistry::Global();
+    m.GetCounter("serve/evicted_parents")->Add(evicted);
+  }
 }
 
 }  // namespace tsi

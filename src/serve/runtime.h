@@ -88,7 +88,13 @@ class EngineServeBackend : public ServeBackend {
     int64_t group = 0;
     int64_t request = -1;
   };
-  std::deque<PrefixEntry> retained_;  // FIFO, capped at retain_parents
+  // LRU order, coldest at the front: retiring and freshly-forked parents
+  // move to the back, EnforceRetention evicts from the front.
+  std::deque<PrefixEntry> retained_;
+  // Evicts retained parents (front first) until both the retain_parents
+  // count cap and the retain_page_budget page cap hold; bumps
+  // serve/evicted_parents per eviction.
+  void EnforceRetention();
   int64_t next_pseudo_slot_ = 0;
   // Mirrors each slot's cached token sequence (prompt + fed-back decode
   // tokens) -- what a follow-up turn's prompt is matched against.

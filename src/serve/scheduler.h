@@ -65,8 +65,14 @@ struct ServeOptions {
   // the compute and the duplicate KV bytes.
   bool share_prefixes = false;
   // With share_prefixes: how many retired conversations the backend keeps
-  // resident (FIFO) so follow-up turns can fork them. 0 keeps none.
+  // resident so follow-up turns can fork them. 0 keeps none. Retention is
+  // LRU: a fork at admission refreshes the parent, eviction takes the
+  // coldest first (counter serve/evicted_parents).
   int64_t retain_parents = 0;
+  // Additional page-pressure bound on the same retained set: when > 0, the
+  // retained conversations' summed KV pages (ceil(len / page_size) each,
+  // counting shared pages per retainer) may not exceed this. 0 = unbounded.
+  int64_t retain_page_budget = 0;
 };
 
 // Per-request serving metrics (all stamps in virtual seconds).

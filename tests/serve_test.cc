@@ -560,6 +560,120 @@ TEST(ServeRuntimeTest, MultiTurnParentForkMatchesFromScratch) {
   EXPECT_LT(shared.prefill_chunks, base.prefill_chunks);
 }
 
+TEST(ServeRuntimeTest, LruRetentionKeepsForkedParentsHot) {
+  // retain_parents now evicts LRU, not FIFO: a parent that keeps spawning
+  // follow-up turns is refreshed by each fork, so page pressure evicts a
+  // colder conversation instead. Sequence (1 slot, cap 3 retained):
+  //   A retires, B retires, turn-2-of-A (touches A), C retires -> the cap
+  //   evicts B (FIFO would have evicted A); later probes prove A still
+  //   forks and B no longer does.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 35);
+  const ServeSetup setup = HeadShardedSetup();
+
+  std::vector<ServeRequest> requests;
+  auto add = [&](int64_t id, int64_t parent, uint64_t seed) {
+    ServeRequest r;
+    r.id = id;
+    r.parent = parent;
+    r.prompt = RandomTokens(5, cfg.vocab_size, seed);
+    r.max_new_tokens = 2;
+    requests.push_back(std::move(r));
+  };
+  add(0, -1, 900);  // A
+  add(1, -1, 901);  // B
+  // Turn 2 of A: prompt extends A's prompt, so the fork adopts >= |A.prompt|.
+  ServeRequest turn2;
+  turn2.id = 2;
+  turn2.parent = 0;
+  turn2.prompt = requests[0].prompt;
+  const auto tail2 = RandomTokens(3, cfg.vocab_size, 902);
+  turn2.prompt.insert(turn2.prompt.end(), tail2.begin(), tail2.end());
+  turn2.max_new_tokens = 2;
+  requests.push_back(std::move(turn2));
+  add(3, -1, 903);  // C -- its retirement forces the eviction
+  ServeRequest probe_a = requests[2];
+  probe_a.id = 4;
+  ServeRequest probe_b;
+  probe_b.id = 5;
+  probe_b.parent = 1;
+  probe_b.prompt = requests[1].prompt;
+  probe_b.prompt.insert(probe_b.prompt.end(), tail2.begin(), tail2.end());
+  probe_b.max_new_tokens = 2;
+  requests.push_back(std::move(probe_a));
+  requests.push_back(std::move(probe_b));
+
+  SimMachine machine(setup.mesh, TpuV4());
+  EngineSpec spec = setup.spec;
+  spec.kv.page_size = 4;
+  DistributedEngine engine(weights, &machine, spec);
+  obs::MetricsRegistry metrics;
+  ServeOptions options = GreedyOptions(/*prefill_chunk=*/8);
+  options.share_prefixes = true;
+  options.retain_parents = 3;
+  options.metrics = &metrics;
+  EngineServeBackend backend(&engine, /*num_slots=*/1, options);
+  ServeReport report = RunContinuousServing(backend, requests, options);
+
+  ASSERT_EQ(report.completed(), 6);
+  EXPECT_GT(report.requests[2].shared_prefix_tokens, 0) << "turn 2 of A";
+  EXPECT_GT(report.requests[4].shared_prefix_tokens, 0)
+      << "A was evicted despite being the hottest parent";
+  EXPECT_EQ(report.requests[5].shared_prefix_tokens, 0)
+      << "B survived although it was the LRU victim";
+  EXPECT_GT(metrics.GetCounter("serve/evicted_parents")->value(), 0);
+}
+
+TEST(ServeRuntimeTest, RetainPageBudgetEvictsUnderPagePressure) {
+  // retain_page_budget bounds the retained conversations' summed KV pages.
+  // Each conversation here caches 5 tokens = 2 pages of 4; a 2-page budget
+  // holds exactly one, so retiring B evicts A. The later B-probe still
+  // forks, the A-probe re-prefills from scratch.
+  ModelConfig cfg = TinyTestModel();
+  ModelWeights weights = ModelWeights::Random(cfg, 36);
+  const ServeSetup setup = HeadShardedSetup();
+
+  std::vector<ServeRequest> requests;
+  auto add = [&](int64_t id, int64_t parent, std::vector<int32_t> prompt) {
+    ServeRequest r;
+    r.id = id;
+    r.parent = parent;
+    r.prompt = std::move(prompt);
+    r.max_new_tokens = 2;
+    requests.push_back(std::move(r));
+  };
+  const auto prompt_a = RandomTokens(4, cfg.vocab_size, 910);
+  const auto prompt_b = RandomTokens(4, cfg.vocab_size, 911);
+  const auto tail = RandomTokens(2, cfg.vocab_size, 912);
+  add(0, -1, prompt_a);  // A: retained as 5 tokens (prompt + 1 fed back)
+  add(1, -1, prompt_b);  // B: its retention overflows the budget, evicts A
+  auto probe_b = prompt_b;
+  probe_b.insert(probe_b.end(), tail.begin(), tail.end());
+  add(2, 1, probe_b);
+  auto probe_a = prompt_a;
+  probe_a.insert(probe_a.end(), tail.begin(), tail.end());
+  add(3, 0, probe_a);
+
+  SimMachine machine(setup.mesh, TpuV4());
+  EngineSpec spec = setup.spec;
+  spec.kv.page_size = 4;
+  DistributedEngine engine(weights, &machine, spec);
+  obs::MetricsRegistry metrics;
+  ServeOptions options = GreedyOptions(/*prefill_chunk=*/8);
+  options.share_prefixes = true;
+  options.retain_parents = 10;     // the count cap never binds...
+  options.retain_page_budget = 2;  // ...page pressure does
+  options.metrics = &metrics;
+  EngineServeBackend backend(&engine, /*num_slots=*/1, options);
+  ServeReport report = RunContinuousServing(backend, requests, options);
+
+  ASSERT_EQ(report.completed(), 4);
+  EXPECT_GT(report.requests[2].shared_prefix_tokens, 0) << "B probe";
+  EXPECT_EQ(report.requests[3].shared_prefix_tokens, 0)
+      << "A should have been evicted by page pressure";
+  EXPECT_GE(metrics.GetCounter("serve/evicted_parents")->value(), 1);
+}
+
 TEST(ServeQueueTest, OrdersByArrivalAndAdmits) {
   std::vector<ServeRequest> rs(3);
   rs[0] = {2, 3.0, {1}, 4};

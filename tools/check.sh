@@ -17,6 +17,11 @@
 #                             # TSan with 8 SPMD slots forced -- concurrent
 #                             # Appends into one page pool are the race
 #                             # surface the paged cache added
+#   tools/check.sh disagg     # additionally re-run the disaggregated-serving
+#                             # suites under TSan with 8 SPMD slots forced
+#                             # (two engines' thread pools live at once during
+#                             # migration) and run bench_serving --disagg to
+#                             # refresh the E24 sweep in BENCH_serving.json
 #
 # TSan halves throughput and multiplies memory, so TSI_TSAN_TESTS can narrow
 # the sanitized run to the concurrency-heavy tests; default is everything.
@@ -44,7 +49,7 @@ ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
 echo "== ThreadSanitizer, 8 SPMD slots forced =="
 TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
   ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
-        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|fastpath_test|sharding_test'
+        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|disagg_test|fastpath_test|sharding_test'
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "== SPMD wall-clock bench =="
@@ -72,6 +77,22 @@ if [[ "${1:-}" == "paged" ]]; then
   TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
     ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
           -R 'sharding_test|engine_test|serve_test|edge_cases_test'
+fi
+
+if [[ "${1:-}" == "disagg" ]]; then
+  # Disaggregation race check: KV migration exports from one engine and
+  # imports into another, so two SimMachines' thread pools and page pools
+  # are live at once; 8 forced SPMD slots overlap the source's chunked
+  # ExportSlot reads with the destination's PrefillSlots writes. Then the
+  # E24 prefill/decode-pool sweep runs standalone, writing
+  # BENCH_serving_disagg.json (the full tracked BENCH_serving.json is only
+  # refreshed by the plain bench run, which includes every section).
+  echo "== Disaggregated serving under TSan (8 SPMD slots) =="
+  TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
+    ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
+          -R 'disagg_test|serve_test|engine_test'
+  echo "== Disaggregated serving bench (E24 sweep) =="
+  (cd "$repo" && ./build-check/bench/bench_serving --disagg)
 fi
 
 if [[ "${1:-}" == "obs" ]]; then
