@@ -1,0 +1,216 @@
+#include "obs/anatomy.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "sim/trace.h"
+#include "util/json.h"
+
+namespace tsi::obs {
+namespace {
+
+const std::string* FindArg(const TimelineEvent& e, const char* key) {
+  for (const auto& [k, v] : e.args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+long long ArgInt(const TimelineEvent& e, const char* key, long long fallback) {
+  const std::string* v = FindArg(e, key);
+  return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+}
+
+double ArgDouble(const TimelineEvent& e, const char* key, double fallback) {
+  const std::string* v = FindArg(e, key);
+  return v ? std::strtod(v->c_str(), nullptr) : fallback;
+}
+
+void WriteSummary(JsonWriter& w, const char* key, const LatencySummary& s) {
+  w.Key(key);
+  w.BeginObject();
+  w.Key("mean");
+  w.Double(s.mean);
+  w.Key("p50");
+  w.Double(s.p50);
+  w.Key("p95");
+  w.Double(s.p95);
+  w.Key("p99");
+  w.Double(s.p99);
+  w.Key("max");
+  w.Double(s.max);
+  w.EndObject();
+}
+
+}  // namespace
+
+double RequestAnatomy::PrefillSeconds() const {
+  double s = 0;
+  for (const PrefillChunkAnatomy& c : prefill) s += c.seconds;
+  return s;
+}
+
+std::vector<double> RequestAnatomy::TokenGaps() const {
+  std::vector<double> gaps;
+  if (token_times.size() < 2) return gaps;
+  gaps.reserve(token_times.size() - 1);
+  for (size_t i = 1; i < token_times.size(); ++i)
+    gaps.push_back(token_times[i] - token_times[i - 1]);
+  return gaps;
+}
+
+AnatomyReport FoldAnatomy(const std::vector<TimelineEvent>& timeline) {
+  // Joined by request id; std::map so the report comes out id-sorted.
+  std::map<long long, RequestAnatomy> by_id;
+  std::map<long long, bool> completed;
+
+  for (const TimelineEvent& e : timeline) {
+    if (e.cat == "request") {
+      RequestAnatomy& r = by_id[e.id];
+      r.id = e.id;
+      if (e.ph == 'b' && e.name == "request") {
+        r.arrival = e.ts;
+        r.prompt_tokens = ArgInt(e, "prompt_tokens", 0);
+        if (const std::string* klass = FindArg(e, "class")) r.klass = *klass;
+      } else if (e.ph == 'n' && e.name == "admitted") {
+        r.admitted = e.ts;
+      } else if (e.ph == 'n' && e.name == "first_token") {
+        r.first_token = e.ts;
+        r.token_times.push_back(e.ts);
+      } else if (e.ph == 'e' && e.name == "request") {
+        r.finished = e.ts;
+        completed[e.id] = true;
+      }
+    } else if (e.cat == "scheduler" && e.ph == 'X') {
+      if (e.name == "prefill") {
+        RequestAnatomy& r = by_id[ArgInt(e, "request", -1)];
+        PrefillChunkAnatomy c;
+        c.start = e.ts;
+        c.seconds = e.dur;
+        c.tokens = ArgInt(e, "tokens", 0);
+        c.context = ArgInt(e, "context", 0);
+        r.prefill.push_back(c);
+      } else if (e.name == "migrate") {
+        RequestAnatomy& r = by_id[ArgInt(e, "request", -1)];
+        r.migrated = true;
+        r.migrate_start = e.ts;
+        r.migrate_seconds = e.dur;
+        r.migrate_bytes = ArgDouble(e, "bytes", 0);
+      } else if (e.name == "decode") {
+        // The span names every participating request: its end is a
+        // token-emission stamp for each of them.
+        const std::string* ids = FindArg(e, "requests");
+        if (!ids) continue;
+        const double end = e.ts + e.dur;
+        size_t pos = 0;
+        while (pos < ids->size()) {
+          size_t comma = ids->find(',', pos);
+          if (comma == std::string::npos) comma = ids->size();
+          by_id[std::strtoll(ids->substr(pos, comma - pos).c_str(), nullptr,
+                             10)]
+              .token_times.push_back(end);
+          pos = comma + 1;
+        }
+      }
+    }
+  }
+
+  AnatomyReport report;
+  std::map<std::string, std::vector<double>> cls_queue_wait, cls_ttft,
+      cls_tpot, cls_latency;
+  for (auto& [id, r] : by_id) {
+    if (!completed.count(id)) continue;  // never retired: not a request row
+    r.id = id;
+    cls_queue_wait[r.klass].push_back(r.QueueWait());
+    cls_ttft[r.klass].push_back(r.Ttft());
+    cls_latency[r.klass].push_back(r.Latency());
+    for (double g : r.TokenGaps()) cls_tpot[r.klass].push_back(g);
+    report.requests.push_back(std::move(r));
+  }
+  for (const auto& [klass, ttft] : cls_ttft) {
+    ClassAnatomy cls;
+    cls.klass = klass;
+    cls.requests = static_cast<int64_t>(ttft.size());
+    cls.tpot_samples = static_cast<int64_t>(cls_tpot[klass].size());
+    cls.queue_wait = Summarize(cls_queue_wait[klass]);
+    cls.ttft = Summarize(ttft);
+    cls.tpot = Summarize(cls_tpot[klass]);
+    cls.latency = Summarize(cls_latency[klass]);
+    report.classes.push_back(std::move(cls));
+  }
+  return report;
+}
+
+std::map<std::string, SloClassSamples> AnatomyReport::ClassSamples() const {
+  std::map<std::string, SloClassSamples> samples;
+  for (const RequestAnatomy& r : requests) {
+    SloClassSamples& s = samples[r.klass];
+    s.ttft.push_back(r.Ttft());
+    for (double g : r.TokenGaps()) s.tpot.push_back(g);
+  }
+  return samples;
+}
+
+std::string AnatomyReport::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("requests");
+  w.BeginArray();
+  for (const RequestAnatomy& r : requests) {
+    w.BeginObject();
+    w.Key("id");
+    w.Int(r.id);
+    w.Key("class");
+    w.String(r.klass);
+    w.Key("prompt_tokens");
+    w.Int(r.prompt_tokens);
+    w.Key("arrival");
+    w.Double(r.arrival);
+    w.Key("queue_wait_s");
+    w.Double(r.QueueWait());
+    w.Key("ttft_s");
+    w.Double(r.Ttft());
+    w.Key("latency_s");
+    w.Double(r.Latency());
+    w.Key("prefill_chunks");
+    w.Int(static_cast<int64_t>(r.prefill.size()));
+    w.Key("prefill_s");
+    w.Double(r.PrefillSeconds());
+    if (r.migrated) {
+      w.Key("migrate_s");
+      w.Double(r.migrate_seconds);
+      w.Key("migrate_bytes");
+      w.Double(r.migrate_bytes);
+    }
+    w.Key("tokens");
+    w.Int(static_cast<int64_t>(r.token_times.size()));
+    w.Key("tpot");
+    w.BeginArray();
+    for (double g : r.TokenGaps()) w.Double(g);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("classes");
+  w.BeginArray();
+  for (const ClassAnatomy& cls : classes) {
+    w.BeginObject();
+    w.Key("class");
+    w.String(cls.klass);
+    w.Key("requests");
+    w.Int(cls.requests);
+    w.Key("tpot_samples");
+    w.Int(cls.tpot_samples);
+    WriteSummary(w, "queue_wait", cls.queue_wait);
+    WriteSummary(w, "ttft", cls.ttft);
+    WriteSummary(w, "tpot", cls.tpot);
+    WriteSummary(w, "latency", cls.latency);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return os.str();
+}
+
+}  // namespace tsi::obs

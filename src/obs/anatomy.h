@@ -1,0 +1,104 @@
+// Per-request latency anatomy: fold the scheduler/request timeline (pid 1
+// of the two-clock trace, sim/trace.h) into an answer to "where did THIS
+// request's latency go?".
+//
+// The serving schedulers (serve/scheduler.cc, serve/disagg.cc) record every
+// stage of a request's life on the virtual clock: the 'b' lifecycle row at
+// arrival, the "admitted" instant when it claims a KV slot, one "prefill"
+// span per chunk (args: request, tokens, context), the "migrate" span when
+// its KV crosses the inter-pool link (disaggregated runs), and "decode"
+// spans naming every participating request -- so each decode step's end is
+// a token-emission stamp. FoldAnatomy joins those rows by request id into:
+//
+//   queue wait     = admitted - arrival
+//   prefill        = the per-chunk span list (count, seconds, token counts)
+//   migration      = link occupancy of the request's KV transfer
+//   TTFT           = first_token - arrival
+//   TPOT series    = successive gaps of the token-emission stamps
+//
+// and per-class exact TTFT/TPOT percentile summaries (util/stats.h
+// contract; samples, not histogram buckets). Everything derives from
+// virtual-time rows only, so the report -- and ToJson byte-for-byte -- is
+// identical across SPMD slot counts and host thread interleavings.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/slo.h"
+#include "util/stats.h"
+
+namespace tsi {
+struct TimelineEvent;
+}  // namespace tsi
+
+namespace tsi::obs {
+
+// One "prefill" span charged to the request.
+struct PrefillChunkAnatomy {
+  double start = 0;    // virtual seconds
+  double seconds = 0;  // span duration
+  int64_t tokens = 0;  // prompt tokens fed in this chunk
+  int64_t context = 0; // cached tokens before the chunk (prior chunks + prefix)
+};
+
+struct RequestAnatomy {
+  long long id = -1;
+  std::string klass;          // request class ("" when untagged)
+  int64_t prompt_tokens = 0;
+  double arrival = 0;
+  double admitted = 0;
+  double first_token = 0;
+  double finished = 0;
+  std::vector<PrefillChunkAnatomy> prefill;
+  // Disaggregated runs: the request's KV transfer on the inter-pool link.
+  bool migrated = false;
+  double migrate_start = 0;
+  double migrate_seconds = 0;
+  double migrate_bytes = 0;
+  // Token-emission stamps: first_token, then the end of every decode span
+  // the request participated in. Ascending (each pool's clock is monotonic
+  // and decode follows prefill/migration).
+  std::vector<double> token_times;
+
+  double QueueWait() const { return admitted - arrival; }
+  double Ttft() const { return first_token - arrival; }
+  double Latency() const { return finished - arrival; }
+  double PrefillSeconds() const;
+  // The TPOT series: gaps between successive token emissions. For a
+  // migrated request the first gap contains the link transfer -- the
+  // migration stall is a real inter-token latency, not accounting noise.
+  std::vector<double> TokenGaps() const;
+};
+
+// Exact percentile summaries over one request class.
+struct ClassAnatomy {
+  std::string klass;
+  int64_t requests = 0;
+  int64_t tpot_samples = 0;       // pooled inter-token gaps
+  LatencySummary queue_wait;
+  LatencySummary ttft;
+  LatencySummary tpot;
+  LatencySummary latency;         // end-to-end
+};
+
+struct AnatomyReport {
+  std::vector<RequestAnatomy> requests;  // sorted by request id
+  std::vector<ClassAnatomy> classes;     // sorted by class name
+  // Per-class TTFT/TPOT samples for EvaluateSlo -- the same numbers the
+  // summaries above fold, so an SLO verdict and an anatomy percentile can
+  // never disagree.
+  std::map<std::string, SloClassSamples> ClassSamples() const;
+  // {"requests":[...],"classes":[...]}; deterministic, byte-identical
+  // across SPMD slot counts.
+  std::string ToJson() const;
+};
+
+// Folds a scheduler/request timeline (Tracer::timeline(), or the rows
+// reconstructed from an exported document by tools/trace_report). Only
+// completed requests (with an 'e' lifecycle row) are reported.
+AnatomyReport FoldAnatomy(const std::vector<TimelineEvent>& timeline);
+
+}  // namespace tsi::obs

@@ -1,5 +1,8 @@
 #include "obs/export.h"
 
+#include "obs/anatomy.h"
+#include "obs/roofline.h"
+#include "obs/slo.h"
 #include "obs/utilization.h"
 #include "sim/machine.h"
 #include "sim/trace.h"
@@ -10,7 +13,8 @@ namespace tsi::obs {
 
 void WriteObservability(std::ostream& os, const SimMachine& machine,
                         const Tracer& tracer, const MetricsRegistry* metrics,
-                        bool include_host) {
+                        bool include_host, const AnatomyReport* anatomy,
+                        const RooflineReport* roofline, const SloReport* slo) {
   UtilizationReport util = ComputeUtilization(machine, tracer);
   JsonWriter w(os);
   w.BeginObject();
@@ -81,6 +85,18 @@ void WriteObservability(std::ostream& os, const SimMachine& machine,
   if (metrics) {
     w.Key("metrics");
     w.Raw(metrics->ToJson(include_host));
+  }
+  if (anatomy) {
+    w.Key("anatomy");
+    w.Raw(anatomy->ToJson());
+  }
+  if (roofline) {
+    w.Key("roofline");
+    w.Raw(roofline->ToJson());
+  }
+  if (slo) {
+    w.Key("slo");
+    w.Raw(slo->ToJson());
   }
   w.EndObject();
 }

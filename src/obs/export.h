@@ -11,13 +11,17 @@
 //       "chip": {...}, "num_chips": n, "elapsed_s": ...,
 //       "utilization": {...}, "per_chip": [...]
 //     },
-//     "metrics": {...}                // MetricsRegistry::ToJson
+//     "metrics": {...},               // MetricsRegistry::ToJson
+//     "anatomy": {...},               // per-request latency anatomy (opt.)
+//     "roofline": {...},              // per-span bound-by attribution (opt.)
+//     "slo": {...}                    // per-class attainment report (opt.)
 //   }
 //
 // Determinism: everything under "traceEvents"/"tsi" is a function of the
 // virtual-time execution only; "metrics" drops wall-clock ("host/") metrics
 // when include_host is false, making the whole document byte-identical
-// across SPMD slot counts.
+// across SPMD slot counts. The anatomy/roofline/slo sections are folds of
+// the virtual-time timeline and inherit the same guarantee.
 #pragma once
 
 #include <ostream>
@@ -30,10 +34,17 @@ class Tracer;
 namespace tsi::obs {
 
 class MetricsRegistry;
+struct AnatomyReport;
+struct RooflineReport;
+struct SloReport;
 
-// Writes the combined document. `metrics` may be null (section omitted).
+// Writes the combined document. `metrics` may be null (section omitted);
+// the anatomy/roofline/slo reports are likewise optional sections.
 void WriteObservability(std::ostream& os, const SimMachine& machine,
                         const Tracer& tracer, const MetricsRegistry* metrics,
-                        bool include_host = true);
+                        bool include_host = true,
+                        const AnatomyReport* anatomy = nullptr,
+                        const RooflineReport* roofline = nullptr,
+                        const SloReport* slo = nullptr);
 
 }  // namespace tsi::obs

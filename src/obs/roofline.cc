@@ -1,0 +1,190 @@
+#include "obs/roofline.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "core/migration.h"
+#include "sim/trace.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tsi::obs {
+namespace {
+
+const std::string* FindArg(const TimelineEvent& e, const char* key) {
+  for (const auto& [k, v] : e.args)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+long long ArgInt(const TimelineEvent& e, const char* key, long long fallback) {
+  const std::string* v = FindArg(e, key);
+  return v ? std::strtoll(v->c_str(), nullptr, 10) : fallback;
+}
+
+// Largest of compute / HBM / exposed-network time wins; ties resolve
+// compute > HBM > network so the classification is deterministic.
+BoundBy Classify(const CostBreakdown& b) {
+  const double hbm = b.weight_memory + b.kv_memory;
+  if (b.compute >= hbm && b.compute >= b.comm) return BoundBy::kCompute;
+  if (hbm >= b.comm) return BoundBy::kHbm;
+  return BoundBy::kNetwork;
+}
+
+void WriteBreakdown(JsonWriter& w, const char* key, const CostBreakdown& b) {
+  w.Key(key);
+  w.BeginObject();
+  w.Key("compute_s");
+  w.Double(b.compute);
+  w.Key("weight_memory_s");
+  w.Double(b.weight_memory);
+  w.Key("kv_memory_s");
+  w.Double(b.kv_memory);
+  w.Key("comm_s");
+  w.Double(b.comm);
+  w.Key("overhead_s");
+  w.Double(b.overhead);
+  w.EndObject();
+}
+
+}  // namespace
+
+const char* BoundByName(BoundBy b) {
+  switch (b) {
+    case BoundBy::kCompute: return "compute";
+    case BoundBy::kHbm: return "hbm";
+    case BoundBy::kNetwork: return "network";
+  }
+  return "?";
+}
+
+RooflineReport FoldRoofline(const std::vector<TimelineEvent>& timeline,
+                            const RooflineInputs& in) {
+  TSI_CHECK(in.estimator != nullptr);
+  const InferenceEstimator& est = *in.estimator;
+  RooflineReport report;
+
+  for (const TimelineEvent& e : timeline) {
+    if (e.cat != "scheduler" || e.ph != 'X') continue;
+    RooflineSpan s;
+    s.phase = e.name;
+    s.start = e.ts;
+    s.seconds = e.dur;
+    if (e.name == "prefill") {
+      s.request = ArgInt(e, "request", -1);
+      s.tokens = ArgInt(e, "tokens", 0);
+      s.context = ArgInt(e, "context", 0);
+      // The same call the analytic backend charges: one sequence's chunk on
+      // top of its cached context (serve/analytic.cc).
+      s.breakdown = est.Prefill(in.prefill_spec, /*batch=*/1,
+                                static_cast<double>(s.tokens),
+                                static_cast<double>(s.context))
+                        .breakdown;
+      s.bound = Classify(s.breakdown);
+    } else if (e.name == "decode") {
+      s.tokens = ArgInt(e, "frame", ArgInt(e, "lanes", 0));
+      s.context = ArgInt(e, "context", 0);
+      s.breakdown = est.DecodeStep(in.decode_spec,
+                                   static_cast<double>(s.tokens),
+                                   static_cast<double>(s.context))
+                        .breakdown;
+      s.bound = Classify(s.breakdown);
+    } else if (e.name == "migrate") {
+      s.request = ArgInt(e, "request", -1);
+      s.context = ArgInt(e, "context", 0);
+      const KvMigrationCost c = EstimateKvMigration(
+          est.config(), s.context, ActivationBytes(in.decode_spec.kv_format),
+          in.decode_spec.kv_page_size, in.link);
+      s.breakdown.comm = c.seconds;
+      // The transfer occupies only the link: network-bound by definition.
+      s.bound = BoundBy::kNetwork;
+    } else {
+      continue;  // unknown scheduler span (future phases): don't misprice it
+    }
+    report.total += s.breakdown;
+    report.spans.push_back(std::move(s));
+  }
+
+  // Per-phase bound-by time fractions: every span's traced seconds land
+  // wholly under its binding roof.
+  std::map<std::string, PhaseRoofline> phases;
+  for (const RooflineSpan& s : report.spans) {
+    PhaseRoofline& p = phases[s.phase];
+    p.phase = s.phase;
+    p.spans += 1;
+    p.seconds += s.seconds;
+    p.total += s.breakdown;
+    switch (s.bound) {
+      case BoundBy::kCompute: p.compute_frac += s.seconds; break;
+      case BoundBy::kHbm: p.hbm_frac += s.seconds; break;
+      case BoundBy::kNetwork: p.network_frac += s.seconds; break;
+    }
+  }
+  for (auto& [name, p] : phases) {
+    if (p.seconds > 0) {
+      p.compute_frac /= p.seconds;
+      p.hbm_frac /= p.seconds;
+      p.network_frac /= p.seconds;
+    }
+    report.phases.push_back(std::move(p));
+  }
+  return report;
+}
+
+std::string RooflineReport::ToJson(bool include_spans) const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("phases");
+  w.BeginArray();
+  for (const PhaseRoofline& p : phases) {
+    w.BeginObject();
+    w.Key("phase");
+    w.String(p.phase);
+    w.Key("spans");
+    w.Int(p.spans);
+    w.Key("seconds");
+    w.Double(p.seconds);
+    w.Key("compute_frac");
+    w.Double(p.compute_frac);
+    w.Key("hbm_frac");
+    w.Double(p.hbm_frac);
+    w.Key("network_frac");
+    w.Double(p.network_frac);
+    WriteBreakdown(w, "analytic", p.total);
+    w.EndObject();
+  }
+  w.EndArray();
+  WriteBreakdown(w, "total", total);
+  if (include_spans) {
+    w.Key("spans");
+    w.BeginArray();
+    for (const RooflineSpan& s : spans) {
+      w.BeginObject();
+      w.Key("phase");
+      w.String(s.phase);
+      w.Key("start");
+      w.Double(s.start);
+      w.Key("seconds");
+      w.Double(s.seconds);
+      w.Key("bound");
+      w.String(BoundByName(s.bound));
+      if (s.request >= 0) {
+        w.Key("request");
+        w.Int(s.request);
+      }
+      w.Key("tokens");
+      w.Int(s.tokens);
+      w.Key("context");
+      w.Int(s.context);
+      WriteBreakdown(w, "analytic", s.breakdown);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return os.str();
+}
+
+}  // namespace tsi::obs

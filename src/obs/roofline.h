@@ -1,0 +1,99 @@
+// Roofline attribution: classify every serving span as compute-, HBM-, or
+// network-bound by joining the scheduler timeline against the analytic cost
+// model (§2's latency decomposition, applied span-by-span).
+//
+// The serving schedulers stamp each span with the arguments the closed-form
+// model needs -- "prefill" spans carry {tokens, context}, "decode" spans
+// {frame, context}, "migrate" spans {bytes, context} -- so FoldRoofline can
+// recompute, for the exact work each span performed, the
+// InferenceEstimator's CostBreakdown (core/block_cost.h via
+// core/attn_cost.h / core/ffn_cost.h, comm/cost.h, hw/chip.h peaks):
+//
+//   compute  : derated-matmul seconds        -> compute-bound
+//   HBM      : weight + KV streaming seconds -> memory-bound
+//   network  : exposed interconnect seconds  -> network-bound
+//
+// A span's bound is the largest of the three (ties resolve in that order);
+// "migrate" spans are network-bound by definition (the transfer occupies
+// only the inter-pool link, priced by core/migration.h). Per phase the
+// report gives the bound-by TIME fractions -- what share of prefill /
+// decode / migrate seconds was spent under each roof -- which sum to 1.
+//
+// Cross-checks (tests/anatomy_test.cc): on the analytic backend the summed
+// per-span breakdowns equal AnalyticServeBackend::total_cost() EXACTLY
+// (same estimator calls in the same order), making FoldAnalyticCost's
+// aggregate fold and this per-span fold two views of one model; on the
+// functional engine the same classification applies with traced (simulated)
+// span durations, agreeing within tolerance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/cost.h"
+#include "core/inference_cost.h"
+#include "core/layouts.h"
+#include "core/system.h"
+
+namespace tsi {
+struct TimelineEvent;
+}  // namespace tsi
+
+namespace tsi::obs {
+
+enum class BoundBy { kCompute, kHbm, kNetwork };
+const char* BoundByName(BoundBy b);
+
+// The analytic model to join span args against. Prefill spans price under
+// prefill_spec, decode spans under decode_spec (colocated runs pass the
+// same spec twice); migrate spans price under `link` with the decode pool's
+// KV format/page size (the migrator's convention, serve/disagg.cc).
+struct RooflineInputs {
+  const InferenceEstimator* estimator = nullptr;  // must outlive the fold
+  PartitionSpec prefill_spec;
+  PartitionSpec decode_spec;
+  CommCostModel link;  // inter-pool link; unused without migrate spans
+};
+
+struct RooflineSpan {
+  std::string phase;  // "prefill" | "decode" | "migrate"
+  double start = 0;
+  double seconds = 0;          // traced span duration
+  BoundBy bound = BoundBy::kCompute;
+  CostBreakdown breakdown;     // analytic recomputation of this span's work
+  long long request = -1;      // prefill/migrate spans; -1 for decode
+  int64_t tokens = 0;          // prefill: chunk tokens; decode: frame lanes
+  int64_t context = 0;
+};
+
+// Bound-by time fractions for one phase; compute + hbm + network == 1
+// (each span is wholly attributed to its binding resource, weighted by its
+// traced seconds).
+struct PhaseRoofline {
+  std::string phase;
+  int64_t spans = 0;
+  double seconds = 0;  // traced seconds
+  double compute_frac = 0;
+  double hbm_frac = 0;
+  double network_frac = 0;
+  CostBreakdown total;  // summed analytic breakdowns
+};
+
+struct RooflineReport {
+  std::vector<RooflineSpan> spans;    // timeline order
+  std::vector<PhaseRoofline> phases;  // sorted by phase name
+  // Summed over all spans in timeline order -- the exact-equality
+  // cross-check target against AnalyticServeBackend::total_cost() (plus
+  // link seconds in `total.comm` for migrate spans, which the pool
+  // backends don't accumulate).
+  CostBreakdown total;
+  // {"phases":[...],"total":{...}("spans":[...] when include_spans)};
+  // deterministic, byte-identical across SPMD slot counts.
+  std::string ToJson(bool include_spans = true) const;
+};
+
+RooflineReport FoldRoofline(const std::vector<TimelineEvent>& timeline,
+                            const RooflineInputs& inputs);
+
+}  // namespace tsi::obs

@@ -1,0 +1,119 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace tsi::obs {
+
+const SloTarget* SloSpec::TargetFor(const std::string& klass) const {
+  auto it = classes.find(klass);
+  if (it != classes.end()) return &it->second;
+  it = classes.find("");
+  if (it != classes.end()) return &it->second;
+  return nullptr;
+}
+
+SloReport EvaluateSlo(const SloSpec& spec,
+                      const std::map<std::string, SloClassSamples>& samples) {
+  SloReport report;
+  report.evaluated = true;
+
+  // Classes with samples, plus spec classes with none (an empty targeted
+  // class is an attainment question too). std::map keeps the name order.
+  std::map<std::string, SloClassSamples> all = samples;
+  for (const auto& [klass, target] : spec.classes)
+    if (!target.empty()) all.emplace(klass, SloClassSamples{});
+
+  for (const auto& [klass, s] : all) {
+    SloClassReport cls;
+    cls.klass = klass;
+    cls.requests = static_cast<int64_t>(s.ttft.size());
+    cls.tpot_samples = static_cast<int64_t>(s.tpot.size());
+    std::vector<double> ttft = s.ttft, tpot = s.tpot;
+    std::sort(ttft.begin(), ttft.end());
+    std::sort(tpot.begin(), tpot.end());
+    cls.ttft_p50 = SortedPercentile(ttft, 50);
+    cls.ttft_p99 = SortedPercentile(ttft, 99);
+    cls.tpot_p50 = SortedPercentile(tpot, 50);
+    cls.tpot_p99 = SortedPercentile(tpot, 99);
+    if (const SloTarget* t = spec.TargetFor(klass)) {
+      auto check = [&](const char* metric, double target, double actual,
+                       bool have_samples) {
+        if (target <= 0) return;
+        SloCheck c;
+        c.metric = metric;
+        c.target = target;
+        c.actual = actual;
+        c.ok = have_samples && actual <= target;
+        cls.checks.push_back(c);
+        if (!c.ok) cls.ok = false;
+      };
+      check("ttft_p50", t->ttft_p50, cls.ttft_p50, !ttft.empty());
+      check("ttft_p99", t->ttft_p99, cls.ttft_p99, !ttft.empty());
+      // TPOT over single-token requests is vacuous: no gaps to check. Only
+      // fail for missing samples when the class produced no requests at all.
+      check("tpot_p50", t->tpot_p50, cls.tpot_p50,
+            !tpot.empty() || !ttft.empty());
+      check("tpot_p99", t->tpot_p99, cls.tpot_p99,
+            !tpot.empty() || !ttft.empty());
+    }
+    if (!cls.ok) report.ok = false;
+    report.classes.push_back(std::move(cls));
+  }
+  return report;
+}
+
+std::string SloReport::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("evaluated");
+  w.Bool(evaluated);
+  w.Key("ok");
+  w.Bool(ok);
+  w.Key("classes");
+  w.BeginArray();
+  for (const SloClassReport& cls : classes) {
+    w.BeginObject();
+    w.Key("class");
+    w.String(cls.klass);
+    w.Key("requests");
+    w.Int(cls.requests);
+    w.Key("tpot_samples");
+    w.Int(cls.tpot_samples);
+    w.Key("ttft_p50_s");
+    w.Double(cls.ttft_p50);
+    w.Key("ttft_p99_s");
+    w.Double(cls.ttft_p99);
+    w.Key("tpot_p50_s");
+    w.Double(cls.tpot_p50);
+    w.Key("tpot_p99_s");
+    w.Double(cls.tpot_p99);
+    w.Key("ok");
+    w.Bool(cls.ok);
+    w.Key("checks");
+    w.BeginArray();
+    for (const SloCheck& c : cls.checks) {
+      w.BeginObject();
+      w.Key("metric");
+      w.String(c.metric);
+      w.Key("target_s");
+      w.Double(c.target);
+      w.Key("actual_s");
+      w.Double(c.actual);
+      w.Key("ok");
+      w.Bool(c.ok);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return os.str();
+}
+
+}  // namespace tsi::obs

@@ -119,10 +119,14 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
   obs::Gauge* m_decode_active = metrics.GetGauge("serve/decode_active");
   obs::Gauge* m_migration_depth =
       metrics.GetGauge("serve/migration_queue_depth");
+  // Exact-sample mode like the colocated loop: the exported p99s are order
+  // statistics of the real waits/transfers, not bucket bounds.
   obs::Histogram* m_queue_wait = metrics.GetHistogram(
-      "serve/queue_wait_s", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+      "serve/queue_wait_s", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0},
+      /*sample_cap=*/1 << 16);
   obs::Histogram* m_migration_s = metrics.GetHistogram(
-      "serve/migration_s", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+      "serve/migration_s", {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0},
+      /*sample_cap=*/1 << 16);
 
   struct PrefillJob {
     ServeRequest req;
@@ -225,6 +229,7 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
             "migrate", start, done - start,
             {{"request", std::to_string(mj.req.id)},
              {"bytes", FormatJsonDouble(r.bytes)},
+             {"context", std::to_string(mj.context)},
              {"src_slot", std::to_string(mj.src_slot)},
              {"dst_slot", std::to_string(dst)}});
         tracer->RecordLifecycle('n', "migrated", mj.req.id, done);
@@ -246,14 +251,17 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
       PrefillJob p;
       p.slot = prefill_slots.Acquire();
       p.rec.id = r.id;
+      p.rec.klass = r.klass;
       p.rec.arrival = r.arrival;
       p.rec.admitted = prefill.Now();
       m_admitted->Add(1);
       m_queue_wait->Observe(p.rec.QueueWait());
       if (tracer) {
-        tracer->RecordLifecycle(
-            'b', "request", p.rec.id, p.rec.arrival,
-            {{"prompt_tokens", std::to_string(r.prompt.size())}});
+        std::vector<std::pair<std::string, std::string>> bargs{
+            {"prompt_tokens", std::to_string(r.prompt.size())}};
+        if (!r.klass.empty()) bargs.emplace_back("class", r.klass);
+        tracer->RecordLifecycle('b', "request", p.rec.id, p.rec.arrival,
+                                std::move(bargs));
         tracer->RecordLifecycle('n', "admitted", p.rec.id, p.rec.admitted);
         tracer->RecordInstant(
             "admit", p.rec.admitted,
@@ -280,6 +288,7 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
       std::vector<int32_t> piece(p.req.prompt.begin() + p.prefilled,
                                  p.req.prompt.begin() + p.prefilled + chunk);
       const double begin = prefill.Now();
+      const int64_t context = p.prefilled;  // cached before this chunk
       const int32_t token = prefill.Prefill(p.slot, p.req.id, piece, last);
       p.prefilled += chunk;
       ++out.serve.prefill_chunks;
@@ -288,11 +297,13 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
         tracer->RecordScheduler("prefill", begin, prefill.Now() - begin,
                                 {{"request", std::to_string(p.req.id)},
                                  {"tokens", std::to_string(chunk)},
+                                 {"context", std::to_string(context)},
                                  {"last", last ? "true" : "false"}});
       worked = true;
       if (!last) continue;
       p.rec.first_token = prefill.Now();
       p.rec.tokens.push_back(token);
+      p.rec.token_times.push_back(p.rec.first_token);
       if (tracer)
         tracer->RecordLifecycle('n', "first_token", p.req.id,
                                 p.rec.first_token);
@@ -335,16 +346,31 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
     }
     if (!lanes.empty()) {
       const double begin = decode.Now();
+      // Same span-arg schema as the colocated loop (anatomy/roofline folds).
+      std::string lane_requests;
+      int64_t max_context = 0;
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        const DecodeJob& d = decoding[lane_jobs[i]];
+        if (i > 0) lane_requests += ',';
+        lane_requests += std::to_string(d.req.id);
+        max_context = std::max(
+            max_context, static_cast<int64_t>(d.req.prompt.size()) +
+                             static_cast<int64_t>(d.rec.tokens.size()) - 1);
+      }
       const std::vector<int32_t> next = decode.Decode(lanes);
       TSI_CHECK_EQ(next.size(), lanes.size());
       ++out.serve.decode_steps;
       m_decode_steps->Add(1);
       if (tracer)
         tracer->RecordScheduler("decode", begin, decode.Now() - begin,
-                                {{"lanes", std::to_string(lanes.size())}});
+                                {{"lanes", std::to_string(lanes.size())},
+                                 {"requests", std::move(lane_requests)},
+                                 {"frame", std::to_string(decode.num_slots())},
+                                 {"context", std::to_string(max_context)}});
       for (size_t i = 0; i < lanes.size(); ++i) {
         DecodeJob& d = decoding[lane_jobs[i]];
         d.rec.tokens.push_back(next[i]);
+        d.rec.token_times.push_back(decode.Now());
         d.last_token = next[i];
         if (hits_budget(d.rec, d.req, next[i])) {
           finish(std::move(d.rec), decode.Now());
@@ -406,6 +432,8 @@ DisaggReport RunDisaggServing(ServeBackend& prefill, ServeBackend& decode,
     out.serve.makespan = std::max(out.serve.makespan, r.finished);
   out.prefill_makespan = prefill.Now();
   out.decode_makespan = decode.Now();
+  if (!options.slo.empty())
+    out.serve.slo = obs::EvaluateSlo(options.slo, out.serve.ClassSamples());
   return out;
 }
 
@@ -423,6 +451,7 @@ AnalyticDisaggRun RunAnalyticDisaggServing(const InferenceEstimator& estimator,
     run.report.prefill_makespan = run.report.decode_makespan = colocated.Now();
     run.decode_busy_seconds = colocated.busy_seconds();
     run.decode_processed_tokens = colocated.processed_tokens();
+    run.decode_cost = colocated.total_cost();
     return run;
   }
   TSI_CHECK(config.prefill_spec.kv_format == config.decode_spec.kv_format)
@@ -442,6 +471,8 @@ AnalyticDisaggRun RunAnalyticDisaggServing(const InferenceEstimator& estimator,
   run.decode_busy_seconds = decode.busy_seconds();
   run.prefill_processed_tokens = prefill.processed_tokens();
   run.decode_processed_tokens = decode.processed_tokens();
+  run.prefill_cost = prefill.total_cost();
+  run.decode_cost = decode.total_cost();
   return run;
 }
 

@@ -152,6 +152,11 @@ struct AnalyticDisaggRun {
   double decode_busy_seconds = 0;
   double prefill_processed_tokens = 0;
   double decode_processed_tokens = 0;
+  // Summed per-phase CostBreakdowns the pool backends charged -- the
+  // cross-check target for the roofline fold's per-span recomputation
+  // (obs/roofline.h). Colocated fallback: everything in decode_cost.
+  CostBreakdown prefill_cost;
+  CostBreakdown decode_cost;
 };
 
 // Builds the two analytic pool backends and the migrator from `config` and

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 namespace tsi {
@@ -19,6 +20,10 @@ struct ServeRequest {
   double arrival = 0;  // virtual seconds
   std::vector<int32_t> prompt;
   int64_t max_new_tokens = 16;
+  // Request class ("interactive", "rag", "batch", ...): the key SLO targets
+  // (obs/slo.h) and per-class latency reporting (obs/anatomy.h) group by.
+  // "" is the untagged default class.
+  std::string klass;
   // Multi-turn hint: id of an earlier request whose retained context this
   // prompt extends (the prompt must repeat that conversation's tokens).
   // With ServeOptions.share_prefixes the backend forks the parent's KV pages

@@ -49,6 +49,25 @@ LatencySummary ServeReport::TimePerOutputTokenSummary() const {
                        [](const RequestRecord& r) { return r.TimePerOutputToken(); });
 }
 
+std::vector<double> RequestRecord::TokenGaps() const {
+  std::vector<double> gaps;
+  if (token_times.size() < 2) return gaps;
+  gaps.reserve(token_times.size() - 1);
+  for (size_t i = 1; i < token_times.size(); ++i)
+    gaps.push_back(token_times[i] - token_times[i - 1]);
+  return gaps;
+}
+
+std::map<std::string, obs::SloClassSamples> ServeReport::ClassSamples() const {
+  std::map<std::string, obs::SloClassSamples> samples;
+  for (const RequestRecord& r : requests) {
+    obs::SloClassSamples& s = samples[r.klass];
+    s.ttft.push_back(r.Ttft());
+    for (double g : r.TokenGaps()) s.tpot.push_back(g);
+  }
+  return samples;
+}
+
 ServeReport RunContinuousServing(ServeBackend& backend,
                                  std::vector<ServeRequest> requests,
                                  const ServeOptions& options) {
@@ -73,8 +92,12 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       "serve/prefill_chunk_tokens", {1, 2, 4, 8, 16, 32, 64, 128, 256});
   obs::Histogram* m_decode_lanes = metrics.GetHistogram(
       "serve/decode_lanes", {1, 2, 4, 8, 16, 32, 64, 128, 256});
+  // Exact-sample mode (single-writer: this loop), so the exported p99 is an
+  // order statistic of the real waits, not a bucket bound. 64Ki samples
+  // cover every workload the benches and tests run without truncation.
   obs::Histogram* m_queue_wait = metrics.GetHistogram(
-      "serve/queue_wait_s", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+      "serve/queue_wait_s", {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0},
+      /*sample_cap=*/1 << 16);
   obs::Counter* m_prefill_tokens = metrics.GetCounter("serve/prefill_tokens");
   // Prefix-sharing counters exist only when the feature is on, so baseline
   // metric exports (and their golden tests) are unchanged.
@@ -126,6 +149,7 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       Active a;
       a.slot = slots.Acquire();
       a.rec.id = r.id;
+      a.rec.klass = r.klass;
       a.rec.arrival = r.arrival;
       a.rec.admitted = backend.Now();
       m_admitted->Add(1);
@@ -133,9 +157,11 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       if (tracer) {
         // The request row opens at arrival so Perfetto shows queue wait as
         // the gap between 'b' and the "admitted" instant.
+        std::vector<std::pair<std::string, std::string>> bargs{
+            {"prompt_tokens", std::to_string(r.prompt.size())}};
+        if (!r.klass.empty()) bargs.emplace_back("class", r.klass);
         tracer->RecordLifecycle('b', "request", a.rec.id, a.rec.arrival,
-                                {{"prompt_tokens",
-                                  std::to_string(r.prompt.size())}});
+                                std::move(bargs));
         tracer->RecordLifecycle('n', "admitted", a.rec.id, a.rec.admitted);
         tracer->RecordInstant(
             "admit", a.rec.admitted,
@@ -186,6 +212,9 @@ ServeReport RunContinuousServing(ServeBackend& backend,
           a.req.prompt.begin() + a.prefilled,
           a.req.prompt.begin() + a.prefilled + chunk);
       const double prefill_begin = backend.Now();
+      // KV tokens already cached before this chunk -- what the analytic
+      // model (and the roofline fold) prices the chunk's attention against.
+      const int64_t context = a.prefilled;
       const int32_t token = backend.Prefill(a.slot, a.req.id, piece, last);
       a.prefilled += chunk;
       ++report.prefill_chunks;
@@ -197,11 +226,13 @@ ServeReport RunContinuousServing(ServeBackend& backend,
             "prefill", prefill_begin, backend.Now() - prefill_begin,
             {{"request", std::to_string(a.req.id)},
              {"tokens", std::to_string(chunk)},
+             {"context", std::to_string(context)},
              {"last", last ? "true" : "false"}});
       if (last) {
         a.decoding = true;
         a.rec.first_token = backend.Now();
         a.rec.tokens.push_back(token);
+        a.rec.token_times.push_back(a.rec.first_token);
         a.last_token = token;
         if (tracer)
           tracer->RecordLifecycle('n', "first_token", a.req.id,
@@ -222,6 +253,20 @@ ServeReport RunContinuousServing(ServeBackend& backend,
     }
     if (!lanes.empty()) {
       const double decode_begin = backend.Now();
+      // Span args for the anatomy/roofline folds: which requests advanced
+      // (lane order), the frame width the backend charges (every slot's KV
+      // is streamed whether occupied or not, serve/analytic.cc), and the
+      // longest lane's cached context before this step.
+      std::string lane_requests;
+      int64_t max_context = 0;
+      for (size_t i = 0; i < lanes.size(); ++i) {
+        const Active& a = active[lane_active[i]];
+        if (i > 0) lane_requests += ',';
+        lane_requests += std::to_string(a.req.id);
+        max_context = std::max(
+            max_context, static_cast<int64_t>(a.req.prompt.size()) +
+                             static_cast<int64_t>(a.rec.tokens.size()) - 1);
+      }
       const std::vector<int32_t> next = backend.Decode(lanes);
       TSI_CHECK_EQ(next.size(), lanes.size());
       ++report.decode_steps;
@@ -230,10 +275,14 @@ ServeReport RunContinuousServing(ServeBackend& backend,
       if (tracer)
         tracer->RecordScheduler(
             "decode", decode_begin, backend.Now() - decode_begin,
-            {{"lanes", std::to_string(lanes.size())}});
+            {{"lanes", std::to_string(lanes.size())},
+             {"requests", std::move(lane_requests)},
+             {"frame", std::to_string(backend.num_slots())},
+             {"context", std::to_string(max_context)}});
       for (size_t i = 0; i < lanes.size(); ++i) {
         Active& a = active[lane_active[i]];
         a.rec.tokens.push_back(next[i]);
+        a.rec.token_times.push_back(backend.Now());
         a.last_token = next[i];
         if (hits_budget(a, next[i])) retire(a);
       }
@@ -260,6 +309,8 @@ ServeReport RunContinuousServing(ServeBackend& backend,
             });
   for (const auto& r : report.requests)
     report.makespan = std::max(report.makespan, r.finished);
+  if (!options.slo.empty())
+    report.slo = obs::EvaluateSlo(options.slo, report.ClassSamples());
   return report;
 }
 

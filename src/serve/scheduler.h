@@ -26,10 +26,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "engine/sampler.h"
+#include "obs/slo.h"
 #include "serve/queue.h"
 #include "util/stats.h"
 
@@ -73,16 +76,26 @@ struct ServeOptions {
   // retained conversations' summed KV pages (ceil(len / page_size) each,
   // counting shared pages per retainer) may not exceed this. 0 = unbounded.
   int64_t retain_page_budget = 0;
+  // Per-class TTFT/TPOT targets (obs/slo.h). Non-empty: the run evaluates
+  // attainment over the completed requests' exact latency samples into
+  // ServeReport.slo.
+  obs::SloSpec slo;
 };
 
 // Per-request serving metrics (all stamps in virtual seconds).
 struct RequestRecord {
   int64_t id = 0;
+  std::string klass;       // copied from ServeRequest.klass
   double arrival = 0;
   double admitted = 0;     // got a KV slot
   double first_token = 0;  // end of the prefill chunk that sampled token 1
   double finished = 0;     // last token emitted
   std::vector<int32_t> tokens;  // generated tokens (EOS included)
+  // Emission stamp of each token, parallel to `tokens` (first_token, then
+  // the end of every decode step that advanced this request). The same
+  // stamps the trace-side anatomy fold (obs/anatomy.h) reconstructs from
+  // decode spans, so report-side and trace-side TPOT agree exactly.
+  std::vector<double> token_times;
   // Prompt tokens adopted from a shared KV prefix instead of prefilled.
   int64_t shared_prefix_tokens = 0;
 
@@ -95,6 +108,8 @@ struct RequestRecord {
                ? (finished - first_token) / static_cast<double>(tokens.size() - 1)
                : 0;
   }
+  // The TPOT series: gaps between successive token emissions.
+  std::vector<double> TokenGaps() const;
 };
 
 struct ServeReport {
@@ -102,6 +117,8 @@ struct ServeReport {
   double makespan = 0;  // virtual time when the last request finished
   int64_t prefill_chunks = 0;
   int64_t decode_steps = 0;
+  // Attainment of ServeOptions.slo (evaluated == false when no spec).
+  obs::SloReport slo;
 
   int64_t completed() const { return static_cast<int64_t>(requests.size()); }
   int64_t total_tokens() const;
@@ -111,6 +128,9 @@ struct ServeReport {
   LatencySummary TtftSummary() const;
   LatencySummary LatencySummaryStats() const;  // end-to-end
   LatencySummary TimePerOutputTokenSummary() const;
+  // Per-class TTFT (per request) and TPOT (per token gap) samples -- the
+  // input EvaluateSlo checks targets against.
+  std::map<std::string, obs::SloClassSamples> ClassSamples() const;
 };
 
 // What the scheduler needs from an execution substrate. One backend instance

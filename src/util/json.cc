@@ -205,6 +205,7 @@ class Parser {
 
   bool Object(JsonValue* out) {
     out->type = JsonValue::Type::kObject;
+    out->object.clear();  // reused JsonValue: don't append to a stale parse
     ++pos_;  // '{'
     SkipWs();
     if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
@@ -230,6 +231,7 @@ class Parser {
 
   bool Array(JsonValue* out) {
     out->type = JsonValue::Type::kArray;
+    out->array.clear();  // reused JsonValue: don't append to a stale parse
     ++pos_;  // '['
     SkipWs();
     if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }

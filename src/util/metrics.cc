@@ -6,6 +6,7 @@
 
 #include "util/json.h"
 #include "util/logging.h"
+#include "util/stats.h"
 
 namespace tsi::obs {
 
@@ -36,9 +37,11 @@ void Counter::Reset() {
   for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
 }
 
-Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+Histogram::Histogram(std::vector<double> bounds, int64_t sample_cap)
+    : bounds_(std::move(bounds)), sample_cap_(sample_cap) {
   TSI_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
       << "histogram bounds must be ascending";
+  TSI_CHECK_GE(sample_cap_, 0);
   shards_.reserve(kStripes);
   for (int i = 0; i < kStripes; ++i)
     shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
@@ -53,6 +56,17 @@ void Histogram::Observe(double v) {
   Shard& shard = *shards_[ThreadStripe() % kStripes];
   shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
   internal::AtomicAddDouble(shard.sum, v);
+  if (sample_cap_ > 0) {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    if (static_cast<int64_t>(samples_.size()) < sample_cap_)
+      samples_.push_back(v);
+    else
+      samples_truncated_ = true;
+  }
+}
+
+double Histogram::Snapshot::SampleQuantile(double p) const {
+  return SortedPercentile(samples, p);
 }
 
 Histogram::Snapshot Histogram::Take() const {
@@ -65,6 +79,14 @@ Histogram::Snapshot Histogram::Take() const {
     snap.sum += shard->sum.load(std::memory_order_relaxed);
   }
   for (int64_t c : snap.counts) snap.count += c;
+  if (sample_cap_ > 0) {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    snap.samples = samples_;
+    snap.samples_truncated = samples_truncated_;
+  }
+  // Sorted here so the export depends on the observed multiset, not on the
+  // observation order.
+  std::sort(snap.samples.begin(), snap.samples.end());
   return snap;
 }
 
@@ -73,6 +95,9 @@ void Histogram::Reset() {
     for (auto& c : shard->counts) c.store(0, std::memory_order_relaxed);
     shard->sum.store(0, std::memory_order_relaxed);
   }
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  samples_.clear();
+  samples_truncated_ = false;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -95,16 +120,24 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
-                                         std::vector<double> bounds) {
+                                         std::vector<double> bounds,
+                                         int64_t sample_cap) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) {
     TSI_CHECK(!bounds.empty()) << "first registration of histogram '" << name
                                << "' must supply bounds";
-    slot = std::make_unique<Histogram>(std::move(bounds));
-  } else if (!bounds.empty()) {
-    TSI_CHECK(bounds == slot->bounds())
-        << "histogram '" << name << "' re-registered with different bounds";
+    slot = std::make_unique<Histogram>(std::move(bounds), sample_cap);
+  } else {
+    if (!bounds.empty()) {
+      TSI_CHECK(bounds == slot->bounds())
+          << "histogram '" << name << "' re-registered with different bounds";
+    }
+    if (sample_cap > 0) {
+      TSI_CHECK_EQ(sample_cap, slot->sample_cap())
+          << "histogram '" << name
+          << "' re-registered with a different sample cap";
+    }
   }
   return slot.get();
 }
@@ -157,6 +190,22 @@ std::string MetricsRegistry::ToJson(bool include_host) const {
     w.Double(snap.sum);
     w.Key("mean");
     w.Double(snap.Mean());
+    if (h->sample_cap() > 0) {
+      // Exact-sample mode: order-statistic quantiles under the util/stats.h
+      // contract, not bucket-bound estimates.
+      w.Key("p50");
+      w.Double(snap.SampleQuantile(50));
+      w.Key("p95");
+      w.Double(snap.SampleQuantile(95));
+      w.Key("p99");
+      w.Double(snap.SampleQuantile(99));
+      w.Key("max");
+      w.Double(snap.samples.empty() ? 0 : snap.samples.back());
+      w.Key("samples_kept");
+      w.Int(static_cast<int64_t>(snap.samples.size()));
+      w.Key("samples_truncated");
+      w.Bool(snap.samples_truncated);
+    }
     w.EndObject();
   }
   w.EndObject();

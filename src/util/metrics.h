@@ -67,12 +67,27 @@ class Gauge {
   std::atomic<double> v_{0};
 };
 
-// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
-// implicit overflow bucket counts the rest. Bounds are set at registration
-// and immutable afterwards.
+// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]
+// (inclusive upper bounds, Prometheus "le" convention); one implicit
+// overflow bucket counts the rest. Bounds are set at registration and
+// immutable afterwards.
+//
+// Exact-sample mode: with sample_cap > 0 the histogram additionally retains
+// up to `sample_cap` raw observations, and Snapshot reports exact quantiles
+// over them under the shared util/stats.h percentile contract
+// (SortedPercentile: linear interpolation between order statistics) -- so a
+// p99 read off the export is a real order statistic, not a bucket upper
+// bound. The retained set is the FIRST sample_cap observations; once full,
+// later observations still count in the buckets but set samples_truncated,
+// so a truncated quantile is never silently passed off as exact.
+// Determinism: Snapshot sorts the samples, so the export is a function of
+// the observed multiset only -- but the multiset itself is only
+// deterministic when the KEPT set is (single-writer histograms like the
+// serve/* latency ones, or cap never exceeded). Concurrent writers racing
+// past the cap may keep different subsets.
 class Histogram {
  public:
-  explicit Histogram(std::vector<double> bounds);
+  explicit Histogram(std::vector<double> bounds, int64_t sample_cap = 0);
 
   void Observe(double v);
 
@@ -81,12 +96,18 @@ class Histogram {
     std::vector<int64_t> counts;  // bounds.size() + 1 entries (last: overflow)
     int64_t count = 0;
     double sum = 0;
+    // Exact-sample mode only: retained observations, sorted ascending.
+    std::vector<double> samples;
+    bool samples_truncated = false;
     double Mean() const { return count > 0 ? sum / count : 0; }
+    // Exact quantile over `samples` (util/stats.h contract); 0 when empty.
+    double SampleQuantile(double p) const;
   };
   Snapshot Take() const;
   void Reset();
 
   const std::vector<double>& bounds() const { return bounds_; }
+  int64_t sample_cap() const { return sample_cap_; }
 
  private:
   static constexpr int kStripes = 4;
@@ -97,6 +118,10 @@ class Histogram {
   };
   std::vector<double> bounds_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  int64_t sample_cap_ = 0;
+  mutable std::mutex samples_mu_;
+  std::vector<double> samples_;
+  bool samples_truncated_ = false;
 };
 
 // Named metric registry. Get* registers on first use and returns a stable
@@ -111,12 +136,18 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   // `bounds` applies on first registration; later calls must pass the same
   // bounds (checked) or empty bounds to mean "whatever was registered".
-  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+  // `sample_cap` > 0 turns on exact-sample mode (see Histogram); like
+  // bounds, it applies on first registration and later non-zero values must
+  // match.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          int64_t sample_cap = 0);
 
   // JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
-  // names sorted; histograms expand to {buckets,counts,count,sum,mean}.
-  // include_host=false drops every metric whose name starts with "host/"
-  // (wall-clock-dependent, not deterministic across runs).
+  // names sorted; histograms expand to {buckets,counts,count,sum,mean}, plus
+  // exact {p50,p95,p99,max,samples_kept,samples_truncated} for histograms in
+  // exact-sample mode. include_host=false drops every metric whose name
+  // starts with "host/" (wall-clock-dependent, not deterministic across
+  // runs).
   std::string ToJson(bool include_host = true) const;
 
   // Zeroes all registered metrics (pointers stay valid).

@@ -4,9 +4,7 @@
 #include <cstddef>
 
 namespace tsi {
-namespace {
 
-// Percentile over an already-sorted vector.
 double SortedPercentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   double idx = p / 100.0 * (static_cast<double>(sorted.size()) - 1.0);
@@ -15,8 +13,6 @@ double SortedPercentile(const std::vector<double>& sorted, double p) {
   double frac = idx - static_cast<double>(lo);
   return sorted[lo] * (1 - frac) + sorted[hi] * frac;
 }
-
-}  // namespace
 
 double Mean(const std::vector<double>& values) {
   if (values.empty()) return 0;

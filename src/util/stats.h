@@ -2,10 +2,17 @@
 //
 // One implementation of mean/percentile used by every layer that reports
 // request latencies: the analytical serving simulator (core/serving.h), the
-// continuous-batching runtime (serve/scheduler.h), and the benches. The
-// percentile definition is the linear-interpolation one (NIST 7.2.5.2 /
-// numpy default): index p/100 * (n-1) into the sorted values, interpolating
-// between the surrounding order statistics.
+// continuous-batching runtime (serve/scheduler.h), the obs reporters
+// (obs::Histogram sample quantiles, obs/anatomy.h, obs/slo.h), and the
+// benches.
+//
+// THE percentile contract (all reporters share it, so an anatomy report and
+// a bench summary can never disagree on the same data): linear interpolation
+// between order statistics (NIST 7.2.5.2 / numpy default). Values sorted
+// ascending, index p/100 * (n-1), interpolate between the two surrounding
+// order statistics; bounds are inclusive -- p=0 is the minimum, p=100 the
+// maximum, and a percentile always lies within [min, max] (never a bucket
+// bound or an extrapolation).
 #pragma once
 
 #include <vector>
@@ -18,6 +25,10 @@ double Mean(const std::vector<double>& values);
 // p-th percentile, p in [0, 100], linear interpolation between order
 // statistics; 0 for an empty vector. Takes a copy because it sorts.
 double Percentile(std::vector<double> values, double p);
+
+// Same contract over values the caller already sorted ascending (exposed so
+// multi-quantile reporters sort once); 0 for an empty vector.
+double SortedPercentile(const std::vector<double>& sorted, double p);
 
 // The percentile set every serving report uses.
 struct LatencySummary {

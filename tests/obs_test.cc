@@ -17,6 +17,7 @@
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/stats.h"
 
 namespace tsi {
 namespace {
@@ -109,6 +110,19 @@ TEST(JsonTest, ParserReportsErrors) {
   EXPECT_EQ(doc.number, 42);
 }
 
+TEST(JsonTest, ReparsingIntoAReusedValueDropsTheStaleParse) {
+  // Object/Array parsing must replace, not append to, a previously parsed
+  // value -- otherwise Find returns the first (stale) duplicate key.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson("{\"a\":1,\"xs\":[1,2,3]}", &doc, &error)) << error;
+  ASSERT_TRUE(ParseJson("{\"a\":2,\"xs\":[9]}", &doc, &error)) << error;
+  ASSERT_EQ(doc.object.size(), 2u);
+  EXPECT_EQ(doc.NumberOr("a", 0), 2);
+  ASSERT_EQ(doc.Find("xs")->array.size(), 1u);
+  EXPECT_EQ(doc.Find("xs")->array[0].number, 9);
+}
+
 // --- Metrics ---------------------------------------------------------------
 
 TEST(MetricsTest, CounterSumsAcrossThreads) {
@@ -143,6 +157,61 @@ TEST(MetricsTest, HistogramBucketsAndOverflow) {
   EXPECT_EQ(s.count, 4);
   EXPECT_DOUBLE_EQ(s.sum, 104.5);
   EXPECT_DOUBLE_EQ(s.Mean(), 104.5 / 4);
+}
+
+TEST(MetricsTest, HistogramExactSampleModeQuantiles) {
+  obs::MetricsRegistry reg;
+  obs::Histogram* h =
+      reg.GetHistogram("test/lat", {1.0, 10.0}, /*sample_cap=*/4);
+  EXPECT_EQ(h->sample_cap(), 4);
+  h->Observe(3.0);
+  h->Observe(1.0);
+  h->Observe(2.0);
+  obs::Histogram::Snapshot s = h->Take();
+  // Snapshot sorts the kept samples; quantiles are SortedPercentile over
+  // them (linear interpolation between order statistics), never bucket
+  // upper bounds -- p50 of {1,2,3} is 2, which no bucket bound equals.
+  ASSERT_EQ(s.samples, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_FALSE(s.samples_truncated);
+  EXPECT_DOUBLE_EQ(s.SampleQuantile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.SampleQuantile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.SampleQuantile(75), 2.5);
+  EXPECT_DOUBLE_EQ(s.SampleQuantile(100), 3.0);
+  EXPECT_DOUBLE_EQ(s.SampleQuantile(50), SortedPercentile(s.samples, 50));
+
+  // Past the cap: buckets keep counting, the kept set stays the FIRST
+  // cap observations, and the truncation flag flips so a clipped quantile
+  // can't masquerade as exact.
+  h->Observe(4.0);
+  h->Observe(100.0);
+  s = h->Take();
+  EXPECT_EQ(s.count, 5);
+  ASSERT_EQ(s.samples, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+  EXPECT_TRUE(s.samples_truncated);
+
+  // ToJson grows the exact-sample keys for sample-mode histograms only.
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(ParseJson(reg.ToJson(), &doc, &error)) << error;
+  const JsonValue* lat = doc.Find("histograms")->Find("test/lat");
+  ASSERT_TRUE(lat != nullptr);
+  EXPECT_EQ(lat->NumberOr("p50", -1), 2.5);
+  EXPECT_EQ(lat->NumberOr("max", -1), 4.0);
+  EXPECT_EQ(lat->NumberOr("samples_kept", -1), 4);
+  ASSERT_TRUE(lat->Find("samples_truncated") != nullptr);
+  EXPECT_TRUE(lat->Find("samples_truncated")->boolean);
+
+  // Plain histograms are unchanged -- no sample keys.
+  reg.GetHistogram("test/plain", {1.0})->Observe(0.5);
+  ASSERT_TRUE(ParseJson(reg.ToJson(), &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("histograms")->Find("test/plain")->Find("p50"), nullptr);
+
+  // Reset clears the kept samples and the truncation flag with the buckets.
+  reg.Reset();
+  s = h->Take();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_TRUE(s.samples.empty());
+  EXPECT_FALSE(s.samples_truncated);
 }
 
 TEST(MetricsTest, ToJsonFiltersHostMetricsAndSortsNames) {

@@ -676,9 +676,12 @@ TEST(ServeRuntimeTest, RetainPageBudgetEvictsUnderPagePressure) {
 
 TEST(ServeQueueTest, OrdersByArrivalAndAdmits) {
   std::vector<ServeRequest> rs(3);
-  rs[0] = {2, 3.0, {1}, 4};
-  rs[1] = {0, 1.0, {1}, 4};
-  rs[2] = {1, 2.0, {1}, 4};
+  for (int i = 0; i < 3; ++i) {
+    rs[static_cast<size_t>(i)].id = (i + 2) % 3;  // ids 2, 0, 1
+    rs[static_cast<size_t>(i)].arrival = static_cast<double>((i + 2) % 3 + 1);
+    rs[static_cast<size_t>(i)].prompt = {1};
+    rs[static_cast<size_t>(i)].max_new_tokens = 4;
+  }
   RequestQueue q(std::move(rs));
   EXPECT_EQ(q.size(), 3);
   EXPECT_FALSE(q.HasArrived(0.5));

@@ -1,0 +1,245 @@
+// Regression gate over two benchmark JSON documents (BENCH_*.json).
+//
+//   bench_diff <baseline.json> <candidate.json> [--tol substring=frac]...
+//              [--default-tol frac] [--quiet]
+//
+// Walks both documents in parallel, building a dotted/indexed path for every
+// leaf ("runs[2].p99_ttft_s", "disagg.rag_slo.classes[0].ok"), and compares
+// numeric leaves under a per-metric relative tolerance:
+//
+//   * HIGHER-IS-WORSE metrics (path contains latency / ttft / tpot /
+//     queue_wait / wait / migration_s): candidate may not exceed baseline by
+//     more than the tolerance;
+//   * LOWER-IS-WORSE metrics (throughput / rps / tps / mfu / attain):
+//     candidate may not fall below baseline by more than the tolerance;
+//   * other numeric leaves are informational (printed with --verbose-style
+//     diffs when they move, never gating);
+//   * boolean "ok" leaves under an "slo" path gate exactly: true -> false is
+//     a regression (an SLO that was attained is now missed), false -> true
+//     is an improvement.
+//
+// Exit status: 0 = no regression, 1 = at least one regression, 2 = usage or
+// structural error (unreadable/unparseable file, missing counterpart leaf
+// for a gated metric). tools/check.sh's bench-diff mode reruns the serving
+// bench and gates the fresh output against the tracked BENCH_serving.json
+// with this tool; the benches are deterministic, so any drift is a real
+// behavior change.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace tsi {
+namespace {
+
+struct Tolerance {
+  std::string substring;  // matched against the full leaf path
+  double frac = 0.05;
+};
+
+struct Options {
+  std::string baseline_path;
+  std::string candidate_path;
+  std::vector<Tolerance> tolerances;  // first match wins
+  double default_tol = 0.05;
+  bool quiet = false;
+};
+
+struct Outcome {
+  int regressions = 0;
+  int improvements = 0;
+  int checked = 0;     // gated numeric/bool comparisons
+  int structural = 0;  // missing counterpart for a gated leaf
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool PathContains(const std::string& path, const char* needle) {
+  return path.find(needle) != std::string::npos;
+}
+
+// Direction a metric regresses in; kNeutral leaves never gate.
+enum class Direction { kHigherWorse, kLowerWorse, kNeutral };
+
+Direction DirectionOf(const std::string& path) {
+  static const char* higher_worse[] = {"latency", "ttft", "tpot",
+                                       "queue_wait", "wait", "migration_s"};
+  static const char* lower_worse[] = {"throughput", "rps", "tps", "mfu",
+                                      "attain"};
+  for (const char* n : higher_worse)
+    if (PathContains(path, n)) return Direction::kHigherWorse;
+  for (const char* n : lower_worse)
+    if (PathContains(path, n)) return Direction::kLowerWorse;
+  return Direction::kNeutral;
+}
+
+double ToleranceFor(const Options& opt, const std::string& path) {
+  for (const Tolerance& t : opt.tolerances)
+    if (PathContains(path, t.substring.c_str())) return t.frac;
+  return opt.default_tol;
+}
+
+// Relative change of candidate vs baseline, safe around zero baselines.
+double RelChange(double baseline, double candidate) {
+  const double denom = std::max(std::abs(baseline), 1e-12);
+  return (candidate - baseline) / denom;
+}
+
+void Compare(const Options& opt, const std::string& path,
+             const JsonValue* base, const JsonValue* cand, Outcome* out) {
+  if (base == nullptr || cand == nullptr) {
+    // A leaf present on one side only. Gated metrics must exist on both
+    // sides -- a vanished p99 is not a pass. Everything else is layout
+    // drift (new fields are expected as the benches grow).
+    const bool gated = DirectionOf(path) != Direction::kNeutral ||
+                       (PathContains(path, "slo") && PathContains(path, "ok"));
+    if (gated) {
+      std::fprintf(stderr, "STRUCTURAL %s: present only in %s\n", path.c_str(),
+                   base ? "baseline" : "candidate");
+      ++out->structural;
+    } else if (!opt.quiet) {
+      std::printf("note  %s: only in %s\n", path.c_str(),
+                  base ? "baseline" : "candidate");
+    }
+    return;
+  }
+  if (base->is_object() && cand->is_object()) {
+    for (const auto& [k, v] : base->object)
+      Compare(opt, path.empty() ? k : path + "." + k, &v, cand->Find(k), out);
+    for (const auto& [k, v] : cand->object)
+      if (!base->Find(k))
+        Compare(opt, path.empty() ? k : path + "." + k, nullptr, &v, out);
+    return;
+  }
+  if (base->is_array() && cand->is_array()) {
+    const size_t n = std::max(base->array.size(), cand->array.size());
+    for (size_t i = 0; i < n; ++i)
+      Compare(opt, path + "[" + std::to_string(i) + "]",
+              i < base->array.size() ? &base->array[i] : nullptr,
+              i < cand->array.size() ? &cand->array[i] : nullptr, out);
+    return;
+  }
+  // Booleans: SLO attainment gates exactly.
+  if (base->type == JsonValue::Type::kBool &&
+      cand->type == JsonValue::Type::kBool) {
+    if (PathContains(path, "slo") && PathContains(path, "ok")) {
+      ++out->checked;
+      if (base->boolean && !cand->boolean) {
+        std::printf("REGRESSION %s: slo attained -> MISSED\n", path.c_str());
+        ++out->regressions;
+      } else if (!base->boolean && cand->boolean) {
+        if (!opt.quiet)
+          std::printf("improved  %s: slo missed -> attained\n", path.c_str());
+        ++out->improvements;
+      }
+    }
+    return;
+  }
+  if (base->is_number() && cand->is_number()) {
+    const Direction dir = DirectionOf(path);
+    if (dir == Direction::kNeutral) return;
+    ++out->checked;
+    const double tol = ToleranceFor(opt, path);
+    const double rel = RelChange(base->number, cand->number);
+    const bool worse = dir == Direction::kHigherWorse ? rel > tol : rel < -tol;
+    const bool better = dir == Direction::kHigherWorse ? rel < -tol : rel > tol;
+    if (worse) {
+      std::printf("REGRESSION %s: %s -> %s (%+.1f%%, tol %.1f%%)\n",
+                  path.c_str(), FormatJsonDouble(base->number).c_str(),
+                  FormatJsonDouble(cand->number).c_str(), rel * 100,
+                  tol * 100);
+      ++out->regressions;
+    } else if (better && !opt.quiet) {
+      std::printf("improved  %s: %s -> %s (%+.1f%%)\n", path.c_str(),
+                  FormatJsonDouble(base->number).c_str(),
+                  FormatJsonDouble(cand->number).c_str(), rel * 100);
+      ++out->improvements;
+    }
+    return;
+  }
+  // Type mismatch on a gated leaf is structural.
+  if (DirectionOf(path) != Direction::kNeutral) {
+    std::fprintf(stderr, "STRUCTURAL %s: type mismatch\n", path.c_str());
+    ++out->structural;
+  }
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "ERROR: --tol wants substring=frac, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      opt.tolerances.push_back(
+          {spec.substr(0, eq), std::atof(spec.c_str() + eq + 1)});
+    } else if (arg == "--default-tol" && i + 1 < argc) {
+      opt.default_tol = std::atof(argv[++i]);
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      files.push_back(arg);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_diff <baseline.json> <candidate.json>\n"
+                   "       [--tol substring=frac]... [--default-tol frac] "
+                   "[--quiet]\n");
+      return 2;
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff <baseline.json> <candidate.json>\n");
+    return 2;
+  }
+  opt.baseline_path = files[0];
+  opt.candidate_path = files[1];
+
+  JsonValue docs[2];
+  const std::string* paths[2] = {&opt.baseline_path, &opt.candidate_path};
+  for (int i = 0; i < 2; ++i) {
+    std::string text, error;
+    if (!ReadFile(*paths[i], &text)) {
+      std::fprintf(stderr, "ERROR: cannot read %s\n", paths[i]->c_str());
+      return 2;
+    }
+    if (!ParseJson(text, &docs[i], &error)) {
+      std::fprintf(stderr, "ERROR: %s: %s\n", paths[i]->c_str(),
+                   error.c_str());
+      return 2;
+    }
+  }
+
+  Outcome out;
+  Compare(opt, "", &docs[0], &docs[1], &out);
+  std::printf(
+      "bench_diff: %d gated metric(s), %d regression(s), %d improvement(s), "
+      "%d structural error(s)\n",
+      out.checked, out.regressions, out.improvements, out.structural);
+  if (out.structural > 0) return 2;
+  return out.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace tsi
+
+int main(int argc, char** argv) { return tsi::Main(argc, argv); }

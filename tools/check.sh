@@ -7,7 +7,13 @@
 #   tools/check.sh bench      # additionally run bench_sim_wallclock -> BENCH_sim.json
 #   tools/check.sh obs        # additionally run the observability smoke check
 #                             # (trace_report --demo: serve, export, re-parse,
-#                             # validate utilization invariants)
+#                             # validate utilization + scheduler-timeline
+#                             # invariants, anatomy/roofline/SLO sections)
+#   tools/check.sh bench-diff # additionally re-run the serving bench into a
+#                             # scratch file and gate it against the tracked
+#                             # BENCH_serving.json with tools/bench_diff
+#                             # (the bench is deterministic, so any drift in
+#                             # a latency/throughput/SLO metric fails)
 #   tools/check.sh fastpath   # additionally run the fused+int8 serving demo
 #                             # under TSan with 8 SPMD slots forced (the demo
 #                             # exits non-zero if fused fp32 diverges from
@@ -49,7 +55,7 @@ ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
 echo "== ThreadSanitizer, 8 SPMD slots forced =="
 TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
   ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
-        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|disagg_test|fastpath_test|sharding_test'
+        -R 'spmd_test|engine_test|collectives_test|threaded_test|trace_test|determinism_test|serve_test|disagg_test|fastpath_test|sharding_test|anatomy_test|obs_test'
 
 if [[ "${1:-}" == "bench" ]]; then
   echo "== SPMD wall-clock bench =="
@@ -97,10 +103,22 @@ fi
 
 if [[ "${1:-}" == "obs" ]]; then
   # End-to-end observability smoke: run a traced continuous-serving demo,
-  # write the combined trace/utilization/metrics document, re-parse it, and
-  # validate the fraction invariants (exits non-zero on failure).
+  # write the combined trace/utilization/metrics/anatomy/roofline/SLO
+  # document, re-parse it, and validate the fraction + scheduler-timeline
+  # invariants (exits non-zero on failure).
   echo "== Observability smoke (trace_report --demo) =="
   "$repo/build-check/tools/trace_report" --demo "$repo/build-check/obs_demo"
+fi
+
+if [[ "${1:-}" == "bench-diff" ]]; then
+  # Serving-bench regression gate: rerun the (deterministic) bench into a
+  # scratch path and diff it against the tracked document. Exit 1 on any
+  # latency/throughput regression beyond tolerance or an SLO verdict that
+  # flipped attained -> missed; exit 2 on structural drift.
+  echo "== Serving bench regression gate (bench_diff) =="
+  candidate="$repo/build-check/BENCH_serving.candidate.json"
+  (cd "$repo" && TSI_BENCH_JSON="$candidate" ./build-check/bench/bench_serving)
+  "$repo/build-check/tools/bench_diff" "$repo/BENCH_serving.json" "$candidate"
 fi
 
 echo "OK: all configurations pass"

@@ -9,19 +9,36 @@
 //   trace_report <doc.json> --perfetto out.json
 //                                        also re-emit a traceEvents-only
 //                                        document for chrome://tracing
+//   trace_report <doc.json> --validate   additionally check the scheduler
+//                                        timeline invariants: migrate spans
+//                                        never overlap on the serialized
+//                                        link, and every migrated request's
+//                                        lifecycle orders prefill -> migrate
+//                                        -> decode -> retire with no
+//                                        unaccounted gap
 //   trace_report --demo <prefix>         run a small continuous-serving demo
 //                                        on the functional engine, write
-//                                        <prefix>_trace.json, then re-parse
-//                                        and validate it (tools/check.sh)
+//                                        <prefix>_trace.json (with anatomy/
+//                                        roofline/SLO sections), then
+//                                        re-parse and validate it
+//                                        (tools/check.sh)
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/inference_cost.h"
+#include "core/layouts.h"
 #include "hw/chip.h"
+#include "obs/anatomy.h"
 #include "obs/export.h"
+#include "obs/roofline.h"
+#include "obs/slo.h"
 #include "obs/utilization.h"
 #include "serve/runtime.h"
 #include "sim/machine.h"
@@ -89,6 +106,192 @@ bool ReportTraceEvents(const JsonValue& events) {
   return true;
 }
 
+// --validate: scheduler-timeline invariants of the disaggregated runtime
+// (serve/disagg.cc). The link is a single serialized channel, so "migrate"
+// spans must never overlap; and a migrated request's lifecycle must order
+// prefill-pool spans -> migrate span -> decode-pool spans -> retire, with
+// the migrate span accounting for the whole prefill-to-decode handoff (no
+// unaccounted gap: decode may not start before the transfer lands).
+bool ValidateSchedulerTimeline(const JsonValue& events) {
+  // Timestamps are microseconds; 1e-3 us absorbs the *1e6 export rounding.
+  constexpr double kEps = 1e-3;
+  auto arg_ll = [](const JsonValue& e, const char* key) -> long long {
+    const JsonValue* args = e.Find("args");
+    if (!args) return -1;
+    const JsonValue* v = args->Find(key);
+    if (!v || !v->is_string()) return -1;
+    return std::strtoll(v->string.c_str(), nullptr, 10);
+  };
+  struct Span {
+    double ts = 0, dur = 0;
+  };
+  std::vector<std::pair<Span, long long>> migrates;  // link row, trace order
+  std::map<long long, Span> migrate_of;              // request -> its transfer
+  std::map<long long, double> last_prefill_end;
+  std::map<long long, int> prefill_spans;
+  std::map<long long, double> first_decode_start;  // first decode span with it
+  std::map<long long, double> retire_ts;
+  std::map<long long, double> migrated_at;  // 'n' "migrated" instants
+
+  for (const JsonValue& e : events.array) {
+    const std::string ph = e.StringOr("ph", "");
+    const std::string cat = e.StringOr("cat", "");
+    if (cat == "scheduler" && ph == "X") {
+      const std::string name = e.StringOr("name", "");
+      const Span s{e.NumberOr("ts", 0), e.NumberOr("dur", 0)};
+      if (name == "migrate") {
+        const long long id = arg_ll(e, "request");
+        migrates.emplace_back(s, id);
+        migrate_of[id] = s;
+      } else if (name == "prefill") {
+        const long long id = arg_ll(e, "request");
+        prefill_spans[id] += 1;
+        last_prefill_end[id] =
+            std::max(last_prefill_end[id], s.ts + s.dur);
+      } else if (name == "decode") {
+        const JsonValue* args = e.Find("args");
+        const JsonValue* reqs = args ? args->Find("requests") : nullptr;
+        if (reqs && reqs->is_string()) {
+          std::istringstream is(reqs->string);
+          std::string tok;
+          while (std::getline(is, tok, ',')) {
+            const long long id = std::strtoll(tok.c_str(), nullptr, 10);
+            if (!first_decode_start.count(id)) first_decode_start[id] = s.ts;
+          }
+        }
+      }
+    } else if (cat == "request") {
+      const auto id = static_cast<long long>(e.NumberOr("id", -1));
+      if (ph == "e") retire_ts[id] = e.NumberOr("ts", 0);
+      if (ph == "n" && e.StringOr("name", "") == "migrated")
+        migrated_at[id] = e.NumberOr("ts", 0);
+    }
+  }
+
+  bool ok = true;
+  // 1. The link carries one transfer at a time.
+  std::sort(migrates.begin(), migrates.end(),
+            [](const auto& a, const auto& b) { return a.first.ts < b.first.ts; });
+  for (size_t i = 1; i < migrates.size(); ++i) {
+    const Span& prev = migrates[i - 1].first;
+    const Span& cur = migrates[i].first;
+    if (cur.ts + kEps < prev.ts + prev.dur) {
+      std::fprintf(stderr,
+                   "ERROR: migrate spans overlap on the link: request %lld "
+                   "[%g, %g) vs request %lld [%g, %g)\n",
+                   migrates[i - 1].second, prev.ts, prev.ts + prev.dur,
+                   migrates[i].second, cur.ts, cur.ts + cur.dur);
+      ok = false;
+    }
+  }
+  // 2. Every migrated request's lifecycle is fully accounted.
+  for (const auto& [id, at] : migrated_at) {
+    if (!prefill_spans.count(id)) {
+      std::fprintf(stderr,
+                   "ERROR: migrated request %lld has no prefill span\n", id);
+      ok = false;
+      continue;
+    }
+    auto mig = migrate_of.find(id);
+    if (mig == migrate_of.end()) {
+      std::fprintf(stderr,
+                   "ERROR: request %lld has a 'migrated' instant but no "
+                   "migrate span\n", id);
+      ok = false;
+      continue;
+    }
+    const double mig_end = mig->second.ts + mig->second.dur;
+    if (mig->second.ts + kEps < last_prefill_end[id]) {
+      std::fprintf(stderr,
+                   "ERROR: request %lld migrate starts at %g before its last "
+                   "prefill chunk ends at %g\n",
+                   id, mig->second.ts, last_prefill_end[id]);
+      ok = false;
+    }
+    auto dec = first_decode_start.find(id);
+    if (dec == first_decode_start.end()) {
+      std::fprintf(stderr,
+                   "ERROR: migrated request %lld never joined a decode span\n",
+                   id);
+      ok = false;
+    } else if (dec->second + kEps < mig_end) {
+      std::fprintf(stderr,
+                   "ERROR: request %lld decodes at %g before its KV transfer "
+                   "lands at %g\n", id, dec->second, mig_end);
+      ok = false;
+    }
+    auto ret = retire_ts.find(id);
+    if (ret == retire_ts.end()) {
+      std::fprintf(stderr, "ERROR: migrated request %lld never retired\n", id);
+      ok = false;
+    } else if (ret->second + kEps < mig_end) {
+      std::fprintf(stderr,
+                   "ERROR: request %lld retires at %g before its KV transfer "
+                   "lands at %g\n", id, ret->second, mig_end);
+      ok = false;
+    }
+  }
+  std::printf("validate: %zu migrate span(s), %zu migrated request(s)%s\n",
+              migrates.size(), migrated_at.size(), ok ? ": OK" : "");
+  return ok;
+}
+
+// Prints (and sanity-checks) the anatomy/roofline/slo sections when present;
+// returns false when a roofline fraction invariant fails.
+bool ReportExtras(const JsonValue& doc) {
+  bool ok = true;
+  if (const JsonValue* anatomy = doc.Find("anatomy")) {
+    const JsonValue* reqs = anatomy->Find("requests");
+    const JsonValue* classes = anatomy->Find("classes");
+    std::printf("anatomy: %zu request(s), %zu class(es)\n",
+                reqs && reqs->is_array() ? reqs->array.size() : 0,
+                classes && classes->is_array() ? classes->array.size() : 0);
+  }
+  if (const JsonValue* roofline = doc.Find("roofline")) {
+    const JsonValue* phases = roofline->Find("phases");
+    if (phases && phases->is_array()) {
+      Table table({"phase", "spans", "seconds", "compute", "hbm", "network"});
+      for (const JsonValue& p : phases->array) {
+        const double sum = p.NumberOr("compute_frac", 0) +
+                           p.NumberOr("hbm_frac", 0) +
+                           p.NumberOr("network_frac", 0);
+        table.AddRow({p.StringOr("phase", "?"),
+                      FormatDouble(p.NumberOr("spans", 0), 0),
+                      FormatMs(p.NumberOr("seconds", 0)),
+                      FormatPercent(p.NumberOr("compute_frac", 0)),
+                      FormatPercent(p.NumberOr("hbm_frac", 0)),
+                      FormatPercent(p.NumberOr("network_frac", 0))});
+        if (p.NumberOr("seconds", 0) > 0 && std::abs(sum - 1.0) > 1e-9) {
+          std::fprintf(stderr,
+                       "ERROR: roofline phase %s bound-by fractions sum to "
+                       "%.12f != 1\n",
+                       p.StringOr("phase", "?").c_str(), sum);
+          ok = false;
+        }
+      }
+      std::printf("%s", table.ToString().c_str());
+    }
+  }
+  if (const JsonValue* slo = doc.Find("slo")) {
+    const bool evaluated = slo->Find("evaluated") &&
+                           slo->Find("evaluated")->boolean;
+    if (evaluated) {
+      std::printf("slo: %s", slo->Find("ok") && slo->Find("ok")->boolean
+                                 ? "attained"
+                                 : "MISSED");
+      if (const JsonValue* classes = slo->Find("classes")) {
+        for (const JsonValue& c : classes->array) {
+          const std::string name = c.StringOr("class", "");
+          std::printf(" [%s: %s]", name.empty() ? "(default)" : name.c_str(),
+                      c.Find("ok") && c.Find("ok")->boolean ? "ok" : "miss");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  return ok;
+}
+
 // Validates and prints the "tsi" utilization section; returns false when a
 // fraction invariant fails.
 bool ReportUtilization(const JsonValue& tsi) {
@@ -140,7 +343,8 @@ bool ReportUtilization(const JsonValue& tsi) {
   return ok;
 }
 
-int ReportFile(const std::string& path, const std::string& perfetto_out) {
+int ReportFile(const std::string& path, const std::string& perfetto_out,
+               bool validate) {
   std::string text;
   if (!ReadFile(path, &text)) {
     std::fprintf(stderr, "ERROR: cannot read %s\n", path.c_str());
@@ -159,7 +363,9 @@ int ReportFile(const std::string& path, const std::string& perfetto_out) {
   }
   std::printf("== %s ==\n", path.c_str());
   bool ok = ReportTraceEvents(*events);
+  if (validate) ok = ValidateSchedulerTimeline(*events) && ok;
   if (const JsonValue* tsi = doc.Find("tsi")) ok = ReportUtilization(*tsi) && ok;
+  ok = ReportExtras(doc) && ok;
   if (const JsonValue* metrics = doc.Find("metrics")) {
     const JsonValue* counters = metrics->Find("counters");
     if (counters && counters->is_object()) {
@@ -221,6 +427,10 @@ int RunDemo(const std::string& prefix) {
   options.sampling.temperature = 0;
   options.tracer = &tracer;
   options.metrics = &metrics;
+  // A loose per-class SLO so the demo exercises the attainment report
+  // (virtual seconds here are microsecond-scale; these always pass).
+  options.slo.classes["interactive"] = {1.0, 1.0, 1.0, 1.0};
+  options.slo.classes[""] = {0, 2.0, 0, 2.0};
 
   Rng rng(11);
   std::vector<ServeRequest> requests;
@@ -233,6 +443,7 @@ int RunDemo(const std::string& prefix) {
       t = static_cast<int32_t>(
           rng.NextBelow(static_cast<uint64_t>(cfg.vocab_size)));
     r.max_new_tokens = 4;
+    if (i % 2 == 0) r.klass = "interactive";
     requests.push_back(std::move(r));
   }
   EngineServeBackend backend(&engine, /*num_slots=*/4, options);
@@ -244,6 +455,18 @@ int RunDemo(const std::string& prefix) {
               static_cast<long long>(report.decode_steps),
               FormatMs(report.makespan).c_str());
 
+  // Fold the timeline into the anatomy / roofline / SLO sections the
+  // combined document carries (docs/observability.md).
+  const std::vector<TimelineEvent> timeline = tracer.timeline();
+  const obs::AnatomyReport anatomy = obs::FoldAnatomy(timeline);
+  InferenceEstimator estimator(cfg, TpuV4());
+  obs::RooflineInputs rin;
+  rin.estimator = &estimator;
+  rin.prefill_spec = PartitionSpec{Torus3D(2, 2, 1), FfnLayout::kWS2D,
+                                   AttnSharding::kBatch, WeightFormat::kBf16};
+  rin.decode_spec = rin.prefill_spec;
+  const obs::RooflineReport roofline = obs::FoldRoofline(timeline, rin);
+
   const std::string path = prefix + "_trace.json";
   {
     std::ofstream os(path, std::ios::binary);
@@ -252,25 +475,30 @@ int RunDemo(const std::string& prefix) {
       return 1;
     }
     obs::WriteObservability(os, machine, tracer, &metrics,
-                            /*include_host=*/true);
+                            /*include_host=*/true, &anatomy, &roofline,
+                            &report.slo);
   }
   TSI_LOG(INFO) << "wrote " << path;
-  return ReportFile(path, "");
+  return ReportFile(path, "", /*validate=*/true);
 }
 
 int Main(int argc, char** argv) {
   std::string file, perfetto_out, demo_prefix;
+  bool validate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--perfetto" && i + 1 < argc) {
       perfetto_out = argv[++i];
     } else if (arg == "--demo" && i + 1 < argc) {
       demo_prefix = argv[++i];
+    } else if (arg == "--validate") {
+      validate = true;
     } else if (!arg.empty() && arg[0] != '-') {
       file = arg;
     } else {
       std::fprintf(stderr,
-                   "usage: trace_report <doc.json> [--perfetto out.json]\n"
+                   "usage: trace_report <doc.json> [--perfetto out.json] "
+                   "[--validate]\n"
                    "       trace_report --demo <prefix>\n");
       return 2;
     }
@@ -280,7 +508,7 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "usage: trace_report <doc.json> | --demo <prefix>\n");
     return 2;
   }
-  return ReportFile(file, perfetto_out);
+  return ReportFile(file, perfetto_out, validate);
 }
 
 }  // namespace
