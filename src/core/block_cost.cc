@@ -9,9 +9,53 @@
 
 namespace tsi {
 
-CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
-                        const ChipSpec& chip, const SystemModel& sys,
-                        Phase phase, double B, double L, double context) {
+double UnhiddenCollectiveTime(const CommCostModel& cm, const SystemModel& sys,
+                              double bytes, int k, int n_collectives) {
+  if (k <= 1 || n_collectives == 0) return 0.0;
+  double bw_time = bytes / cm.network_bw * cm.Factor(k);
+  return n_collectives * cm.Alpha(k) + bw_time * (1.0 - sys.overlap_fraction);
+}
+
+namespace {
+
+// K/V projection columns per chip: K/V heads shard over yz when they divide
+// evenly (multihead, wide grouped-query); otherwise they replicate
+// (multiquery, narrow grouped-query).
+double KvProjCols(const ModelConfig& config, const Torus3D& mesh) {
+  const double KV = static_cast<double>(config.n_kv_heads());
+  const double dh = static_cast<double>(config.d_head);
+  const int YZ = mesh.y() * mesh.z();
+  const bool kv_replicated = config.n_kv_heads() % YZ != 0;
+  return kv_replicated ? 2.0 * KV * dh : 2.0 * KV * dh / YZ;
+}
+
+}  // namespace
+
+double AttnFSideBytes(const ModelConfig& config, const Torus3D& mesh,
+                      double batch_tokens, double act_bytes) {
+  const double H = static_cast<double>(config.n_heads);
+  const double dh = static_cast<double>(config.d_head);
+  const int YZ = mesh.y() * mesh.z();
+  return 2.0 * batch_tokens * (H * dh / YZ + KvProjCols(config, mesh)) *
+         act_bytes;
+}
+
+double AttnAllToAllBytes(const ModelConfig& config, const Torus3D& mesh,
+                         double batch_tokens, double act_bytes,
+                         bool include_kv) {
+  const double H = static_cast<double>(config.n_heads);
+  const double dh = static_cast<double>(config.d_head);
+  const int YZ = mesh.y() * mesh.z();
+  if (include_kv)
+    return batch_tokens * (H * dh / YZ + KvProjCols(config, mesh)) * act_bytes;
+  return batch_tokens * (H * dh / YZ) * act_bytes;
+}
+
+CostBreakdown LayerComputeMemoryCost(const ModelConfig& config,
+                                     const PartitionSpec& spec,
+                                     const ChipSpec& chip,
+                                     const SystemModel& sys, Phase phase,
+                                     double B, double L, double context) {
   TSI_CHECK_GE(context, L);
   const double E = static_cast<double>(config.d_model);
   const double F = static_cast<double>(config.d_ff);
@@ -19,10 +63,7 @@ CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
   const double KV = static_cast<double>(config.n_kv_heads());
   const double dh = static_cast<double>(config.d_head);
   const int n = spec.num_chips();
-  const int X = spec.mesh.x();
-  const int YZ = spec.mesh.y() * spec.mesh.z();
   const double BL = B * L;
-  const double act = ActivationBytes(spec.activations);
   const double wb = WeightBytes(spec.weight_format);
   // int8 activations double the matmul issue rate (§3.6 projection); the
   // attention dot products and KV cache stay bf16.
@@ -61,24 +102,40 @@ CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
       config.num_layers;
   out.kv_memory = kv_bytes / hbm;
 
+  // --- Fixed overhead -------------------------------------------------------
+  // Serial blocks run two norms and two dependent op sequences per layer.
+  out.overhead = sys.per_layer_overhead * (config.parallel_block ? 1.0 : 1.5);
+
+  (void)phase;  // phase is implied by (L, context); kept for call-site clarity
+  return out;
+}
+
+CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
+                        const ChipSpec& chip, const SystemModel& sys,
+                        Phase phase, double B, double L, double context) {
+  CostBreakdown out =
+      LayerComputeMemoryCost(config, spec, chip, sys, phase, B, L, context);
+
+  const int n = spec.num_chips();
+  const int X = spec.mesh.x();
+  const int YZ = spec.mesh.y() * spec.mesh.z();
+  const double BL = B * L;
+  const double act = ActivationBytes(spec.activations);
+  const double wb = WeightBytes(spec.weight_format);
+  const int in_proj = config.gated_ffn ? 2 : 1;
+  const int N = WeightGatherWidth(spec.ffn, spec.mesh);
+  const bool weight_gathered = N > 1;
+
   // --- Communication -------------------------------------------------------
   CommCostModel cm{chip.network_bw, sys.hop_latency, /*exact=*/true};
   // Bandwidth time may be hidden under matmuls by Looped CollectiveEinsum;
   // the per-hop alpha latency never is.
   auto unhidden = [&](double bytes, int k, int n_collectives) {
-    if (k <= 1 || n_collectives == 0) return 0.0;
-    double bw_time = bytes / cm.network_bw * cm.Factor(k);
-    return n_collectives * cm.Alpha(k) + bw_time * (1.0 - sys.overlap_fraction);
+    return UnhiddenCollectiveTime(cm, sys, bytes, k, n_collectives);
   };
 
   FfnCommVolume ffn_vol = FfnCommVolumePerChip(
       config.d_model, config.d_ff, in_proj, spec.mesh, spec.ffn, BL, wb, act);
-
-  // K/V projection columns per chip: K/V heads shard over yz when they
-  // divide evenly (multihead, wide grouped-query); otherwise they replicate
-  // (multiquery, narrow grouped-query).
-  const bool kv_replicated = config.n_kv_heads() % YZ != 0;
-  const double kv_cols = kv_replicated ? 2.0 * KV * dh : 2.0 * KV * dh / YZ;
 
   if (!weight_gathered) {
     // F-side collectives over x (reduce-scatter per input projection +
@@ -86,7 +143,7 @@ CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
     // into the same collectives (§3.4) in a parallel block; a serial block
     // issues them separately (extra alphas, same volume).
     if (X > 1) {
-      double attn_f_bytes = 2.0 * BL * (H * dh / YZ + kv_cols) * act;
+      double attn_f_bytes = AttnFSideBytes(config, spec.mesh, BL, act);
       int f_count = (in_proj + 1) + (config.parallel_block ? 0 : 2);
       out.comm += unhidden(ffn_vol.act_f_bytes + attn_f_bytes, X, f_count);
     }
@@ -115,16 +172,11 @@ CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
   // attention output back (§3.3, Fig 5b). Weight-gathered layouts are
   // already batch-sharded, so no reshard is needed.
   if (spec.attn == AttnSharding::kBatch && !weight_gathered) {
-    double a2a_in = BL * (H * dh / YZ + kv_cols) * act;
-    double a2a_out = BL * (H * dh / YZ) * act;
+    double a2a_in = AttnAllToAllBytes(config, spec.mesh, BL, act, true);
+    double a2a_out = AttnAllToAllBytes(config, spec.mesh, BL, act, false);
     out.comm += cm.AllToAllTime(a2a_in, n) + cm.AllToAllTime(a2a_out, n);
   }
 
-  // --- Fixed overhead -------------------------------------------------------
-  // Serial blocks run two norms and two dependent op sequences per layer.
-  out.overhead = sys.per_layer_overhead * (config.parallel_block ? 1.0 : 1.5);
-
-  (void)phase;  // phase is implied by (L, context); kept for call-site clarity
   return out;
 }
 

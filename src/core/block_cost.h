@@ -7,6 +7,7 @@
 // into a CostBreakdown for one layer of one forward pass.
 #pragma once
 
+#include "comm/cost.h"
 #include "core/layouts.h"
 #include "core/system.h"
 #include "hw/chip.h"
@@ -23,5 +24,37 @@ CostBreakdown LayerCost(const ModelConfig& config, const PartitionSpec& spec,
                         const ChipSpec& chip, const SystemModel& sys,
                         Phase phase, double batch, double new_tokens,
                         double context);
+
+// The pieces LayerCost is assembled from, exported so the shard-spec
+// lowering (src/plan) prices a propagation-derived collective schedule with
+// the SAME arithmetic -- keeping the two paths equal to the last bit instead
+// of merely close.
+
+// Compute + HBM streaming + fixed overhead: every term of LayerCost except
+// the collective schedule (comm stays zero).
+CostBreakdown LayerComputeMemoryCost(const ModelConfig& config,
+                                     const PartitionSpec& spec,
+                                     const ChipSpec& chip,
+                                     const SystemModel& sys, Phase phase,
+                                     double batch, double new_tokens,
+                                     double context);
+
+// Unhidden time of `n_collectives` ring collectives jointly moving `bytes`
+// over k chips: per-hop alphas are never hidden; the bandwidth term overlaps
+// with matmuls per §3.5 (sys.overlap_fraction).
+double UnhiddenCollectiveTime(const CommCostModel& cm, const SystemModel& sys,
+                              double bytes, int k, int n_collectives);
+
+// Per-chip bytes the attention Q/K/V projections + output contribute to the
+// F-side collective group (§3.4): Q columns shard over yz; K/V columns shard
+// when yz divides the KV heads and replicate otherwise (MQA, narrow GQA).
+double AttnFSideBytes(const ModelConfig& config, const Torus3D& mesh,
+                      double batch_tokens, double act_bytes);
+
+// Per-chip all-to-all bytes resharding batch-sharded attention (§3.3,
+// Fig 5b): inbound Q/K/V (include_kv) or the outbound context vector.
+double AttnAllToAllBytes(const ModelConfig& config, const Torus3D& mesh,
+                         double batch_tokens, double act_bytes,
+                         bool include_kv);
 
 }  // namespace tsi

@@ -1,14 +1,35 @@
 #include "core/planner.h"
 
 #include <algorithm>
+#include <set>
+#include <tuple>
 
 #include "util/logging.h"
 
 namespace tsi {
 
+namespace {
+
+// Everything LayerCost reads off (mesh, ffn): X, Y*Z, the weight-gather
+// width, and the group the residual all-reduce runs over. Two candidates
+// with equal keys (and equal attention sharding) price identically at every
+// (batch, context, phase), so one representative suffices.
+std::tuple<int, int, int, int, int> CostKey(const PartitionSpec& s) {
+  int yz = s.mesh.y() * s.mesh.z();
+  int k_e = yz;
+  if (s.ffn == FfnLayout::kWGX) k_e = yz;
+  if (s.ffn == FfnLayout::kWGXY) k_e = s.mesh.z();
+  if (s.ffn == FfnLayout::kWGXYZ) k_e = 1;
+  return {static_cast<int>(s.attn), s.mesh.x(), yz,
+          WeightGatherWidth(s.ffn, s.mesh), k_e};
+}
+
+}  // namespace
+
 std::vector<PartitionSpec> EnumerateSpecs(const ModelConfig& config, int n_chips,
-                                          WeightFormat format) {
+                                          WeightFormat format, bool dedup) {
   std::vector<PartitionSpec> specs;
+  std::set<std::tuple<int, int, int, int, int>> seen;
   for (const Torus3D& mesh : AllTorusShapes(n_chips)) {
     if (config.d_model % mesh.x() != 0) continue;
     int yz = mesh.y() * mesh.z();
@@ -31,6 +52,10 @@ std::vector<PartitionSpec> EnumerateSpecs(const ModelConfig& config, int n_chips
         s.ffn = l;
         s.attn = a;
         s.weight_format = format;
+        // Keep the FIRST of each cost-equivalent class (AllTorusShapes is
+        // lexicographic, BestOf keeps the first of equals): the surviving
+        // representative is exactly the spec the planner picked before.
+        if (dedup && !seen.insert(CostKey(s)).second) continue;
         specs.push_back(s);
       }
     }

@@ -23,8 +23,18 @@ struct ConfigEval {
 // All candidate specs for `n_chips`: mesh shapes whose X divides d_model and
 // whose Y*Z divides d_ff, crossed with FFN layouts (WS-1D only on X == 1
 // meshes, WS-2D only on X > 1) and both attention shardings.
+//
+// By default the list is DEDUPLICATED: candidates whose cost model inputs
+// coincide -- same attention sharding, same (X, Y*Z), same weight-gather
+// width and same residual-reduction group -- are represented by their first
+// enumeration (e.g. the y/z transposes of a mesh for any layout, or WG-X vs
+// WG-XY on a z-only mesh). The first-of-equals convention matches BestOf's
+// tie-breaking, so dedup never changes a planner winner; the legacy planner
+// and the autotuner (src/plan) both search this one entry point.
+// `dedup = false` returns the raw cross product (tests compare the two).
 std::vector<PartitionSpec> EnumerateSpecs(const ModelConfig& config, int n_chips,
-                                          WeightFormat format);
+                                          WeightFormat format,
+                                          bool dedup = true);
 
 // Lowest-latency feasible config for a prefill of B x L tokens.
 std::optional<ConfigEval> BestPrefill(const InferenceEstimator& est, int n_chips,

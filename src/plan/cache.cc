@@ -1,0 +1,235 @@
+#include "plan/cache.h"
+
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace tsi {
+namespace plan {
+
+std::string ToString(Phase phase) {
+  return phase == Phase::kPrefill ? "prefill" : "decode";
+}
+
+std::string PlanKey::ToString() const {
+  std::ostringstream os;
+  os << model << "/" << chips << "c/" << plan::ToString(phase) << "/b"
+     << batch_bucket << "/ctx" << context_bucket;
+  return os.str();
+}
+
+bool PlanKey::operator<(const PlanKey& o) const {
+  if (model != o.model) return model < o.model;
+  if (chips != o.chips) return chips < o.chips;
+  if (phase != o.phase) return static_cast<int>(phase) < static_cast<int>(o.phase);
+  if (batch_bucket != o.batch_bucket) return batch_bucket < o.batch_bucket;
+  return context_bucket < o.context_bucket;
+}
+
+int PlanCache::Bucket(double v) {
+  int b = 1;
+  while (b < v && b < (1 << 30)) b <<= 1;
+  return b;
+}
+
+PlanKey PlanCache::MakeKey(const std::string& model, int chips, Phase phase,
+                           double batch, double context) {
+  return PlanKey{model, chips, phase, Bucket(batch), Bucket(context)};
+}
+
+void PlanCache::Insert(TunedPlan plan) {
+  PlanKey key = plan.key;
+  plans_[key] = std::move(plan);
+}
+
+const TunedPlan* PlanCache::Lookup(const std::string& model, int chips,
+                                   Phase phase, double batch,
+                                   double context) const {
+  PlanKey key = MakeKey(model, chips, phase, batch, context);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++hits_;
+    return &it->second;
+  }
+  // Same (model, chips, phase, batch): nearest tuned context bucket above,
+  // then the largest one below -- the plan for a longer context is always
+  // feasible for a shorter one.
+  const TunedPlan* below = nullptr;
+  for (auto jt = plans_.lower_bound(
+           PlanKey{model, chips, phase, key.batch_bucket, 0});
+       jt != plans_.end(); ++jt) {
+    const PlanKey& k = jt->first;
+    if (k.model != model || k.chips != chips || k.phase != phase ||
+        k.batch_bucket != key.batch_bucket) {
+      break;
+    }
+    if (k.context_bucket >= key.context_bucket) {
+      ++hits_;
+      return &jt->second;
+    }
+    below = &jt->second;
+  }
+  if (below != nullptr) {
+    ++hits_;
+    return below;
+  }
+  ++misses_;
+  return nullptr;
+}
+
+double PlanCache::HitRate() const {
+  int64_t total = hits_ + misses_;
+  return total > 0 ? static_cast<double>(hits_) / total : 0.0;
+}
+
+namespace {
+
+bool ParseFfn(const std::string& s, FfnLayout* out) {
+  for (FfnLayout l : {FfnLayout::kWS1D, FfnLayout::kWS2D, FfnLayout::kWGX,
+                      FfnLayout::kWGXY, FfnLayout::kWGXYZ}) {
+    if (tsi::ToString(l) == s) {
+      *out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseAttn(const std::string& s, AttnSharding* out) {
+  for (AttnSharding a : {AttnSharding::kHeads, AttnSharding::kBatch}) {
+    if (tsi::ToString(a) == s) {
+      *out = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseFormat(const std::string& s, WeightFormat* out) {
+  for (WeightFormat f : {WeightFormat::kBf16, WeightFormat::kInt8}) {
+    if (tsi::ToString(f) == s) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+void WriteSpec(JsonWriter* w, const PartitionSpec& spec) {
+  w->BeginObject();
+  w->Key("mesh");
+  w->BeginArray();
+  w->Int(spec.mesh.x());
+  w->Int(spec.mesh.y());
+  w->Int(spec.mesh.z());
+  w->EndArray();
+  w->Key("ffn");
+  w->String(tsi::ToString(spec.ffn));
+  w->Key("attn");
+  w->String(tsi::ToString(spec.attn));
+  w->Key("weights");
+  w->String(tsi::ToString(spec.weight_format));
+  w->Key("activations");
+  w->String(tsi::ToString(spec.activations));
+  w->Key("kv");
+  w->String(tsi::ToString(spec.kv_format));
+  w->Key("kv_page_size");
+  w->Int(spec.kv_page_size);
+  w->EndObject();
+}
+
+bool ReadSpec(const JsonValue& v, PartitionSpec* spec, std::string* error) {
+  const JsonValue* mesh = v.Find("mesh");
+  if (mesh == nullptr || !mesh->is_array() || mesh->array.size() != 3) {
+    *error = "plan spec missing mesh [x,y,z]";
+    return false;
+  }
+  spec->mesh = Torus3D(static_cast<int>(mesh->array[0].number),
+                       static_cast<int>(mesh->array[1].number),
+                       static_cast<int>(mesh->array[2].number));
+  if (!ParseFfn(v.StringOr("ffn", ""), &spec->ffn) ||
+      !ParseAttn(v.StringOr("attn", ""), &spec->attn) ||
+      !ParseFormat(v.StringOr("weights", ""), &spec->weight_format) ||
+      !ParseFormat(v.StringOr("activations", "bf16"), &spec->activations) ||
+      !ParseFormat(v.StringOr("kv", "bf16"), &spec->kv_format)) {
+    *error = "plan spec has an unknown ffn/attn/format name";
+    return false;
+  }
+  spec->kv_page_size = static_cast<int64_t>(v.NumberOr("kv_page_size", 0));
+  return true;
+}
+
+}  // namespace
+
+std::string PlanCache::ToJson() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("plans");
+  w.BeginArray();
+  for (const auto& [key, plan] : plans_) {
+    w.BeginObject();
+    w.Key("model");
+    w.String(key.model);
+    w.Key("chips");
+    w.Int(key.chips);
+    w.Key("phase");
+    w.String(plan::ToString(key.phase));
+    w.Key("batch_bucket");
+    w.Int(key.batch_bucket);
+    w.Key("context_bucket");
+    w.Int(key.context_bucket);
+    w.Key("spec");
+    WriteSpec(&w, plan.spec);
+    w.Key("est_seconds");
+    w.Double(plan.est_seconds);
+    w.Key("est_cost_chipsec_per_token");
+    w.Double(plan.est_cost_chipsec_per_token);
+    w.Key("est_mfu");
+    w.Double(plan.est_mfu);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return os.str();
+}
+
+bool PlanCache::FromJson(const std::string& text, PlanCache* out,
+                         std::string* error) {
+  JsonValue root;
+  if (!ParseJson(text, &root, error)) return false;
+  const JsonValue* plans = root.Find("plans");
+  if (plans == nullptr || !plans->is_array()) {
+    *error = "plan cache has no \"plans\" array";
+    return false;
+  }
+  PlanCache cache;
+  for (const JsonValue& v : plans->array) {
+    TunedPlan plan;
+    plan.key.model = v.StringOr("model", "");
+    plan.key.chips = static_cast<int>(v.NumberOr("chips", 0));
+    plan.key.phase = v.StringOr("phase", "decode") == "prefill"
+                         ? Phase::kPrefill
+                         : Phase::kDecode;
+    plan.key.batch_bucket = static_cast<int>(v.NumberOr("batch_bucket", 1));
+    plan.key.context_bucket =
+        static_cast<int>(v.NumberOr("context_bucket", 1));
+    const JsonValue* spec = v.Find("spec");
+    if (spec == nullptr) {
+      *error = "plan entry " + plan.key.ToString() + " has no spec";
+      return false;
+    }
+    if (!ReadSpec(*spec, &plan.spec, error)) return false;
+    plan.est_seconds = v.NumberOr("est_seconds", 0);
+    plan.est_cost_chipsec_per_token =
+        v.NumberOr("est_cost_chipsec_per_token", 0);
+    plan.est_mfu = v.NumberOr("est_mfu", 0);
+    cache.Insert(std::move(plan));
+  }
+  *out = std::move(cache);
+  return true;
+}
+
+}  // namespace plan
+}  // namespace tsi

@@ -1,0 +1,88 @@
+// PlanCache: tuned serving plans keyed by the serving operating point.
+//
+// The autotuner (plan/autotune.h) prices the layout space once, offline, and
+// records the winner per (model, chips, phase, batch bucket, context bucket)
+// here; the serving stack (serve/analytic.h, serve/disagg.h) looks plans up
+// per prefill chunk / decode step instead of re-searching. Batch and context
+// are bucketed to the next power of two so a handful of tuned points covers
+// the continuous operating range; lookups off the tuned grid fall to the
+// nearest tuned bucket at or above, then the largest tuned bucket below.
+//
+// Caches serialize to JSON (util/json.h: deterministic double formatting,
+// so equal caches serialize byte-identically regardless of how many SPMD
+// slots or threads produced them) and reload for `plan_cli --validate`,
+// which re-prices every cached plan and fails on drift against the current
+// cost model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/block_cost.h"
+#include "core/layouts.h"
+
+namespace tsi {
+namespace plan {
+
+struct PlanKey {
+  std::string model;
+  int chips = 0;
+  Phase phase = Phase::kDecode;
+  int batch_bucket = 1;    // next power of two >= batch
+  int context_bucket = 1;  // next power of two >= context
+
+  std::string ToString() const;
+  bool operator<(const PlanKey& o) const;
+  bool operator==(const PlanKey& o) const = default;
+};
+
+struct TunedPlan {
+  PlanKey key;
+  PartitionSpec spec;
+  // Analytic estimates at the bucket's (batch, context), for explain/diff
+  // and for --validate drift detection.
+  double est_seconds = 0;
+  double est_cost_chipsec_per_token = 0;
+  double est_mfu = 0;
+};
+
+class PlanCache {
+ public:
+  // Next power of two >= max(v, 1): the bucketing both tuning and lookup use.
+  static int Bucket(double v);
+  static PlanKey MakeKey(const std::string& model, int chips, Phase phase,
+                         double batch, double context);
+
+  // Last insert for a key wins (re-tuning refreshes the plan).
+  void Insert(TunedPlan plan);
+
+  // Exact-bucket lookup, falling back to the nearest tuned context bucket
+  // (above first, then below) at the same (model, chips, phase, batch
+  // bucket). Returns nullptr on miss. Counts a hit or miss either way.
+  const TunedPlan* Lookup(const std::string& model, int chips, Phase phase,
+                          double batch, double context) const;
+
+  const std::map<PlanKey, TunedPlan>& plans() const { return plans_; }
+  size_t size() const { return plans_.size(); }
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  double HitRate() const;
+  void ResetCounters() const { hits_ = misses_ = 0; }
+
+  std::string ToJson() const;
+  // Replaces *out on success; on failure returns false with a description.
+  static bool FromJson(const std::string& text, PlanCache* out,
+                       std::string* error);
+
+ private:
+  std::map<PlanKey, TunedPlan> plans_;
+  mutable int64_t hits_ = 0;
+  mutable int64_t misses_ = 0;
+};
+
+std::string ToString(Phase phase);
+
+}  // namespace plan
+}  // namespace tsi

@@ -1,0 +1,69 @@
+#include "plan/shard_spec.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tsi {
+namespace plan {
+
+int ShardSpec::DivisorOf(const std::string& name, const Torus3D& mesh) const {
+  return mesh.GroupSize(AxesOf(name));
+}
+
+unsigned ShardSpec::AxesOf(const std::string& name) const {
+  for (const DimShard& d : dims)
+    if (d.name == name) return d.axes;
+  return kAxisNone;
+}
+
+void ShardSpec::SetAxes(const std::string& name, unsigned axes) {
+  for (DimShard& d : dims) {
+    if (d.name == name) {
+      d.axes = axes;
+      return;
+    }
+  }
+  dims.push_back({name, axes});
+}
+
+unsigned ShardSpec::ShardedAxes() const {
+  unsigned mask = kAxisNone;
+  for (const DimShard& d : dims) mask |= d.axes;
+  return mask;
+}
+
+void ShardSpec::Validate(const Torus3D& mesh) const {
+  (void)mesh;
+  unsigned seen = kAxisNone;
+  for (const DimShard& d : dims) {
+    TSI_CHECK((seen & d.axes) == kAxisNone)
+        << "axis shards two dimensions in " << ToString();
+    seen |= d.axes;
+  }
+  TSI_CHECK((seen & partial) == kAxisNone)
+      << "axis both shards and carries a partial sum in " << ToString();
+}
+
+std::string ShardSpec::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i) os << ", ";
+    os << dims[i].name;
+    if (dims[i].axes != kAxisNone) os << "." << AxisName(dims[i].axes);
+  }
+  os << "]";
+  if (partial != kAxisNone) os << "+partial(" << AxisName(partial) << ")";
+  return os.str();
+}
+
+ShardSpec Spec(std::vector<DimShard> dims, unsigned partial) {
+  ShardSpec s;
+  s.dims = std::move(dims);
+  s.partial = partial;
+  return s;
+}
+
+}  // namespace plan
+}  // namespace tsi

@@ -1,0 +1,71 @@
+// ShardSpec IR: per-tensor-dimension sharding assignments over mesh axes.
+//
+// The hand-coded partitioning vocabulary (core/layouts.h) names five FFN
+// layouts and two attention shardings as a closed enum; everything the cost
+// model knows about them is transcribed from the paper. This IR generalizes
+// the vocabulary: a ShardSpec assigns each logical dimension of a tensor a
+// SET of mesh axes (x/y/z bitmask, hw/topology.h) it is sharded over, plus a
+// partial-sum mask recording that the tensor's values are unreduced partial
+// sums pending a reduction over those axes -- the ONNX shard_model
+// ShardSpec/is_partial idea (SNIPPETS.md), extended from shard counts to
+// named torus axes so collectives can be assigned to physical links.
+//
+// Invariants (checked by Validate):
+//   * an axis shards at most one dimension (an axis splitting two dims of
+//     the same tensor would address chips twice);
+//   * an axis never both shards a dimension and carries a partial sum (a
+//     partial over x means every x-peer holds the FULL dim extents).
+//
+// The propagation pass (plan/propagate.h) walks a per-block layer graph and
+// infers each op's output ShardSpec from its inputs, inserting the minimal
+// AllReduce/AllGather/ReduceScatter/AllToAll where specs mismatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace tsi {
+namespace plan {
+
+// One logical tensor dimension: a name ("tokens", "E", "F", "heads") and
+// the mesh axes it is sharded over (kAxisNone = replicated on those axes).
+struct DimShard {
+  std::string name;
+  unsigned axes = kAxisNone;
+
+  bool operator==(const DimShard&) const = default;
+};
+
+struct ShardSpec {
+  std::vector<DimShard> dims;
+  // The tensor's values are partial sums pending a reduction over these
+  // axes (produced by contracting a dimension that was sharded over them).
+  unsigned partial = kAxisNone;
+
+  // Number of shards dim `name` is split into on `mesh` (1 if absent).
+  int DivisorOf(const std::string& name, const Torus3D& mesh) const;
+  // Axis mask of dim `name` (kAxisNone if absent).
+  unsigned AxesOf(const std::string& name) const;
+  // Sets (or adds) dim `name`'s axes.
+  void SetAxes(const std::string& name, unsigned axes);
+
+  // Union of all sharding axes (partial excluded).
+  unsigned ShardedAxes() const;
+
+  // Checks the header invariants; dies with context on violation.
+  void Validate(const Torus3D& mesh) const;
+
+  // "[tokens, E.x]+partial(yz)" -- dims without sharding print bare.
+  std::string ToString() const;
+
+  bool operator==(const ShardSpec&) const = default;
+};
+
+// Convenience builder: Spec({{"tokens", kAxisNone}, {"E", kAxisX}}).
+ShardSpec Spec(std::vector<DimShard> dims, unsigned partial = kAxisNone);
+
+}  // namespace plan
+}  // namespace tsi

@@ -1,0 +1,109 @@
+#include "plan/validate.h"
+
+#include <algorithm>
+
+#include "hw/chip.h"
+#include "model/reference.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tsi {
+namespace plan {
+
+FfnLayout EngineLayout(FfnLayout layout) {
+  switch (layout) {
+    case FfnLayout::kWGX:
+    case FfnLayout::kWGXY:
+      return FfnLayout::kWGXYZ;
+    default:
+      return layout;
+  }
+}
+
+EngineSpec PlanEngineSpec(const PartitionSpec& prefill,
+                          const PartitionSpec& decode) {
+  TSI_CHECK(prefill.mesh.x() == decode.mesh.x() &&
+            prefill.mesh.y() == decode.mesh.y() &&
+            prefill.mesh.z() == decode.mesh.z())
+      << "plan pair spans meshes " << prefill.mesh.ToString() << " vs "
+      << decode.mesh.ToString() << "; layout switching requires shared shards";
+  TSI_CHECK(prefill.attn == decode.attn)
+      << "plan pair changes attention sharding mid-run (KV layout is fixed)";
+  TSI_CHECK(prefill.weight_format == decode.weight_format)
+      << "plan pair changes weight format mid-run";
+  EngineSpec spec;
+  spec.prefill_ffn = EngineLayout(prefill.ffn);
+  spec.decode_ffn = EngineLayout(decode.ffn);
+  spec.attn = decode.attn;
+  spec.weight_format = decode.weight_format;
+  return spec;
+}
+
+namespace {
+
+std::vector<int32_t> RandomTokens(int64_t n, int64_t vocab, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> t(static_cast<size_t>(n));
+  for (auto& v : t)
+    v = static_cast<int32_t>(rng.NextBelow(static_cast<uint64_t>(vocab)));
+  return t;
+}
+
+}  // namespace
+
+ValidationResult ValidatePlanPair(const ModelConfig& config,
+                                  const PartitionSpec& prefill,
+                                  const PartitionSpec& decode, int64_t batch,
+                                  int64_t input_len, int64_t decode_steps,
+                                  uint64_t seed) {
+  EngineSpec engine_spec = PlanEngineSpec(prefill, decode);
+
+  ModelWeights weights = ModelWeights::Random(config, seed);
+  ModelWeights ref_weights = weights;
+  if (engine_spec.weight_format == WeightFormat::kInt8)
+    ref_weights.SimulateInt8Roundtrip();
+  ReferenceModel reference(&ref_weights);
+
+  SimMachine plan_machine(prefill.mesh, TpuV4());
+  DistributedEngine plan_engine(weights, &plan_machine, engine_spec);
+  // The "direct" engine is built from the same layouts without going through
+  // the plan pair -- what a hand-configured serving run would construct.
+  EngineSpec direct_spec;
+  direct_spec.prefill_ffn = EngineLayout(prefill.ffn);
+  direct_spec.decode_ffn = EngineLayout(decode.ffn);
+  direct_spec.attn = decode.attn;
+  direct_spec.weight_format = decode.weight_format;
+  SimMachine direct_machine(decode.mesh, TpuV4());
+  DistributedEngine direct_engine(weights, &direct_machine, direct_spec);
+
+  ValidationResult out;
+  out.bit_identical = true;
+
+  auto tokens = RandomTokens(batch * input_len, config.vocab_size, seed + 1);
+  KvCache ref_cache;
+  Tensor want = reference.Prefill(tokens, batch, &ref_cache);
+  Tensor got_plan = plan_engine.Prefill(tokens, batch);
+  Tensor got_direct = direct_engine.Prefill(tokens, batch);
+  out.max_abs_vs_direct =
+      std::max(out.max_abs_vs_direct, MaxAbsDiff(got_plan, got_direct));
+  out.max_abs_vs_reference =
+      std::max(out.max_abs_vs_reference, MaxAbsDiff(got_plan, want));
+
+  auto next = RandomTokens(batch, config.vocab_size, seed + 2);
+  for (int64_t step = 0; step < decode_steps; ++step) {
+    Tensor want_step = reference.DecodeStep(next, &ref_cache);
+    Tensor plan_step = plan_engine.DecodeStep(next);
+    Tensor direct_step = direct_engine.DecodeStep(next);
+    out.max_abs_vs_direct =
+        std::max(out.max_abs_vs_direct, MaxAbsDiff(plan_step, direct_step));
+    out.max_abs_vs_reference =
+        std::max(out.max_abs_vs_reference, MaxAbsDiff(plan_step, want_step));
+    ++out.steps;
+    next = RandomTokens(batch, config.vocab_size, seed + 3 + static_cast<uint64_t>(step));
+  }
+  out.bit_identical = out.max_abs_vs_direct == 0.0f;
+  return out;
+}
+
+}  // namespace plan
+}  // namespace tsi

@@ -1,0 +1,54 @@
+// Functional validation of tuned plans on the distributed engine.
+//
+// The autotuner's search is analytic; before a plan pair is trusted for
+// serving, this hook executes it on the functional simulator
+// (engine/engine.h) and checks two properties:
+//
+//   * plumbing: running the engine with the spec the PLAN chose is
+//     bit-identical to running an engine constructed directly with that
+//     spec -- i.e. the plan -> EngineSpec mapping (including the JSON
+//     round-trip a PlanCache file takes) loses nothing;
+//   * numerics: the plan's logits stay within the engine test suite's
+//     tolerance of the single-chip reference model, prefill and decode.
+//
+// The engine executes the partially-gathered layouts (WG-X, WG-XY) as fully
+// weight-gathered WG-XYZ -- the analytic model distinguishes their
+// communication cost, the functional numerics are the same computation
+// (ROADMAP known deviation; EngineLayout applies the mapping).
+#pragma once
+
+#include "engine/engine.h"
+#include "plan/cache.h"
+
+namespace tsi {
+namespace plan {
+
+// Engine-executable layout for an analytically-tuned one.
+FfnLayout EngineLayout(FfnLayout layout);
+
+// EngineSpec executing `prefill`'s FFN layout for prefill and `decode`'s
+// for decode. Dies unless the two share mesh, attention sharding and
+// formats: switching FFN layouts mid-run is free exactly because the E_x
+// F_yz weight shards and the KV layout are common (§3.2.3); anything else
+// would reshard state.
+EngineSpec PlanEngineSpec(const PartitionSpec& prefill,
+                          const PartitionSpec& decode);
+
+struct ValidationResult {
+  bool bit_identical = false;     // plan-driven vs direct engine, bitwise
+  float max_abs_vs_direct = 0;    // 0 when bit_identical
+  float max_abs_vs_reference = 0; // fp drift vs the single-chip reference
+  int64_t steps = 0;              // decode steps compared
+};
+
+// Prefills `batch` x `input_len` random tokens and decodes `decode_steps`
+// more, on (a) the plan pair's engine and (b) a directly-built engine plus
+// the single-chip reference, comparing logits at every step.
+ValidationResult ValidatePlanPair(const ModelConfig& config,
+                                  const PartitionSpec& prefill,
+                                  const PartitionSpec& decode, int64_t batch,
+                                  int64_t input_len, int64_t decode_steps,
+                                  uint64_t seed);
+
+}  // namespace plan
+}  // namespace tsi

@@ -23,13 +23,36 @@ void AnalyticServeBackend::Accumulate(const PhaseResult& r, double tokens) {
   total_cost_ += r.breakdown;
 }
 
+PartitionSpec AnalyticServeBackend::PhaseSpec(Phase phase, double batch,
+                                              double context) {
+  PartitionSpec spec = config_.spec;
+  if (config_.plans != nullptr) {
+    const plan::TunedPlan* hit =
+        config_.plans->Lookup(est_->config().name, spec.mesh.num_chips(),
+                              phase, batch, context);
+    // Only the FFN layout may switch mid-run: mesh, attention sharding and
+    // weight format pin the resident weight shards and KV layout (§3.2.3).
+    if (hit != nullptr && hit->spec.mesh.x() == spec.mesh.x() &&
+        hit->spec.mesh.y() == spec.mesh.y() &&
+        hit->spec.mesh.z() == spec.mesh.z() && hit->spec.attn == spec.attn &&
+        hit->spec.weight_format == spec.weight_format) {
+      spec.ffn = hit->spec.ffn;
+    }
+  }
+  auto& steps = phase == Phase::kPrefill ? prefill_layout_steps_
+                                         : decode_layout_steps_;
+  ++steps[ToString(spec.ffn)];
+  return spec;
+}
+
 int32_t AnalyticServeBackend::Prefill(int64_t slot, int64_t /*request*/,
                                       const std::vector<int32_t>& tokens,
                                       bool last) {
   TSI_CHECK(slot >= 0 && slot < config_.num_slots);
   const auto chunk = static_cast<double>(tokens.size());
   auto& ctx = context_[static_cast<size_t>(slot)];
-  Accumulate(est_->Prefill(config_.spec, /*batch=*/1, chunk, ctx), chunk);
+  PartitionSpec spec = PhaseSpec(Phase::kPrefill, /*batch=*/1, ctx + chunk);
+  Accumulate(est_->Prefill(spec, /*batch=*/1, chunk, ctx), chunk);
   ctx += chunk;
   return last ? 1 : -1;  // token identity is meaningless analytically
 }
@@ -42,8 +65,10 @@ std::vector<int32_t> AnalyticServeBackend::Decode(
     ctx = std::max(ctx, context_[static_cast<size_t>(l.slot)]);
   // Fixed frame: padding lanes step too, so the charge is the full frame's;
   // only the real lanes count as processed tokens.
-  Accumulate(est_->DecodeStep(config_.spec,
-                              static_cast<double>(config_.num_slots), ctx),
+  PartitionSpec spec = PhaseSpec(
+      Phase::kDecode, static_cast<double>(config_.num_slots), ctx);
+  Accumulate(est_->DecodeStep(spec, static_cast<double>(config_.num_slots),
+                              ctx),
              static_cast<double>(lanes.size()));
   for (const DecodeLane& l : lanes) context_[static_cast<size_t>(l.slot)] += 1;
   return std::vector<int32_t>(lanes.size(), 1);

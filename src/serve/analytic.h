@@ -19,10 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/inference_cost.h"
 #include "core/layouts.h"
+#include "plan/cache.h"
 #include "serve/scheduler.h"
 
 namespace tsi {
@@ -30,6 +33,14 @@ namespace tsi {
 struct AnalyticServeConfig {
   PartitionSpec spec;      // one replica serves both phases
   int64_t num_slots = 64;  // fixed decode frame (§4.4's decode batch)
+  // Optional tuned-plan cache (plan/autotune.h). When set, every prefill
+  // chunk and decode step consults it at the step's operating point and
+  // adopts the tuned FFN layout -- ONLY the FFN layout, because mesh,
+  // attention sharding and weight format fix the resident weight shards and
+  // the KV layout, which is exactly what makes mid-run switching free
+  // (§3.2.3). A cached plan on a different mesh/attention/format is ignored
+  // for pricing (the lookup still counts toward the cache's hit rate).
+  const plan::PlanCache* plans = nullptr;
   // With ServeOptions.share_prefixes: leading prompt tokens every request is
   // assumed to share (a common system prompt). AdoptPrefix reports them as
   // adopted, so their prefill compute is skipped and the slot starts with
@@ -70,8 +81,23 @@ class AnalyticServeBackend : public ServeBackend {
   // the token count an MFU numerator should use.
   double processed_tokens() const { return processed_tokens_; }
 
+  // Per-phase FFN layouts actually charged, keyed by ToString(FfnLayout)
+  // with the number of chunks/steps priced under each. Without a plan cache
+  // each map holds one entry (the configured layout); with one, these show
+  // which tuned layouts the run selected per phase. Cache hit/miss counts
+  // live on the PlanCache itself.
+  const std::map<std::string, int64_t>& prefill_layout_steps() const {
+    return prefill_layout_steps_;
+  }
+  const std::map<std::string, int64_t>& decode_layout_steps() const {
+    return decode_layout_steps_;
+  }
+
  private:
   void Accumulate(const PhaseResult& r, double tokens);
+  // The spec to price this step with: the configured one, FFN layout
+  // possibly swapped by a compatible cached plan. Records the choice.
+  PartitionSpec PhaseSpec(Phase phase, double batch, double context);
 
   const InferenceEstimator* est_;
   AnalyticServeConfig config_;
@@ -80,6 +106,8 @@ class AnalyticServeBackend : public ServeBackend {
   CostBreakdown total_cost_;
   double busy_seconds_ = 0;
   double processed_tokens_ = 0;
+  std::map<std::string, int64_t> prefill_layout_steps_;
+  std::map<std::string, int64_t> decode_layout_steps_;
 };
 
 // Collect-batch-then-run baseline on the same cost model (see file comment).

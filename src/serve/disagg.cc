@@ -476,4 +476,31 @@ AnalyticDisaggRun RunAnalyticDisaggServing(const InferenceEstimator& estimator,
   return run;
 }
 
+int ApplyPlanCache(const plan::PlanCache& plans, const std::string& model,
+                   double expected_prompt, double expected_context,
+                   DisaggConfig* config) {
+  TSI_CHECK(config != nullptr);
+  int adopted = 0;
+  auto adopt = [&](PartitionSpec* spec, Phase phase, double batch,
+                   double context, const char* pool) {
+    const plan::TunedPlan* hit = plans.Lookup(
+        model, spec->mesh.num_chips(), phase, batch, context);
+    if (hit == nullptr) return;
+    TSI_CHECK_EQ(hit->spec.mesh.num_chips(), spec->mesh.num_chips())
+        << "cached plan resizes the " << pool << " pool";
+    TSI_LOG(DEBUG) << "disagg " << pool << " pool adopts tuned plan "
+                   << hit->key.ToString() << " -> " << hit->spec.ToString();
+    *spec = hit->spec;
+    ++adopted;
+  };
+  adopt(&config->prefill_spec, Phase::kPrefill, /*batch=*/1, expected_prompt,
+        "prefill");
+  adopt(&config->decode_spec, Phase::kDecode,
+        static_cast<double>(config->decode_slots), expected_context, "decode");
+  adopt(&config->colocated_spec, Phase::kDecode,
+        static_cast<double>(config->colocated_slots), expected_context,
+        "colocated");
+  return adopted;
+}
+
 }  // namespace tsi

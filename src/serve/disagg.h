@@ -169,4 +169,18 @@ AnalyticDisaggRun RunAnalyticDisaggServing(const InferenceEstimator& estimator,
                                            std::vector<ServeRequest> requests,
                                            const ServeOptions& options);
 
+// Bring-up plan selection from a tuned PlanCache (plan/autotune.h): replaces
+// each pool's PartitionSpec with the cached winner for its operating point
+// -- prefill pool at (batch 1, expected_prompt), decode pool at
+// (decode_slots, expected_context), colocated fallback at (colocated_slots,
+// expected_context) under kDecode. Unlike the per-step consult inside
+// AnalyticServeBackend, bring-up may adopt the WHOLE spec (mesh shape,
+// attention sharding, format): nothing is resident yet, and migration
+// between the pools re-shards KV anyway. Pool chip counts come from the
+// meshes already in `config` and are preserved. Returns how many specs were
+// replaced (0..3); misses leave the hand-configured spec in place.
+int ApplyPlanCache(const plan::PlanCache& plans, const std::string& model,
+                   double expected_prompt, double expected_context,
+                   DisaggConfig* config);
+
 }  // namespace tsi

@@ -23,6 +23,14 @@
 #                             # TSan with 8 SPMD slots forced -- concurrent
 #                             # Appends into one page pool are the race
 #                             # surface the paged cache added
+#   tools/check.sh autotune   # additionally re-run the plan/autotuner suites
+#                             # under TSan with 8 SPMD slots forced (the
+#                             # functional plan validation drives two
+#                             # engines' thread pools), re-run the E26
+#                             # autotuner bench into a scratch file and gate
+#                             # it against the tracked BENCH_plan.json, and
+#                             # round-trip a freshly tuned tiny-model cache
+#                             # through plan_cli validate --functional
 #   tools/check.sh disagg     # additionally re-run the disaggregated-serving
 #                             # suites under TSan with 8 SPMD slots forced
 #                             # (two engines' thread pools live at once during
@@ -99,6 +107,30 @@ if [[ "${1:-}" == "disagg" ]]; then
           -R 'disagg_test|serve_test|engine_test'
   echo "== Disaggregated serving bench (E24 sweep) =="
   (cd "$repo" && ./build-check/bench/bench_serving --disagg)
+fi
+
+if [[ "${1:-}" == "autotune" ]]; then
+  # Plan-subsystem check: the propagation/lowering/autotuner suites under
+  # TSan with multi-slot SPMD execution forced (ValidatePlanPair runs two
+  # DistributedEngines side by side, so two thread pools are live), then
+  # the deterministic E26 bench gated against the tracked BENCH_plan.json
+  # (host_search_s is wall-clock and stays informational by name), then a
+  # fresh tiny-model tune -> validate --functional round trip through the
+  # CLI, with the validation half under TSan too.
+  echo "== Plan/autotuner suites under TSan (8 SPMD slots) =="
+  TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
+    ctest --test-dir "$repo/build-check-tsan" --output-on-failure -j "$jobs" \
+          -R 'plan_test|planner_test|block_cost_test'
+  echo "== Autotuner bench regression gate (bench_diff) =="
+  candidate="$repo/build-check/BENCH_plan.candidate.json"
+  (cd "$repo" && TSI_BENCH_JSON="$candidate" ./build-check/bench/bench_plan)
+  "$repo/build-check/tools/bench_diff" "$repo/BENCH_plan.json" "$candidate"
+  echo "== plan_cli tune/validate round trip (functional, TSan) =="
+  plans="$repo/build-check/plans.tiny.json"
+  "$repo/build-check/tools/plan_cli" tune --model tiny-mqa --chips 2,4 \
+      --batches 4,8 --contexts 16,32 --out "$plans"
+  TSI_SPMD_SLOTS=8 TSI_NUM_THREADS=8 \
+    "$repo/build-check-tsan/tools/plan_cli" validate "$plans" --functional
 fi
 
 if [[ "${1:-}" == "obs" ]]; then
